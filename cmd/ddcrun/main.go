@@ -1,0 +1,172 @@
+// Command ddcrun runs a named workload on a chosen paging backend with a
+// chosen local-memory fraction and prefetcher — the interactive companion
+// to dilosbench for exploring individual configurations.
+//
+// Usage:
+//
+//	ddcrun -workload seqread -system dilos -prefetch readahead -cache 0.125
+//	ddcrun -workload quicksort -system fastswap -cache 0.25
+//	ddcrun -workload redis-get -system dilos -prefetch app-aware
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/fastswap"
+	"dilos/internal/prefetch"
+	"dilos/internal/redis"
+	"dilos/internal/sim"
+	"dilos/internal/space"
+	"dilos/internal/stats"
+	"dilos/internal/workloads"
+)
+
+func main() {
+	workload := flag.String("workload", "seqread",
+		"seqread | seqwrite | quicksort | kmeans | redis-get | redis-lrange")
+	system := flag.String("system", "dilos", "dilos | fastswap")
+	pf := flag.String("prefetch", "readahead", "none | readahead | trend | leap | app-aware (dilos only)")
+	cache := flag.Float64("cache", 0.125, "local memory as a fraction of the working set")
+	pages := flag.Uint64("pages", 16384, "working-set pages for seq workloads")
+	flag.Parse()
+
+	var prefetcher prefetch.Prefetcher
+	switch *pf {
+	case "none", "app-aware":
+	case "readahead":
+		prefetcher = prefetch.NewReadahead(0)
+	case "trend":
+		prefetcher = prefetch.NewTrend()
+	case "leap":
+		prefetcher = prefetch.NewLeap()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pf)
+		os.Exit(2)
+	}
+
+	eng := sim.New()
+	frames := int(float64(*pages) * *cache)
+	if frames < 96 {
+		frames = 96
+	}
+	remote := *pages*4096 + (128 << 20)
+
+	var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
+	var report func()
+
+	var guide *redis.AppGuide
+	if *pf == "app-aware" {
+		guide = redis.NewAppGuide()
+	}
+	switch *system {
+	case "dilos":
+		cfg := core.Config{
+			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
+			Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
+		}
+		if guide != nil {
+			cfg.Guide = guide
+		}
+		sys := core.New(eng, cfg)
+		sys.Start()
+		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
+			sys.Launch("app", 0, func(sp *core.DDCProc) { fn(sp, sys.MmapDDC) })
+		}
+		report = func() {
+			fmt.Printf("faults: major=%d minor=%d late-map=%d prefetches=%d\n",
+				sys.MajorFaults.N, sys.MinorFaults.N, sys.LateMapHits.N, sys.Prefetches.N)
+			fmt.Printf("page manager: cleaned=%d evicted=%d sync-writes=%d\n",
+				sys.Mgr.Cleaned.N, sys.Mgr.Evicted.N, sys.Mgr.SyncWrites.N)
+			fmt.Printf("network: rx=%d MB tx=%d MB\n",
+				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+		}
+	case "fastswap":
+		sys := fastswap.New(eng, fastswap.Config{
+			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
+			Fabric: fabric.DefaultParams(),
+		})
+		sys.Start()
+		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
+			sys.Launch("app", 0, func(sp *fastswap.FSProc) { fn(sp, sys.MmapDDC) })
+		}
+		report = func() {
+			fmt.Printf("faults: major=%d minor=%d direct-reclaims=%d sync-writes=%d\n",
+				sys.MajorFaults.N, sys.MinorFaults.N, sys.DirectRecl.N, sys.SyncWrites.N)
+			fmt.Printf("network: rx=%d MB tx=%d MB\n",
+				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	var elapsed sim.Time
+	var summary string
+	launch(func(sp space.Space, mmap func(uint64) (uint64, error)) {
+		switch *workload {
+		case "seqread":
+			base, _ := mmap(*pages)
+			elapsed = workloads.SeqRead(sp, base, *pages)
+			summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
+		case "seqwrite":
+			base, _ := mmap(*pages)
+			elapsed = workloads.SeqWrite(sp, base, *pages)
+			summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
+		case "quicksort":
+			n := *pages * 4096 / 8
+			base, _ := mmap(*pages + 1)
+			workloads.FillRandomU64(sp, base, n, 1)
+			elapsed = workloads.Quicksort(sp, base, n)
+			if !workloads.IsSorted(sp, base, n) {
+				summary = "SORT FAILED"
+			} else {
+				summary = fmt.Sprintf("sorted %d elements", n)
+			}
+		case "kmeans":
+			cfg := workloads.DefaultKMeans(*pages * 4096 / (15 * 8 * 4))
+			pb, ab, db := workloads.KMeansLayout(cfg)
+			base, _ := mmap((pb+ab+db)/4096 + 2)
+			workloads.KMeansInit(sp, base, cfg)
+			var inertia uint64
+			elapsed, inertia = workloads.KMeans(sp, base, base+pb, base+pb+ab, cfg)
+			summary = fmt.Sprintf("inertia=%d", inertia)
+		case "redis-get":
+			srv := redis.NewServer(sp)
+			if guide != nil {
+				guide.Install(srv, procOf(sp))
+			}
+			keys := int(*pages) / 2
+			redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
+			res := redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
+			elapsed = res.Elapsed
+			summary = fmt.Sprintf("%.0f ops/s, p99=%v, bad=%d",
+				res.ThroughputOps(), res.Latency.P99(), res.BadValues)
+		case "redis-lrange":
+			srv := redis.NewServer(sp)
+			if guide != nil {
+				guide.Install(srv, procOf(sp))
+			}
+			redis.PopulateLRANGE(srv, 64, int(*pages)*4, 100, 2)
+			res := redis.RunLRANGE(sp, srv, 64, 500, 3)
+			elapsed = res.Elapsed
+			summary = fmt.Sprintf("%.0f ops/s, p99=%v", res.ThroughputOps(), res.Latency.P99())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	})
+	eng.Run()
+
+	fmt.Printf("%s on %s (%s, %.1f%% local): %v — %s\n",
+		*workload, *system, *pf, *cache*100, elapsed, summary)
+	report()
+}
+
+func procOf(sp space.Space) *sim.Proc {
+	type hasProc interface{ Proc() *sim.Proc }
+	return sp.(hasProc).Proc()
+}

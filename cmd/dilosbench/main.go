@@ -1,0 +1,408 @@
+// Command dilosbench regenerates the paper's tables and figures (§6) from
+// the reproduction and prints them in the paper's format, with the
+// published values alongside for comparison.
+//
+// Usage:
+//
+//	dilosbench -exp all          # everything (several minutes)
+//	dilosbench -exp tab2         # one artifact
+//	dilosbench -list             # what's available
+//	dilosbench -exp fig7a -scale 2   # larger working sets
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dilos/internal/experiments"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+var registry = map[string]struct {
+	desc string
+	run  func(sc experiments.Scale)
+}{
+	"fig1":   {"Fastswap fault-handler latency breakdown", runFig1},
+	"fig2":   {"RDMA latency vs object size", func(experiments.Scale) { runFig2() }},
+	"tab1":   {"fault counts, sequential read on Fastswap", runTab1},
+	"tab2":   {"sequential read/write throughput (GB/s)", runTab2},
+	"fig6":   {"fault latency breakdown, DiLOS vs Fastswap", runFig6},
+	"tab3":   {"fault counts, sequential read, all systems", runTab3},
+	"fig7a":  {"quicksort completion time", wrapCompletion("Figure 7(a) — quicksort", experiments.Fig7a, "s")},
+	"fig7b":  {"k-means completion time", wrapCompletion("Figure 7(b) — k-means", experiments.Fig7b, "s")},
+	"fig7c":  {"snappy compression completion time", wrapCompletion("Figure 7(c) — compression", experiments.Fig7c, "ms")},
+	"fig7d":  {"snappy decompression completion time", wrapCompletion("Figure 7(d) — decompression", experiments.Fig7d, "ms")},
+	"fig8":   {"DataFrame NYC-taxi completion time", wrapCompletion("Figure 8 — DataFrame (NYC taxi)", experiments.Fig8, "ms")},
+	"fig9a":  {"GAPBS PageRank, 4 threads", wrapCompletion("Figure 9(a) — PageRank", experiments.Fig9a, "ms")},
+	"fig9b":  {"GAPBS betweenness centrality, 4 threads", wrapCompletion("Figure 9(b) — betweenness centrality", experiments.Fig9b, "ms")},
+	"fig10a": {"Redis GET throughput, 4 KiB values", wrapRedis("Figure 10(a) — GET 4KiB", experiments.Fig10a)},
+	"fig10b": {"Redis GET throughput, 64 KiB values", wrapRedis("Figure 10(b) — GET 64KiB", experiments.Fig10b)},
+	"fig10c": {"Redis GET throughput, mixed sizes", wrapRedis("Figure 10(c) — GET mixed", experiments.Fig10c)},
+	"fig10d": {"Redis LRANGE_100 throughput", wrapRedis("Figure 10(d) — LRANGE_100", experiments.Fig10d)},
+	"tab4":   {"Redis tail latency, GET(mixed) + LRANGE", runTab4},
+	"fig12":  {"bandwidth with guided paging, DEL + GET", runFig12},
+	"abl1":   {"ablation: eager vs on-demand reclamation", runAbl1},
+	"abl2":   {"ablation: shared-nothing vs shared queues", runAbl2},
+	"ext1":   {"extension: sharding across 1/2/4 memory nodes", runExt1},
+	"ext2":   {"extension: PageRank thread scaling on DiLOS", runExt2},
+}
+
+var order = []string{
+	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
+	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
+	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
+	"abl1", "abl2", "ext1", "ext2",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	scale := flag.Float64("scale", 1, "working-set scale multiplier")
+	asJSON := flag.Bool("json", false, "emit structured JSON instead of tables")
+	flag.Parse()
+	jsonOut = *asJSON
+
+	if *list || *exp == "" {
+		fmt.Println("experiments (pass -exp <id> or -exp all):")
+		for _, id := range order {
+			fmt.Printf("  %-7s %s\n", id, registry[id].desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	sc := scaled(*scale)
+	if jsonOut {
+		runJSON(sc, *exp)
+		return
+	}
+	if *exp == "all" {
+		for _, id := range order {
+			registry[id].run(sc)
+			fmt.Println()
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		e, ok := registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		e.run(sc)
+		fmt.Println()
+	}
+}
+
+func scaled(mult float64) experiments.Scale {
+	sc := experiments.DefaultScale()
+	m := func(v uint64) uint64 { return uint64(float64(v) * mult) }
+	sc.SeqPages = m(sc.SeqPages)
+	sc.QuicksortN = m(sc.QuicksortN)
+	sc.KMeansPoints = m(sc.KMeansPoints)
+	sc.SnappyBytes = m(sc.SnappyBytes)
+	sc.DataframeRows = m(sc.DataframeRows)
+	sc.RedisKeys4K = int(float64(sc.RedisKeys4K) * mult)
+	sc.RedisKeys64K = int(float64(sc.RedisKeys64K) * mult)
+	sc.RedisKeysMix = int(float64(sc.RedisKeysMix) * mult)
+	sc.RedisListElem = int(float64(sc.RedisListElem) * mult)
+	return sc
+}
+
+func us(t sim.Time) string { return fmt.Sprintf("%6.2f", t.Micros()) }
+
+func runFig1(sc experiments.Scale) {
+	fmt.Println("Figure 1 — Fastswap page fault handler latency breakdown (µs)")
+	fmt.Println("  [paper: average ≈6.2µs total with 46% fetch, 9% exception, 29% reclaim]")
+	printBreakdown(experiments.Fig1(sc))
+}
+
+func runFig6(sc experiments.Scale) {
+	fmt.Println("Figure 6 — fault latency breakdown, DiLOS vs Fastswap (µs)")
+	fmt.Println("  [paper: DiLOS cuts fault latency ≈49%; DiLOS reclaim = 0]")
+	printBreakdown(experiments.Fig6(sc))
+}
+
+func printBreakdown(rows []experiments.BreakdownRow) {
+	fmt.Printf("  %-22s %9s %9s %9s %9s %9s %9s\n",
+		"", "exception", "software", "fetch", "map", "reclaim", "total")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %9s %9s %9s %9s %9s %9s\n",
+			r.Label, us(r.Exception), us(r.Software), us(r.Fetch), us(r.Map), us(r.Reclaim), us(r.Total))
+	}
+}
+
+func runFig2() {
+	fmt.Println("Figure 2 — one-sided RDMA latency (µs) per object size")
+	fmt.Println("  [paper: 4KiB costs only ≈0.6µs more than 128B]")
+	fmt.Printf("  %8s %10s %10s\n", "size", "read", "write")
+	for _, r := range experiments.Fig2() {
+		fmt.Printf("  %8d %10s %10s\n", r.Size, us(r.ReadLat), us(r.WriteLat))
+	}
+}
+
+func runTab1(sc experiments.Scale) {
+	fmt.Println("Table 1 — page faults during sequential read on Fastswap")
+	fmt.Printf("  [paper: 655,737 major (12.5%%) / 4,587,164 minor (87.5%%) on 20GB]\n")
+	r := experiments.Tab1(sc)
+	printFaultRows([]experiments.FaultCountRow{r})
+}
+
+func runTab3(sc experiments.Scale) {
+	fmt.Println("Table 3 — page faults during sequential read")
+	fmt.Println("  [paper: DiLOS-readahead ≈25% fewer minor faults than Fastswap]")
+	printFaultRows(experiments.Tab3(sc))
+}
+
+func printFaultRows(rows []experiments.FaultCountRow) {
+	fmt.Printf("  %-22s %10s %10s %10s %8s\n", "", "major", "minor", "total", "major%")
+	for _, r := range rows {
+		fmt.Printf("  %-22s %10d %10d %10d %7.1f%%\n",
+			r.System, r.Major, r.Minor, r.Total, 100*float64(r.Major)/float64(r.Total))
+	}
+}
+
+func runTab2(sc experiments.Scale) {
+	fmt.Println("Table 2 — sequential read/write throughput (GB/s)")
+	fmt.Println("  [paper: Fastswap 0.98/0.49; DiLOS none 1.24/1.14; readahead 3.74/3.49; trend 3.73/3.49]")
+	fmt.Printf("  %-22s %8s %8s\n", "", "read", "write")
+	for _, r := range experiments.Tab2(sc) {
+		fmt.Printf("  %-22s %8.2f %8.2f\n", r.System, r.ReadGBs, r.WriteGBs)
+	}
+}
+
+func wrapCompletion(title string, fn func(experiments.Scale) []experiments.CompletionRow, unit string) func(experiments.Scale) {
+	return func(sc experiments.Scale) {
+		fmt.Println(title + " — completion time (lower is better)")
+		rows := fn(sc)
+		printCompletion(rows, unit)
+	}
+}
+
+func printCompletion(rows []experiments.CompletionRow, unit string) {
+	// Group: system → fraction → time.
+	systems := []experiments.SystemKind{}
+	seen := map[experiments.SystemKind]bool{}
+	fracs := []float64{}
+	seenF := map[float64]bool{}
+	for _, r := range rows {
+		if !seen[r.System] {
+			seen[r.System] = true
+			systems = append(systems, r.System)
+		}
+		if !seenF[r.Fraction] {
+			seenF[r.Fraction] = true
+			fracs = append(fracs, r.Fraction)
+		}
+	}
+	sort.Float64s(fracs)
+	fmt.Printf("  %-22s", "local memory:")
+	for _, f := range fracs {
+		fmt.Printf(" %9s", experiments.FracLabel(f))
+	}
+	fmt.Println()
+	for _, s := range systems {
+		fmt.Printf("  %-22s", s)
+		for _, f := range fracs {
+			for _, r := range rows {
+				if r.System == s && r.Fraction == f {
+					switch unit {
+					case "s":
+						fmt.Printf(" %9.3f", r.Elapsed.Seconds())
+					default:
+						fmt.Printf(" %9.2f", float64(r.Elapsed)/1e6)
+					}
+				}
+			}
+		}
+		fmt.Printf("  (%s)\n", unit)
+	}
+}
+
+func wrapRedis(title string, fn func(experiments.Scale) []experiments.RedisRow) func(experiments.Scale) {
+	return func(sc experiments.Scale) {
+		fmt.Println(title + " — throughput (ops/s, higher is better)")
+		rows := fn(sc)
+		systems := []experiments.SystemKind{}
+		seen := map[experiments.SystemKind]bool{}
+		fracs := []float64{}
+		seenF := map[float64]bool{}
+		for _, r := range rows {
+			if !seen[r.System] {
+				seen[r.System] = true
+				systems = append(systems, r.System)
+			}
+			if !seenF[r.Fraction] {
+				seenF[r.Fraction] = true
+				fracs = append(fracs, r.Fraction)
+			}
+		}
+		sort.Float64s(fracs)
+		fmt.Printf("  %-22s", "local memory:")
+		for _, f := range fracs {
+			fmt.Printf(" %10s", experiments.FracLabel(f))
+		}
+		fmt.Println()
+		for _, s := range systems {
+			fmt.Printf("  %-22s", s)
+			for _, f := range fracs {
+				for _, r := range rows {
+					if r.System == s && r.Fraction == f {
+						fmt.Printf(" %10.0f", r.OpsPerS)
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func runTab4(sc experiments.Scale) {
+	fmt.Println("Table 4 — tail latency at 12.5% local memory (µs)")
+	fmt.Println("  [paper (ms, 20GB sets): Fastswap GET 10.0/11.0, LRANGE 25.8/34.3;")
+	fmt.Println("   DiLOS app-aware GET 3.0/4.0, LRANGE 14.6/18.4]")
+	fmt.Printf("  %-22s %12s %12s %12s %12s\n", "", "GET p99", "GET p99.9", "LRANGE p99", "LRANGE p99.9")
+	for _, r := range experiments.Tab4(sc) {
+		fmt.Printf("  %-22s %12s %12s %12s %12s\n",
+			r.System, us(r.GetP99), us(r.GetP999), us(r.LRangeP99), us(r.LRangeP999))
+	}
+}
+
+func runFig12(sc experiments.Scale) {
+	fmt.Println("Figure 12 — network traffic with guided paging (DEL churn, then GET sweep)")
+	fmt.Println("  [paper: guided paging saves 12% on DEL, 29% on GET]")
+	rows := experiments.Fig12(sc)
+	fmt.Printf("  %-22s %12s %12s %14s\n", "", "DEL tx (MB)", "GET rx (MB)", "saved (bytes)")
+	for _, r := range rows {
+		label := "default paging"
+		if r.Guided {
+			label = "guided paging"
+		}
+		fmt.Printf("  %-22s %12.2f %12.2f %14d\n", label, r.DelTxMB, r.GetRxMB, r.SavedBytes)
+	}
+	def, g := rows[0], rows[1]
+	fmt.Printf("  reduction: DEL %.0f%%, GET %.0f%%\n",
+		100*(1-g.DelTxMB/def.DelTxMB), 100*(1-g.GetRxMB/def.GetRxMB))
+	fmt.Println("  rx bandwidth over time (default vs guided):")
+	fmt.Printf("    default %s\n", sparkline(def.RxSeries, 64))
+	fmt.Printf("    guided  %s\n", sparkline(g.RxSeries, 64))
+}
+
+// sparkline renders a bandwidth series as unicode blocks, resampled to
+// `width` buckets and normalized across the series.
+func sparkline(pts []stats.BandwidthPoint, width int) string {
+	if len(pts) == 0 {
+		return "(empty)"
+	}
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	resampled := make([]float64, width)
+	for i, p := range pts {
+		resampled[i*width/len(pts)] += p.BytesPerSec
+	}
+	max := 0.0
+	for _, v := range resampled {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return "(idle)"
+	}
+	out := make([]rune, width)
+	for i, v := range resampled {
+		idx := int(v / max * float64(len(blocks)-1))
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}
+
+func runAbl1(sc experiments.Scale) {
+	fmt.Println("Ablation — eager background reclamation (§4.4) vs on-demand")
+	fmt.Printf("  %-32s %8s %8s %12s\n", "", "read", "write", "alloc waits")
+	for _, r := range experiments.AblationEagerEviction(sc) {
+		fmt.Printf("  %-32s %8.2f %8.2f %12d\n", r.Label, r.ReadGBs, r.WriteGBs, r.AllocWait)
+	}
+}
+
+func runAbl2(sc experiments.Scale) {
+	fmt.Println("Ablation — shared-nothing per-module queues (§4.5) vs one queue per core")
+	fmt.Printf("  %-32s %8s %14s\n", "", "write", "fault p99")
+	for _, r := range experiments.AblationSharedQueue(sc) {
+		fmt.Printf("  %-32s %8.2f %14s\n", r.Label, r.WriteGBs, us(r.FaultP99))
+	}
+}
+
+func runExt2(sc experiments.Scale) {
+	fmt.Println("Extension — PageRank thread scaling on DiLOS, 12.5% local memory")
+	fmt.Printf("  %-10s %12s\n", "threads", "time (ms)")
+	for _, r := range experiments.ExtThreadScaling(sc) {
+		fmt.Printf("  %-10d %12.2f\n", r.Workers, float64(r.Elapsed)/1e6)
+	}
+}
+
+func runExt1(sc experiments.Scale) {
+	fmt.Println("Extension — page-striped sharding across memory nodes (§5.1 future work)")
+	fmt.Printf("  %-10s %10s   %s\n", "nodes", "read GB/s", "RX GB per node")
+	for _, r := range experiments.ExtMultiNode(sc) {
+		fmt.Printf("  %-10d %10.2f   %v\n", r.Nodes, r.ReadGBs, r.PerLink)
+	}
+}
+
+// jsonOut switches the harness into structured output.
+var jsonOut bool
+
+// jsonRunners maps experiment ids to row-producing functions for -json.
+var jsonRunners = map[string]func(experiments.Scale) any{
+	"fig1":   func(sc experiments.Scale) any { return experiments.Fig1(sc) },
+	"fig2":   func(experiments.Scale) any { return experiments.Fig2() },
+	"tab1":   func(sc experiments.Scale) any { return experiments.Tab1(sc) },
+	"tab2":   func(sc experiments.Scale) any { return experiments.Tab2(sc) },
+	"fig6":   func(sc experiments.Scale) any { return experiments.Fig6(sc) },
+	"tab3":   func(sc experiments.Scale) any { return experiments.Tab3(sc) },
+	"fig7a":  func(sc experiments.Scale) any { return experiments.Fig7a(sc) },
+	"fig7b":  func(sc experiments.Scale) any { return experiments.Fig7b(sc) },
+	"fig7c":  func(sc experiments.Scale) any { return experiments.Fig7c(sc) },
+	"fig7d":  func(sc experiments.Scale) any { return experiments.Fig7d(sc) },
+	"fig8":   func(sc experiments.Scale) any { return experiments.Fig8(sc) },
+	"fig9a":  func(sc experiments.Scale) any { return experiments.Fig9a(sc) },
+	"fig9b":  func(sc experiments.Scale) any { return experiments.Fig9b(sc) },
+	"fig10a": func(sc experiments.Scale) any { return experiments.Fig10a(sc) },
+	"fig10b": func(sc experiments.Scale) any { return experiments.Fig10b(sc) },
+	"fig10c": func(sc experiments.Scale) any { return experiments.Fig10c(sc) },
+	"fig10d": func(sc experiments.Scale) any { return experiments.Fig10d(sc) },
+	"tab4":   func(sc experiments.Scale) any { return experiments.Tab4(sc) },
+	"fig12":  func(sc experiments.Scale) any { return experiments.Fig12(sc) },
+	"abl1":   func(sc experiments.Scale) any { return experiments.AblationEagerEviction(sc) },
+	"abl2":   func(sc experiments.Scale) any { return experiments.AblationSharedQueue(sc) },
+	"ext1":   func(sc experiments.Scale) any { return experiments.ExtMultiNode(sc) },
+	"ext2":   func(sc experiments.Scale) any { return experiments.ExtThreadScaling(sc) },
+}
+
+func runJSON(sc experiments.Scale, exp string) {
+	out := map[string]any{}
+	ids := strings.Split(exp, ",")
+	if exp == "all" {
+		ids = order
+	}
+	for _, id := range ids {
+		fn, ok := jsonRunners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		out[id] = fn(sc)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,59 @@
+// Command memnoded is the memory node daemon: it registers a memory region
+// and serves one-sided READ/WRITE/vectored requests over the TCP transport
+// (internal/transport) — the role the paper's memory node plays (§5
+// "Memory node"), runnable on any host.
+//
+// Usage:
+//
+//	memnoded -listen :7479 -size 1024 -pkey 0xd170
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"dilos/internal/memnode"
+	"dilos/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":7479", "address to listen on")
+	sizeMB := flag.Uint64("size", 1024, "registered region size (MiB)")
+	pkey := flag.Uint("pkey", 0xd170, "protection key clients must present")
+	statsEvery := flag.Duration("stats", 0, "periodically log usage (e.g. 30s; 0 disables)")
+	flag.Parse()
+
+	node := memnode.New(*sizeMB<<20, uint32(*pkey))
+	srv := transport.NewServer(node)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("memnoded: %v", err)
+	}
+	fmt.Printf("memnoded: serving %d MiB (%d huge pages) on %s, pkey %#x\n",
+		*sizeMB, node.HugePages(), addr, *pkey)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				log.Printf("memnoded: %d pages in use, %d reads, %d writes served",
+					node.PagesInUse(), node.ReadsSrv.N, node.WritesSv.N)
+			}
+		}()
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, report, exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Printf("memnoded: shutting down (%d pages were in use)", node.PagesInUse())
+		srv.Close()
+	}()
+
+	if err := srv.Serve(); err != nil {
+		log.Printf("memnoded: listener closed: %v", err)
+	}
+}

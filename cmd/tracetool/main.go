@@ -1,0 +1,185 @@
+// Command tracetool records, inspects, and replays page-access traces —
+// the workflow for evaluating prefetcher changes against captured fault
+// behaviour instead of hand-written loops.
+//
+//	tracetool record  -workload quicksort -out qs.trace
+//	tracetool analyze qs.trace
+//	tracetool replay  qs.trace -prefetch trend -cache 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/prefetch"
+	"dilos/internal/redis"
+	"dilos/internal/sim"
+	"dilos/internal/trace"
+	"dilos/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "analyze":
+		analyze(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: tracetool record|analyze|replay [flags]")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	workload := fs.String("workload", "seqread", "seqread | quicksort | redis-get")
+	out := fs.String("out", "dilos.trace", "output file")
+	pages := fs.Uint64("pages", 4096, "working-set pages")
+	cache := fs.Float64("cache", 0.125, "local-memory fraction")
+	fs.Parse(args)
+
+	rec := trace.NewRecorder(0)
+	eng := sim.New()
+	frames := int(float64(*pages) * *cache)
+	if frames < 96 {
+		frames = 96
+	}
+	sys := core.New(eng, core.Config{
+		CacheFrames: frames, Cores: 2, RemoteBytes: *pages*4096 + (128 << 20),
+		Fabric: fabric.DefaultParams(), Prefetcher: prefetch.NewReadahead(0),
+		Trace: rec,
+	})
+	sys.Start()
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		switch *workload {
+		case "seqread":
+			base, _ := sys.MmapDDC(*pages)
+			workloads.SeqRead(sp, base, *pages)
+		case "quicksort":
+			n := *pages * 4096 / 8
+			base, _ := sys.MmapDDC(*pages + 1)
+			workloads.FillRandomU64(sp, base, n, 1)
+			workloads.Quicksort(sp, base, n)
+		case "redis-get":
+			srv := redis.NewServer(sp)
+			keys := int(*pages) / 2
+			redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
+			redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	})
+	eng.Run()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.Save(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %d events (%d dropped) from %s to %s\n",
+		rec.Len(), rec.Dropped(), *workload, *out)
+	printStats(rec.Analyze())
+}
+
+func loadFile(path string) []trace.Event {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := trace.Load(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return events
+}
+
+func analyze(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	events := loadFile(args[0])
+	rec := trace.NewRecorder(len(events) + 1)
+	for _, e := range events {
+		rec.Record(e.At, e.VPN, e.Kind)
+	}
+	fmt.Printf("%s: %d events over %d pages\n", args[0], len(events), trace.Span(events))
+	printStats(rec.Analyze())
+}
+
+func printStats(st trace.Stats) {
+	fmt.Printf("  major=%d minor=%d hit=%d write=%d unique-pages=%d\n",
+		st.Counts[trace.Major], st.Counts[trace.Minor], st.Counts[trace.Hit],
+		st.Counts[trace.Write], st.UniquePages)
+	fmt.Printf("  sequential transitions: %.1f%%; top stride %d (%.1f%%)\n",
+		100*st.SeqFraction, st.TopStride, 100*st.TopStrideFrac)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	pf := fs.String("prefetch", "readahead", "none | readahead | trend | leap")
+	cache := fs.Float64("cache", 0.125, "local-memory fraction of the trace span")
+	if len(args) < 1 {
+		usage()
+	}
+	file := args[0]
+	fs.Parse(args[1:])
+
+	events := loadFile(file)
+	span := trace.Span(events)
+	var prefetcher prefetch.Prefetcher
+	switch *pf {
+	case "none":
+	case "readahead":
+		prefetcher = prefetch.NewReadahead(0)
+	case "trend":
+		prefetcher = prefetch.NewTrend()
+	case "leap":
+		prefetcher = prefetch.NewLeap()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pf)
+		os.Exit(2)
+	}
+	frames := int(float64(span) * *cache)
+	if frames < 96 {
+		frames = 96
+	}
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: frames, Cores: 2, RemoteBytes: span*4096 + (128 << 20),
+		Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
+	})
+	sys.Start()
+	var elapsed sim.Time
+	sys.Launch("replay", 0, func(sp *core.DDCProc) {
+		base, _ := sys.MmapDDC(span + 1)
+		t0 := sp.Now()
+		trace.Replay(sp, base, events)
+		elapsed = sp.Now() - t0
+	})
+	eng.Run()
+	fmt.Printf("replayed %d events over %d pages with %s @ %.1f%% local: %v\n",
+		len(events), span, *pf, *cache*100, elapsed)
+	fmt.Printf("  major=%d minor=%d hits=%d prefetches=%d\n",
+		sys.MajorFaults.N, sys.MinorFaults.N, sys.LateMapHits.N, sys.Prefetches.N)
+}

@@ -1,0 +1,3 @@
+module dilos
+
+go 1.23

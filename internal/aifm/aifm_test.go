@@ -1,0 +1,188 @@
+package aifm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dilos/internal/fabric"
+	"dilos/internal/sim"
+)
+
+func newSys(t testing.TB, localBytes uint64) (*System, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	sys := New(eng, Config{
+		LocalBytes:  localBytes,
+		RemoteBytes: 256 << 20,
+		Fabric:      fabric.TCPParams(),
+	})
+	sys.Start()
+	return sys, eng
+}
+
+func TestArrayRoundTrip(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		arr, err := sys.NewArray(8, 1000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := uint64(0); i < 1000; i++ {
+			arr.WriteU64(th, i, i*i)
+		}
+		for i := uint64(0); i < 1000; i++ {
+			if got := arr.ReadU64(th, i); got != i*i {
+				t.Errorf("elem %d: got %d", i, got)
+				return
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestEvacuationUnderPressure(t *testing.T) {
+	// 64 KiB budget, 256 KiB of data: most chunks must round-trip.
+	sys, eng := newSys(t, 64<<10)
+	sys.Launch("app", func(th *Thread) {
+		arr, _ := sys.NewArray(8, 32768)
+		for i := uint64(0); i < arr.Len(); i++ {
+			arr.WriteU64(th, i, i^0x5a5a)
+		}
+		for i := uint64(0); i < arr.Len(); i++ {
+			if got := arr.ReadU64(th, i); got != i^0x5a5a {
+				t.Errorf("elem %d corrupted: %d", i, got)
+				return
+			}
+		}
+	})
+	eng.Run()
+	if sys.Evacuated.N == 0 {
+		t.Fatal("no evacuation under 4x pressure")
+	}
+	if sys.Misses.N == 0 {
+		t.Fatal("no remote misses")
+	}
+}
+
+func TestDerefCheckTax(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	var elapsed sim.Time
+	const n = 10000
+	sys.Launch("app", func(th *Thread) {
+		arr, _ := sys.NewArray(8, n)
+		arr.WriteU64(th, 0, 1) // warm chunk 0
+		for i := uint64(1); i < n; i++ {
+			arr.WriteU64(th, i, 1)
+		}
+		t0 := th.Now()
+		var sum uint64
+		for i := uint64(0); i < n; i++ {
+			sum += arr.ReadU64(th, i)
+		}
+		elapsed = th.Now() - t0
+		if sum != n {
+			t.Error("bad sum")
+		}
+	})
+	eng.Run()
+	if sys.DerefChecks.N < n {
+		t.Fatalf("deref checks = %d, want >= %d (every access pays)", sys.DerefChecks.N, n)
+	}
+	// All-local scan must still cost at least the deref tax.
+	if elapsed < sim.Time(n)*DefaultCosts().DerefCheck {
+		t.Fatalf("elapsed %v below the deref-check floor", elapsed)
+	}
+}
+
+func TestStreamingPrefetchOverlap(t *testing.T) {
+	// Sequential scan with 12.5% local memory: streaming prefetch must
+	// cut the per-miss stall dramatically vs. a no-prefetch run.
+	const elems = 1 << 16 // 512 KiB
+	run := func(depth int) sim.Time {
+		eng := sim.New()
+		sys := New(eng, Config{
+			LocalBytes:    64 << 10,
+			RemoteBytes:   64 << 20,
+			Fabric:        fabric.TCPParams(),
+			PrefetchDepth: depth,
+		})
+		sys.Start()
+		var elapsed sim.Time
+		sys.Launch("app", func(th *Thread) {
+			arr, _ := sys.NewArray(8, elems)
+			t0 := th.Now()
+			var sum uint64
+			for i := uint64(0); i < elems; i++ {
+				sum += arr.ReadU64(th, i)
+			}
+			_ = sum
+			elapsed = th.Now() - t0
+		})
+		eng.Run()
+		return elapsed
+	}
+	deep := run(16)
+	shallow := run(1)
+	if deep*3 > shallow*2 { // expect at least 1.5x from deep streaming
+		t.Fatalf("streaming prefetch ineffective: deep=%v shallow=%v", deep, shallow)
+	}
+}
+
+func TestByteArrayReadWrite(t *testing.T) {
+	sys, eng := newSys(t, 32<<10)
+	rng := rand.New(rand.NewSource(3))
+	sys.Launch("app", func(th *Thread) {
+		arr, _ := sys.NewArray(1, 100000)
+		ref := make([]byte, 100000)
+		for k := 0; k < 100; k++ {
+			off := rng.Intn(90000)
+			n := rng.Intn(9000) + 1
+			if rng.Intn(2) == 0 {
+				b := make([]byte, n)
+				rng.Read(b)
+				arr.WriteBytes(th, uint64(off), b)
+				copy(ref[off:], b)
+			} else {
+				got := make([]byte, n)
+				arr.ReadBytes(th, uint64(off), got)
+				if !bytes.Equal(got, ref[off:off+n]) {
+					t.Errorf("iteration %d: mismatch at %d", k, off)
+					return
+				}
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestTCPDelayApplied(t *testing.T) {
+	// A single cold miss over TCP must cost at least the 14k-cycle delay.
+	sys, eng := newSys(t, 1<<20)
+	var elapsed sim.Time
+	sys.Launch("app", func(th *Thread) {
+		arr, _ := sys.NewArray(8, 8)
+		t0 := th.Now()
+		arr.ReadU64(th, 0)
+		elapsed = th.Now() - t0
+	})
+	eng.Run()
+	if elapsed < fabric.CyclesToTime(fabric.TCPCycles) {
+		t.Fatalf("miss latency %v below the TCP floor", elapsed)
+	}
+}
+
+func TestArrayBoundsPanic(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		arr, _ := sys.NewArray(8, 4)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		arr.ReadU64(th, 4)
+	})
+	eng.Run()
+}

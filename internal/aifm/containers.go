@@ -1,0 +1,288 @@
+package aifm
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// The rest of AIFM's remoteable-container surface: a chunked list and a
+// fixed-geometry hash table, both built from remoteable chunk objects like
+// Array. Every element access pays the smart-pointer dereference check —
+// that is the contract user-level far memory imposes in exchange for
+// object-granularity IO.
+
+// List is a remoteable deque of fixed-size elements: a chain of chunk
+// objects, each holding up to perChunk elements. Chunk metadata (the
+// chain) lives host-side, mirroring AIFM's out-of-band object descriptors;
+// element payloads live in remoteable memory.
+type List struct {
+	sys      *System
+	elemSize uint32
+	perChunk uint32
+	chunks   []int // object ids, front to back
+	headOff  uint32
+	tailLen  uint32
+	n        uint64
+}
+
+// NewList creates an empty remoteable list of elemSize-byte elements.
+func (s *System) NewList(elemSize uint32) *List {
+	if elemSize == 0 || elemSize > ChunkSize {
+		panic("aifm: element size must be in (0, ChunkSize]")
+	}
+	return &List{sys: s, elemSize: elemSize, perChunk: ChunkSize / elemSize}
+}
+
+// Len returns the element count.
+func (l *List) Len() uint64 { return l.n }
+
+// PushBack appends an element.
+func (l *List) PushBack(t *Thread, elem []byte) error {
+	if uint32(len(elem)) != l.elemSize {
+		panic("aifm: wrong element size")
+	}
+	t.p.Advance(l.sys.Costs.DerefCheck)
+	l.sys.DerefChecks.Inc()
+	if len(l.chunks) == 0 || l.tailLen == l.perChunk {
+		id, err := l.sys.newObject(uint32(l.perChunk) * l.elemSize)
+		if err != nil {
+			return err
+		}
+		l.chunks = append(l.chunks, id)
+		l.tailLen = 0
+	}
+	tail := l.chunks[len(l.chunks)-1]
+	data := l.sys.ensureLocal(t.p, tail)
+	copy(data[l.tailLen*l.elemSize:], elem)
+	l.sys.objects[tail].dirty = true
+	l.tailLen++
+	l.n++
+	return nil
+}
+
+// PopFront removes and returns the first element (nil when empty).
+func (l *List) PopFront(t *Thread) []byte {
+	if l.n == 0 {
+		return nil
+	}
+	t.p.Advance(l.sys.Costs.DerefCheck)
+	l.sys.DerefChecks.Inc()
+	head := l.chunks[0]
+	data := l.sys.ensureLocal(t.p, head)
+	out := make([]byte, l.elemSize)
+	copy(out, data[l.headOff*l.elemSize:])
+	l.headOff++
+	l.n--
+	headIsTail := len(l.chunks) == 1
+	limit := l.perChunk
+	if headIsTail {
+		limit = l.tailLen
+	}
+	if l.headOff == limit {
+		l.chunks = l.chunks[1:]
+		l.headOff = 0
+		if headIsTail {
+			l.tailLen = 0
+		}
+	}
+	return out
+}
+
+// Get returns element i (front = 0) without removing it.
+func (l *List) Get(t *Thread, i uint64) []byte {
+	if i >= l.n {
+		panic("aifm: list index out of range")
+	}
+	t.p.Advance(l.sys.Costs.DerefCheck)
+	l.sys.DerefChecks.Inc()
+	pos := i + uint64(l.headOff)
+	chunk := l.chunks[pos/uint64(l.perChunk)]
+	off := uint32(pos%uint64(l.perChunk)) * l.elemSize
+	data := l.sys.ensureLocal(t.p, chunk)
+	out := make([]byte, l.elemSize)
+	copy(out, data[off:])
+	return out
+}
+
+// HashTable is a remoteable open-addressing hash table with fixed-size
+// keys and values (AIFM's RemHashTable has the same fixed-geometry shape).
+// Slots live across chunk objects; linear probing resolves collisions.
+// Capacity is fixed at creation (the caller sizes for the expected load).
+type HashTable struct {
+	sys     *System
+	keyLen  uint32
+	valLen  uint32
+	slotLen uint32 // 1 (state) + keyLen + valLen
+	perObj  uint32
+	slots   uint64
+	chunks  []int
+	used    uint64
+}
+
+const (
+	slotEmpty   = 0
+	slotFull    = 1
+	slotDeleted = 2
+)
+
+// NewHashTable creates a table with at least minSlots slots.
+func (s *System) NewHashTable(keyLen, valLen uint32, minSlots uint64) (*HashTable, error) {
+	slotLen := 1 + keyLen + valLen
+	perObj := uint32(ChunkSize) / slotLen
+	nChunks := (minSlots + uint64(perObj) - 1) / uint64(perObj)
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	h := &HashTable{
+		sys: s, keyLen: keyLen, valLen: valLen, slotLen: slotLen,
+		perObj: perObj, slots: nChunks * uint64(perObj),
+	}
+	for i := uint64(0); i < nChunks; i++ {
+		id, err := s.newObject(perObj * slotLen)
+		if err != nil {
+			return nil, err
+		}
+		h.chunks = append(h.chunks, id)
+	}
+	return h, nil
+}
+
+// Len returns the number of stored keys.
+func (h *HashTable) Len() uint64 { return h.used }
+
+// Capacity returns the slot count.
+func (h *HashTable) Capacity() uint64 { return h.slots }
+
+func (h *HashTable) hash(key []byte) uint64 {
+	v := uint64(14695981039346656037)
+	for _, b := range key {
+		v = (v ^ uint64(b)) * 1099511628211
+	}
+	return v
+}
+
+// slot returns the backing bytes of slot i (making its chunk resident).
+func (h *HashTable) slot(t *Thread, i uint64) []byte {
+	t.p.Advance(h.sys.Costs.DerefCheck)
+	h.sys.DerefChecks.Inc()
+	chunk := h.chunks[i/uint64(h.perObj)]
+	off := uint32(i%uint64(h.perObj)) * h.slotLen
+	data := h.sys.ensureLocal(t.p, chunk)
+	return data[off : off+h.slotLen]
+}
+
+func (h *HashTable) markDirty(i uint64) {
+	h.sys.objects[h.chunks[i/uint64(h.perObj)]].dirty = true
+}
+
+func (h *HashTable) checkKey(key []byte) {
+	if uint32(len(key)) != h.keyLen {
+		panic("aifm: wrong key length")
+	}
+}
+
+// Put stores key → val; returns false when the table is full.
+func (h *HashTable) Put(t *Thread, key, val []byte) bool {
+	h.checkKey(key)
+	if uint32(len(val)) != h.valLen {
+		panic("aifm: wrong value length")
+	}
+	start := h.hash(key) % h.slots
+	firstFree := int64(-1)
+	for probe := uint64(0); probe < h.slots; probe++ {
+		i := (start + probe) % h.slots
+		s := h.slot(t, i)
+		switch s[0] {
+		case slotEmpty:
+			if firstFree >= 0 {
+				i = uint64(firstFree)
+				s = h.slot(t, i)
+			}
+			s[0] = slotFull
+			copy(s[1:], key)
+			copy(s[1+h.keyLen:], val)
+			h.markDirty(i)
+			h.used++
+			return true
+		case slotDeleted:
+			if firstFree < 0 {
+				firstFree = int64(i)
+			}
+		case slotFull:
+			if bytes.Equal(s[1:1+h.keyLen], key) {
+				copy(s[1+h.keyLen:], val)
+				h.markDirty(i)
+				return true
+			}
+		}
+	}
+	if firstFree >= 0 {
+		s := h.slot(t, uint64(firstFree))
+		s[0] = slotFull
+		copy(s[1:], key)
+		copy(s[1+h.keyLen:], val)
+		h.markDirty(uint64(firstFree))
+		h.used++
+		return true
+	}
+	return false
+}
+
+// Get returns the value for key, or nil.
+func (h *HashTable) Get(t *Thread, key []byte) []byte {
+	h.checkKey(key)
+	start := h.hash(key) % h.slots
+	for probe := uint64(0); probe < h.slots; probe++ {
+		i := (start + probe) % h.slots
+		s := h.slot(t, i)
+		switch s[0] {
+		case slotEmpty:
+			return nil
+		case slotFull:
+			if bytes.Equal(s[1:1+h.keyLen], key) {
+				out := make([]byte, h.valLen)
+				copy(out, s[1+h.keyLen:])
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HashTable) Delete(t *Thread, key []byte) bool {
+	h.checkKey(key)
+	start := h.hash(key) % h.slots
+	for probe := uint64(0); probe < h.slots; probe++ {
+		i := (start + probe) % h.slots
+		s := h.slot(t, i)
+		switch s[0] {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if bytes.Equal(s[1:1+h.keyLen], key) {
+				s[0] = slotDeleted
+				h.markDirty(i)
+				h.used--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PutU64 / GetU64 are convenience wrappers for 8-byte values.
+func (h *HashTable) PutU64(t *Thread, key []byte, v uint64) bool {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return h.Put(t, key, b[:])
+}
+
+// GetU64 fetches an 8-byte value.
+func (h *HashTable) GetU64(t *Thread, key []byte) (uint64, bool) {
+	v := h.Get(t, key)
+	if v == nil {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(v), true
+}

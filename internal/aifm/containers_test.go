@@ -1,0 +1,210 @@
+package aifm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestListPushPopFIFO(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		l := sys.NewList(8)
+		for i := 0; i < 2000; i++ {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(i))
+			if err := l.PushBack(th, b[:]); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if l.Len() != 2000 {
+			t.Errorf("len = %d", l.Len())
+			return
+		}
+		for i := 0; i < 2000; i++ {
+			got := l.PopFront(th)
+			if binary.LittleEndian.Uint64(got) != uint64(i) {
+				t.Errorf("pop %d got %d", i, binary.LittleEndian.Uint64(got))
+				return
+			}
+		}
+		if l.PopFront(th) != nil || l.Len() != 0 {
+			t.Error("empty list misbehaves")
+		}
+	})
+	eng.Run()
+}
+
+func TestListGetRandomAccess(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		l := sys.NewList(8)
+		for i := 0; i < 1500; i++ {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(i*i))
+			l.PushBack(th, b[:])
+		}
+		// Pop a few so headOff is nonzero, then index.
+		for i := 0; i < 37; i++ {
+			l.PopFront(th)
+		}
+		for _, i := range []uint64{0, 1, 100, 1000, l.Len() - 1} {
+			want := uint64(i+37) * uint64(i+37)
+			if got := binary.LittleEndian.Uint64(l.Get(th, i)); got != want {
+				t.Errorf("get %d = %d, want %d", i, got, want)
+				return
+			}
+		}
+	})
+	eng.Run()
+}
+
+func TestListSurvivesEvacuation(t *testing.T) {
+	sys, eng := newSys(t, 32<<10) // tiny budget: chunks round-trip
+	sys.Launch("app", func(th *Thread) {
+		l := sys.NewList(64)
+		elem := make([]byte, 64)
+		for i := 0; i < 3000; i++ {
+			binary.LittleEndian.PutUint64(elem, uint64(i)|0xabc0000000000000)
+			l.PushBack(th, elem)
+		}
+		for i := 0; i < 3000; i++ {
+			got := l.PopFront(th)
+			if binary.LittleEndian.Uint64(got) != uint64(i)|0xabc0000000000000 {
+				t.Errorf("elem %d corrupted", i)
+				return
+			}
+		}
+	})
+	eng.Run()
+	if sys.Evacuated.N == 0 {
+		t.Fatal("no evacuation pressure")
+	}
+}
+
+func TestHashTableBasics(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		h, err := sys.NewHashTable(16, 8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		key := func(i int) []byte {
+			k := make([]byte, 16)
+			binary.LittleEndian.PutUint64(k, uint64(i))
+			return k
+		}
+		for i := 0; i < 1000; i++ {
+			if !h.PutU64(th, key(i), uint64(i*7)) {
+				t.Error("put failed")
+				return
+			}
+		}
+		if h.Len() != 1000 {
+			t.Errorf("len = %d", h.Len())
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			v, ok := h.GetU64(th, key(i))
+			if !ok || v != uint64(i*7) {
+				t.Errorf("get %d = %d %t", i, v, ok)
+				return
+			}
+		}
+		if _, ok := h.GetU64(th, key(5000)); ok {
+			t.Error("phantom key")
+		}
+		// Overwrite.
+		h.PutU64(th, key(3), 999)
+		if v, _ := h.GetU64(th, key(3)); v != 999 {
+			t.Error("overwrite failed")
+		}
+		if h.Len() != 1000 {
+			t.Error("overwrite changed len")
+		}
+		// Delete + tombstone reuse.
+		if !h.Delete(th, key(3)) || h.Delete(th, key(3)) {
+			t.Error("delete semantics wrong")
+		}
+		if _, ok := h.GetU64(th, key(3)); ok {
+			t.Error("deleted key readable")
+		}
+		h.PutU64(th, key(3), 1)
+		if v, _ := h.GetU64(th, key(3)); v != 1 {
+			t.Error("reinsert after delete failed")
+		}
+	})
+	eng.Run()
+}
+
+// Property-style: the table matches a reference map under random ops,
+// under memory pressure.
+func TestHashTableVsMapUnderPressure(t *testing.T) {
+	sys, eng := newSys(t, 64<<10)
+	sys.Launch("app", func(th *Thread) {
+		h, _ := sys.NewHashTable(16, 8, 8192)
+		ref := map[string]uint64{}
+		rng := rand.New(rand.NewSource(11))
+		key := func(i int) []byte {
+			k := fmt.Sprintf("key-%012d", i)
+			return []byte(k)[:16]
+		}
+		for op := 0; op < 5000; op++ {
+			i := rng.Intn(600)
+			k := key(i)
+			switch rng.Intn(3) {
+			case 0:
+				v := rng.Uint64()
+				h.PutU64(th, k, v)
+				ref[string(k)] = v
+			case 1:
+				got, ok := h.GetU64(th, k)
+				want, wok := ref[string(k)]
+				if ok != wok || (ok && got != want) {
+					t.Errorf("op %d: get mismatch", op)
+					return
+				}
+			case 2:
+				_, wok := ref[string(k)]
+				if h.Delete(th, k) != wok {
+					t.Errorf("op %d: delete mismatch", op)
+					return
+				}
+				delete(ref, string(k))
+			}
+		}
+		if h.Len() != uint64(len(ref)) {
+			t.Errorf("len %d vs %d", h.Len(), len(ref))
+		}
+	})
+	eng.Run()
+	if sys.Evacuated.N == 0 {
+		t.Fatal("no evacuation pressure during hash ops")
+	}
+}
+
+func TestHashTableFull(t *testing.T) {
+	sys, eng := newSys(t, 1<<20)
+	sys.Launch("app", func(th *Thread) {
+		h, _ := sys.NewHashTable(16, 8, 1) // one chunk of slots
+		cap := h.Capacity()
+		key := func(i uint64) []byte {
+			k := make([]byte, 16)
+			binary.LittleEndian.PutUint64(k, i)
+			return k
+		}
+		for i := uint64(0); i < cap; i++ {
+			if !h.PutU64(th, key(i), i) {
+				t.Errorf("put %d/%d failed early", i, cap)
+				return
+			}
+		}
+		if h.PutU64(th, key(cap+1), 1) {
+			t.Error("put into full table succeeded")
+		}
+	})
+	eng.Run()
+}

@@ -1,0 +1,69 @@
+package comm
+
+import (
+	"testing"
+
+	"dilos/internal/fabric"
+	"dilos/internal/memnode"
+)
+
+func TestHubQueueAssignment(t *testing.T) {
+	node := memnode.New(8<<20, 7)
+	link := fabric.NewLink(node, fabric.DefaultParams())
+	h := NewHub(link, 3, node.ProtKey)
+	if h.Cores() != 3 {
+		t.Fatalf("cores = %d", h.Cores())
+	}
+	seen := map[*fabric.QP]bool{}
+	for c := 0; c < 3; c++ {
+		for m := Module(0); m < NumModules; m++ {
+			qp := h.QP(c, m)
+			if qp == nil {
+				t.Fatalf("nil QP for core %d module %v", c, m)
+			}
+			if seen[qp] {
+				t.Fatalf("QP shared between (core,module) pairs — not shared-nothing")
+			}
+			seen[qp] = true
+		}
+	}
+	if len(seen) != 3*int(NumModules) {
+		t.Fatalf("expected %d distinct QPs, got %d", 3*int(NumModules), len(seen))
+	}
+}
+
+func TestNoHeadOfLineBlockingAcrossModules(t *testing.T) {
+	node := memnode.New(8<<20, 7)
+	link := fabric.NewLink(node, fabric.DefaultParams())
+	h := NewHub(link, 1, node.ProtKey)
+	off, _ := node.AllocPage()
+
+	// §4.5's head-of-line scenario: a large low-priority transfer (a
+	// 16 KiB guide subpage batch) is in flight. A tiny fault-path probe
+	// behind it on the SAME queue is FIFO-ordered after it; on its own
+	// queue it overtakes (it still shares wire occupancy, but not
+	// completion ordering).
+	pf := h.QP(0, ModPrefetch)
+	big := pf.Read(0, off, make([]byte, 16384))
+	shared := pf.Read(1, off, make([]byte, 8))
+	own := h.QP(0, ModFault).Read(1, off, make([]byte, 8))
+	if shared.CompleteAt < big.CompleteAt {
+		t.Fatal("shared-queue op escaped its FIFO — model broken")
+	}
+	if own.CompleteAt >= shared.CompleteAt {
+		t.Fatalf("separate QP gave no head-of-line relief: own=%v shared=%v",
+			own.CompleteAt, shared.CompleteAt)
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	names := map[Module]string{
+		ModFault: "fault", ModPrefetch: "prefetch", ModCleaner: "cleaner",
+		ModReclaim: "reclaim", ModGuide: "guide",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q", m, m.String())
+		}
+	}
+}

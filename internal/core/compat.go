@@ -1,0 +1,106 @@
+package core
+
+import "fmt"
+
+// This file is the compatibility layer (§5 "Compatibility layer"): DDC
+// memory APIs (ddc_malloc / ddc_free over mmap(MAP_DDC)) and the
+// loader-style symbol rebinding that gives existing binaries disaggregated
+// memory without modification. In the real DiLOS a custom ELF loader
+// patches malloc/free in the application's symbol table; Go has no PLT to
+// patch, so the Loader below performs the same interposition over an
+// explicit symbol table — the mechanism (rebind at load time, application
+// code untouched) is the same.
+
+// mallocRegionPages is the granularity at which the DDC heap grows.
+const mallocRegionPages = 4096 // 16 MiB per region
+
+type heapArena struct {
+	base uint64
+	size uint64
+	used uint64
+}
+
+// Malloc is ddc_malloc: it returns disaggregated memory, growing the DDC
+// heap with MmapDDC as needed. Allocations are 16-byte aligned; requests
+// of a page or more are page-aligned (so per-page guide bitmaps line up).
+func (s *System) Malloc(n uint64) (uint64, error) {
+	if n == 0 {
+		n = 1
+	}
+	align := uint64(16)
+	if n >= PageSize {
+		align = PageSize
+	}
+	n = (n + 15) &^ 15
+	if s.heap == nil || alignUp(s.heap.used, align)+n > s.heap.size {
+		pages := uint64(mallocRegionPages)
+		if need := (n + PageSize - 1) / PageSize; need > pages {
+			pages = need
+		}
+		base, err := s.MmapDDC(pages)
+		if err != nil {
+			return 0, fmt.Errorf("ddc_malloc: %w", err)
+		}
+		s.heap = &heapArena{base: base, size: pages * PageSize}
+	}
+	s.heap.used = alignUp(s.heap.used, align)
+	addr := s.heap.base + s.heap.used
+	s.heap.used += n
+	return addr, nil
+}
+
+// Free is ddc_free. The compat heap is a region allocator (like OSv's
+// malloc for large objects); fine-grained reuse with live-object tracking
+// is the job of the guided allocator in internal/dalloc.
+func (s *System) Free(addr, n uint64) {}
+
+func alignUp(x, a uint64) uint64 { return (x + a - 1) &^ (a - 1) }
+
+// Loader models DiLOS' custom ELF loader: it exposes the symbol table of a
+// "binary" and rebinds allocation symbols to the DDC implementations at
+// load time, plus the hooking interface guides use to observe application
+// functions (§5).
+type Loader struct {
+	sys     *System
+	symbols map[string]any
+	hooks   map[string][]func(args ...uint64)
+}
+
+// NewLoader creates a loader for the system.
+func NewLoader(sys *System) *Loader {
+	l := &Loader{sys: sys, symbols: map[string]any{}, hooks: map[string][]func(...uint64){}}
+	// Default libc-ish symbols before patching.
+	l.symbols["malloc"] = func(n uint64) (uint64, error) {
+		return 0, fmt.Errorf("loader: local malloc not available in a DDC LibOS image")
+	}
+	return l
+}
+
+// Patch rebinds the allocation symbols to the DDC APIs — what DiLOS' ELF
+// loader does to every loaded application binary.
+func (l *Loader) Patch() {
+	l.symbols["malloc"] = func(n uint64) (uint64, error) { return l.sys.Malloc(n) }
+	l.symbols["free"] = func(addr, n uint64) { l.sys.Free(addr, n) }
+}
+
+// Lookup resolves a symbol, as application code would through the PLT.
+func (l *Loader) Lookup(name string) (any, bool) {
+	v, ok := l.symbols[name]
+	return v, ok
+}
+
+// Hook registers a guide callback on an application symbol (the "hooking
+// interfaces of an application binary" guides use to learn, e.g., the
+// position of the node a list traversal is visiting).
+func (l *Loader) Hook(symbol string, fn func(args ...uint64)) {
+	l.hooks[symbol] = append(l.hooks[symbol], fn)
+}
+
+// Call invokes the hooks for a symbol (applications call this at the
+// instrumented points; the binary itself is unmodified — the loader
+// injected the trampoline).
+func (l *Loader) Call(symbol string, args ...uint64) {
+	for _, fn := range l.hooks[symbol] {
+		fn(args...)
+	}
+}

@@ -1,0 +1,660 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dilos/internal/fabric"
+	"dilos/internal/fastswap"
+	"dilos/internal/pagetable"
+	"dilos/internal/prefetch"
+	"dilos/internal/sim"
+	"dilos/internal/trace"
+)
+
+// aliases keep the Fastswap stress test readable inside this package.
+type fastswapProcAlias = fastswap.FSProc
+
+func fastswapSysForStress(eng *sim.Engine) *fastswap.System {
+	sys := fastswap.New(eng, fastswap.Config{
+		CacheFrames: 48, Cores: 4, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	return sys
+}
+
+func newSys(t testing.TB, frames int, pf prefetch.Prefetcher) (*System, *sim.Engine) {
+	t.Helper()
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: frames,
+		Cores:       2,
+		RemoteBytes: 256 << 20,
+		Fabric:      fabric.DefaultParams(),
+		Prefetcher:  pf,
+	})
+	sys.Start()
+	return sys, eng
+}
+
+func TestColdReadFetchesZeros(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, err := sys.MmapDDC(4)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64)
+		sp.Load(base, buf)
+		for _, b := range buf {
+			if b != 0 {
+				t.Error("fresh DDC memory not zero")
+				return
+			}
+		}
+	})
+	eng.Run()
+	if sys.MajorFaults.N != 1 {
+		t.Fatalf("major faults = %d, want 1", sys.MajorFaults.N)
+	}
+}
+
+func TestWriteSurvivesEviction(t *testing.T) {
+	// Working set 4× the cache: every page gets evicted and refetched.
+	const frames = 32
+	sys, eng := newSys(t, frames, nil)
+	var failed bool
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		pages := uint64(frames * 4)
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*PageSize, i*2654435761)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*PageSize); got != i*2654435761 {
+				t.Errorf("page %d: got %d", i, got)
+				failed = true
+				return
+			}
+		}
+	})
+	eng.Run()
+	if failed {
+		return
+	}
+	if sys.Mgr.Evicted.N == 0 {
+		t.Fatal("no evictions despite 4x memory pressure")
+	}
+	if sys.Mgr.Cleaned.N == 0 {
+		t.Fatal("cleaner never wrote back dirty pages")
+	}
+	if sys.MajorFaults.N < int64(frames*4) {
+		t.Fatalf("major faults = %d, want >= %d (refetch after eviction)", sys.MajorFaults.N, frames*4)
+	}
+}
+
+func TestNoPrefetchMajorFaultPerPage(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	const pages = 256
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	if sys.MajorFaults.N != pages {
+		t.Fatalf("major = %d, want %d", sys.MajorFaults.N, pages)
+	}
+	if sys.MinorFaults.N != 0 {
+		t.Fatalf("minor = %d, want 0 without prefetch", sys.MinorFaults.N)
+	}
+}
+
+func TestReadaheadReducesMajorFaults(t *testing.T) {
+	sys, eng := newSys(t, 256, prefetch.NewReadahead(8))
+	const pages = 1024
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	// Table 3 shape: majors collapse to ~1/window of pages; the rest are
+	// minor faults (in-flight) or clean hits.
+	if sys.MajorFaults.N > pages/4 {
+		t.Fatalf("major = %d, want <= %d with readahead", sys.MajorFaults.N, pages/4)
+	}
+	if sys.MinorFaults.N == 0 {
+		t.Fatal("expected some minor faults on in-flight prefetches")
+	}
+	if sys.MajorFaults.N+sys.MinorFaults.N >= pages {
+		t.Fatalf("no full prefetch hits: major+minor = %d of %d pages",
+			sys.MajorFaults.N+sys.MinorFaults.N, pages)
+	}
+}
+
+func TestPrefetchedDataIsCorrect(t *testing.T) {
+	sys, eng := newSys(t, 512, prefetch.NewReadahead(8))
+	const pages = 512
+	var failed bool
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*PageSize+8, i^0xabcdef)
+		}
+		// Force everything remote by thrashing through a second region.
+		spill, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU8(spill+i*PageSize, 1)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*PageSize + 8); got != i^0xabcdef {
+				t.Errorf("page %d corrupted: %d", i, got)
+				failed = true
+				return
+			}
+		}
+	})
+	eng.Run()
+	_ = failed
+}
+
+func TestFetchingStateServesConcurrentFaulters(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	base, err := sys.MmapDDC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done int
+	for c := 0; c < 2; c++ {
+		c := c
+		sys.Launch("app", c, func(sp *DDCProc) {
+			sp.LoadU8(base)
+			done++
+		})
+	}
+	eng.Run()
+	if done != 2 {
+		t.Fatal("threads did not finish")
+	}
+	// One major (the fetch), one minor (waited on the same op): no
+	// duplicate fetch.
+	if sys.MajorFaults.N != 1 || sys.MinorFaults.N != 1 {
+		t.Fatalf("major=%d minor=%d, want 1/1", sys.MajorFaults.N, sys.MinorFaults.N)
+	}
+	if sys.Link.RxOps.N != 1 {
+		t.Fatalf("rx ops = %d, want 1 (no duplicated fetch)", sys.Link.RxOps.N)
+	}
+}
+
+func TestFaultLatencyShape(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	const pages = 200
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	mean := sys.FaultLat.Mean()
+	// Figure 6: DiLOS total fault latency ≈ 3–4 µs (exception 0.57 +
+	// handler ~0.15 + fetch ~2.7 + map ~0.1), about half of Fastswap's.
+	if mean < 3*sim.Microsecond || mean > 4500*sim.Nanosecond {
+		t.Fatalf("mean fault latency = %v, want ≈3.5us", mean)
+	}
+	e, h, f, m, r := sys.BD.Mean()
+	if r != 0 {
+		t.Fatalf("DiLOS must have zero reclaim in the fault path, got %v", r)
+	}
+	if f < 2*sim.Microsecond {
+		t.Fatalf("fetch segment = %v, want ≈2.7us", f)
+	}
+	if e != 570*sim.Nanosecond {
+		t.Fatalf("exception segment = %v", e)
+	}
+	if h > 500*sim.Nanosecond || m > 500*sim.Nanosecond {
+		t.Fatalf("software segments too large: handler=%v map=%v", h, m)
+	}
+}
+
+func TestReclaimStaysOffFaultPath(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	const pages = 512
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize) // clean pages: reclaim is pure unmap
+		}
+	})
+	eng.Run()
+	if sys.BD.Reclaim != 0 {
+		t.Fatalf("reclaim leaked into the fault path: %v", sys.BD.Reclaim)
+	}
+	if sys.Mgr.AllocWaits.N > int64(pages)/20 {
+		t.Fatalf("allocator waited %d times — eager eviction not keeping up", sys.Mgr.AllocWaits.N)
+	}
+}
+
+func TestMallocCompat(t *testing.T) {
+	sys, eng := newSys(t, 128, nil)
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		a := sp.Malloc(100)
+		b := sp.Malloc(100)
+		if a == 0 || b == 0 || a == b {
+			t.Error("bad addresses")
+			return
+		}
+		sp.StoreU64(a, 1)
+		sp.StoreU64(b, 2)
+		if sp.LoadU64(a) != 1 || sp.LoadU64(b) != 2 {
+			t.Error("allocations alias")
+		}
+		big := sp.Malloc(1 << 20) // page-aligned
+		if big%PageSize != 0 {
+			t.Errorf("large alloc not page aligned: %#x", big)
+		}
+	})
+	eng.Run()
+}
+
+func TestLoaderPatchesMalloc(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	ld := NewLoader(sys)
+	if m, ok := ld.Lookup("malloc"); !ok {
+		t.Fatal("malloc missing from symbol table")
+	} else if _, err := m.(func(uint64) (uint64, error))(8); err == nil {
+		t.Fatal("unpatched malloc should fail in a DDC image")
+	}
+	ld.Patch()
+	m, _ := ld.Lookup("malloc")
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		addr, err := m.(func(uint64) (uint64, error))(64)
+		if err != nil || addr == 0 {
+			t.Errorf("patched malloc: %v", err)
+			return
+		}
+		sp.StoreU64(addr, 42)
+		if sp.LoadU64(addr) != 42 {
+			t.Error("DDC memory from patched malloc broken")
+		}
+	})
+	eng.Run()
+
+	called := 0
+	ld.Hook("lrange", func(args ...uint64) { called++ })
+	ld.Call("lrange", 7)
+	if called != 1 {
+		t.Fatal("hook not invoked")
+	}
+}
+
+func TestRandomizedIntegrityUnderPressure(t *testing.T) {
+	sys, eng := newSys(t, 48, prefetch.NewTrend())
+	rng := rand.New(rand.NewSource(42))
+	const pages = 192
+	ref := make([]byte, pages*PageSize)
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := 0; i < 3000; i++ {
+			off := rng.Intn(len(ref) - 128)
+			n := rng.Intn(128) + 1
+			if rng.Intn(2) == 0 {
+				b := make([]byte, n)
+				rng.Read(b)
+				sp.Store(base+uint64(off), b)
+				copy(ref[off:], b)
+			} else {
+				got := make([]byte, n)
+				sp.Load(base+uint64(off), got)
+				if !bytes.Equal(got, ref[off:off+n]) {
+					t.Errorf("iteration %d: data corruption at %d", i, off)
+					return
+				}
+			}
+		}
+	})
+	eng.Run()
+	if sys.Mgr.Evicted.N == 0 {
+		t.Fatal("test exerted no eviction pressure")
+	}
+}
+
+func TestRemoteOfOutsideRegions(t *testing.T) {
+	sys, _ := newSys(t, 16, nil)
+	if _, _, ok := sys.RemoteOf(pagetable.VPNOf(1 << 40)); ok {
+		t.Fatal("RemoteOf accepted an unmapped vpn")
+	}
+}
+
+func TestSegfaultPanics(t *testing.T) {
+	sys, eng := newSys(t, 16, nil)
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected segfault panic")
+			}
+		}()
+		sp.LoadU8(0xdead000)
+	})
+	eng.Run()
+}
+
+func TestMultiMemoryNodeSharding(t *testing.T) {
+	// The §5.1 extension: pages stripe across memory nodes; data must
+	// survive eviction to, and refetch from, the right shard.
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 64,
+		Cores:       2,
+		RemoteBytes: 64 << 20,
+		Fabric:      fabric.DefaultParams(),
+		Prefetcher:  prefetch.NewReadahead(0),
+		MemNodes:    3,
+	})
+	sys.Start()
+	const pages = 384
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*PageSize, i^0xfeed)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*PageSize); got != i^0xfeed {
+				t.Errorf("page %d corrupted across shards: %#x", i, got)
+				return
+			}
+		}
+	})
+	eng.Run()
+	// Traffic must hit every shard.
+	for i, link := range sys.Links {
+		if link.RxBytes.N == 0 || link.TxBytes.N == 0 {
+			t.Fatalf("node %d saw no traffic (rx=%d tx=%d)", i, link.RxBytes.N, link.TxBytes.N)
+		}
+	}
+	// Striping is page-round-robin: consecutive pages hit different nodes.
+	base := sys.regions[0].baseVPN
+	n0, _, _ := sys.RemoteOf(base)
+	n1, _, _ := sys.RemoteOf(base + 1)
+	n3, _, _ := sys.RemoteOf(base + 3)
+	if n0 == n1 || n0 != n3 {
+		t.Fatalf("striping wrong: nodes %d %d %d", n0, n1, n3)
+	}
+}
+
+func TestMultiNodeAggregatesBandwidth(t *testing.T) {
+	// Sequential read with prefetch: two shards should cut the wire-bound
+	// portion of the run (each link carries half the fetch traffic).
+	run := func(nodes int) sim.Time {
+		eng := sim.New()
+		sys := New(eng, Config{
+			CacheFrames: 2048, Cores: 1, RemoteBytes: 128 << 20,
+			Fabric:     fabric.DefaultParams(),
+			Prefetcher: prefetch.NewReadahead(0),
+			MemNodes:   nodes,
+		})
+		sys.Start()
+		var d sim.Time
+		sys.Launch("seq", 0, func(sp *DDCProc) {
+			base, _ := sys.MmapDDC(8192)
+			t0 := sp.Now()
+			for i := uint64(0); i < 8192; i++ {
+				sp.LoadU8(base + i*PageSize)
+			}
+			d = sp.Now() - t0
+		})
+		eng.Run()
+		return d
+	}
+	one, two := run(1), run(2)
+	if two >= one {
+		t.Fatalf("2 memory nodes not faster than 1: %v vs %v", two, one)
+	}
+}
+
+func TestFaultTraceRecording(t *testing.T) {
+	rec := trace.NewRecorder(0)
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 256, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(), Prefetcher: prefetch.NewReadahead(0),
+		Trace: rec,
+	})
+	sys.Start()
+	const pages = 256
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	st := rec.Analyze()
+	if st.Counts[trace.Major] != sys.MajorFaults.N {
+		t.Fatalf("trace majors %d != counter %d", st.Counts[trace.Major], sys.MajorFaults.N)
+	}
+	if st.Counts[trace.Minor] != sys.MinorFaults.N {
+		t.Fatalf("trace minors %d != counter %d", st.Counts[trace.Minor], sys.MinorFaults.N)
+	}
+	// Sequential read: the fault trace interleaves stride-1 minors with
+	// stride-8 cluster boundaries, so "mostly small forward strides" is
+	// the right expectation.
+	if st.SeqFraction < 0.3 {
+		t.Fatalf("seq fraction = %v", st.SeqFraction)
+	}
+	if st.TopStride < 1 || st.TopStride > 8 {
+		t.Fatalf("top stride = %d", st.TopStride)
+	}
+	// Replay the captured trace onto a fresh system: it must fault again
+	// with the same page span.
+	events := rec.Events()
+	eng2 := sim.New()
+	sys2 := New(eng2, Config{
+		CacheFrames: 96, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys2.Start()
+	sys2.Launch("replay", 0, func(sp *DDCProc) {
+		base, _ := sys2.MmapDDC(trace.Span(events) + 1)
+		trace.Replay(sp, base, events)
+	})
+	eng2.Run()
+	if sys2.MajorFaults.N == 0 {
+		t.Fatal("replay produced no faults")
+	}
+}
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	// §5.1's fault-tolerance direction: 2 replicas over 3 nodes; kill a
+	// node mid-run; every page must still read back correctly from the
+	// surviving replicas.
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 64,
+		Cores:       2,
+		RemoteBytes: 64 << 20,
+		Fabric:      fabric.DefaultParams(),
+		MemNodes:    3,
+		Replicas:    2,
+	})
+	sys.Start()
+	const pages = 384
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*PageSize, i*0xdeadbeef)
+		}
+		// Flush everything to the replicas (cycle the cache with reads).
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+		// A node dies. Reads keep working off the other replicas.
+		sys.FailNode(1)
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*PageSize); got != i*0xdeadbeef {
+				t.Errorf("page %d lost after node failure: %#x", i, got)
+				return
+			}
+		}
+		// Writes continue (they just skip the dead node).
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*PageSize, i+7)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*PageSize); got != i+7 {
+				t.Errorf("post-failure write lost on page %d", i)
+				return
+			}
+		}
+	})
+	eng.Run()
+	if sys.ReplicaFetches.N == 0 {
+		t.Fatal("no slot resolution ever failed over")
+	}
+	if sys.Links[1].RxBytes.N == 0 {
+		t.Fatal("node 1 never served traffic before failing")
+	}
+}
+
+func TestReplicasExceedNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(sim.New(), Config{
+		CacheFrames: 16, Cores: 1, RemoteBytes: 8 << 20,
+		Fabric: fabric.DefaultParams(), MemNodes: 1, Replicas: 2,
+	})
+}
+
+func TestFailLastNodePanics(t *testing.T) {
+	sys, _ := newSys(t, 16, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	sys.FailNode(0)
+}
+
+func TestReplicatedWriteBackReachesAllNodes(t *testing.T) {
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 32, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(), MemNodes: 2, Replicas: 2,
+	})
+	sys.Start()
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(128)
+		for i := uint64(0); i < 128; i++ {
+			sp.StoreU64(base+i*PageSize, i)
+		}
+		for i := uint64(0); i < 128; i++ { // force write-back + eviction
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	// With full replication, both nodes carry comparable write-back bytes.
+	a, b := sys.Links[0].TxBytes.N, sys.Links[1].TxBytes.N
+	if a == 0 || b == 0 {
+		t.Fatalf("write-back not replicated: %d / %d", a, b)
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("replica write volumes too skewed: %d vs %d", a, b)
+	}
+}
+
+func TestMmapExhaustionPropagates(t *testing.T) {
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 16, Cores: 1, RemoteBytes: 4 << 20, // tiny memory node
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	if _, err := sys.MmapDDC(1 << 20); err == nil {
+		t.Fatal("huge mmap on a tiny memory node succeeded")
+	}
+	// A reasonable mmap still works afterwards.
+	if _, err := sys.MmapDDC(16); err != nil {
+		t.Fatalf("small mmap failed: %v", err)
+	}
+	sys.Launch("noop", 0, func(sp *DDCProc) {})
+	eng.Run()
+}
+
+func TestMultiCoreOverlappingFaultStress(t *testing.T) {
+	// Regression test for the concurrent-major race: four threads hammer
+	// the same small region with a tiny cache (AllocFrame yields under
+	// pressure, opening the window where two cores could fetch one page).
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 48, Cores: 4, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(), Prefetcher: prefetch.NewTrend(),
+	})
+	sys.Start()
+	const pages = 192
+	base, _ := sys.MmapDDC(pages)
+	// Thread w owns words at offset w*8 within each page; everyone walks
+	// all pages in different orders.
+	for w := 0; w < 4; w++ {
+		w := w
+		sys.Launch("stress", w, func(sp *DDCProc) {
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for round := 0; round < 4; round++ {
+				perm := rng.Perm(pages)
+				for _, pg := range perm {
+					addr := base + uint64(pg)*PageSize + uint64(w)*8
+					sp.StoreU64(addr, uint64(w)<<32|uint64(pg))
+				}
+				for _, pg := range perm {
+					addr := base + uint64(pg)*PageSize + uint64(w)*8
+					if got := sp.LoadU64(addr); got != uint64(w)<<32|uint64(pg) {
+						t.Errorf("worker %d round %d page %d: got %#x", w, round, pg, got)
+						return
+					}
+				}
+			}
+		})
+	}
+	eng.Run()
+	// Frame conservation: nothing leaked to the pool across the chaos.
+	if sys.Pool.FreeCount()+sys.Pool.Used() != 48 {
+		t.Fatal("frame conservation violated")
+	}
+}
+
+func TestFastswapMultiCoreOverlappingFaultStress(t *testing.T) {
+	eng := sim.New()
+	fsys := fastswapSysForStress(eng)
+	const pages = 192
+	base, _ := fsys.MmapDDC(pages)
+	for w := 0; w < 4; w++ {
+		w := w
+		fsys.Launch("stress", w, func(sp *fastswapProcAlias) {
+			rng := rand.New(rand.NewSource(int64(w + 7)))
+			for round := 0; round < 3; round++ {
+				perm := rng.Perm(pages)
+				for _, pg := range perm {
+					addr := base + uint64(pg)*PageSize + uint64(w)*8
+					sp.StoreU64(addr, uint64(w)<<32|uint64(pg))
+				}
+				for _, pg := range perm {
+					addr := base + uint64(pg)*PageSize + uint64(w)*8
+					if got := sp.LoadU64(addr); got != uint64(w)<<32|uint64(pg) {
+						t.Errorf("worker %d round %d page %d: got %#x", w, round, pg, got)
+						return
+					}
+				}
+			}
+		})
+	}
+	eng.Run()
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+
+	"dilos/internal/comm"
+	"dilos/internal/dram"
+	"dilos/internal/fabric"
+	"dilos/internal/mmu"
+	"dilos/internal/pagetable"
+	"dilos/internal/prefetch"
+	"dilos/internal/sim"
+	"dilos/internal/trace"
+)
+
+// coreHandler adapts one core's faults onto the system.
+type coreHandler struct {
+	sys    *System
+	coreID int
+}
+
+// HandleFault implements mmu.FaultHandler — the DiLOS page fault handler
+// (§4.2). The paths are:
+//
+//	Remote   → flip to Fetching, allocate a frame, issue the RDMA read on
+//	           this core's fault QP, and — while the read is in flight —
+//	           run the PTE hit tracker, the prefetcher, and the app-aware
+//	           guide hook; then map the page. (Major fault.)
+//	Fetching → another core or the prefetcher already has the page in
+//	           flight: wait on its op instead of fetching twice, and map it
+//	           if the owner has not. (Minor fault.)
+//	Action   → guided paging: decode the live-chunk vector logged at
+//	           eviction and fetch only those chunks with a vectored read.
+//	Local    → benign race (resolved while we trapped): return and retry.
+func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
+	s := h.sys
+	p := c.Proc
+	pte := s.Table.Entry(vpn)
+
+	switch pte.Tag() {
+	case pagetable.TagLocal:
+		return // resolved concurrently
+	case pagetable.TagRemote:
+		p.Advance(c.Costs.Exception)
+		s.BD.Exception += c.Costs.Exception
+		s.MajorFaults.Inc()
+		if s.Trace != nil {
+			s.Trace.Record(p.Now(), vpn, trace.Major)
+		}
+		// The fetch offset comes from the (failover-aware) slot mapping,
+		// not the PTE payload, so a page whose primary node died reads
+		// from its next live replica.
+		node, remote, ok := s.remoteOf(vpn)
+		if !ok {
+			panic(fmt.Sprintf("core: remote PTE for unmapped vpn %d", vpn))
+		}
+		s.majorFetch(p, h.coreID, node, vpn, pte, func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op {
+			return qp.Read(now, remote, buf)
+		}, false)
+	case pagetable.TagAction:
+		p.Advance(c.Costs.Exception)
+		s.BD.Exception += c.Costs.Exception
+		s.MajorFaults.Inc()
+		s.GuidedFetches.Inc()
+		payload := pte.Payload()
+		node, remoteBase, ok := s.remoteOf(vpn)
+		if !ok {
+			panic(fmt.Sprintf("core: action PTE for unmapped vpn %d", vpn))
+		}
+		// The vector-log slot is consumed inside the issue callback, which
+		// majorFetch only invokes after winning the PTE transition — a
+		// racing faulter must not release the same slot twice.
+		s.majorFetch(p, h.coreID, node, vpn, pte, func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op {
+			chunks := s.Mgr.Vector(payload)
+			segs := make([]fabric.Seg, len(chunks))
+			for i, ch := range chunks {
+				segs[i] = fabric.Seg{Off: remoteBase + uint64(ch.Off), Buf: buf[ch.Off : ch.Off+ch.Len]}
+			}
+			return qp.ReadV(now, segs)
+		}, true)
+	case pagetable.TagFetching:
+		slot := pte.Payload()
+		sl := &s.slots[slot]
+		gen := sl.gen
+		op := sl.op
+		if op == nil {
+			// Issue and publish happen without an intervening yield, so a
+			// visible Fetching PTE always has its op installed.
+			panic("core: fetching PTE with no op")
+		}
+		if op.CompleteAt+s.Costs.Map <= p.Now() {
+			// The data already arrived; on real hardware the (parallel)
+			// prefetch mapper would have installed the PTE by now and no
+			// fault would have trapped. The serialized simulation just
+			// hadn't run the mapper yet — map without counting a fault.
+			s.LateMapHits.Inc()
+			if s.Trace != nil {
+				s.Trace.Record(p.Now(), vpn, trace.Hit)
+			}
+			s.finishFetch(p, slot, gen)
+			return
+		}
+		p.Advance(c.Costs.Exception)
+		s.MinorFaults.Inc()
+		if s.Trace != nil {
+			s.Trace.Record(p.Now(), vpn, trace.Minor)
+		}
+		// §4.3: the prefetcher and hit tracker run in the fault handler —
+		// minor faults included — overlapping whatever wait remains.
+		p.Advance(s.Costs.HandlerCheck)
+		s.runPrefetch(p, h.coreID, vpn, false)
+		op.Wait(p)
+		s.finishFetch(p, slot, gen)
+	default:
+		panic(fmt.Sprintf("core: segfault at vpn %d (invalid PTE)", vpn))
+	}
+}
+
+// majorFetch is the §4.2 fast path: one PTE transition, one frame, one
+// asynchronous RDMA request, with prefetch + hit tracking + the guide hook
+// hidden in the fetch window, then the mapping.
+func (s *System) majorFetch(p *sim.Proc, coreID, node int, vpn pagetable.VPN, pte *pagetable.PTE,
+	issue func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op, zeroFill bool) {
+	t0 := p.Now()
+	p.Advance(s.Costs.HandlerCheck)
+
+	expected := pte.Tag()
+	frame := s.Mgr.AllocFrame(p)
+	if pte.Tag() != expected {
+		// AllocFrame can yield (pool empty → wait for the reclaimer), and
+		// another core may have started fetching — or finished mapping —
+		// this page meanwhile. Back off; the retried translation takes
+		// the minor/local path against the winner's PTE.
+		s.Pool.Free(frame)
+		return
+	}
+	s.Pool.Meta(frame).Pinned = true
+	p.Advance(s.Costs.FrameAlloc)
+	buf := s.Pool.Bytes(frame)
+	if zeroFill {
+		clear(buf)
+		p.Advance(s.Costs.ZeroFill)
+	}
+	slot := s.newSlot(vpn, frame)
+	*pte = pagetable.Fetching(slot)
+	s.BD.Handler += p.Now() - t0
+
+	op := issue(s.Hubs[node].QP(coreID, comm.ModFault), p.Now(), buf)
+	s.slots[slot].op = op
+	tIssue := p.Now()
+
+	// Work hidden in the fetch window (§4.3): hit tracker scan, prefetch
+	// issuance, guide hook.
+	gen := s.slots[slot].gen
+	s.runPrefetch(p, coreID, vpn, true)
+	if s.AppGuide != nil {
+		s.AppGuide.OnFault(coreID, vpn)
+	}
+
+	op.Wait(p)
+	s.BD.Fetch += p.Now() - tIssue
+	tMap := p.Now()
+	s.finishFetch(p, slot, gen)
+	s.BD.Map += p.Now() - tMap
+	s.BD.N++
+	s.FaultLat.Record(p.Now() - t0 + s.MMUC.Exception)
+}
+
+// finishFetch maps a completed fetch if nobody else has: exactly one of the
+// original faulter, a minor faulter, or the prefetch mapper performs the
+// mapping.
+func (s *System) finishFetch(p *sim.Proc, slot uint64, gen uint64) {
+	sl := &s.slots[slot]
+	if sl.gen != gen || !sl.active {
+		return // already mapped (or slot recycled after mapping)
+	}
+	sl.active = false
+	p.Advance(s.Costs.Map)
+	s.Table.Set(sl.vpn, pagetable.Local(uint64(sl.frame), true))
+	s.Pool.Meta(sl.frame).Pinned = false
+	s.Mgr.InsertLRU(sl.frame, sl.vpn)
+	s.releaseSlot(slot)
+}
+
+// runPrefetch consults the hit tracker and the prefetch policy, then issues
+// asynchronous reads for every proposed page that is still Remote. The
+// per-core prefetch mapper daemon maps them into the unified page table as
+// they complete — "immediately", with no swap-cache stopover.
+func (s *System) runPrefetch(p *sim.Proc, coreID int, vpn pagetable.VPN, major bool) {
+	if _, isNone := s.Pf.(prefetch.None); isNone {
+		return
+	}
+	p.Advance(s.Track.Scan(s.Table))
+	s.Hist.Note(vpn)
+	ctx := prefetch.Context{
+		VPN:      vpn,
+		Major:    major,
+		HitRatio: s.Track.Ratio(),
+		History:  s.Hist.Deltas(),
+	}
+	targets := s.Pf.OnFault(ctx)
+	s.SchedulePrefetch(p, coreID, targets)
+}
+
+// SchedulePrefetch issues page prefetches for every target that is
+// currently Remote (others are skipped — already local or in flight). It
+// is also the entry point app-aware guides use to request pages (§4.3).
+func (s *System) SchedulePrefetch(p *sim.Proc, coreID int, targets []pagetable.VPN) {
+	if len(targets) == 0 {
+		return
+	}
+	var noted []pagetable.VPN
+	for _, t := range targets {
+		p.Advance(s.Costs.PrefetchFilter)
+		if s.Table.Lookup(t).Tag() != pagetable.TagRemote {
+			continue
+		}
+		node, remote, ok := s.remoteOf(t)
+		if !ok {
+			continue
+		}
+		qp := s.Hubs[node].QP(coreID, comm.ModPrefetch)
+		frame, ok := s.Mgr.TryAllocFrame(p)
+		if !ok {
+			break // no headroom: prefetching must not force reclamation
+		}
+		s.Pool.Meta(frame).Pinned = true
+		slot := s.newSlot(t, frame)
+		s.Table.Set(t, pagetable.Fetching(slot))
+		op := qp.Read(p.Now(), remote, s.Pool.Bytes(frame))
+		s.slots[slot].op = op
+		s.pfQueue[coreID] = append(s.pfQueue[coreID], pfItem{slot: slot, gen: s.slots[slot].gen})
+		s.Prefetches.Inc()
+		noted = append(noted, t)
+		p.Advance(s.Costs.PrefetchIssue)
+	}
+	if len(noted) > 0 {
+		s.Track.Note(noted)
+		s.pfWaiter[coreID].Wake(p.Now())
+	}
+}
+
+// pfMapLoop is the per-core prefetch mapper: it waits for each in-flight
+// prefetch and maps it into the unified page table the moment it completes
+// (unless a minor faulter got there first).
+func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
+	for {
+		if len(s.pfQueue[coreID]) == 0 {
+			s.pfWaiter[coreID].Wait(p)
+			continue
+		}
+		item := s.pfQueue[coreID][0]
+		s.pfQueue[coreID] = s.pfQueue[coreID][1:]
+		sl := &s.slots[item.slot]
+		if sl.gen != item.gen {
+			continue // already mapped by a minor faulter and recycled
+		}
+		op := sl.op
+		op.Wait(p)
+		s.finishFetch(p, item.slot, item.gen)
+	}
+}
+
+// ReadRemote lets a guide peek at memory-node content (a subpage read on
+// the guide's own QP, §4.5) without touching page state. addr..addr+len(buf)
+// must lie within one page. For Local pages it reads the frame directly —
+// the guide's hook sees a coherent view either way.
+func (s *System) ReadRemote(p *sim.Proc, coreID int, addr uint64, buf []byte) error {
+	vpn := pagetable.VPNOf(addr)
+	off := addr & (PageSize - 1)
+	if int(off)+len(buf) > PageSize {
+		return fmt.Errorf("core: subpage read at %#x crosses a page", addr)
+	}
+	pte := s.Table.Lookup(vpn)
+	switch pte.Tag() {
+	case pagetable.TagLocal:
+		copy(buf, s.Pool.Bytes(dram.FrameID(pte.Frame()))[off:])
+		p.Advance(sim.Time(len(buf)/64+1) * s.MMUC.CacheLine)
+		return nil
+	case pagetable.TagRemote, pagetable.TagFetching:
+		node, remote, ok := s.remoteOf(vpn)
+		if !ok {
+			return fmt.Errorf("core: subpage read outside DDC regions: %#x", addr)
+		}
+		op := s.Hubs[node].QP(coreID, comm.ModGuide).Read(p.Now(), remote+off, buf)
+		op.Wait(p)
+		return nil
+	default:
+		return fmt.Errorf("core: subpage read of %v page at %#x", pte.Tag(), addr)
+	}
+}

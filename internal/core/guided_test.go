@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dilos/internal/dalloc"
+	"dilos/internal/fabric"
+	"dilos/internal/pagemgr"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+)
+
+// forwardGuide lets the eviction guide be wired after the allocator exists.
+type forwardGuide struct{ g pagemgr.EvictionGuide }
+
+func (f *forwardGuide) LiveChunks(v pagetable.VPN) ([]pagemgr.Chunk, bool) {
+	if f.g == nil {
+		return nil, false
+	}
+	return f.g.LiveChunks(v)
+}
+
+// TestGuidedPagingEndToEndIntegrity is the §4.4 data-integrity gauntlet:
+// a guided allocator with random alloc/free churn under heavy eviction
+// pressure, so pages constantly leave as Action PTEs (vectored write-back
+// of live chunks) and come back through vectored fetches. Every live
+// object must read back exactly; dead bytes may be anything.
+func TestGuidedPagingEndToEndIntegrity(t *testing.T) {
+	fw := &forwardGuide{}
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames:   64,
+		Cores:         2,
+		RemoteBytes:   128 << 20,
+		Fabric:        fabric.DefaultParams(),
+		EvictionGuide: fw,
+	})
+	sys.Start()
+
+	type obj struct {
+		addr uint64
+		data []byte
+	}
+	rng := rand.New(rand.NewSource(77))
+	sys.Launch("churn", 0, func(sp *DDCProc) {
+		alloc := dalloc.New(sp)
+		fw.g = alloc
+		var live []obj
+		check := func(o obj) bool {
+			got := make([]byte, len(o.data))
+			sp.Load(o.addr, got)
+			return bytes.Equal(got, o.data)
+		}
+		for i := 0; i < 4000; i++ {
+			switch {
+			case len(live) < 50 || rng.Intn(3) > 0:
+				size := []int{24, 64, 200, 512, 1500}[rng.Intn(5)]
+				data := make([]byte, size)
+				rng.Read(data)
+				addr := alloc.Alloc(uint64(size))
+				sp.Store(addr, data)
+				live = append(live, obj{addr, data})
+			case rng.Intn(2) == 0:
+				k := rng.Intn(len(live))
+				if !check(live[k]) {
+					t.Errorf("iter %d: object at %#x corrupted", i, live[k].addr)
+					return
+				}
+			default:
+				k := rng.Intn(len(live))
+				alloc.Free(live[k].addr)
+				live[k] = live[len(live)-1]
+				live = live[:len(live)-1]
+			}
+		}
+		// Final full audit.
+		for _, o := range live {
+			if !check(o) {
+				t.Errorf("final audit: object at %#x corrupted", o.addr)
+				return
+			}
+		}
+	})
+	eng.Run()
+
+	if sys.GuidedFetches.N == 0 {
+		t.Fatal("no Action-PTE fetches — guided paging never engaged")
+	}
+	if sys.Mgr.VectorSaves.N == 0 {
+		t.Fatal("guided paging saved no bytes")
+	}
+}
+
+// TestGuidedPagingSavesBandwidth compares link bytes with and without the
+// guide on the same fragmented-heap workload.
+func TestGuidedPagingSavesBandwidth(t *testing.T) {
+	run := func(guided bool) (rx, tx int64) {
+		fw := &forwardGuide{}
+		eng := sim.New()
+		cfg := Config{
+			CacheFrames: 64, Cores: 1, RemoteBytes: 128 << 20,
+			Fabric: fabric.DefaultParams(),
+		}
+		if guided {
+			cfg.EvictionGuide = fw
+		}
+		sys := New(eng, cfg)
+		sys.Start()
+		rng := rand.New(rand.NewSource(3))
+		sys.Launch("frag", 0, func(sp *DDCProc) {
+			alloc := dalloc.New(sp)
+			fw.g = alloc
+			// Allocate many small objects, free 70%, then sweep-read the
+			// survivors repeatedly under pressure.
+			var addrs []uint64
+			for i := 0; i < 6000; i++ {
+				a := alloc.Alloc(128)
+				sp.StoreU64(a, uint64(i))
+				addrs = append(addrs, a)
+			}
+			var survivors []uint64
+			for i, a := range addrs {
+				if rng.Float64() < 0.7 {
+					alloc.Free(a)
+				} else {
+					survivors = append(survivors, a)
+					_ = i
+				}
+			}
+			for pass := 0; pass < 4; pass++ {
+				for _, a := range survivors {
+					sp.LoadU8(a)
+				}
+			}
+		})
+		eng.Run()
+		return sys.Link.RxBytes.N, sys.Link.TxBytes.N
+	}
+	rx0, tx0 := run(false)
+	rx1, tx1 := run(true)
+	if rx1 >= rx0 {
+		t.Fatalf("guided rx %d not below default %d", rx1, rx0)
+	}
+	if tx1 >= tx0 {
+		t.Fatalf("guided tx %d not below default %d", tx1, tx0)
+	}
+}

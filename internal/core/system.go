@@ -1,0 +1,477 @@
+// Package core is DiLOS itself: the LibOS computing-node kernel specialized
+// for paging-based memory disaggregation. It wires the unified page table
+// (internal/pagetable), the page fault handler (fault.go), the prefetcher
+// framework and PTE hit tracker (internal/prefetch), the page manager with
+// its background cleaner/reclaimer (internal/pagemgr), and the
+// shared-nothing communication module (internal/comm) into one system, and
+// exposes the POSIX-style compatibility layer (compat.go) that workloads
+// program against.
+//
+// The structure mirrors the paper's Figure 3: an application and the LibOS
+// share a single address space; four key components — fault handler,
+// prefetcher, page manager, communication module — cooperate on the
+// computing node; guides plug in beside the application without modifying
+// it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dilos/internal/comm"
+	"dilos/internal/dram"
+	"dilos/internal/fabric"
+	"dilos/internal/memnode"
+	"dilos/internal/mmu"
+	"dilos/internal/pagemgr"
+	"dilos/internal/pagetable"
+	"dilos/internal/prefetch"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+	"dilos/internal/trace"
+)
+
+// PageSize re-exports the paging granularity.
+const PageSize = pagetable.PageSize
+
+// Costs is the DiLOS software cost model for the fault path — deliberately
+// tiny, because the handler checks exactly one data structure (the unified
+// page table) before issuing the RDMA request (§4.2).
+type Costs struct {
+	HandlerCheck   sim.Time // decode tag, flip remote→fetching
+	FrameAlloc     sim.Time // pop a frame from the free list
+	Map            sim.Time // install the local PTE
+	PrefetchIssue  sim.Time // per prefetch request issued
+	PrefetchFilter sim.Time // per prefetch candidate examined (PTE lookup)
+	ZeroFill       sim.Time // scrub a frame before a vectored (partial) fetch
+}
+
+// DefaultCosts returns the calibrated DiLOS handler costs (the entire
+// software path outside fetch is ≈0.2–0.3 µs, per Figure 6).
+func DefaultCosts() Costs {
+	return Costs{
+		HandlerCheck:   80 * sim.Nanosecond,
+		FrameAlloc:     50 * sim.Nanosecond,
+		Map:            120 * sim.Nanosecond,
+		PrefetchIssue:  120 * sim.Nanosecond,
+		PrefetchFilter: 40 * sim.Nanosecond,
+		ZeroFill:       200 * sim.Nanosecond,
+	}
+}
+
+// Backing is where a memory node's pages live: the in-process
+// memnode.Node for simulated runs, or transport.Backing for a real remote
+// daemon reached over TCP (the data path then leaves the process while the
+// simulation still supplies the timing).
+type Backing interface {
+	fabric.Store
+	AllocRange(pages uint64) (uint64, error)
+	Key() uint32
+}
+
+// Guide is an app-aware pluggable module (§4.1): compiled alongside the
+// application, it refines fault handling and prefetching without touching
+// the application's main code. OnFault runs inside the fault handler's
+// fetch window and must not block; long-running guide work (subpage reads,
+// pointer chasing) belongs in a daemon the guide spawns in Start.
+type Guide interface {
+	Name() string
+	Start(sys *System)
+	OnFault(coreID int, vpn pagetable.VPN)
+}
+
+// Breakdown accumulates the Figure 6 fault-latency segments.
+type Breakdown struct {
+	Exception sim.Time // hardware exception + handler entry
+	Handler   sim.Time // PTE check + frame allocation
+	Fetch     sim.Time // waiting for the 4 KiB RDMA read
+	Map       sim.Time // installing the PTE
+	Reclaim   sim.Time // direct reclamation in the fault path (0 by design)
+	N         int64    // major faults sampled
+}
+
+// Mean returns the per-fault averages.
+func (b Breakdown) Mean() (exception, handler, fetch, mapping, reclaim sim.Time) {
+	if b.N == 0 {
+		return
+	}
+	n := sim.Time(b.N)
+	return b.Exception / n, b.Handler / n, b.Fetch / n, b.Map / n, b.Reclaim / n
+}
+
+// Total returns the mean total fault latency.
+func (b Breakdown) Total() sim.Time {
+	e, h, f, m, r := b.Mean()
+	return e + h + f + m + r
+}
+
+// Config assembles a DiLOS computing node.
+type Config struct {
+	// CacheFrames is the local DRAM cache size in 4 KiB frames.
+	CacheFrames int
+	// Cores is the number of CPU cores (each gets its own QP set).
+	Cores int
+	// RemoteBytes sizes the memory node's registered region.
+	RemoteBytes uint64
+	// Fabric selects the network calibration (DefaultParams or TCPParams).
+	Fabric fabric.Params
+	// Prefetcher is the page prefetch policy (nil → prefetch.None).
+	Prefetcher prefetch.Prefetcher
+	// Guide optionally installs an app-aware guide.
+	Guide Guide
+	// EvictionGuide optionally enables guided paging on the page manager.
+	EvictionGuide pagemgr.EvictionGuide
+	// Mgr overrides the page-manager tuning (nil → defaults for the pool).
+	Mgr *pagemgr.Config
+	// SharedQP collapses each core's per-module queues into one shared
+	// queue — the head-of-line-prone design §4.5 rejects. Ablation only.
+	SharedQP bool
+	// MemNodes shards the remote backing across this many memory nodes
+	// with page-granularity striping — the multi-node extension the paper
+	// leaves as future work (§5.1). Default 1. Each node gets its own
+	// link, RemoteBytes of registered memory, and per-core queue pairs.
+	MemNodes int
+	// Backings overrides the in-process memory nodes entirely (one shard
+	// per entry) — e.g. transport.Backing instances pointing at real
+	// memnoded daemons. When set, MemNodes and RemoteBytes are ignored
+	// and Nodes/Node are nil.
+	Backings []Backing
+	// Replicas keeps this many copies of every page across distinct
+	// memory nodes (the §5.1 fault-tolerance direction): write-backs reach
+	// every replica, fetches use the first live one, and FailNode switches
+	// reads over. Requires MemNodes (or Backings) ≥ Replicas. Default 1.
+	Replicas int
+	// Trace, when set, records every fault (major/minor) into the ring for
+	// offline analysis and replay (internal/trace).
+	Trace *trace.Recorder
+}
+
+// System is a DiLOS computing node plus its memory node(s). Node, Link,
+// and Hub always refer to node 0; with MemNodes > 1 the full sets live in
+// Nodes, Links, and Hubs, and pages stripe across them round-robin by VPN.
+type System struct {
+	Eng      *sim.Engine
+	Node     *memnode.Node
+	Link     *fabric.Link
+	Nodes    []*memnode.Node
+	Links    []*fabric.Link
+	Hubs     []*comm.Hub
+	Table    *pagetable.Table
+	Pool     *dram.Pool
+	Mgr      *pagemgr.Manager
+	Hub      *comm.Hub
+	Costs    Costs
+	MMUC     mmu.Costs
+	Pf       prefetch.Prefetcher
+	Track    *prefetch.HitTracker
+	Hist     *prefetch.History
+	AppGuide Guide
+	Trace    *trace.Recorder
+
+	backings []Backing
+	replicas int
+	failed   []bool
+	regions  []region
+	nextVA   uint64
+	heap     *heapArena
+
+	// ReplicaFetches counts fetches served by a non-primary replica.
+	ReplicaFetches stats.Counter
+
+	slots     []inflight
+	freeSlots []uint64
+
+	pfQueue  [][]pfItem
+	pfWaiter []sim.Waiter
+
+	// Counters and instrumentation.
+	MajorFaults   stats.Counter
+	MinorFaults   stats.Counter
+	LateMapHits   stats.Counter
+	GuidedFetches stats.Counter
+	Prefetches    stats.Counter
+	FaultLat      *stats.Histogram
+	BD            Breakdown
+
+	started bool
+}
+
+type region struct {
+	baseVPN     pagetable.VPN
+	pages       uint64
+	remoteBases []uint64 // one sub-range base per memory node
+	perNode     uint64   // stripe slots per node (per replica segment)
+}
+
+type inflight struct {
+	op     *fabric.Op
+	frame  dram.FrameID
+	vpn    pagetable.VPN
+	gen    uint64
+	active bool
+}
+
+type pfItem struct {
+	slot uint64
+	gen  uint64
+}
+
+// New assembles a DiLOS node from the config.
+func New(eng *sim.Engine, cfg Config) *System {
+	if cfg.CacheFrames <= 0 || cfg.Cores <= 0 || cfg.RemoteBytes == 0 {
+		panic("core: CacheFrames, Cores and RemoteBytes are required")
+	}
+	if cfg.MemNodes <= 0 {
+		cfg.MemNodes = 1
+	}
+	var nodes []*memnode.Node
+	backings := cfg.Backings
+	if len(backings) == 0 {
+		nodes = make([]*memnode.Node, cfg.MemNodes)
+		backings = make([]Backing, cfg.MemNodes)
+		for i := range nodes {
+			nodes[i] = memnode.New(cfg.RemoteBytes, 0xd170)
+			backings[i] = nodes[i]
+		}
+	} else {
+		cfg.MemNodes = len(backings)
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.MemNodes {
+		panic("core: Replicas must not exceed the memory node count")
+	}
+	links := make([]*fabric.Link, cfg.MemNodes)
+	for i := range links {
+		links[i] = fabric.NewLinkOver(backings[i], backings[i].Key(), cfg.Fabric)
+	}
+	var node *memnode.Node
+	if nodes != nil {
+		node = nodes[0]
+	}
+	link := links[0]
+	tbl := pagetable.New()
+	pool := dram.NewPool(cfg.CacheFrames)
+	mcfg := pagemgr.DefaultConfig(cfg.CacheFrames)
+	if cfg.Mgr != nil {
+		mcfg = *cfg.Mgr
+	}
+	mgr := pagemgr.New(pool, tbl, mcfg)
+	mgr.Guide = cfg.EvictionGuide
+	hubs := make([]*comm.Hub, cfg.MemNodes)
+	for i := range hubs {
+		if cfg.SharedQP {
+			hubs[i] = comm.NewSharedHub(links[i], cfg.Cores, backings[i].Key())
+		} else {
+			hubs[i] = comm.NewHub(links[i], cfg.Cores, backings[i].Key())
+		}
+	}
+	hub := hubs[0]
+	pf := cfg.Prefetcher
+	if pf == nil {
+		pf = prefetch.None{}
+	}
+	s := &System{
+		Eng:            eng,
+		Node:           node,
+		Link:           link,
+		Nodes:          nodes,
+		backings:       backings,
+		Links:          links,
+		Hubs:           hubs,
+		Table:          tbl,
+		Pool:           pool,
+		Mgr:            mgr,
+		Hub:            hub,
+		Costs:          DefaultCosts(),
+		MMUC:           mmu.DefaultCosts(),
+		Pf:             pf,
+		Track:          prefetch.NewHitTracker(),
+		Hist:           prefetch.NewHistory(32),
+		AppGuide:       cfg.Guide,
+		Trace:          cfg.Trace,
+		replicas:       cfg.Replicas,
+		failed:         make([]bool, cfg.MemNodes),
+		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
+		nextVA:         1 << 30, // DDC regions start at 1 GiB
+		pfQueue:        make([][]pfItem, cfg.Cores),
+		pfWaiter:       make([]sim.Waiter, cfg.Cores),
+		MajorFaults:    stats.Counter{Name: "dilos.major_faults"},
+		MinorFaults:    stats.Counter{Name: "dilos.minor_faults"},
+		LateMapHits:    stats.Counter{Name: "dilos.late_map_hits"},
+		GuidedFetches:  stats.Counter{Name: "dilos.guided_fetches"},
+		Prefetches:     stats.Counter{Name: "dilos.prefetches"},
+		FaultLat:       stats.NewHistogram("dilos.fault_latency"),
+	}
+	mgr.RemoteOf = func(v pagetable.VPN) (pagemgr.Target, bool) {
+		slots, ok := s.replicaSlots(v)
+		if !ok {
+			return pagemgr.Target{}, false
+		}
+		tgt := pagemgr.Target{
+			Off:       slots[0].off,
+			CleanQP:   s.Hubs[slots[0].node].QP(0, comm.ModCleaner),
+			ReclaimQP: s.Hubs[slots[0].node].QP(0, comm.ModReclaim),
+		}
+		for _, sl := range slots[1:] {
+			tgt.Replicas = append(tgt.Replicas, pagemgr.Target{
+				Off:       sl.off,
+				CleanQP:   s.Hubs[sl.node].QP(0, comm.ModCleaner),
+				ReclaimQP: s.Hubs[sl.node].QP(0, comm.ModReclaim),
+			})
+		}
+		return tgt, true
+	}
+	return s
+}
+
+// FailNode marks a memory node as failed: fetches fail over to the next
+// live replica of each page; write-backs skip it. Panics if a page would
+// lose its last live replica.
+func (s *System) FailNode(i int) {
+	live := 0
+	for n := range s.failed {
+		if !s.failed[n] && n != i {
+			live++
+		}
+	}
+	if live == 0 {
+		panic("core: cannot fail the last memory node")
+	}
+	s.failed[i] = true
+}
+
+// Start launches the background daemons (page manager, per-core prefetch
+// mappers, the app-aware guide). Call once before running workloads.
+func (s *System) Start() {
+	if s.started {
+		panic("core: Start called twice")
+	}
+	s.started = true
+	s.Mgr.Start(s.Eng)
+	for c := 0; c < s.Hub.Cores(); c++ {
+		c := c
+		s.Eng.GoDaemon(fmt.Sprintf("dilos.pfmap%d", c), func(p *sim.Proc) { s.pfMapLoop(p, c) })
+	}
+	if s.AppGuide != nil {
+		s.AppGuide.Start(s)
+	}
+}
+
+// MmapDDC maps a disaggregated region of `pages` pages (the compat layer's
+// mmap with MAP_DDC, §5): every page starts Remote, backed by zeroed slot
+// ranges striped page-round-robin across the memory nodes. With R replicas
+// each node provisions R segments: segment k of node n holds the rank-k
+// copies of the pages whose primary is node (n−k) mod N.
+func (s *System) MmapDDC(pages uint64) (uint64, error) {
+	n := uint64(len(s.backings))
+	perNode := (pages + n - 1) / n
+	bases := make([]uint64, n)
+	for i, b := range s.backings {
+		base, err := b.AllocRange(perNode * uint64(s.replicas))
+		if err != nil {
+			return 0, err
+		}
+		bases[i] = base
+	}
+	base := s.nextVA
+	s.nextVA += pages * PageSize
+	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, remoteBases: bases, perNode: perNode}
+	s.regions = append(s.regions, r)
+	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].baseVPN < s.regions[j].baseVPN })
+	for i := uint64(0); i < pages; i++ {
+		vpn := r.baseVPN + pagetable.VPN(i)
+		off := bases[i%n] + (i/n)*PageSize
+		s.Table.Set(vpn, pagetable.Remote(off/PageSize))
+	}
+	return base, nil
+}
+
+type slotRef struct {
+	node int
+	off  uint64
+}
+
+// replicaSlots returns every replica slot of a page, primary first,
+// skipping failed nodes.
+func (s *System) replicaSlots(v pagetable.VPN) ([]slotRef, bool) {
+	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].baseVPN > v })
+	if i == 0 {
+		return nil, false
+	}
+	r := s.regions[i-1]
+	idx := uint64(v - r.baseVPN)
+	if idx >= r.pages {
+		return nil, false
+	}
+	n := uint64(len(s.backings))
+	var slots []slotRef
+	for k := 0; k < s.replicas; k++ {
+		node := int((idx + uint64(k)) % n)
+		if s.failed[node] {
+			continue
+		}
+		off := r.remoteBases[node] + (uint64(k)*r.perNode+idx/n)*PageSize
+		slots = append(slots, slotRef{node: node, off: off})
+	}
+	if len(slots) == 0 {
+		panic(fmt.Sprintf("core: every replica of vpn %d has failed", v))
+	}
+	if slots[0].node != int(idx%n) {
+		s.ReplicaFetches.Inc()
+	}
+	return slots, true
+}
+
+// remoteOf maps a virtual page to its first live (node, slot offset).
+func (s *System) remoteOf(v pagetable.VPN) (int, uint64, bool) {
+	slots, ok := s.replicaSlots(v)
+	if !ok {
+		return 0, 0, false
+	}
+	return slots[0].node, slots[0].off, true
+}
+
+// RemoteOf exposes the page→(node, remote slot) mapping (guides use it for
+// subpage reads).
+func (s *System) RemoteOf(v pagetable.VPN) (int, uint64, bool) { return s.remoteOf(v) }
+
+func (s *System) newSlot(vpn pagetable.VPN, frame dram.FrameID) uint64 {
+	if k := len(s.freeSlots); k > 0 {
+		idx := s.freeSlots[k-1]
+		s.freeSlots = s.freeSlots[:k-1]
+		sl := &s.slots[idx]
+		sl.vpn, sl.frame, sl.op, sl.active = vpn, frame, nil, true
+		return idx
+	}
+	s.slots = append(s.slots, inflight{vpn: vpn, frame: frame, active: true})
+	return uint64(len(s.slots) - 1)
+}
+
+func (s *System) releaseSlot(idx uint64) {
+	sl := &s.slots[idx]
+	sl.gen++
+	sl.op = nil
+	s.freeSlots = append(s.freeSlots, idx)
+}
+
+// Launch runs fn as a workload thread on the given core. The returned
+// DDCProc implements space.Space over this system.
+func (s *System) Launch(name string, coreID int, fn func(sp *DDCProc)) {
+	if coreID < 0 || coreID >= s.Hub.Cores() {
+		panic("core: bad core id")
+	}
+	s.Eng.Go(name, func(p *sim.Proc) {
+		sp := s.BindCore(p, coreID)
+		fn(sp)
+	})
+}
+
+// BindCore attaches an existing sim process to a core, returning its Space.
+func (s *System) BindCore(p *sim.Proc, coreID int) *DDCProc {
+	h := &coreHandler{sys: s, coreID: coreID}
+	c := mmu.NewCore(p, s.Table, s.Pool, h)
+	c.Costs = s.MMUC
+	return &DDCProc{sys: s, coreID: coreID, core: c}
+}

@@ -1,0 +1,282 @@
+package dalloc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dilos/internal/pagemgr"
+	"dilos/internal/pagetable"
+	"dilos/internal/space"
+)
+
+func newAlloc() (*Allocator, *space.Local) {
+	sp := space.NewLocal(64 << 20)
+	return New(sp), sp
+}
+
+func TestAllocDistinctAligned(t *testing.T) {
+	a, _ := newAlloc()
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		addr := a.Alloc(64)
+		if addr%16 != 0 {
+			t.Fatalf("unaligned address %#x", addr)
+		}
+		if seen[addr] {
+			t.Fatalf("duplicate address %#x", addr)
+		}
+		seen[addr] = true
+	}
+	if a.InUse != 1000 {
+		t.Fatalf("in use = %d", a.InUse)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a, _ := newAlloc()
+	x := a.Alloc(128)
+	a.Free(x)
+	y := a.Alloc(128)
+	if y != x {
+		t.Fatalf("freed chunk not reused: %#x vs %#x", y, x)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	a, _ := newAlloc()
+	x := a.Alloc(32)
+	a.Free(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Free(x)
+}
+
+func TestInteriorFreePanics(t *testing.T) {
+	a, _ := newAlloc()
+	x := a.Alloc(256)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Free(x + 8)
+}
+
+func TestSizeOf(t *testing.T) {
+	a, _ := newAlloc()
+	if got := a.SizeOf(a.Alloc(100)); got != 128 {
+		t.Fatalf("SizeOf(100-byte alloc) = %d, want class 128", got)
+	}
+	if got := a.SizeOf(a.Alloc(5000)); got != 8192 {
+		t.Fatalf("SizeOf(5000-byte alloc) = %d, want 2 pages", got)
+	}
+}
+
+func TestLargeAllocation(t *testing.T) {
+	a, _ := newAlloc()
+	x := a.Alloc(3 * PageSize)
+	if x%PageSize != 0 {
+		t.Fatalf("large alloc not page aligned: %#x", x)
+	}
+	// All its pages are known to the allocator and report "whole page".
+	for i := uint64(0); i < 3; i++ {
+		if _, ok := a.LiveChunks(pagetable.VPNOf(x + i*PageSize)); ok {
+			t.Fatal("large-run page must not offer a vector")
+		}
+	}
+	a.Free(x)
+	if _, ok := a.pages[pagetable.VPNOf(x)]; ok {
+		t.Fatal("large-run metadata leaked after free")
+	}
+}
+
+func TestLiveChunksFullPage(t *testing.T) {
+	a, _ := newAlloc()
+	var addrs []uint64
+	// Fill one 512-class page completely (8 chunks).
+	for i := 0; i < 8; i++ {
+		addrs = append(addrs, a.Alloc(512))
+	}
+	if _, ok := a.LiveChunks(pagetable.VPNOf(addrs[0])); ok {
+		t.Fatal("fully live page must not offer a vector (saves nothing)")
+	}
+}
+
+func TestLiveChunksAfterFrees(t *testing.T) {
+	a, _ := newAlloc()
+	var addrs []uint64
+	for i := 0; i < 8; i++ {
+		addrs = append(addrs, a.Alloc(512))
+	}
+	// Free chunks 1,2,3,5,6,7 — keep 0 and 4.
+	for _, i := range []int{1, 2, 3, 5, 6, 7} {
+		a.Free(addrs[i])
+	}
+	chunks, ok := a.LiveChunks(pagetable.VPNOf(addrs[0]))
+	if !ok {
+		t.Fatal("expected a vector")
+	}
+	if len(chunks) != 2 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+	if chunks[0].Off != 0 || chunks[0].Len != 512 || chunks[1].Off != 2048 || chunks[1].Len != 512 {
+		t.Fatalf("chunks = %v", chunks)
+	}
+}
+
+func TestLiveChunksRespectsSegmentCap(t *testing.T) {
+	a, _ := newAlloc()
+	var addrs []uint64
+	for i := 0; i < 32; i++ { // one 128-class page
+		addrs = append(addrs, a.Alloc(128))
+	}
+	// Free every other chunk: 16 runs — must merge to <= MaxVectorSegs.
+	for i := 1; i < 32; i += 2 {
+		a.Free(addrs[i])
+	}
+	chunks, ok := a.LiveChunks(pagetable.VPNOf(addrs[0]))
+	if !ok {
+		t.Fatal("expected a vector")
+	}
+	if len(chunks) > pagemgr.MaxVectorSegs {
+		t.Fatalf("vector too long: %d segments", len(chunks))
+	}
+	// Every live chunk must be covered.
+	covered := func(off uint32) bool {
+		for _, c := range chunks {
+			if off >= c.Off && off+128 <= c.Off+c.Len {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 32; i += 2 {
+		off := uint32(addrs[i] % PageSize)
+		if !covered(off) {
+			t.Fatalf("live chunk at %d not covered by %v", off, chunks)
+		}
+	}
+}
+
+func TestLiveChunksUnknownPage(t *testing.T) {
+	a, _ := newAlloc()
+	if _, ok := a.LiveChunks(12345); ok {
+		t.Fatal("unknown page must not offer a vector")
+	}
+}
+
+// Property (DESIGN.md §6): bitmap popcount == live object count per page,
+// and random alloc/free sequences never hand out overlapping objects.
+func TestQuickAllocatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := newAlloc()
+		type obj struct {
+			addr uint64
+			size uint64
+		}
+		var live []obj
+		for i := 0; i < 600; i++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				size := uint64(rng.Intn(1024) + 1)
+				addr := a.Alloc(size)
+				// No overlap with any live object (use class size, since
+				// that's the reserved extent).
+				got := a.SizeOf(addr)
+				for _, o := range live {
+					if addr < o.addr+o.size && o.addr < addr+got {
+						return false
+					}
+				}
+				live = append(live, obj{addr, got})
+			} else {
+				k := rng.Intn(len(live))
+				a.Free(live[k].addr)
+				live = append(live[:k], live[k+1:]...)
+			}
+		}
+		// Per-page: used counter equals bitmap popcount equals live objects.
+		counts := map[pagetable.VPN]int{}
+		for _, o := range live {
+			counts[pagetable.VPNOf(o.addr)]++
+		}
+		for vpn, pm := range a.pages {
+			if pm.class == 0 {
+				continue
+			}
+			if vpn != pagetable.VPNOf(pm.base) {
+				continue
+			}
+			pop := 0
+			for _, w := range pm.bitmap {
+				for ; w != 0; w &= w - 1 {
+					pop++
+				}
+			}
+			if pop != int(pm.used) || pop != counts[vpn] {
+				return false
+			}
+		}
+		return a.InUse == int64(len(live))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LiveChunks always covers every live chunk and never exceeds
+// the segment cap.
+func TestQuickLiveChunksCoverage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := newAlloc()
+		class := classes[rng.Intn(len(classes))]
+		n := int(PageSize / class)
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addrs[i] = a.Alloc(uint64(class))
+		}
+		vpn := pagetable.VPNOf(addrs[0])
+		livemap := make([]bool, n)
+		for i := range livemap {
+			livemap[i] = true
+		}
+		for i := range addrs {
+			if rng.Intn(2) == 0 {
+				a.Free(addrs[i])
+				livemap[i] = false
+			}
+		}
+		chunks, ok := a.LiveChunks(vpn)
+		if !ok {
+			return true // whole-page fallback is always safe
+		}
+		if len(chunks) > pagemgr.MaxVectorSegs {
+			return false
+		}
+		for i, lv := range livemap {
+			if !lv {
+				continue
+			}
+			off := uint32(addrs[i] % PageSize)
+			found := false
+			for _, c := range chunks {
+				if off >= c.Off && off+class <= c.Off+c.Len {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package dataframe
+
+import (
+	"testing"
+
+	"dilos/internal/aifm"
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/sim"
+	"dilos/internal/space"
+)
+
+func TestTaxiAnalysisLocal(t *testing.T) {
+	sp := space.NewLocal(64 << 20)
+	f := NewSpaceFrame(sp, 20000)
+	Generate(f, 11)
+	r := RunTaxiAnalysis(sp, f)
+	var total uint64
+	for _, n := range r.TripsPerPassengers {
+		total += n
+	}
+	if total != f.N {
+		t.Fatalf("group-by counts sum to %d, want %d", total, f.N)
+	}
+	if r.TripsPerPassengers[0] != 0 {
+		t.Fatal("no trips should have 0 passengers")
+	}
+	if r.AvgFareMidRange == 0 || r.MeanDurationSecs == 0 {
+		t.Fatal("aggregates empty")
+	}
+	for k := 0; k < 9; k++ {
+		if r.Top10Distance[k] > r.Top10Distance[k+1] {
+			t.Fatal("top-10 not ordered")
+		}
+	}
+}
+
+func TestSameResultAcrossBackends(t *testing.T) {
+	// Local reference.
+	spLocal := space.NewLocal(64 << 20)
+	fLocal := NewSpaceFrame(spLocal, 8000)
+	Generate(fLocal, 5)
+	want := RunTaxiAnalysis(spLocal, fLocal)
+
+	// DiLOS under memory pressure.
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 64, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	var gotD Result
+	sys.Launch("df", 0, func(sp *core.DDCProc) {
+		f := NewSpaceFrame(sp, 8000)
+		Generate(f, 5)
+		gotD = RunTaxiAnalysis(sp, f)
+	})
+	eng.Run()
+	if gotD.Checksum != want.Checksum {
+		t.Fatalf("DiLOS checksum %d != local %d", gotD.Checksum, want.Checksum)
+	}
+
+	// AIFM port.
+	eng2 := sim.New()
+	asys := aifm.New(eng2, aifm.Config{
+		LocalBytes: 128 << 10, RemoteBytes: 64 << 20, Fabric: fabric.TCPParams(),
+	})
+	asys.Start()
+	var gotA Result
+	asys.Launch("df", func(th *aifm.Thread) {
+		f, err := NewAIFMFrame(asys, th, 8000)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		Generate(f, 5)
+		gotA = RunTaxiAnalysis(th, f)
+	})
+	eng2.Run()
+	if gotA.Checksum != want.Checksum {
+		t.Fatalf("AIFM checksum %d != local %d", gotA.Checksum, want.Checksum)
+	}
+}
+
+func TestAIFMSlowerWhenAllLocal(t *testing.T) {
+	// At 100% local memory the paging system's fault path is idle while
+	// AIFM still pays the deref-check tax (Figure 8's right-hand cluster).
+	const rows = 16000
+
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 8192, Cores: 1, RemoteBytes: 128 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	var dilosTime sim.Time
+	sys.Launch("df", 0, func(sp *core.DDCProc) {
+		f := NewSpaceFrame(sp, rows)
+		Generate(f, 6)
+		RunTaxiAnalysis(sp, f) // warm
+		dilosTime = RunTaxiAnalysis(sp, f).Elapsed
+	})
+	eng.Run()
+
+	eng2 := sim.New()
+	asys := aifm.New(eng2, aifm.Config{
+		LocalBytes: 64 << 20, RemoteBytes: 128 << 20, Fabric: fabric.TCPParams(),
+	})
+	asys.Start()
+	var aifmTime sim.Time
+	asys.Launch("df", func(th *aifm.Thread) {
+		f, _ := NewAIFMFrame(asys, th, rows)
+		Generate(f, 6)
+		RunTaxiAnalysis(th, f)
+		aifmTime = RunTaxiAnalysis(th, f).Elapsed
+	})
+	eng2.Run()
+
+	if aifmTime <= dilosTime {
+		t.Fatalf("AIFM (%v) should be slower than DiLOS (%v) at 100%% local", aifmTime, dilosTime)
+	}
+}

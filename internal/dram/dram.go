@@ -1,0 +1,189 @@
+// Package dram manages the computing node's local page frames: a fixed-size
+// pool backing the local cache of the disaggregated address space. It
+// provides O(1) allocation from a free list plus the intrusive LRU list the
+// page manager's cleaner and reclaimer walk (§4.4). The pool knows nothing
+// about PTEs; the page manager records each frame's owning virtual page so
+// eviction can find the mapping to tear down.
+package dram
+
+import (
+	"fmt"
+
+	"dilos/internal/pagetable"
+)
+
+// FrameID identifies a frame in the pool.
+type FrameID int32
+
+// NoFrame is the nil FrameID.
+const NoFrame FrameID = -1
+
+// NoVPN marks a frame with no owner.
+const NoVPN pagetable.VPN = ^pagetable.VPN(0)
+
+// Frame is per-frame metadata.
+type Frame struct {
+	VPN    pagetable.VPN // owning virtual page, NoVPN when unowned
+	Pinned bool          // excluded from reclamation (in-flight IO)
+	next   FrameID
+	prev   FrameID
+	inLRU  bool
+	free   bool
+}
+
+// Pool is a frame allocator over a contiguous local-DRAM arena.
+type Pool struct {
+	mem    []byte
+	frames []Frame
+	free   []FrameID
+	// LRU list: front = coldest (next clock victim), back = most recently
+	// inserted/rotated.
+	head, tail FrameID
+	lruLen     int
+}
+
+// NewPool creates a pool of `frames` page frames.
+func NewPool(frames int) *Pool {
+	if frames <= 0 {
+		panic("dram: pool needs at least one frame")
+	}
+	p := &Pool{
+		mem:    make([]byte, frames*pagetable.PageSize),
+		frames: make([]Frame, frames),
+		free:   make([]FrameID, 0, frames),
+		head:   NoFrame,
+		tail:   NoFrame,
+	}
+	for i := frames - 1; i >= 0; i-- {
+		p.frames[i] = Frame{VPN: NoVPN, next: NoFrame, prev: NoFrame, free: true}
+		p.free = append(p.free, FrameID(i))
+	}
+	return p
+}
+
+// Capacity returns the total number of frames.
+func (p *Pool) Capacity() int { return len(p.frames) }
+
+// FreeCount returns the number of unallocated frames.
+func (p *Pool) FreeCount() int { return len(p.free) }
+
+// Used returns the number of allocated frames.
+func (p *Pool) Used() int { return len(p.frames) - len(p.free) }
+
+// Alloc takes a frame from the free list. ok is false when the pool is
+// exhausted — the caller (the page manager) then blocks on the reclaimer.
+func (p *Pool) Alloc() (FrameID, bool) {
+	k := len(p.free)
+	if k == 0 {
+		return NoFrame, false
+	}
+	id := p.free[k-1]
+	p.free = p.free[:k-1]
+	f := &p.frames[id]
+	f.free = false
+	f.VPN = NoVPN
+	f.Pinned = false
+	return id, true
+}
+
+// Free returns a frame to the free list. The frame must not be on the LRU.
+func (p *Pool) Free(id FrameID) {
+	f := p.frame(id)
+	if f.free {
+		panic(fmt.Sprintf("dram: double free of frame %d", id))
+	}
+	if f.inLRU {
+		panic(fmt.Sprintf("dram: freeing frame %d still on LRU", id))
+	}
+	f.free = true
+	f.VPN = NoVPN
+	f.Pinned = false
+	p.free = append(p.free, id)
+}
+
+// Bytes returns the frame's backing memory.
+func (p *Pool) Bytes(id FrameID) []byte {
+	p.frame(id)
+	off := int(id) * pagetable.PageSize
+	return p.mem[off : off+pagetable.PageSize : off+pagetable.PageSize]
+}
+
+// Meta returns the frame's metadata for reading and mutation.
+func (p *Pool) Meta(id FrameID) *Frame { return p.frame(id) }
+
+func (p *Pool) frame(id FrameID) *Frame {
+	if id < 0 || int(id) >= len(p.frames) {
+		panic(fmt.Sprintf("dram: bad frame id %d", id))
+	}
+	return &p.frames[id]
+}
+
+// LRULen returns the number of frames on the LRU list.
+func (p *Pool) LRULen() int { return p.lruLen }
+
+// LRUPushBack appends a frame at the hot end of the LRU list. Newly
+// allocated pages enter here (§4.4: "The allocator inserts all newly
+// allocated pages into an LRU list").
+func (p *Pool) LRUPushBack(id FrameID) {
+	f := p.frame(id)
+	if f.inLRU {
+		panic(fmt.Sprintf("dram: frame %d already on LRU", id))
+	}
+	if f.free {
+		panic(fmt.Sprintf("dram: free frame %d pushed to LRU", id))
+	}
+	f.inLRU = true
+	f.prev = p.tail
+	f.next = NoFrame
+	if p.tail != NoFrame {
+		p.frames[p.tail].next = id
+	} else {
+		p.head = id
+	}
+	p.tail = id
+	p.lruLen++
+}
+
+// LRURemove unlinks a frame from the LRU list.
+func (p *Pool) LRURemove(id FrameID) {
+	f := p.frame(id)
+	if !f.inLRU {
+		panic(fmt.Sprintf("dram: frame %d not on LRU", id))
+	}
+	if f.prev != NoFrame {
+		p.frames[f.prev].next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != NoFrame {
+		p.frames[f.next].prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.inLRU = false
+	f.next, f.prev = NoFrame, NoFrame
+	p.lruLen--
+}
+
+// LRUFront returns the coldest frame (clock hand position), or NoFrame.
+func (p *Pool) LRUFront() FrameID { return p.head }
+
+// LRUNext returns the frame after id on the list, or NoFrame.
+func (p *Pool) LRUNext(id FrameID) FrameID { return p.frame(id).next }
+
+// LRURotate moves a frame to the hot end — the clock algorithm's "second
+// chance" for pages whose accessed bit was set.
+func (p *Pool) LRURotate(id FrameID) {
+	p.LRURemove(id)
+	p.LRUPushBack(id)
+}
+
+// Walk calls fn for each LRU frame from cold to hot; returning false stops.
+// fn must not mutate the list; use the returned ids afterwards.
+func (p *Pool) Walk(fn func(id FrameID, f *Frame) bool) {
+	for id := p.head; id != NoFrame; id = p.frames[id].next {
+		if !fn(id, &p.frames[id]) {
+			return
+		}
+	}
+}

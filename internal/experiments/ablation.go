@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/pagemgr"
+	"dilos/internal/prefetch"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+	"dilos/internal/workloads"
+)
+
+// This file holds the ablation studies for the design choices DESIGN.md
+// calls out (§6's bullet list of DiLOS' choices): what each mechanism buys
+// when it is switched off on an otherwise identical system.
+
+// AblationRow is one ablation configuration's outcome.
+type AblationRow struct {
+	Label     string
+	ReadGBs   float64
+	WriteGBs  float64
+	FaultP99  sim.Time
+	AllocWait int64
+}
+
+// AblationEagerEviction compares DiLOS' eager background reclamation
+// (§4.4) against an on-demand variant whose reclaimer only runs when the
+// free list is empty — quantifying how much "hide reclamation in the fetch
+// window" buys on the write path.
+func AblationEagerEviction(sc Scale) []AblationRow {
+	run := func(label string, mcfg *pagemgr.Config) AblationRow {
+		row := AblationRow{Label: label}
+		for pass, write := range map[int]bool{0: false, 1: true} {
+			eng := sim.New()
+			sys := core.New(eng, core.Config{
+				CacheFrames: frames(sc.SeqPages, 0.125),
+				Cores:       2,
+				RemoteBytes: sc.SeqPages*4096 + (64 << 20),
+				Fabric:      fabric.DefaultParams(),
+				Prefetcher:  prefetch.NewReadahead(0),
+				Mgr:         mcfg,
+			})
+			sys.Start()
+			var d sim.Time
+			sys.Launch("seq", 0, func(sp *core.DDCProc) {
+				base, _ := sys.MmapDDC(sc.SeqPages)
+				if write {
+					d = workloads.SeqWrite(sp, base, sc.SeqPages)
+				} else {
+					d = workloads.SeqRead(sp, base, sc.SeqPages)
+				}
+			})
+			eng.Run()
+			gbs := stats.GBps(float64(sc.SeqPages*4096) / d.Seconds())
+			if write {
+				row.WriteGBs = gbs
+				row.AllocWait += sys.Mgr.AllocWaits.N
+			} else {
+				row.ReadGBs = gbs
+				row.FaultP99 = sys.FaultLat.P99()
+			}
+			_ = pass
+		}
+		return row
+	}
+	lazy := pagemgr.DefaultConfig(frames(sc.SeqPages, 0.125))
+	lazy.LowWater = 1
+	lazy.HighWater = 2
+	lazy.CleanerPeriod = 500 * sim.Microsecond
+	return []AblationRow{
+		run("eager (DiLOS default)", nil),
+		run("on-demand reclamation", &lazy),
+	}
+}
+
+// AblationSharedQueue compares §4.5's shared-nothing per-module queues
+// against one shared queue per core. The tax shows where the paper says it
+// does: a module with a deep backlog — the cleaner, flushing dirty pages
+// in batches — shares a FIFO with the fault handler's fetches, so demand
+// fetches complete behind write-backs they have nothing to do with.
+// Sequential write at 12.5 % cache keeps the cleaner saturated.
+func AblationSharedQueue(sc Scale) []AblationRow {
+	run := func(label string, shared bool) AblationRow {
+		eng := sim.New()
+		sys := core.New(eng, core.Config{
+			CacheFrames: frames(sc.SeqPages, 0.125),
+			Cores:       2,
+			RemoteBytes: sc.SeqPages*4096 + (64 << 20),
+			Fabric:      fabric.DefaultParams(),
+			Prefetcher:  prefetch.NewReadahead(0),
+			SharedQP:    shared,
+		})
+		sys.Start()
+		var d sim.Time
+		sys.Launch("seq", 0, func(sp *core.DDCProc) {
+			base, _ := sys.MmapDDC(sc.SeqPages)
+			d = workloads.SeqWrite(sp, base, sc.SeqPages)
+		})
+		eng.Run()
+		return AblationRow{
+			Label:     label,
+			WriteGBs:  stats.GBps(float64(sc.SeqPages*4096) / d.Seconds()),
+			FaultP99:  sys.FaultLat.P99(),
+			AllocWait: sys.Mgr.AllocWaits.N,
+		}
+	}
+	return []AblationRow{
+		run("shared-nothing (DiLOS default)", false),
+		run("one queue per core", true),
+	}
+}
+
+// MultiNodeRow is one sharding configuration's outcome (the §5.1
+// future-work extension implemented here).
+type MultiNodeRow struct {
+	Nodes   int
+	ReadGBs float64
+	PerLink []float64 // RX GB moved per memory node
+}
+
+// ExtMultiNode measures sequential-read bandwidth as the remote backing is
+// sharded across 1, 2, and 4 memory nodes (page-round-robin striping).
+func ExtMultiNode(sc Scale) []MultiNodeRow {
+	var rows []MultiNodeRow
+	for _, nodes := range []int{1, 2, 4} {
+		eng := sim.New()
+		sys := core.New(eng, core.Config{
+			CacheFrames: frames(sc.SeqPages, 0.125),
+			Cores:       2,
+			RemoteBytes: sc.SeqPages*4096 + (64 << 20),
+			Fabric:      fabric.DefaultParams(),
+			Prefetcher:  prefetch.NewTrend(), // deep window: wire-bound
+			MemNodes:    nodes,
+		})
+		sys.Start()
+		var d sim.Time
+		sys.Launch("seq", 0, func(sp *core.DDCProc) {
+			base, _ := sys.MmapDDC(sc.SeqPages)
+			d = workloads.SeqRead(sp, base, sc.SeqPages)
+		})
+		eng.Run()
+		row := MultiNodeRow{
+			Nodes:   nodes,
+			ReadGBs: stats.GBps(float64(sc.SeqPages*4096) / d.Seconds()),
+		}
+		for _, link := range sys.Links {
+			row.PerLink = append(row.PerLink, float64(link.RxBytes.N)/1e9)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// ThreadScaleRow is one thread count's PageRank outcome.
+type ThreadScaleRow struct {
+	Workers int
+	Elapsed sim.Time
+	Check   uint64
+}
+
+// ExtThreadScaling runs PageRank on DiLOS at 12.5 % local memory with 1,
+// 2, and 4 worker threads — per-core queue pairs and per-core prefetch
+// mappers are what let fault handling scale with the cores (§4.5).
+func ExtThreadScaling(sc Scale) []ThreadScaleRow {
+	var rows []ThreadScaleRow
+	for _, w := range []int{1, 2, 4} {
+		elapsed, check := gapbsRunWorkers(SysDiLOSRA, sc, false, 0.125, w)
+		rows = append(rows, ThreadScaleRow{Workers: w, Elapsed: elapsed, Check: check})
+	}
+	return rows
+}

@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6): one constructor per artifact, each returning structured
+// rows that cmd/dilosbench prints in the paper's format. DESIGN.md's
+// per-experiment index maps each function here to its paper artifact,
+// workload, and modules; EXPERIMENTS.md records paper-vs-measured.
+//
+// Scale: the paper's working sets are 8–40 GB; these runs default to
+// MiB-scale working sets with the same local-cache *fractions*
+// (12.5/25/50/100 %), which preserve every shape the paper reports (see
+// DESIGN.md §2). Scale can be raised via the Scale struct.
+package experiments
+
+import (
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/fastswap"
+	"dilos/internal/pagemgr"
+	"dilos/internal/prefetch"
+	"dilos/internal/sim"
+	"dilos/internal/space"
+)
+
+// Scale sizes the workloads. Zero values select the defaults.
+type Scale struct {
+	SeqPages      uint64 // sequential read/write working set (pages)
+	QuicksortN    uint64 // elements (u64)
+	KMeansPoints  uint64
+	SnappyBytes   uint64
+	DataframeRows uint64
+	GraphScale    int // RMAT scale (2^scale vertices)
+	RedisKeys4K   int
+	RedisKeys64K  int
+	RedisKeysMix  int
+	RedisQueries  int
+	RedisLists    int
+	RedisListElem int
+}
+
+// DefaultScale is used by the benchmarks and dilosbench unless overridden.
+func DefaultScale() Scale {
+	return Scale{
+		SeqPages:      16384, // 64 MiB
+		QuicksortN:    1 << 20,
+		KMeansPoints:  150_000,
+		SnappyBytes:   8 << 20,
+		DataframeRows: 150_000,
+		GraphScale:    13,
+		RedisKeys4K:   1500,
+		RedisKeys64K:  150,
+		RedisKeysMix:  240,
+		RedisQueries:  3000,
+		RedisLists:    64,
+		RedisListElem: 12000,
+	}
+}
+
+// CacheFractions are the local-memory fractions the paper sweeps.
+var CacheFractions = []float64{0.125, 0.25, 0.5, 1.0}
+
+// FracLabel formats a cache fraction the way the paper's axes do.
+func FracLabel(f float64) string {
+	switch f {
+	case 0.125:
+		return "12.5%"
+	case 0.25:
+		return "25%"
+	case 0.5:
+		return "50%"
+	case 1.0:
+		return "100%"
+	}
+	return ""
+}
+
+// SystemKind names an evaluated system configuration.
+type SystemKind string
+
+// The configurations the evaluation compares.
+const (
+	SysFastswap   SystemKind = "Fastswap"
+	SysDiLOSNone  SystemKind = "DiLOS no-prefetch"
+	SysDiLOSRA    SystemKind = "DiLOS readahead"
+	SysDiLOSTrend SystemKind = "DiLOS trend-based"
+	SysDiLOSApp   SystemKind = "DiLOS app-aware"
+	SysDiLOSTCP   SystemKind = "DiLOS-TCP"
+	SysAIFM       SystemKind = "AIFM"
+)
+
+// frames computes the cache size for a working set and fraction, with a
+// floor so daemons have room to breathe.
+func frames(workingSetPages uint64, frac float64) int {
+	f := int(float64(workingSetPages) * frac)
+	if f < 96 {
+		f = 96
+	}
+	return f
+}
+
+// dilos boots a DiLOS node for a working set.
+func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher,
+	g core.Guide, eg pagemgr.EvictionGuide, tcp bool) *core.System {
+	params := fabric.DefaultParams()
+	if tcp {
+		params = fabric.TCPParams()
+	}
+	sys := core.New(eng, core.Config{
+		CacheFrames:   frames(wsPages, frac),
+		Cores:         4,
+		RemoteBytes:   wsPages*core.PageSize + (64 << 20),
+		Fabric:        params,
+		Prefetcher:    pf,
+		Guide:         g,
+		EvictionGuide: eg,
+	})
+	sys.Start()
+	return sys
+}
+
+// fswap boots a Fastswap node for a working set.
+func fswap(eng *sim.Engine, wsPages uint64, frac float64) *fastswap.System {
+	sys := fastswap.New(eng, fastswap.Config{
+		CacheFrames: frames(wsPages, frac),
+		Cores:       4,
+		RemoteBytes: wsPages*fastswap.PageSize + (64 << 20),
+		Fabric:      fabric.DefaultParams(),
+	})
+	sys.Start()
+	return sys
+}
+
+// pfFor builds the prefetcher for a DiLOS flavour.
+func pfFor(kind SystemKind) prefetch.Prefetcher {
+	switch kind {
+	case SysDiLOSRA, SysDiLOSTCP:
+		return prefetch.NewReadahead(0)
+	case SysDiLOSTrend:
+		return prefetch.NewTrend()
+	default:
+		return nil
+	}
+}
+
+// spaceLike abbreviates space.Space in the experiment closures.
+type spaceLike = space.Space
+
+// runOn runs fn on the named paging system and returns elapsed virtual
+// time plus the fault counters — the common harness for Figures 7–9.
+func runOn(kind SystemKind, wsPages uint64, frac float64,
+	fn func(sp space.Space, mmap func(uint64) (uint64, error))) (sim.Time, int64, int64) {
+	eng := sim.New()
+	var elapsed sim.Time
+	var major, minor int64
+	switch kind {
+	case SysFastswap:
+		sys := fswap(eng, wsPages, frac)
+		sys.Launch("app", 0, func(sp *fastswap.FSProc) {
+			t0 := sp.Now()
+			fn(sp, sys.MmapDDC)
+			elapsed = sp.Now() - t0
+		})
+		eng.Run()
+		major, minor = sys.MajorFaults.N, sys.MinorFaults.N
+	default:
+		sys := dilos(eng, wsPages, frac, pfFor(kind), nil, nil, kind == SysDiLOSTCP)
+		sys.Launch("app", 0, func(sp *core.DDCProc) {
+			t0 := sp.Now()
+			fn(sp, sys.MmapDDC)
+			elapsed = sp.Now() - t0
+		})
+		eng.Run()
+		major, minor = sys.MajorFaults.N, sys.MinorFaults.N
+	}
+	return elapsed, major, minor
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"testing"
+
+	"dilos/internal/sim"
+)
+
+// tiny keeps the smoke tests fast while exercising every experiment path.
+func tiny() Scale {
+	return Scale{
+		SeqPages:      2048,
+		QuicksortN:    64 << 10,
+		KMeansPoints:  12_000,
+		SnappyBytes:   1 << 20,
+		DataframeRows: 12_000,
+		GraphScale:    10,
+		RedisKeys4K:   256,
+		RedisKeys64K:  32,
+		RedisKeysMix:  48,
+		RedisQueries:  400,
+		RedisLists:    16,
+		RedisListElem: 1500,
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows := Fig1(tiny())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	avg, noRecl := rows[0], rows[1]
+	if avg.Reclaim == 0 {
+		t.Fatal("average case must include direct reclamation")
+	}
+	if noRecl.Reclaim != 0 {
+		t.Fatal("no-reclamation case must not reclaim")
+	}
+	if avg.Total <= noRecl.Total {
+		t.Fatal("reclamation must increase the average fault latency")
+	}
+	// Fetch should be the largest segment (§3.1: 46%).
+	if avg.Fetch < avg.Exception || avg.Fetch < avg.Software {
+		t.Fatal("fetch is not the dominant segment")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	rows := Fig2()
+	if len(rows) < 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ReadLat < rows[i-1].ReadLat {
+			t.Fatal("latency not monotone in size")
+		}
+	}
+	// The headline claim: 4 KiB ≈ 0.6 µs over 128 B.
+	var l128, l4k sim.Time
+	for _, r := range rows {
+		if r.Size == 128 {
+			l128 = r.ReadLat
+		}
+		if r.Size == 4096 {
+			l4k = r.ReadLat
+		}
+	}
+	if d := l4k - l128; d < 500*sim.Nanosecond || d > 700*sim.Nanosecond {
+		t.Fatalf("4KiB-128B delta = %v", d)
+	}
+}
+
+func TestTab1And3Shape(t *testing.T) {
+	sc := tiny()
+	t1 := Tab1(sc)
+	// At full scale majors land on exactly 1/cluster of pages (see the
+	// bench harness); the tiny smoke cache is small enough that readahead
+	// is occasionally curtailed near the watermark, so allow slack here.
+	if t1.Major > int64(sc.SeqPages)/2 || t1.Major < int64(sc.SeqPages)/8 {
+		t.Fatalf("Fastswap majors = %d, want ≈%d (1/cluster)", t1.Major, sc.SeqPages/8)
+	}
+	if t1.Minor <= t1.Major {
+		t.Fatalf("Fastswap minors = %d must dominate majors %d", t1.Minor, t1.Major)
+	}
+	rows := Tab3(sc)
+	byKind := map[SystemKind]FaultCountRow{}
+	for _, r := range rows {
+		byKind[r.System] = r
+	}
+	if byKind[SysDiLOSNone].Major != int64(sc.SeqPages) {
+		t.Fatal("DiLOS no-prefetch must major on every page")
+	}
+	if byKind[SysDiLOSRA].Minor >= byKind[SysFastswap].Minor {
+		t.Fatal("DiLOS readahead must have fewer minors than Fastswap")
+	}
+	if byKind[SysDiLOSRA].Total >= byKind[SysFastswap].Total {
+		t.Fatal("DiLOS readahead must have fewer total faults")
+	}
+}
+
+func TestTab2Shape(t *testing.T) {
+	rows := Tab2(tiny())
+	byKind := map[SystemKind]Tab2Row{}
+	for _, r := range rows {
+		byKind[r.System] = r
+	}
+	fs, ra := byKind[SysFastswap], byKind[SysDiLOSRA]
+	if ra.ReadGBs < 2.5*fs.ReadGBs {
+		t.Fatalf("DiLOS readahead read %.2f not ≥2.5x Fastswap %.2f", ra.ReadGBs, fs.ReadGBs)
+	}
+	if fs.WriteGBs >= fs.ReadGBs {
+		t.Fatalf("Fastswap write %.2f should collapse below read %.2f", fs.WriteGBs, fs.ReadGBs)
+	}
+	if ra.WriteGBs < 2*fs.WriteGBs {
+		t.Fatal("DiLOS write advantage missing")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	rows := Fig6(tiny())
+	var fs, dl BreakdownRow
+	for _, r := range rows {
+		switch r.Label {
+		case "Fastswap":
+			fs = r
+		case "DiLOS":
+			dl = r
+		}
+	}
+	if dl.Reclaim != 0 {
+		t.Fatal("DiLOS reclaims on the fault path")
+	}
+	// Paper: DiLOS cuts fault latency by ≈49%.
+	if dl.Total*3 > fs.Total*2 {
+		t.Fatalf("DiLOS %v not well below Fastswap %v", dl.Total, fs.Total)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	rows := Fig7a(tiny())
+	check := rows[0].Check
+	for _, r := range rows {
+		if r.Check != check {
+			t.Fatal("quicksort results differ across systems")
+		}
+	}
+	if best(rows, SysDiLOSRA, 0.125) >= best(rows, SysFastswap, 0.125) {
+		t.Fatal("DiLOS must beat Fastswap at 12.5%")
+	}
+}
+
+func TestFig9bShape(t *testing.T) {
+	sc := tiny()
+	rows := Fig9b(sc)
+	if best(rows, SysDiLOSRA, 0.125) >= best(rows, SysFastswap, 0.125) {
+		t.Fatal("DiLOS must beat Fastswap on BC at 12.5%")
+	}
+	check := rows[0].Check
+	for _, r := range rows[1:] {
+		if r.Check != check {
+			t.Fatal("BC results differ across systems/fractions")
+		}
+	}
+}
+
+func best(rows []CompletionRow, kind SystemKind, frac float64) sim.Time {
+	for _, r := range rows {
+		if r.System == kind && r.Fraction == frac {
+			return r.Elapsed
+		}
+	}
+	return -1
+}
+
+func TestFig10aShape(t *testing.T) {
+	rows := Fig10a(tiny())
+	get := func(kind SystemKind, frac float64) RedisRow {
+		for _, r := range rows {
+			if r.System == kind && r.Fraction == frac {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s %v", kind, frac)
+		return RedisRow{}
+	}
+	for _, r := range rows {
+		if r.Bad != 0 {
+			t.Fatalf("%s@%v returned %d bad values", r.System, r.Fraction, r.Bad)
+		}
+	}
+	if get(SysDiLOSNone, 0.125).OpsPerS <= get(SysFastswap, 0.125).OpsPerS {
+		t.Fatal("DiLOS (even without prefetch) must beat Fastswap on GET at 12.5%")
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	rows := Fig12(tiny())
+	def, guided := rows[0], rows[1]
+	if guided.SavedBytes == 0 {
+		t.Fatal("guided paging saved nothing")
+	}
+	if guided.GetRxMB >= def.GetRxMB {
+		t.Fatalf("guided GET traffic %.2f MB not below default %.2f MB",
+			guided.GetRxMB, def.GetRxMB)
+	}
+	if guided.DelTxMB >= def.DelTxMB {
+		t.Fatalf("guided DEL traffic %.2f MB not below default %.2f MB",
+			guided.DelTxMB, def.DelTxMB)
+	}
+}
+
+func TestAblationEagerEviction(t *testing.T) {
+	rows := AblationEagerEviction(tiny())
+	eager, lazy := rows[0], rows[1]
+	if eager.WriteGBs <= lazy.WriteGBs {
+		t.Fatalf("eager eviction buys nothing on writes: %.2f vs %.2f",
+			eager.WriteGBs, lazy.WriteGBs)
+	}
+}
+
+func TestAblationSharedQueue(t *testing.T) {
+	rows := AblationSharedQueue(tiny())
+	nothing, shared := rows[0], rows[1]
+	if nothing.FaultP99 >= shared.FaultP99 {
+		t.Fatalf("shared-nothing queues bought no tail-latency relief: %v vs %v",
+			nothing.FaultP99, shared.FaultP99)
+	}
+}
+
+func TestExtMultiNode(t *testing.T) {
+	rows := ExtMultiNode(tiny())
+	if len(rows) != 3 {
+		t.Fatal("want 3 configurations")
+	}
+	for _, r := range rows {
+		total := 0.0
+		for _, gb := range r.PerLink {
+			if gb == 0 {
+				t.Fatalf("%d nodes: a shard saw no traffic", r.Nodes)
+			}
+			total += gb
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	rows := Fig8(tiny())
+	get := func(kind SystemKind, frac float64) CompletionRow {
+		for _, r := range rows {
+			if r.System == kind && r.Fraction == frac {
+				return r
+			}
+		}
+		t.Fatalf("missing %s@%v", kind, frac)
+		return CompletionRow{}
+	}
+	// Identical analysis results across all systems and fractions.
+	check := rows[0].Check
+	for _, r := range rows {
+		if r.Check != check {
+			t.Fatalf("%s@%v produced different results", r.System, r.Fraction)
+		}
+	}
+	// The paper's headline shapes.
+	if get(SysDiLOSRA, 0.125).Elapsed >= get(SysAIFM, 0.125).Elapsed {
+		t.Fatal("DiLOS must beat AIFM at 12.5% on the DataFrame")
+	}
+	if get(SysDiLOSRA, 1.0).Elapsed >= get(SysAIFM, 1.0).Elapsed {
+		t.Fatal("AIFM must pay the deref tax at 100% local")
+	}
+	if get(SysDiLOSRA, 0.125).Elapsed >= get(SysFastswap, 0.125).Elapsed {
+		t.Fatal("DiLOS must beat Fastswap at 12.5%")
+	}
+}
+
+func TestFig7cShape(t *testing.T) {
+	rows := Fig7c(tiny())
+	var aifm, dilos, fs sim.Time
+	for _, r := range rows {
+		if r.Fraction != 0.125 {
+			continue
+		}
+		switch r.System {
+		case SysAIFM:
+			aifm = r.Elapsed
+		case SysDiLOSRA:
+			dilos = r.Elapsed
+		case SysFastswap:
+			fs = r.Elapsed
+		}
+	}
+	// Paper: AIFM wins at 12.5% on streaming compression; DiLOS within
+	// ~10%; Fastswap far behind.
+	if aifm > dilos {
+		t.Fatalf("AIFM (%v) should win at 12.5%% vs DiLOS (%v)", aifm, dilos)
+	}
+	if fs <= dilos {
+		t.Fatalf("Fastswap (%v) should trail DiLOS (%v)", fs, dilos)
+	}
+}
+
+func TestExtThreadScaling(t *testing.T) {
+	rows := ExtThreadScaling(tiny())
+	if len(rows) != 3 {
+		t.Fatal("want 3 thread counts")
+	}
+	if rows[2].Elapsed >= rows[0].Elapsed {
+		t.Fatalf("4 threads (%v) not faster than 1 (%v)", rows[2].Elapsed, rows[0].Elapsed)
+	}
+	if rows[0].Check != rows[1].Check || rows[1].Check != rows[2].Check {
+		t.Fatal("PageRank results vary with thread count")
+	}
+}
+
+func TestFig7dShape(t *testing.T) {
+	rows := Fig7d(tiny())
+	var aifm, dilos, fs sim.Time
+	for _, r := range rows {
+		if r.Fraction != 0.125 {
+			continue
+		}
+		switch r.System {
+		case SysAIFM:
+			aifm = r.Elapsed
+		case SysDiLOSRA:
+			dilos = r.Elapsed
+		case SysFastswap:
+			fs = r.Elapsed
+		}
+	}
+	if aifm == 0 || dilos == 0 || fs == 0 {
+		t.Fatal("missing rows")
+	}
+	// Decompression at 12.5%: streaming overlap favors AIFM; Fastswap
+	// trails DiLOS (Figure 7(d)).
+	if fs <= dilos {
+		t.Fatalf("Fastswap (%v) should trail DiLOS (%v)", fs, dilos)
+	}
+}
+
+func TestFig9aShape(t *testing.T) {
+	rows := Fig9a(tiny())
+	check := rows[0].Check
+	for _, r := range rows[1:] {
+		if r.Check != check {
+			t.Fatal("PageRank results differ across systems/fractions")
+		}
+	}
+	if best(rows, SysDiLOSRA, 0.125) > best(rows, SysFastswap, 0.125) {
+		t.Fatal("DiLOS should not lose to Fastswap on PR at 12.5%")
+	}
+}
+
+func TestFig10dAppAwareWins(t *testing.T) {
+	// The guide's win needs actual paging pressure: size the lists well
+	// past the cache floor (the default tiny scale fits in cache).
+	sc := tiny()
+	sc.RedisListElem = 6000
+	sc.RedisLists = 32
+	sc.RedisQueries = 800
+	rows := Fig10d(sc)
+	var app, bestOther float64
+	for _, r := range rows {
+		if r.Fraction != 0.125 {
+			continue
+		}
+		if r.System == SysDiLOSApp {
+			app = r.OpsPerS
+		} else if r.OpsPerS > bestOther {
+			bestOther = r.OpsPerS
+		}
+	}
+	// §6.3's headline: the quicklist guide beats every general-purpose
+	// configuration on LRANGE.
+	if app <= bestOther {
+		t.Fatalf("app-aware (%.0f ops/s) does not top LRANGE (best other %.0f)", app, bestOther)
+	}
+}

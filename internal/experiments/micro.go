@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/fastswap"
+	"dilos/internal/memnode"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+	"dilos/internal/workloads"
+)
+
+// This file regenerates the microbenchmark artifacts: Figures 1, 2, 6 and
+// Tables 1, 2, 3 (§3.1, §6.1).
+
+// BreakdownRow is one bar of Figures 1/6: per-fault mean latency segments.
+type BreakdownRow struct {
+	Label     string
+	Exception sim.Time
+	Software  sim.Time // swap mgmt / page alloc (Fastswap) or handler (DiLOS)
+	Fetch     sim.Time
+	Map       sim.Time
+	Reclaim   sim.Time
+	Total     sim.Time
+}
+
+// Fig1 reproduces Figure 1: the latency breakdown of Fastswap's page fault
+// handler during sequential read — the average case (12.5 % cache, steady
+// reclamation) and the no-reclamation case (cache ≥ working set, cold
+// faults only).
+func Fig1(sc Scale) []BreakdownRow {
+	run := func(label string, frac float64) BreakdownRow {
+		eng := sim.New()
+		sys := fswap(eng, sc.SeqPages, frac)
+		sys.Launch("seq", 0, func(sp *fastswap.FSProc) {
+			base, err := sys.MmapDDC(sc.SeqPages)
+			if err != nil {
+				panic(err)
+			}
+			workloads.SeqRead(sp, base, sc.SeqPages)
+		})
+		eng.Run()
+		e, m, f, mp, r := sys.BD.Mean()
+		return BreakdownRow{
+			Label: label, Exception: e, Software: m, Fetch: f, Map: mp,
+			Reclaim: r, Total: sys.BD.Total(),
+		}
+	}
+	return []BreakdownRow{
+		run("Average", 0.125),
+		// 1.5x headroom: with cache == working set exactly, the tail of a
+		// cold sweep still dips below the watermarks.
+		run("No reclamation", 1.5),
+	}
+}
+
+// Fig2Row is one point of Figure 2: RDMA latency per object size.
+type Fig2Row struct {
+	Size     int
+	ReadLat  sim.Time
+	WriteLat sim.Time
+}
+
+// Fig2 reproduces Figure 2: one-sided RDMA latency across object sizes.
+func Fig2() []Fig2Row {
+	node := memnode.New(64<<20, 1)
+	link := fabric.NewLink(node, fabric.DefaultParams())
+	qp := link.MustQP("fig2", 1)
+	off, _ := node.AllocRange(8)
+	var rows []Fig2Row
+	t := sim.Time(0)
+	for size := 64; size <= 16384; size *= 2 {
+		buf := make([]byte, size)
+		t += sim.Second // keep the link idle between samples
+		r := qp.Read(t, off, buf)
+		t += sim.Second
+		w := qp.Write(t, off, buf)
+		rows = append(rows, Fig2Row{
+			Size:     size,
+			ReadLat:  r.CompleteAt - r.IssuedAt,
+			WriteLat: w.CompleteAt - w.IssuedAt,
+		})
+	}
+	return rows
+}
+
+// FaultCountRow is one row of Tables 1 and 3.
+type FaultCountRow struct {
+	System SystemKind
+	Major  int64
+	Minor  int64
+	Total  int64
+}
+
+// Tab1 reproduces Table 1: page fault counts during a sequential read on
+// Fastswap with 12.5 % local cache.
+func Tab1(sc Scale) FaultCountRow {
+	_, major, minor := runOn(SysFastswap, sc.SeqPages, 0.125,
+		func(sp spaceLike, mmap func(uint64) (uint64, error)) {
+			base, _ := mmap(sc.SeqPages)
+			workloads.SeqRead(sp, base, sc.SeqPages)
+		})
+	return FaultCountRow{System: SysFastswap, Major: major, Minor: minor, Total: major + minor}
+}
+
+// Tab3 reproduces Table 3: fault counts for Fastswap and the DiLOS
+// prefetcher flavours on the same sequential read.
+func Tab3(sc Scale) []FaultCountRow {
+	var rows []FaultCountRow
+	for _, kind := range []SystemKind{SysFastswap, SysDiLOSNone, SysDiLOSRA, SysDiLOSTrend} {
+		_, major, minor := runOn(kind, sc.SeqPages, 0.125,
+			func(sp spaceLike, mmap func(uint64) (uint64, error)) {
+				base, _ := mmap(sc.SeqPages)
+				workloads.SeqRead(sp, base, sc.SeqPages)
+			})
+		rows = append(rows, FaultCountRow{System: kind, Major: major, Minor: minor, Total: major + minor})
+	}
+	return rows
+}
+
+// Tab2Row is one row of Table 2.
+type Tab2Row struct {
+	System   SystemKind
+	ReadGBs  float64
+	WriteGBs float64
+}
+
+// Tab2 reproduces Table 2: sequential read and write throughput at 12.5 %
+// local cache.
+func Tab2(sc Scale) []Tab2Row {
+	gbps := func(d sim.Time) float64 {
+		return stats.GBps(float64(sc.SeqPages*4096) / d.Seconds())
+	}
+	var rows []Tab2Row
+	for _, kind := range []SystemKind{SysFastswap, SysDiLOSNone, SysDiLOSRA, SysDiLOSTrend} {
+		rd, _, _ := runOn(kind, sc.SeqPages, 0.125,
+			func(sp spaceLike, mmap func(uint64) (uint64, error)) {
+				base, _ := mmap(sc.SeqPages)
+				workloads.SeqRead(sp, base, sc.SeqPages)
+			})
+		wr, _, _ := runOn(kind, sc.SeqPages, 0.125,
+			func(sp spaceLike, mmap func(uint64) (uint64, error)) {
+				base, _ := mmap(sc.SeqPages)
+				workloads.SeqWrite(sp, base, sc.SeqPages)
+			})
+		rows = append(rows, Tab2Row{System: kind, ReadGBs: gbps(rd), WriteGBs: gbps(wr)})
+	}
+	return rows
+}
+
+// Fig6 reproduces Figure 6: fault-handler latency breakdown, DiLOS vs
+// Fastswap (both without prefetching), plus Fastswap without reclamation.
+func Fig6(sc Scale) []BreakdownRow {
+	rows := Fig1(sc) // Fastswap average + no-reclamation
+	rows[0].Label = "Fastswap"
+	rows[1].Label = "Fastswap (no reclaim)"
+
+	eng := sim.New()
+	sys := dilos(eng, sc.SeqPages, 0.125, nil, nil, nil, false)
+	sys.Launch("seq", 0, func(sp *core.DDCProc) {
+		base, err := sys.MmapDDC(sc.SeqPages)
+		if err != nil {
+			panic(err)
+		}
+		workloads.SeqRead(sp, base, sc.SeqPages)
+	})
+	eng.Run()
+	e, h, f, m, r := sys.BD.Mean()
+	rows = append(rows, BreakdownRow{
+		Label: "DiLOS", Exception: e, Software: h, Fetch: f, Map: m,
+		Reclaim: r, Total: sys.BD.Total(),
+	})
+	return rows
+}

@@ -1,0 +1,228 @@
+// Package fabric models the RDMA network between the computing node and the
+// memory node: one-sided READ/WRITE verbs, vectored (scatter/gather)
+// variants, per-queue-pair FIFO ordering, and full-duplex link bandwidth
+// serialization. Latency constants are calibrated against the paper's
+// Figure 2 (a 4 KiB read costs ≈ 0.6 µs more than a 128 B read; a stream of
+// pipelined 4 KiB reads sustains ≈ 3.8 GB/s) — see params.go.
+//
+// The model is intentionally simple but captures the three properties the
+// evaluation depends on:
+//
+//   - base latency vs size: complete = start + OpOverhead +
+//     bytes·latency-per-byte + BaseLatency (+ vector overheads);
+//   - bandwidth serialization: the link's two directions each have a
+//     busy-until horizon; an op occupies its direction for OpOverhead +
+//     bytes·occupancy-per-byte, which is smaller than its latency because
+//     the NIC pipelines transfer stages (READ payloads arrive on RX, WRITE
+//     payloads leave on TX, so cleaner write-back does not steal fetch
+//     bandwidth — full duplex);
+//   - FIFO per queue pair: a QP never completes ops out of order, which is
+//     why DiLOS gives every module on every core its own QP (§4.5).
+//
+// Data movement happens at issue time (the simulation resumes exactly one
+// process at a time, and every remote page slot has a single owner, so
+// issue-time snapshots are indistinguishable from completion-time copies).
+package fabric
+
+import (
+	"fmt"
+
+	"dilos/internal/memnode"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Store is the remote-memory service a link transfers against. The
+// in-process memnode.Node satisfies it; internal/transport provides an
+// adapter that satisfies it over a real TCP connection to cmd/memnoded, so
+// the entire LibOS stack can keep its data on another machine while the
+// simulation supplies the timing.
+type Store interface {
+	ReadAt(off uint64, p []byte)
+	WriteAt(off uint64, p []byte)
+}
+
+// Seg is one segment of a vectored RDMA request.
+type Seg struct {
+	Off uint64 // memory-node region offset
+	Buf []byte // local buffer (destination for reads, source for writes)
+}
+
+// OpKind distinguishes read from write ops (direction of payload flow).
+type OpKind uint8
+
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// Op is an asynchronous one-sided operation. It is complete at CompleteAt;
+// a process observes completion by Wait (blocking) or Done (polling).
+type Op struct {
+	Kind       OpKind
+	IssuedAt   sim.Time
+	CompleteAt sim.Time
+	Bytes      int
+	Segs       int
+}
+
+// Wait blocks p until the op completes.
+func (o *Op) Wait(p *sim.Proc) { p.WaitUntil(o.CompleteAt) }
+
+// Done reports whether the op has completed as of `now`.
+func (o *Op) Done(now sim.Time) bool { return now >= o.CompleteAt }
+
+// Link is the full-duplex connection between a computing node's RNIC and a
+// memory node. rx carries READ payloads toward the computing node; tx
+// carries WRITE payloads away from it.
+type Link struct {
+	P     Params
+	store Store
+	key   uint32
+
+	rxBusy sim.Time
+	txBusy sim.Time
+
+	RxBytes stats.Counter
+	TxBytes stats.Counter
+	RxOps   stats.Counter
+	TxOps   stats.Counter
+
+	// Optional bandwidth series (nil disables); Figure 12 uses these.
+	RxBW *stats.Bandwidth
+	TxBW *stats.Bandwidth
+}
+
+// NewLink connects to an in-process memory node with the given parameters.
+func NewLink(node *memnode.Node, p Params) *Link {
+	return NewLinkOver(node, node.ProtKey, p)
+}
+
+// NewLinkOver connects to any Store (e.g. a TCP-backed remote daemon via
+// internal/transport) guarded by the given protection key.
+func NewLinkOver(store Store, protKey uint32, p Params) *Link {
+	return &Link{
+		P:       p,
+		store:   store,
+		key:     protKey,
+		RxBytes: stats.Counter{Name: "link.rx.bytes"},
+		TxBytes: stats.Counter{Name: "link.tx.bytes"},
+		RxOps:   stats.Counter{Name: "link.rx.ops"},
+		TxOps:   stats.Counter{Name: "link.tx.ops"},
+	}
+}
+
+// Store returns the remote-memory service this link reaches.
+func (l *Link) Store() Store { return l.store }
+
+// QP is a queue pair. DiLOS assigns one per (core, module) so that a page
+// fault's fetch is never queued behind prefetcher or cleaner traffic on the
+// same software queue (§4.5). FIFO completion order is enforced per QP.
+type QP struct {
+	link *Link
+	Name string
+	key  uint32
+	last sim.Time // completion horizon for FIFO ordering
+	Ops  stats.Counter
+}
+
+// NewQP creates a queue pair bound to the link's memory node. The protection
+// key must match the node's registered key — the paper's isolation mechanism
+// for LibOSes sharing an RNIC.
+func (l *Link) NewQP(name string, protKey uint32) (*QP, error) {
+	if protKey != l.key {
+		return nil, fmt.Errorf("fabric: protection key mismatch for QP %q", name)
+	}
+	return &QP{link: l, Name: name, key: protKey, Ops: stats.Counter{Name: "qp." + name}}, nil
+}
+
+// MustQP is NewQP for setup code where a key mismatch is a programming bug.
+func (l *Link) MustQP(name string, protKey uint32) *QP {
+	qp, err := l.NewQP(name, protKey)
+	if err != nil {
+		panic(err)
+	}
+	return qp
+}
+
+// Read issues a one-sided READ of len(dst) bytes from region offset off.
+func (q *QP) Read(now sim.Time, off uint64, dst []byte) *Op {
+	return q.readV(now, []Seg{{off, dst}})
+}
+
+// Write issues a one-sided WRITE of src to region offset off.
+func (q *QP) Write(now sim.Time, off uint64, src []byte) *Op {
+	return q.writeV(now, []Seg{{off, src}})
+}
+
+// ReadV issues a vectored READ. Per the paper's measurement (§6.3),
+// vectored requests slow down sharply past MaxFastSegs segments; the cost
+// model reflects that, and guides are expected to cap their vectors.
+func (q *QP) ReadV(now sim.Time, segs []Seg) *Op { return q.readV(now, segs) }
+
+// WriteV issues a vectored WRITE.
+func (q *QP) WriteV(now sim.Time, segs []Seg) *Op { return q.writeV(now, segs) }
+
+func (q *QP) readV(now sim.Time, segs []Seg) *Op {
+	bytes := 0
+	for _, s := range segs {
+		q.link.store.ReadAt(s.Off, s.Buf)
+		bytes += len(s.Buf)
+	}
+	op := q.schedule(now, bytes, len(segs), &q.link.rxBusy)
+	op.Kind = OpRead
+	q.link.RxBytes.Add(int64(bytes))
+	q.link.RxOps.Inc()
+	if q.link.RxBW != nil {
+		q.link.RxBW.Add(op.CompleteAt, int64(bytes))
+	}
+	return op
+}
+
+func (q *QP) writeV(now sim.Time, segs []Seg) *Op {
+	bytes := 0
+	for _, s := range segs {
+		q.link.store.WriteAt(s.Off, s.Buf)
+		bytes += len(s.Buf)
+	}
+	op := q.schedule(now, bytes, len(segs), &q.link.txBusy)
+	op.Kind = OpWrite
+	q.link.TxBytes.Add(int64(bytes))
+	q.link.TxOps.Inc()
+	if q.link.TxBW != nil {
+		q.link.TxBW.Add(op.CompleteAt, int64(bytes))
+	}
+	return op
+}
+
+// schedule computes the op's completion time: it occupies the direction's
+// link from max(now, busy horizon) for OpOverhead + transfer time (+ vector
+// segment overheads), then completes after the base latency (+ the TCP
+// emulation delay, if configured).
+func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time) *Op {
+	if segs < 1 {
+		panic("fabric: empty vector")
+	}
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	var segExtra sim.Time
+	for s := 1; s < segs; s++ {
+		if s < q.link.P.MaxFastSegs {
+			segExtra += q.link.P.SegOverhead
+		} else {
+			segExtra += q.link.P.SegOverheadSlow
+		}
+	}
+	occ := q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByteBW/1000) + segExtra
+	lat := q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByte/1000) + segExtra
+	*busy = start + occ
+	complete := start + lat + q.link.P.BaseLatency + q.link.P.TCPExtra
+	if complete < q.last {
+		complete = q.last // FIFO per QP
+	}
+	q.last = complete
+	q.Ops.Inc()
+	return &Op{IssuedAt: now, CompleteAt: complete, Bytes: bytes, Segs: segs}
+}

@@ -1,0 +1,307 @@
+package fabric
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dilos/internal/memnode"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+func testLink(t testing.TB) (*Link, *memnode.Node) {
+	t.Helper()
+	node := memnode.New(64<<20, 0xd170)
+	return NewLink(node, DefaultParams()), node
+}
+
+func TestReadRoundTripsData(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("test", node.ProtKey)
+	off, err := node.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xab}, memnode.PageSize)
+	qp.Write(0, off, want)
+	got := make([]byte, memnode.PageSize)
+	op := qp.Read(0, off, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("read data mismatch")
+	}
+	if op.Bytes != memnode.PageSize {
+		t.Fatalf("op.Bytes = %d", op.Bytes)
+	}
+}
+
+func TestProtectionKeyEnforced(t *testing.T) {
+	link, node := testLink(t)
+	if _, err := link.NewQP("evil", node.ProtKey+1); err == nil {
+		t.Fatal("expected protection key mismatch error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustQP should panic on bad key")
+		}
+	}()
+	link.MustQP("evil", node.ProtKey+1)
+}
+
+func TestLatencyModelMatchesFigure2(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("lat", node.ProtKey)
+	off, _ := node.AllocPage()
+
+	lat := func(size int) sim.Time {
+		// fresh link horizon per measurement: use a far-future issue time
+		base := sim.Time(1_000_000_000) + qp.last
+		op := qp.Read(base, off, make([]byte, size))
+		return op.CompleteAt - base
+	}
+	small := lat(128)
+	big := lat(4096)
+	delta := big - small
+	// Paper Figure 2: ≈0.6 µs extra for 4 KiB vs 128 B.
+	if delta < 500*sim.Nanosecond || delta > 700*sim.Nanosecond {
+		t.Fatalf("4KiB−128B latency delta = %v, want ≈0.6us", delta)
+	}
+	// One-shot 4 KiB fetch should be in the 2–3.5 µs band of Figure 1.
+	if big < 2*sim.Microsecond || big > 3500*sim.Nanosecond {
+		t.Fatalf("4KiB read latency = %v, want 2–3.5us", big)
+	}
+}
+
+func TestPipelinedPageThroughput(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("bw", node.ProtKey)
+	off, _ := node.AllocPage()
+	buf := make([]byte, memnode.PageSize)
+	const n = 10000
+	var last *Op
+	for i := 0; i < n; i++ {
+		last = qp.Read(0, off, buf) // all issued at t=0: fully pipelined
+	}
+	gbps := stats.GBps(float64(n*memnode.PageSize) / last.CompleteAt.Seconds())
+	// The wire pipelines a page every ≈0.44 µs (≈9.4 GB/s): well above the
+	// ≈3.7 GB/s DiLOS sustains end-to-end (Table 2), because sequential
+	// read is CPU-bound on fault handling, not wire-bound.
+	if gbps < 8.5 || gbps > 10.5 {
+		t.Fatalf("pipelined read bandwidth = %.2f GB/s, want ≈9.4", gbps)
+	}
+}
+
+func TestFullDuplexDirectionsIndependent(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("dup", node.ProtKey)
+	off, _ := node.AllocPage()
+	buf := make([]byte, memnode.PageSize)
+
+	// Saturate TX with writes, then issue a read: the read must not queue
+	// behind the writes.
+	for i := 0; i < 1000; i++ {
+		qp.Write(0, off, buf)
+	}
+	// Use a second QP to avoid the per-QP FIFO coupling.
+	qp2 := link.MustQP("dup2", node.ProtKey)
+	op := qp2.Read(0, off, buf)
+	oneShot := link.P.BaseLatency + link.P.OpOverhead +
+		sim.Time(int64(len(buf))*link.P.PicosPerByte/1000)
+	if op.CompleteAt != oneShot {
+		t.Fatalf("read delayed by TX traffic: complete=%v, want %v", op.CompleteAt, oneShot)
+	}
+	_ = qp
+}
+
+func TestSameDirectionSerializes(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("ser", node.ProtKey)
+	off, _ := node.AllocPage()
+	buf := make([]byte, memnode.PageSize)
+	op1 := qp.Read(0, off, buf)
+	op2 := qp.Read(0, off, buf)
+	if op2.CompleteAt <= op1.CompleteAt {
+		t.Fatal("second read must complete after first")
+	}
+	occ := link.P.OpOverhead + sim.Time(int64(len(buf))*link.P.PicosPerByteBW/1000)
+	if got := op2.CompleteAt - op1.CompleteAt; got != occ {
+		t.Fatalf("pipelined spacing = %v, want occupancy %v", got, occ)
+	}
+}
+
+func TestQPFIFO(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("fifo", node.ProtKey)
+	off, _ := node.AllocPage()
+	big := qp.Read(0, off, make([]byte, 4096))
+	// A tiny read issued immediately after on the same QP must not
+	// complete before the big one.
+	small := qp.Read(1, off, make([]byte, 8))
+	if small.CompleteAt < big.CompleteAt {
+		t.Fatalf("QP reordered completions: small=%v big=%v", small.CompleteAt, big.CompleteAt)
+	}
+}
+
+func TestVectoredSegmentCosts(t *testing.T) {
+	link, node := testLink(t)
+	qp := link.MustQP("vec", node.ProtKey)
+	off, _ := node.AllocPage()
+	seg := func(n int) []Seg {
+		segs := make([]Seg, n)
+		for i := range segs {
+			segs[i] = Seg{Off: off + uint64(i*64), Buf: make([]byte, 64)}
+		}
+		return segs
+	}
+	lat := func(n int) sim.Time {
+		base := sim.Time(1_000_000_000) * sim.Time(n+1)
+		op := qp.ReadV(base, seg(n))
+		return op.CompleteAt - base
+	}
+	l1, l3, l4 := lat(1), lat(3), lat(4)
+	fastStep := (l3 - l1) / 2
+	slowStep := l4 - l3
+	if slowStep <= fastStep*2 {
+		t.Fatalf("vector slowdown past 3 segments not steep: fast=%v slow=%v", fastStep, slowStep)
+	}
+}
+
+func TestTCPEmulationDelay(t *testing.T) {
+	node := memnode.New(4<<20, 1)
+	rdma := NewLink(node, DefaultParams())
+	tcp := NewLink(node, TCPParams())
+	off, _ := node.AllocPage()
+	buf := make([]byte, 4096)
+	r := rdma.MustQP("r", 1).Read(0, off, buf)
+	tc := tcp.MustQP("t", 1).Read(0, off, buf)
+	extra := tc.CompleteAt - r.CompleteAt
+	want := CyclesToTime(TCPCycles)
+	if extra != want {
+		t.Fatalf("TCP extra = %v, want %v (14k cycles @ 2.3GHz)", extra, want)
+	}
+	if want < 6*sim.Microsecond || want > 6200*sim.Nanosecond {
+		t.Fatalf("TCP delay calibration off: %v", want)
+	}
+}
+
+func TestBandwidthAccounting(t *testing.T) {
+	link, node := testLink(t)
+	link.RxBW = stats.NewBandwidth("rx", sim.Millisecond)
+	qp := link.MustQP("bw", node.ProtKey)
+	off, _ := node.AllocPage()
+	qp.Read(0, off, make([]byte, 4096))
+	qp.Write(0, off, make([]byte, 128))
+	if link.RxBytes.N != 4096 || link.TxBytes.N != 128 {
+		t.Fatalf("byte counters rx=%d tx=%d", link.RxBytes.N, link.TxBytes.N)
+	}
+	if link.RxBW.Total() != 4096 {
+		t.Fatalf("rx bandwidth total = %d", link.RxBW.Total())
+	}
+}
+
+// Property: completion is never earlier than issue + base latency + own
+// occupancy, and link byte counters conserve the sum of op sizes.
+func TestQuickCompletionBounds(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		if len(sizes) == 0 || len(sizes) > 200 {
+			return true
+		}
+		node := memnode.New(32<<20, 9)
+		link := NewLink(node, DefaultParams())
+		qp := link.MustQP("q", 9)
+		off, _ := node.AllocPage()
+		rng := rand.New(rand.NewSource(seed))
+		now := sim.Time(0)
+		var sum int64
+		for _, s := range sizes {
+			size := int(s)%4096 + 1
+			now += sim.Time(rng.Intn(2000))
+			var op *Op
+			if rng.Intn(2) == 0 {
+				op = qp.Read(now, off, make([]byte, size))
+			} else {
+				op = qp.Write(now, off, make([]byte, size))
+				sum += 0
+			}
+			minOcc := link.P.OpOverhead + sim.Time(int64(size)*link.P.PicosPerByte/1000)
+			if op.CompleteAt < now+link.P.BaseLatency+minOcc {
+				return false
+			}
+			sum += int64(size)
+		}
+		return link.RxBytes.N+link.TxBytes.N == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-QP completions are monotone non-decreasing regardless of
+// op sizes and issue gaps.
+func TestQuickQPFIFO(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 || len(sizes) > 500 {
+			return true
+		}
+		node := memnode.New(32<<20, 3)
+		link := NewLink(node, DefaultParams())
+		qp := link.MustQP("q", 3)
+		off, _ := node.AllocPage()
+		now := sim.Time(0)
+		prev := sim.Time(0)
+		for i, s := range sizes {
+			size := int(s)%4096 + 1
+			now += sim.Time(i % 7)
+			op := qp.Read(now, off, make([]byte, size))
+			if op.CompleteAt < prev {
+				return false
+			}
+			prev = op.CompleteAt
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemnodeAllocFree(t *testing.T) {
+	node := memnode.New(1<<20, 0)
+	var offs []uint64
+	for {
+		off, err := node.AllocPage()
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+	}
+	if len(offs) != (2<<20)/memnode.PageSize { // rounded up to one huge page
+		t.Fatalf("allocated %d pages", len(offs))
+	}
+	seen := map[uint64]bool{}
+	for _, o := range offs {
+		if seen[o] {
+			t.Fatalf("duplicate page offset %d", o)
+		}
+		seen[o] = true
+	}
+	node.WriteAt(offs[0], []byte{1, 2, 3})
+	node.FreePage(offs[0])
+	off, err := node.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	node.ReadAt(off, buf)
+	if buf[0] != 0 || buf[1] != 0 || buf[2] != 0 {
+		t.Fatal("recycled page not scrubbed")
+	}
+}
+
+func TestMemnodeHugePages(t *testing.T) {
+	node := memnode.New(3<<20, 0)
+	if node.HugePages() != 2 {
+		t.Fatalf("huge pages = %d, want 2 (3MiB rounds to 4MiB)", node.HugePages())
+	}
+}

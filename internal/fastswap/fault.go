@@ -1,0 +1,303 @@
+package fastswap
+
+import (
+	"fmt"
+
+	"dilos/internal/dram"
+	"dilos/internal/fabric"
+	"dilos/internal/mmu"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+)
+
+type coreHandler struct {
+	sys    *System
+	coreID int
+}
+
+// HandleFault implements mmu.FaultHandler — the Linux/Fastswap swap fault
+// path. A fault first consults the swap cache: a hit is a minor fault
+// (map the cached page); a miss is a major fault (swap-entry bookkeeping,
+// cluster readahead into the swap cache, synchronous wait for the faulted
+// page, and possibly direct reclamation).
+func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
+	s := h.sys
+	p := c.Proc
+	t0 := p.Now()
+	p.Advance(c.Costs.Exception)
+	p.Advance(s.Costs.KernelEntry)
+
+	if e, ok := s.cache[vpn]; ok {
+		// Minor fault: page is in the swap cache (readahead put it there
+		// without mapping it — the structural cost of the swap-cache
+		// design that DiLOS' unified page table removes).
+		s.MinorFaults.Inc()
+		e.fresh = false
+		p.Advance(s.Costs.MinorService)
+		if e.op != nil {
+			op := e.op
+			op.Wait(p)
+			if s.cache[vpn] != e {
+				// Reclaimed (or replaced) while we slept on the IO; the
+				// retried translation will fault again and take the major
+				// path.
+				return
+			}
+			e.op = nil
+		}
+		s.mapEntry(vpn, e)
+		return
+	}
+
+	// Major fault.
+	s.MajorFaults.Inc()
+	s.BD.N++
+	s.BD.Exception += c.Costs.Exception
+	mgmtStart := p.Now()
+	p.Advance(s.Costs.SwapMgmt)
+
+	reclaim0 := s.BD.Reclaim
+	frame := s.allocFrame(p, true)
+	if e, ok := s.cache[vpn]; ok {
+		// allocFrame can yield inside direct reclamation; another core
+		// installed this page meanwhile. Free our frame and serve the
+		// fault from the winner's entry (Linux resolves the same race
+		// under the page lock).
+		s.Pool.Free(frame)
+		if e.op != nil {
+			op := e.op
+			op.Wait(p)
+			if s.cache[vpn] != e {
+				return // and the winner got reclaimed too: refault
+			}
+			e.op = nil
+		}
+		s.mapEntry(vpn, e)
+		return
+	}
+	e := &scEntry{frame: frame}
+	s.cache[vpn] = e
+	remote, ok := s.remoteOf(vpn)
+	if !ok {
+		panic(fmt.Sprintf("fastswap: segfault at vpn %d", vpn))
+	}
+	// The swap-management segment is everything since entry except the
+	// direct-reclaim time (accounted separately, as Figure 1 does).
+	s.BD.SwapMgmt += (p.Now() - mgmtStart) - (s.BD.Reclaim - reclaim0) + s.Costs.KernelEntry
+	op := s.qps[h.coreID].Read(p.Now(), remote, s.Pool.Bytes(frame))
+	e.op = op
+
+	// Cluster readahead into the swap cache (unmapped!).
+	s.readahead(p, h.coreID, vpn)
+
+	tFetch := p.Now()
+	op.Wait(p)
+	e.op = nil
+	s.BD.Fetch += p.Now() - tFetch
+
+	tMap := p.Now()
+	p.Advance(s.Costs.Map)
+	s.mapEntry(vpn, e)
+	s.BD.Map += p.Now() - tMap
+	s.FaultLat.Record(p.Now() - t0)
+	s.lastFault = vpn
+}
+
+// mapEntry installs the PTE for a swap-cache entry (the page stays in the
+// swap cache — Linux keeps the duplicate until reclaim).
+func (s *System) mapEntry(vpn pagetable.VPN, e *scEntry) {
+	e.mapped = true
+	s.Table.Set(vpn, pagetable.Local(uint64(e.frame), true))
+	meta := s.Pool.Meta(e.frame)
+	meta.VPN = vpn
+	if !e.onLRU {
+		s.Pool.LRUPushBack(e.frame)
+		e.onLRU = true
+	}
+}
+
+// readahead issues the rest of the swap cluster around a major fault —
+// into the swap cache only, which is precisely why the next 7 sequential
+// accesses will minor-fault.
+func (s *System) readahead(p *sim.Proc, coreID int, vpn pagetable.VPN) {
+	switch {
+	case vpn > s.lastFault:
+		s.dir = 1
+	case vpn < s.lastFault:
+		s.dir = -1
+	}
+	for k := int64(1); k < int64(s.cluster); k++ {
+		next := int64(vpn) + s.dir*k
+		if next < 0 {
+			break
+		}
+		nv := pagetable.VPN(next)
+		if _, ok := s.cache[nv]; ok {
+			continue
+		}
+		if s.Table.Lookup(nv).Tag() != pagetable.TagRemote {
+			continue
+		}
+		remote, ok := s.remoteOf(nv)
+		if !ok {
+			continue
+		}
+		frame := s.allocFrame(p, false)
+		if frame == dram.NoFrame {
+			break
+		}
+		e := &scEntry{frame: frame, onLRU: true, fresh: true}
+		op := s.qps[coreID].Read(p.Now(), remote, s.Pool.Bytes(frame))
+		e.op = op
+		s.cache[nv] = e
+		s.Pool.Meta(frame).VPN = nv
+		s.Pool.LRUPushBack(frame)
+		p.Advance(s.Costs.ReadaheadIssue)
+	}
+}
+
+// allocFrame takes a free frame, entering direct reclamation on the fault
+// path when the free list is too low and kswapd has fallen behind — the
+// Figure 1 "reclamation (direct)" segment.
+func (s *System) allocFrame(p *sim.Proc, demand bool) dram.FrameID {
+	if s.Pool.FreeCount() <= s.lowWater {
+		s.needKswapd.Wake(p.Now())
+	}
+	if !demand {
+		// Readahead never direct-reclaims. It is curtailed in two cases:
+		// under dirty pressure near the watermark (write-back throttling
+		// keeps the free list pinned low, so speculative IO must not
+		// steal the last frames from demand paging — the Table 2 write
+		// collapse), and at a hard floor regardless.
+		free := s.Pool.FreeCount()
+		if s.dirtyPressure && free <= s.lowWater+s.cluster {
+			return dram.NoFrame
+		}
+		if free <= s.lowWater/2 {
+			return dram.NoFrame
+		}
+		id, ok := s.Pool.Alloc()
+		if !ok {
+			return dram.NoFrame
+		}
+		return id
+	}
+	if s.Pool.FreeCount() <= s.directWater {
+		t0 := p.Now()
+		s.directReclaim(p)
+		s.BD.Reclaim += p.Now() - t0
+	}
+	for {
+		if id, ok := s.Pool.Alloc(); ok {
+			return id
+		}
+		t0 := p.Now()
+		s.directReclaim(p)
+		s.BD.Reclaim += p.Now() - t0
+	}
+}
+
+// directReclaim evicts a couple of pages inline, synchronously writing
+// back dirty victims — the cost Table 2's sequential write exposes.
+func (s *System) directReclaim(p *sim.Proc) {
+	p.Advance(s.Costs.DirectFixed)
+	s.DirectRecl.Inc()
+	s.reclaimPages(p, 4, true)
+}
+
+// kswapdLoop is Fastswap's dedicated reclaim thread: it keeps the free
+// list near the high watermark, but (as the paper observes) it cannot
+// absorb all reclamation under sustained fault pressure.
+func (s *System) kswapdLoop(p *sim.Proc) {
+	for {
+		if s.Pool.FreeCount() >= s.highWater {
+			s.needKswapd.Wait(p)
+			continue
+		}
+		n := s.highWater - s.Pool.FreeCount()
+		if got := s.reclaimPages(p, n, false); got == 0 {
+			p.Sleep(5 * sim.Microsecond)
+		}
+		s.KswapdRecl.Inc()
+		p.Sleep(s.offloadTick)
+	}
+}
+
+// reclaimPages evicts up to n cold pages. sync selects the caller's
+// write-back behaviour for dirty victims: the direct path waits for the
+// RDMA write inline; kswapd overlaps writes and waits once per batch.
+func (s *System) reclaimPages(p *sim.Proc, n int, sync bool) int {
+	evicted := 0
+	sawDirty := false
+	scans := s.Pool.LRULen()
+	for i := 0; i < scans && evicted < n; i++ {
+		id := s.Pool.LRUFront()
+		if id == dram.NoFrame {
+			break
+		}
+		p.Advance(s.Costs.ReclaimScan)
+		meta := s.Pool.Meta(id)
+		vpn := meta.VPN
+		e := s.cache[vpn]
+		if e != nil && e.op != nil && e.op.Done(p.Now()) {
+			e.op = nil // readahead IO finished but the page was never touched
+		}
+		if e == nil || e.op != nil {
+			s.Pool.LRURotate(id) // in-flight IO: skip
+			continue
+		}
+		if e.fresh {
+			// A readahead page the stream has not reached yet: give it one
+			// pass of protection (Linux keeps these referenced on the
+			// inactive list), or the clock would evict the very pages the
+			// cluster just paid to fetch.
+			e.fresh = false
+			s.Pool.LRURotate(id)
+			continue
+		}
+		pte := s.Table.Lookup(vpn)
+		if e.mapped && pte.Tag() == pagetable.TagLocal && pte.Accessed() {
+			s.Table.Set(vpn, pte&^pagetable.BitAccessed)
+			s.Table.BumpGen()
+			s.Pool.LRURotate(id)
+			continue
+		}
+		// Victim: issue the dirty write-back (content is snapshotted at
+		// issue), then unmap and free — all before any yield, so a
+		// concurrent reclaimer cannot race us on this frame.
+		remote, ok := s.remoteOf(vpn)
+		if !ok {
+			panic("fastswap: cached page outside regions")
+		}
+		var wb *fabric.Op
+		if e.mapped && pte.Tag() == pagetable.TagLocal && pte.Dirty() {
+			// Swap-out of a dirty page: add_to_swap, rmap walk, pageout.
+			sawDirty = true
+			p.Advance(s.Costs.PageoutCPU)
+			wb = s.wbQP.Write(p.Now(), remote, s.Pool.Bytes(id))
+		}
+		p.Advance(s.Costs.ReclaimUnmap)
+		s.Table.Set(vpn, pagetable.Remote(remote/PageSize))
+		s.Table.BumpGen()
+		delete(s.cache, vpn)
+		s.Pool.LRURemove(id)
+		s.Pool.Free(id)
+		evicted++
+		if wb != nil {
+			// Both paths throttle on the write-back (Linux's pageout
+			// waits for congested backing stores): the direct path stalls
+			// the faulting core, kswapd merely limits its own reclaim
+			// rate — which is exactly what starves cluster readahead of
+			// frames under sustained write pressure and collapses
+			// Fastswap's sequential-write throughput (Table 2).
+			wb.Wait(p)
+			if sync {
+				s.SyncWrites.Inc()
+			}
+		}
+	}
+	if evicted > 0 {
+		s.dirtyPressure = sawDirty
+	}
+	return evicted
+}

@@ -1,0 +1,138 @@
+// Package guide implements DiLOS' app-aware guides (§4.3, Figure 5):
+// pluggable modules, loaded beside an unmodified application, that feed
+// application semantics to the paging subsystem. The canonical example
+// here is the pointer-chasing ListGuide: during a linked-list traversal a
+// general-purpose prefetcher is useless (the next page is data-dependent),
+// but the guide can issue a *subpage* read for just the node header on its
+// own queue — the 64 B arrive well before the 4 KiB page — extract the
+// next pointer, and prefetch the next node's page ahead of the
+// application.
+//
+// Redis-specific guides (quicklist LRANGE, SDS GET) build on the same
+// machinery and live in internal/redis, compiled "with the application"
+// as the paper does.
+package guide
+
+import (
+	"encoding/binary"
+
+	"dilos/internal/core"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+)
+
+// ListGuide prefetches along a pointer chain. The application (through the
+// loader's hooking interface) reports the node it is visiting with
+// OnVisit; the guide's chaser daemon runs ahead by Depth nodes, reading
+// each node header with a subpage fetch and prefetching the page the next
+// node lives on.
+type ListGuide struct {
+	// NextOff is the byte offset of the 8-byte next pointer in a node.
+	NextOff uint64
+	// HeaderBytes is how much of the node the subpage read fetches.
+	HeaderBytes int
+	// Depth is how many nodes ahead of the application to chase.
+	Depth int
+
+	sys    *core.System
+	coreID int
+
+	cursor   uint64 // node the application is visiting
+	chase    uint64 // node the chaser will inspect next
+	behindBy int
+	active   bool
+	work     sim.Waiter
+
+	SubpageReads int64
+	Prefetched   int64
+}
+
+// NewListGuide creates a guide for nodes whose next pointer lives at
+// nextOff. Depth ≤ 0 selects the default of 8.
+func NewListGuide(nextOff uint64, depth int) *ListGuide {
+	if depth <= 0 {
+		depth = 8
+	}
+	hdr := 64
+	if int(nextOff)+8 > hdr {
+		hdr = int(nextOff) + 8
+	}
+	return &ListGuide{NextOff: nextOff, HeaderBytes: hdr, Depth: depth}
+}
+
+// Name implements core.Guide.
+func (g *ListGuide) Name() string { return "list-guide" }
+
+// Start implements core.Guide: it spawns the chaser daemon.
+func (g *ListGuide) Start(sys *core.System) {
+	g.sys = sys
+	sys.Eng.GoDaemon("guide.list-chaser", g.chaser)
+}
+
+// OnFault implements core.Guide. The list guide drives purely off OnVisit
+// hooks, so faults need no special handling here.
+func (g *ListGuide) OnFault(coreID int, vpn pagetable.VPN) {}
+
+// OnVisit is the hooking-interface entry point: the (loader-injected)
+// trampoline in the traversal code reports each node the application
+// reaches. p is the application's process.
+func (g *ListGuide) OnVisit(p *sim.Proc, nodeAddr uint64) {
+	g.cursor = nodeAddr
+	if !g.active {
+		g.active = true
+		g.chase = nodeAddr
+		g.behindBy = 0
+	} else if g.behindBy > 0 {
+		g.behindBy-- // the application consumed one node of runway
+	}
+	g.work.Wake(p.Now())
+}
+
+// EndTraversal tells the guide the application left the list.
+func (g *ListGuide) EndTraversal(p *sim.Proc) {
+	g.active = false
+	g.work.Wake(p.Now())
+}
+
+// chaser runs in its own (sim) thread: it keeps Depth nodes of runway
+// between the application's cursor and the furthest prefetched node.
+func (g *ListGuide) chaser(p *sim.Proc) {
+	buf := make([]byte, g.HeaderBytes)
+	for {
+		if !g.active || g.chase == 0 || g.behindBy >= g.Depth {
+			g.work.Wait(p)
+			continue
+		}
+		node := g.chase
+		var next uint64
+		if int(node&(core.PageSize-1))+g.HeaderBytes > core.PageSize {
+			// Header straddles a page: read just the 8-byte next pointer.
+			var ptr [8]byte
+			if err := g.sys.ReadRemote(p, g.coreID, node+g.NextOff, ptr[:]); err != nil {
+				g.active = false
+				continue
+			}
+			next = binary.LittleEndian.Uint64(ptr[:])
+		} else {
+			if err := g.sys.ReadRemote(p, g.coreID, node, buf); err != nil {
+				g.active = false
+				continue
+			}
+			next = binary.LittleEndian.Uint64(buf[g.NextOff : g.NextOff+8])
+		}
+		g.SubpageReads++
+		g.advance(p, next)
+	}
+}
+
+// advance prefetches the page holding `next` and moves the chase cursor.
+func (g *ListGuide) advance(p *sim.Proc, next uint64) {
+	if next == 0 {
+		g.chase = 0
+		return
+	}
+	g.sys.SchedulePrefetch(p, g.coreID, []pagetable.VPN{pagetable.VPNOf(next)})
+	g.Prefetched++
+	g.chase = next
+	g.behindBy++
+}

@@ -1,0 +1,102 @@
+package memnode
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocPageRecyclesScrubbed(t *testing.T) {
+	n := New(1<<20, 0xa)
+	a, err := n.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.WriteAt(a, []byte{1, 2, 3})
+	n.FreePage(a)
+	b, _ := n.AllocPage()
+	if b != a {
+		t.Fatalf("free list not LIFO: %d vs %d", b, a)
+	}
+	got := make([]byte, 3)
+	n.ReadAt(b, got)
+	if !bytes.Equal(got, []byte{0, 0, 0}) {
+		t.Fatal("recycled page not scrubbed")
+	}
+}
+
+func TestAllocRangeContiguousAndDisjoint(t *testing.T) {
+	n := New(1<<20, 0xa)
+	a, err := n.AllocRange(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.AllocRange(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a+4*PageSize {
+		t.Fatalf("ranges overlap or gap: %d %d", a, b)
+	}
+	if n.PagesInUse() != 8 {
+		t.Fatalf("in use = %d", n.PagesInUse())
+	}
+	if _, err := n.AllocRange(1 << 20); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+}
+
+func TestHugePageRounding(t *testing.T) {
+	n := New(1, 0xa) // 1 byte rounds to one 2 MiB huge page
+	if n.HugePages() != 1 || n.Size() != HugePageSize {
+		t.Fatalf("huge pages = %d size = %d", n.HugePages(), n.Size())
+	}
+}
+
+func TestKeyAccessor(t *testing.T) {
+	if New(1<<20, 0xbeef).Key() != 0xbeef {
+		t.Fatal("Key() mismatch")
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	n := New(1<<20, 0xa)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.ReadAt(n.Size()-1, make([]byte, 8))
+}
+
+func TestUnalignedFreePanics(t *testing.T) {
+	n := New(1<<20, 0xa)
+	n.AllocPage()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.FreePage(17)
+}
+
+// Property: the region behaves like a flat byte array under random
+// write/read pairs.
+func TestQuickRegionSemantics(t *testing.T) {
+	n := New(1<<20, 0xa)
+	ref := make([]byte, n.Size())
+	f := func(off uint32, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := uint64(off) % (n.Size() - uint64(len(data)))
+		n.WriteAt(o, data)
+		copy(ref[o:], data)
+		got := make([]byte, len(data))
+		n.ReadAt(o, got)
+		return bytes.Equal(got, ref[o:int(o)+len(data)])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,439 @@
+// Package pagemgr is DiLOS' page manager (§4.4). It owns the local frame
+// pool and hides reclamation latency inside the fetch window of page faults
+// by doing all of it in the background:
+//
+//   - the *allocator* hands the fault handler a free frame in O(1) and, by
+//     eagerly keeping a free watermark, (almost) never blocks;
+//   - the *cleaner* daemon periodically scans the LRU list for dirty pages,
+//     writes them back to the memory node on its own queue pair, and clears
+//     their dirty bits;
+//   - the *reclaimer* daemon runs the clock algorithm over the LRU list and
+//     evicts the least-recently-used *clean* pages when free frames fall
+//     below the low watermark.
+//
+// Guided paging (§4.4) plugs in through EvictionGuide: the cleaner asks the
+// guide for a page's live chunks (from the user allocator's per-page
+// bitmaps), writes back only those with a vectored RDMA request, and logs
+// the vector; the reclaimer then evicts the page to an Action PTE holding
+// the vector-log index, so the eventual re-fetch also moves only live bytes.
+package pagemgr
+
+import (
+	"fmt"
+
+	"dilos/internal/dram"
+	"dilos/internal/fabric"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Chunk is a live byte range within a page (offsets relative to the page).
+type Chunk struct {
+	Off uint32
+	Len uint32
+}
+
+// EvictionGuide supplies allocator semantics for guided paging: the live
+// chunks of a page. ok=false means "no information — move the whole page".
+type EvictionGuide interface {
+	LiveChunks(vpn pagetable.VPN) (chunks []Chunk, ok bool)
+}
+
+// MaxVectorSegs caps guided-paging vectors: the paper measured a steep
+// vectored-RDMA slowdown past three segments, so guides merge or fall back
+// beyond it (§6.3).
+const MaxVectorSegs = 3
+
+// Config tunes the page manager.
+type Config struct {
+	LowWater      int      // wake the reclaimer below this many free frames
+	HighWater     int      // reclaim until this many frames are free
+	CleanerPeriod sim.Time // cleaner scan interval
+	CleanerBatch  int      // max pages written back per cleaner pass
+	ScanCost      sim.Time // CPU cost per frame examined by a daemon
+	UnmapCost     sim.Time // CPU cost of one unmap + shootdown
+}
+
+// DefaultConfig sizes watermarks for a pool of `frames` frames.
+func DefaultConfig(frames int) Config {
+	low := frames / 16
+	if low < 16 {
+		low = 16
+	}
+	return Config{
+		LowWater:      low,
+		HighWater:     low * 3,
+		CleanerPeriod: 20 * sim.Microsecond,
+		CleanerBatch:  128,
+		ScanCost:      30 * sim.Nanosecond,
+		UnmapCost:     100 * sim.Nanosecond,
+	}
+}
+
+// Target names a page's remote slot: the region offset on its memory node
+// and the queue pairs that reach that node. With a single memory node all
+// pages share the same queue pairs; with sharding (the §5.1 extension) the
+// system hands back per-node queues. Replicas, when present, are further
+// slots every write-back must also reach (the fault-tolerance extension);
+// reads always use the head slot.
+type Target struct {
+	Off       uint64
+	CleanQP   *fabric.QP
+	ReclaimQP *fabric.QP
+	Replicas  []Target
+}
+
+// Manager is the page manager instance of one computing node.
+type Manager struct {
+	Pool  *dram.Pool
+	Table *pagetable.Table
+	Cfg   Config
+
+	// RemoteOf maps a virtual page to its remote slot.
+	RemoteOf func(pagetable.VPN) (Target, bool)
+
+	// Guide, when non-nil, enables guided paging.
+	Guide EvictionGuide
+
+	needReclaim sim.Waiter // reclaimer parks here when free >= high water
+	freed       sim.Waiter // allocators park here when the pool is empty
+
+	// cleanVec remembers, per page, the vector the cleaner last wrote back
+	// (guided paging); the reclaimer turns it into an Action PTE.
+	cleanVec map[pagetable.VPN][]Chunk
+	// vectors is the action-PTE payload log.
+	vectors  []vecEntry
+	freeVecs []uint64
+
+	Cleaned     stats.Counter // pages written back by the cleaner
+	Evicted     stats.Counter // pages evicted by the reclaimer
+	SyncWrites  stats.Counter // emergency synchronous write-backs
+	AllocWaits  stats.Counter // allocations that had to wait for a free frame
+	VectorSaves stats.Counter // bytes saved by guided paging write-backs
+}
+
+type vecEntry struct {
+	chunks []Chunk
+	used   bool
+}
+
+// New creates a page manager over the pool and table.
+func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
+	return &Manager{
+		Pool:        pool,
+		Table:       tbl,
+		Cfg:         cfg,
+		cleanVec:    map[pagetable.VPN][]Chunk{},
+		Cleaned:     stats.Counter{Name: "pagemgr.cleaned"},
+		Evicted:     stats.Counter{Name: "pagemgr.evicted"},
+		SyncWrites:  stats.Counter{Name: "pagemgr.sync_writes"},
+		AllocWaits:  stats.Counter{Name: "pagemgr.alloc_waits"},
+		VectorSaves: stats.Counter{Name: "pagemgr.vector_saved_bytes"},
+	}
+}
+
+// Start launches the cleaner and reclaimer daemons.
+func (m *Manager) Start(eng *sim.Engine) {
+	if m.RemoteOf == nil {
+		panic("pagemgr: Start before wiring RemoteOf")
+	}
+	eng.GoDaemon("pagemgr.cleaner", m.cleanerLoop)
+	eng.GoDaemon("pagemgr.reclaimer", m.reclaimerLoop)
+}
+
+// AllocFrame returns a free frame for the fault handler, waking the
+// reclaimer at the low watermark and blocking only when the pool is
+// completely empty (which eager eviction makes rare — that is the design's
+// whole point).
+func (m *Manager) AllocFrame(p *sim.Proc) dram.FrameID {
+	for {
+		if m.Pool.FreeCount() <= m.Cfg.LowWater {
+			m.needReclaim.Wake(p.Now())
+		}
+		if id, ok := m.Pool.Alloc(); ok {
+			return id
+		}
+		m.AllocWaits.Inc()
+		m.freed.Wait(p)
+	}
+}
+
+// TryAllocFrame is the prefetcher's non-blocking allocation: it declines
+// when the pool is at the low watermark so prefetching never causes
+// reclamation pressure on the demand path.
+func (m *Manager) TryAllocFrame(p *sim.Proc) (dram.FrameID, bool) {
+	if m.Pool.FreeCount() <= m.Cfg.LowWater {
+		m.needReclaim.Wake(p.Now())
+		return dram.NoFrame, false
+	}
+	return m.Pool.Alloc()
+}
+
+// InsertLRU registers a freshly mapped frame with the LRU list.
+func (m *Manager) InsertLRU(id dram.FrameID, vpn pagetable.VPN) {
+	meta := m.Pool.Meta(id)
+	meta.VPN = vpn
+	m.Pool.LRUPushBack(id)
+}
+
+// DropVector removes any logged clean-vector for a page (called when the
+// page's content is re-fetched or the page is freed).
+func (m *Manager) DropVector(vpn pagetable.VPN) { delete(m.cleanVec, vpn) }
+
+// Vector returns the chunks stored under an action payload and releases
+// the log slot. The fault handler calls this to build the vectored fetch.
+func (m *Manager) Vector(idx uint64) []Chunk {
+	e := &m.vectors[idx]
+	if !e.used {
+		panic(fmt.Sprintf("pagemgr: vector slot %d already released", idx))
+	}
+	e.used = false
+	m.freeVecs = append(m.freeVecs, idx)
+	return e.chunks
+}
+
+func (m *Manager) storeVector(chunks []Chunk) uint64 {
+	if k := len(m.freeVecs); k > 0 {
+		idx := m.freeVecs[k-1]
+		m.freeVecs = m.freeVecs[:k-1]
+		m.vectors[idx] = vecEntry{chunks: chunks, used: true}
+		return idx
+	}
+	m.vectors = append(m.vectors, vecEntry{chunks: chunks, used: true})
+	return uint64(len(m.vectors) - 1)
+}
+
+// cleanerLoop periodically writes dirty pages back to the memory node and
+// clears their dirty bits, so the reclaimer always finds clean victims.
+func (m *Manager) cleanerLoop(p *sim.Proc) {
+	for {
+		p.Sleep(m.Cfg.CleanerPeriod)
+		m.cleanPass(p)
+	}
+}
+
+// cleanPass performs one cleaner scan; exposed for tests.
+func (m *Manager) cleanPass(p *sim.Proc) {
+	var lastOp *fabric.Op
+	batch := 0
+	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+		p.Advance(m.Cfg.ScanCost)
+		if batch >= m.Cfg.CleanerBatch {
+			return false
+		}
+		if f.Pinned || f.VPN == dram.NoVPN {
+			return true
+		}
+		pte := m.Table.Lookup(f.VPN)
+		if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
+			return true
+		}
+		lastOp = m.writeBack(p, id, f.VPN, false)
+		m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
+		m.Cleaned.Inc()
+		batch++
+		return true
+	})
+	if batch > 0 {
+		m.Table.BumpGen() // one shootdown per pass covers all cleared bits
+	}
+	if lastOp != nil {
+		lastOp.Wait(p) // pace the cleaner to the link, off the demand path
+	}
+}
+
+// writeBack writes a page's content to its remote slot — the whole page,
+// or just the live chunks when a guide provides them (logging the vector
+// for the reclaimer). reclaimPath selects the reclaimer's queue pair
+// instead of the cleaner's.
+func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, reclaimPath bool) *fabric.Op {
+	tgt, ok := m.RemoteOf(vpn)
+	if !ok {
+		panic(fmt.Sprintf("pagemgr: no remote slot for vpn %d", vpn))
+	}
+	data := m.Pool.Bytes(id)
+	targets := append([]Target{tgt}, tgt.Replicas...)
+	var chunks []Chunk
+	guided := false
+	if m.Guide != nil {
+		if c, ok := m.Guide.LiveChunks(vpn); ok && usable(c) {
+			chunks, guided = c, true
+		}
+	}
+	// Issue the write to every replica slot; return the op that completes
+	// last so callers pacing on it cover the whole replica set.
+	var last *fabric.Op
+	for _, t := range targets {
+		qp := t.CleanQP
+		if reclaimPath {
+			qp = t.ReclaimQP
+		}
+		var op *fabric.Op
+		if guided {
+			segs := make([]fabric.Seg, len(chunks))
+			live := 0
+			for i, c := range chunks {
+				segs[i] = fabric.Seg{Off: t.Off + uint64(c.Off), Buf: data[c.Off : c.Off+c.Len]}
+				live += int(c.Len)
+			}
+			m.VectorSaves.Add(int64(pagetable.PageSize - live))
+			op = qp.WriteV(p.Now(), segs)
+		} else {
+			op = qp.Write(p.Now(), t.Off, data)
+		}
+		if last == nil || op.CompleteAt > last.CompleteAt {
+			last = op
+		}
+	}
+	if guided {
+		m.cleanVec[vpn] = chunks
+	} else {
+		delete(m.cleanVec, vpn)
+	}
+	return last
+}
+
+// usable reports whether a chunk vector is worth a vectored request: within
+// the segment cap and actually smaller than the page.
+func usable(chunks []Chunk) bool {
+	if len(chunks) == 0 || len(chunks) > MaxVectorSegs {
+		return false
+	}
+	total := 0
+	for _, c := range chunks {
+		if uint64(c.Off)+uint64(c.Len) > pagetable.PageSize || c.Len == 0 {
+			return false
+		}
+		total += int(c.Len)
+	}
+	return total < pagetable.PageSize
+}
+
+// reclaimerLoop keeps the free list above the high watermark by evicting
+// the least-frequently-used clean pages with the clock algorithm.
+func (m *Manager) reclaimerLoop(p *sim.Proc) {
+	for {
+		if m.Pool.FreeCount() >= m.Cfg.HighWater {
+			m.needReclaim.Wait(p)
+			continue
+		}
+		if !m.reclaimStep(p) {
+			// Nothing evictable this instant (all pinned/accessed just
+			// cleared); yield briefly and retry.
+			p.Sleep(5 * sim.Microsecond)
+		}
+	}
+}
+
+// reclaimStep runs the clock hand until one page is evicted or the list is
+// exhausted. Returns whether it evicted a page.
+func (m *Manager) reclaimStep(p *sim.Proc) bool {
+	n := m.Pool.LRULen()
+	var firstDirty dram.FrameID = dram.NoFrame
+	for i := 0; i < n; i++ {
+		id := m.Pool.LRUFront()
+		if id == dram.NoFrame {
+			return false
+		}
+		f := m.Pool.Meta(id)
+		p.Advance(m.Cfg.ScanCost)
+		if f.Pinned {
+			m.Pool.LRURotate(id)
+			continue
+		}
+		pte := m.Table.Lookup(f.VPN)
+		if pte.Tag() != pagetable.TagLocal {
+			panic(fmt.Sprintf("pagemgr: LRU frame %d (vpn %d) not mapped: %v", id, f.VPN, pte))
+		}
+		if pte.Accessed() {
+			// Second chance: clear the bit and rotate. The generation bump
+			// below makes future accesses re-walk and re-set it.
+			m.Table.Set(f.VPN, pte&^pagetable.BitAccessed)
+			m.Table.BumpGen()
+			m.Pool.LRURotate(id)
+			continue
+		}
+		if pte.Dirty() {
+			if firstDirty == dram.NoFrame {
+				firstDirty = id
+			}
+			m.Pool.LRURotate(id)
+			continue
+		}
+		m.evict(p, id, f.VPN)
+		return true
+	}
+	// No clean victim in a full sweep: the cleaner is behind. Clean a batch
+	// of cold dirty pages ourselves on the reclaim QP (asynchronously,
+	// waiting once at the end — still entirely off the fault handler, which
+	// is the design's invariant), then evict the first of them.
+	if firstDirty != dram.NoFrame {
+		var lastOp *fabric.Op
+		cleaned := 0
+		var victim dram.FrameID = dram.NoFrame
+		var victimVPN pagetable.VPN
+		m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+			if cleaned >= 32 {
+				return false
+			}
+			if f.Pinned || f.VPN == dram.NoVPN {
+				return true
+			}
+			pte := m.Table.Lookup(f.VPN)
+			if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
+				return true
+			}
+			p.Advance(m.Cfg.ScanCost)
+			lastOp = m.writeBack(p, id, f.VPN, true)
+			m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
+			cleaned++
+			if victim == dram.NoFrame && !pte.Accessed() {
+				victim, victimVPN = id, f.VPN
+			}
+			return true
+		})
+		if cleaned > 0 {
+			m.Table.BumpGen()
+		}
+		if lastOp != nil {
+			lastOp.Wait(p)
+			m.SyncWrites.Inc()
+		}
+		if victim != dram.NoFrame {
+			// The wait above yielded: the victim may have been touched,
+			// re-dirtied, or pinned since we chose it. Re-validate before
+			// evicting, or its newest writes would be lost.
+			f := m.Pool.Meta(victim)
+			pte := m.Table.Lookup(victimVPN)
+			if !f.Pinned && f.VPN == victimVPN && pte.Tag() == pagetable.TagLocal &&
+				!pte.Dirty() && !pte.Accessed() {
+				m.evict(p, victim, victimVPN)
+				return true
+			}
+		}
+		return cleaned > 0
+	}
+	return false
+}
+
+// evict unmaps a clean page and frees its frame. With a logged clean vector
+// the page leaves as an Action PTE (guided paging); otherwise as Remote.
+func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) {
+	tgt, ok := m.RemoteOf(vpn)
+	if !ok {
+		panic("pagemgr: evicting page with no remote slot")
+	}
+	p.Advance(m.Cfg.UnmapCost)
+	if chunks, ok := m.cleanVec[vpn]; ok {
+		delete(m.cleanVec, vpn)
+		m.Table.Set(vpn, pagetable.Action(m.storeVector(chunks)))
+	} else {
+		m.Table.Set(vpn, pagetable.Remote(tgt.Off/pagetable.PageSize))
+	}
+	m.Table.BumpGen()
+	m.Pool.LRURemove(id)
+	m.Pool.Free(id)
+	m.Evicted.Inc()
+	m.freed.Wake(p.Now())
+}

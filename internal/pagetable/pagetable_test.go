@@ -1,0 +1,279 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagEncoding(t *testing.T) {
+	cases := []struct {
+		e   PTE
+		tag Tag
+	}{
+		{0, TagInvalid},
+		{Local(7, true), TagLocal},
+		{Local(0, false), TagLocal},
+		{Remote(42), TagRemote},
+		{Fetching(3), TagFetching},
+		{Action(0xdead), TagAction},
+	}
+	for _, c := range cases {
+		if c.e.Tag() != c.tag {
+			t.Errorf("%v: tag = %v, want %v", uint64(c.e), c.e.Tag(), c.tag)
+		}
+	}
+}
+
+func TestLocalPTEFields(t *testing.T) {
+	e := Local(123, true)
+	if !e.Writable() || e.Frame() != 123 {
+		t.Fatalf("e = %v", e)
+	}
+	if e.Accessed() || e.Dirty() {
+		t.Fatal("fresh mapping must not be accessed/dirty")
+	}
+	e |= BitAccessed | BitDirty
+	if !e.Accessed() || !e.Dirty() || e.Frame() != 123 {
+		t.Fatal("accessed/dirty bits must not disturb the frame")
+	}
+	ro := Local(5, false)
+	if ro.Writable() {
+		t.Fatal("read-only mapping reports writable")
+	}
+}
+
+func TestOnlyLocalIsPresent(t *testing.T) {
+	for _, e := range []PTE{Remote(9), Fetching(9), Action(9)} {
+		if e&BitPresent != 0 {
+			t.Fatalf("%v has present bit set", e)
+		}
+	}
+	if Local(9, true)&BitPresent == 0 {
+		t.Fatal("local PTE must have present bit")
+	}
+}
+
+// Property (DESIGN.md §6): tag+payload encode/decode round-trips for every
+// software tag and any 61-bit payload; Local round-trips frame+writable.
+func TestQuickPTECodec(t *testing.T) {
+	f := func(payload uint64, kind uint8, writable bool) bool {
+		payload &= MaxPayload
+		switch kind % 4 {
+		case 0:
+			e := Remote(payload)
+			return e.Tag() == TagRemote && e.Payload() == payload
+		case 1:
+			e := Fetching(payload)
+			return e.Tag() == TagFetching && e.Payload() == payload
+		case 2:
+			e := Action(payload)
+			return e.Tag() == TagAction && e.Payload() == payload
+		default:
+			frame := payload & (1<<50 - 1)
+			e := Local(frame, writable)
+			return e.Tag() == TagLocal && e.Frame() == frame && e.Writable() == writable
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Remote(MaxPayload + 1)
+}
+
+func TestPayloadOfPresentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Local(1, true).Payload()
+}
+
+func TestFrameOfRemotePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Remote(1).Frame()
+}
+
+func TestTableSetLookup(t *testing.T) {
+	tbl := New()
+	if tbl.Lookup(100) != 0 {
+		t.Fatal("empty table must return invalid")
+	}
+	tbl.Set(100, Remote(7))
+	if got := tbl.Lookup(100); got.Tag() != TagRemote || got.Payload() != 7 {
+		t.Fatalf("lookup = %v", got)
+	}
+	// Neighbours unaffected.
+	if tbl.Lookup(99) != 0 || tbl.Lookup(101) != 0 {
+		t.Fatal("neighbour PTEs disturbed")
+	}
+}
+
+func TestTableEntryInPlaceTransition(t *testing.T) {
+	tbl := New()
+	p := tbl.Entry(4096)
+	*p = Remote(11)
+	// The fault handler pattern: re-read via Entry, flip remote→fetching.
+	q := tbl.Entry(4096)
+	if q.Tag() != TagRemote {
+		t.Fatalf("tag = %v", q.Tag())
+	}
+	*q = Fetching(5)
+	if tbl.Lookup(4096).Tag() != TagFetching {
+		t.Fatal("in-place transition not visible")
+	}
+}
+
+func TestTableClear(t *testing.T) {
+	tbl := New()
+	tbl.Set(1, Local(2, true))
+	tbl.Clear(1)
+	if tbl.Lookup(1) != 0 {
+		t.Fatal("clear failed")
+	}
+	tbl.Clear(999999) // clearing unmapped space is a no-op
+}
+
+func TestTableSparseSpread(t *testing.T) {
+	tbl := New()
+	// Spread VPNs across all levels of the radix.
+	vpns := []VPN{0, 1, 511, 512, FanOut*FanOut - 1, FanOut * FanOut, 1 << 27, 1<<36 - 1}
+	for i, v := range vpns {
+		tbl.Set(v, Remote(uint64(i)))
+	}
+	for i, v := range vpns {
+		if got := tbl.Lookup(v); got.Payload() != uint64(i) {
+			t.Fatalf("vpn %d: payload = %d, want %d", v, got.Payload(), i)
+		}
+	}
+}
+
+func TestVPNBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Lookup(VPN(1) << 36)
+}
+
+func TestRange(t *testing.T) {
+	tbl := New()
+	for _, v := range []VPN{10, 11, 600, 5000} {
+		tbl.Set(v, Remote(uint64(v)))
+	}
+	var seen []VPN
+	tbl.Range(0, 10000, func(v VPN, e *PTE) bool {
+		seen = append(seen, v)
+		return true
+	})
+	want := []VPN{10, 11, 600, 5000}
+	if len(seen) != len(want) {
+		t.Fatalf("seen = %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("seen = %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestRangeMutateAndStop(t *testing.T) {
+	tbl := New()
+	for v := VPN(0); v < 20; v++ {
+		tbl.Set(v, Local(uint64(v), true)|BitDirty)
+	}
+	n := 0
+	tbl.Range(0, 20, func(v VPN, e *PTE) bool {
+		*e &^= BitDirty
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d, want 5", n)
+	}
+	if tbl.Lookup(0).Dirty() || !tbl.Lookup(10).Dirty() {
+		t.Fatal("mutation/stop semantics wrong")
+	}
+}
+
+func TestGeneration(t *testing.T) {
+	tbl := New()
+	g := tbl.Gen()
+	tbl.BumpGen()
+	if tbl.Gen() != g+1 {
+		t.Fatal("generation did not advance")
+	}
+}
+
+func TestVPNAddrRoundTrip(t *testing.T) {
+	if VPNOf(0x12345678).Addr() != 0x12345000 {
+		t.Fatal("VPN/Addr round trip broken")
+	}
+}
+
+// Property: the table behaves like a map[VPN]PTE under random set/clear/
+// lookup sequences.
+func TestQuickTableVsMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tbl := New()
+		ref := map[VPN]PTE{}
+		for i := 0; i < 500; i++ {
+			v := VPN(rng.Intn(1 << 20))
+			switch rng.Intn(3) {
+			case 0:
+				e := Remote(uint64(rng.Intn(1 << 30)))
+				tbl.Set(v, e)
+				ref[v] = e
+			case 1:
+				tbl.Clear(v)
+				delete(ref, v)
+			case 2:
+				if tbl.Lookup(v) != ref[v] {
+					return false
+				}
+			}
+		}
+		for v, e := range ref {
+			if tbl.Lookup(v) != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tbl := New()
+	for v := VPN(0); v < 1<<16; v++ {
+		tbl.Set(v, Local(uint64(v), true))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(VPN(i) & (1<<16 - 1))
+	}
+}
+
+func BenchmarkEntry(b *testing.B) {
+	tbl := New()
+	for i := 0; i < b.N; i++ {
+		*tbl.Entry(VPN(i) & (1<<20 - 1)) = Remote(uint64(i))
+	}
+}

@@ -1,0 +1,167 @@
+// Package pagetable implements DiLOS' unified page table (§4.1, Figure 4):
+// a hardware-format 4-level radix page table whose entries encode, in the
+// three least-significant bits, not just presence but the full
+// disaggregation state of a page — Local, Remote, Fetching, or Action.
+// This single structure replaces the Linux swap cache and all swap-entry
+// bookkeeping: the fault handler consults exactly one data structure before
+// issuing an RDMA request.
+//
+// PTE encoding (mirrors the paper's use of the user/write/present bits):
+//
+//	bit 0 (present) = 1 → LOCAL. The entry is a normal hardware PTE:
+//	    bit 1 = writable, bit 5 = accessed, bit 6 = dirty,
+//	    bits 12..: frame number.
+//	bit 0 = 0 → software tag in bits 1..2:
+//	    00 → INVALID (unmapped)
+//	    01 → REMOTE  (payload = remote page id)
+//	    10 → FETCHING(payload = in-flight slot id)
+//	    11 → ACTION  (payload = guide action data, e.g. a live-chunk
+//	                  vector log index for guided paging §4.4)
+//	    payload occupies bits 3..63 (61 bits).
+package pagetable
+
+import "fmt"
+
+// Geometry of the virtual address space (x86-64-style 4-level paging).
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4096
+	Levels    = 4
+	IndexBits = 9
+	FanOut    = 1 << IndexBits // 512 entries per level
+	VABits    = PageShift + Levels*IndexBits
+)
+
+// PTE is one page table entry.
+type PTE uint64
+
+// Hardware bits, valid only when the entry is Local (present).
+const (
+	BitPresent  PTE = 1 << 0
+	BitWritable PTE = 1 << 1
+	BitUser     PTE = 1 << 2
+	BitAccessed PTE = 1 << 5
+	BitDirty    PTE = 1 << 6
+)
+
+// Tag is the DiLOS state of a page.
+type Tag uint8
+
+const (
+	TagInvalid Tag = iota
+	TagLocal
+	TagRemote
+	TagFetching
+	TagAction
+)
+
+func (t Tag) String() string {
+	switch t {
+	case TagInvalid:
+		return "invalid"
+	case TagLocal:
+		return "local"
+	case TagRemote:
+		return "remote"
+	case TagFetching:
+		return "fetching"
+	case TagAction:
+		return "action"
+	}
+	return fmt.Sprintf("tag(%d)", uint8(t))
+}
+
+const (
+	softTagShift     = 1
+	softTagMask  PTE = 0b11 << softTagShift
+	softRemote   PTE = 0b01 << softTagShift
+	softFetching PTE = 0b10 << softTagShift
+	softAction   PTE = 0b11 << softTagShift
+	payloadShift     = 3
+	// MaxPayload is the largest software payload a PTE can carry.
+	MaxPayload uint64 = 1<<61 - 1
+)
+
+// frameShift positions the frame number in a local PTE.
+const frameShift = PageShift
+
+// Tag decodes the DiLOS tag of a PTE.
+func (e PTE) Tag() Tag {
+	if e&BitPresent != 0 {
+		return TagLocal
+	}
+	switch e & softTagMask {
+	case softRemote:
+		return TagRemote
+	case softFetching:
+		return TagFetching
+	case softAction:
+		return TagAction
+	}
+	return TagInvalid
+}
+
+// Local builds a present PTE mapping the given frame.
+func Local(frame uint64, writable bool) PTE {
+	e := PTE(frame<<frameShift) | BitPresent | BitUser
+	if writable {
+		e |= BitWritable
+	}
+	return e
+}
+
+// Remote builds a non-present PTE whose page lives at the given remote
+// page id on the memory node.
+func Remote(remotePage uint64) PTE { return soft(softRemote, remotePage) }
+
+// Fetching builds a PTE marking an in-flight fetch; payload identifies the
+// in-flight slot so a second faulter can find the pending op and wait
+// instead of issuing a duplicate fetch (§4.2).
+func Fetching(slot uint64) PTE { return soft(softFetching, slot) }
+
+// Action builds a guide-handled PTE; payload is guide-defined (§4.4 uses it
+// to index the vector log of live-chunk segments).
+func Action(data uint64) PTE { return soft(softAction, data) }
+
+func soft(tag PTE, payload uint64) PTE {
+	if payload > MaxPayload {
+		panic("pagetable: payload overflows 61 bits")
+	}
+	return tag | PTE(payload<<payloadShift)
+}
+
+// Payload extracts the software payload of a non-present PTE.
+func (e PTE) Payload() uint64 {
+	if e&BitPresent != 0 {
+		panic("pagetable: Payload of a present PTE")
+	}
+	return uint64(e) >> payloadShift
+}
+
+// Frame extracts the frame number of a Local PTE.
+func (e PTE) Frame() uint64 {
+	if e&BitPresent == 0 {
+		panic("pagetable: Frame of a non-present PTE")
+	}
+	return uint64(e) >> frameShift
+}
+
+// Writable reports the writable bit (Local entries only).
+func (e PTE) Writable() bool { return e&BitWritable != 0 }
+
+// Accessed reports the accessed bit (Local entries only).
+func (e PTE) Accessed() bool { return e&BitAccessed != 0 }
+
+// Dirty reports the dirty bit (Local entries only).
+func (e PTE) Dirty() bool { return e&BitDirty != 0 }
+
+func (e PTE) String() string {
+	switch e.Tag() {
+	case TagLocal:
+		return fmt.Sprintf("local(frame=%d w=%t a=%t d=%t)", e.Frame(), e.Writable(), e.Accessed(), e.Dirty())
+	case TagInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("%s(%d)", e.Tag(), e.Payload())
+	}
+}

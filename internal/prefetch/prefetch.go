@@ -1,0 +1,417 @@
+// Package prefetch implements DiLOS' page prefetcher (§4.3): a pluggable
+// Prefetcher interface with the two general-purpose policies the paper
+// ships — Linux-style readahead and Leap's majority-trend prefetcher — plus
+// the PTE hit tracker. Because DiLOS maps prefetched pages directly into
+// the unified page table (no swap cache), prefetch-hit statistics cannot
+// come from minor faults; the hit tracker instead scans the accessed bits
+// of previously prefetched PTEs. Prefetch selection and hit tracking run
+// inside the fault handler while it waits for the 4 KiB fetch, so their
+// cost hides in the RDMA window.
+package prefetch
+
+import (
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+)
+
+// Context is the information DiLOS supplies to a prefetcher on each fault
+// (fault address, hit ratio, and access history — §4.3).
+type Context struct {
+	VPN      pagetable.VPN
+	Major    bool    // major fault (remote) vs minor (in-flight)
+	HitRatio float64 // EWMA prefetch hit ratio from the PTE hit tracker
+	History  []int64 // recent inter-fault VPN deltas, oldest first
+}
+
+// Prefetcher proposes pages to fetch ahead of demand. The system filters
+// out pages that are not currently Remote, so proposals are cheap to make.
+type Prefetcher interface {
+	Name() string
+	OnFault(ctx Context) []pagetable.VPN
+}
+
+// History is a bounded ring of inter-fault VPN deltas.
+type History struct {
+	deltas []int64
+	size   int
+	last   pagetable.VPN
+	primed bool
+}
+
+// NewHistory creates a history holding up to size deltas.
+func NewHistory(size int) *History { return &History{size: size} }
+
+// Note records a fault VPN; the delta from the previous fault enters the
+// ring.
+func (h *History) Note(v pagetable.VPN) {
+	if h.primed {
+		d := int64(v) - int64(h.last)
+		h.deltas = append(h.deltas, d)
+		if len(h.deltas) > h.size {
+			copy(h.deltas, h.deltas[1:])
+			h.deltas = h.deltas[:h.size]
+		}
+	}
+	h.last = v
+	h.primed = true
+}
+
+// Deltas returns the recorded deltas, oldest first (shared; do not mutate).
+func (h *History) Deltas() []int64 { return h.deltas }
+
+// Readahead is the Linux swap readahead policy [28]: on a major fault it
+// reads the rest of the 8-page cluster around the faulted page, following
+// the current stream direction. With the default cluster of 8 (window = 7
+// prefetched pages per major), a sequential scan majors on exactly every
+// 8th page — the 12.5 % major share of Tables 1 and 3.
+type Readahead struct {
+	Window int // pages prefetched per major fault (cluster − 1)
+	dir    int64
+	last   pagetable.VPN
+	primed bool
+}
+
+// NewReadahead creates a readahead prefetcher with the given window
+// (0 means the default cluster of 8, i.e. window 7).
+func NewReadahead(window int) *Readahead {
+	if window <= 0 {
+		window = 7
+	}
+	return &Readahead{Window: window, dir: 1}
+}
+
+// Name implements Prefetcher.
+func (r *Readahead) Name() string { return "readahead" }
+
+// OnFault implements Prefetcher. Like Linux's swap readahead it acts only
+// on major faults; minor faults (in-flight pages) are the cluster filling
+// in. The window backs off when the PTE hit tracker reports the stream is
+// not actually sequential (random workloads like betweenness centrality or
+// Redis GET would otherwise evict hot pages with speculative garbage) and
+// recovers when hits return — the DiLOS replacement for the swap cache's
+// readahead statistics (§4.3).
+func (r *Readahead) OnFault(ctx Context) []pagetable.VPN {
+	if !ctx.Major {
+		return nil
+	}
+	if r.primed {
+		switch {
+		case ctx.VPN > r.last:
+			r.dir = 1
+		case ctx.VPN < r.last:
+			r.dir = -1
+		}
+	}
+	r.last = ctx.VPN
+	r.primed = true
+	window := r.Window
+	switch {
+	case ctx.HitRatio > 0 && ctx.HitRatio < 0.05:
+		window = 1
+	case ctx.HitRatio > 0 && ctx.HitRatio < 0.15:
+		window = max(2, r.Window/4)
+	}
+	out := make([]pagetable.VPN, 0, window)
+	for k := int64(1); k <= int64(window); k++ {
+		next := int64(ctx.VPN) + r.dir*k
+		if next < 0 {
+			break
+		}
+		out = append(out, pagetable.VPN(next))
+	}
+	return out
+}
+
+// Trend is Leap's majority-trend prefetcher [49]: it finds the majority
+// stride in the recent access history (Boyer–Moore majority vote) and
+// prefetches along it with a window that adapts to the measured hit ratio.
+type Trend struct {
+	MinWindow int
+	MaxWindow int
+	window    int
+}
+
+// NewTrend creates a trend prefetcher with Leap's defaults.
+func NewTrend() *Trend {
+	return &Trend{MinWindow: 4, MaxWindow: 32, window: 8}
+}
+
+// Name implements Prefetcher.
+func (t *Trend) Name() string { return "trend-based" }
+
+// Window exposes the current adaptive window (for tests).
+func (t *Trend) Window() int { return t.window }
+
+// OnFault implements Prefetcher.
+func (t *Trend) OnFault(ctx Context) []pagetable.VPN {
+	// Adapt the window to the hit ratio (grow aggressively on success,
+	// back off when prefetches go unused — Leap §4.2's spirit).
+	switch {
+	case ctx.HitRatio >= 0.5 && ctx.Major:
+		t.window = min(t.window*2, t.MaxWindow)
+	case ctx.HitRatio < 0.2 && ctx.HitRatio > 0 && ctx.Major:
+		t.window = max(t.window/2, t.MinWindow)
+	}
+	stride, ok := majority(ctx.History)
+	if !ok || stride == 0 {
+		// No trend: fall back to the last observed delta, like Leap's
+		// degenerate sequential mode.
+		if n := len(ctx.History); n > 0 && ctx.History[n-1] != 0 {
+			stride = ctx.History[n-1]
+		} else {
+			stride = 1
+		}
+	}
+	out := make([]pagetable.VPN, 0, t.window)
+	for k := int64(1); k <= int64(t.window); k++ {
+		next := int64(ctx.VPN) + stride*k
+		if next < 0 {
+			break
+		}
+		out = append(out, pagetable.VPN(next))
+	}
+	return out
+}
+
+// majority returns the Boyer–Moore majority element of xs if it truly
+// occupies more than half the window.
+func majority(xs []int64) (int64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	cand, count := xs[0], 0
+	for _, x := range xs {
+		if count == 0 {
+			cand = x
+		}
+		if x == cand {
+			count++
+		} else {
+			count--
+		}
+	}
+	n := 0
+	for _, x := range xs {
+		if x == cand {
+			n++
+		}
+	}
+	if n*2 > len(xs) {
+		return cand, true
+	}
+	return 0, false
+}
+
+// None is the no-prefetch policy.
+type None struct{}
+
+// Name implements Prefetcher.
+func (None) Name() string { return "no-prefetch" }
+
+// OnFault implements Prefetcher.
+func (None) OnFault(Context) []pagetable.VPN { return nil }
+
+// HitTracker replaces the swap cache's minor-fault statistics: it remembers
+// which pages were prefetched and, on the next scan (run inside the fault
+// handler's fetch window), inspects their PTE accessed bits to estimate the
+// prefetch hit ratio.
+type HitTracker struct {
+	// PerPTECost is the CPU cost of inspecting one PTE during a scan.
+	PerPTECost sim.Time
+	// ScanBatch bounds how many pending pages one scan inspects.
+	ScanBatch int
+
+	pending []tracked
+	ratio   float64
+	scanned int64
+	hits    int64
+}
+
+type tracked struct {
+	vpn      pagetable.VPN
+	deferred bool // already seen in-flight once; next scan decides
+}
+
+// NewHitTracker creates a tracker with testbed-calibrated scan costs.
+func NewHitTracker() *HitTracker {
+	return &HitTracker{PerPTECost: 4 * sim.Nanosecond, ScanBatch: 64}
+}
+
+// Note records pages just handed to the prefetch engine.
+func (t *HitTracker) Note(vpns []pagetable.VPN) {
+	for _, v := range vpns {
+		if len(t.pending) >= 1024 {
+			break // bound memory; oldest entries will be scanned first
+		}
+		t.pending = append(t.pending, tracked{vpn: v})
+	}
+}
+
+// Ratio returns the EWMA prefetch hit ratio.
+func (t *HitTracker) Ratio() float64 { return t.ratio }
+
+// Stats returns lifetime (scanned, hit) counts.
+func (t *HitTracker) Stats() (scanned, hits int64) { return t.scanned, t.hits }
+
+// Scan inspects up to ScanBatch pending prefetched PTEs: local+accessed
+// counts as a hit, local+untouched as a miss; still-fetching entries get
+// one deferral, then count as a miss (the page was prefetched too early or
+// too late either way). Returns the CPU cost, which the fault handler
+// charges inside the fetch window.
+func (t *HitTracker) Scan(tbl *pagetable.Table) sim.Time {
+	n := len(t.pending)
+	if n > t.ScanBatch {
+		n = t.ScanBatch
+	}
+	if n == 0 {
+		return 0
+	}
+	var hits, total int
+	keep := t.pending[:0]
+	for i, tr := range t.pending {
+		if i >= n {
+			keep = append(keep, tr)
+			continue
+		}
+		pte := tbl.Lookup(tr.vpn)
+		switch pte.Tag() {
+		case pagetable.TagLocal:
+			total++
+			if pte.Accessed() {
+				hits++
+			}
+		case pagetable.TagFetching:
+			if tr.deferred {
+				total++ // still not there after a full scan cycle: miss
+			} else {
+				keep = append(keep, tracked{vpn: tr.vpn, deferred: true})
+			}
+		default:
+			// Evicted (Remote/Action) before use, or unmapped: miss.
+			total++
+		}
+	}
+	t.pending = keep
+	if total > 0 {
+		batch := float64(hits) / float64(total)
+		t.ratio = 0.8*t.ratio + 0.2*batch
+		t.scanned += int64(total)
+		t.hits += int64(hits)
+	}
+	return sim.Time(n) * t.PerPTECost
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Leap is a faithful implementation of Leap's majority-trend prefetcher
+// (Maruf & Chowdhury, ATC '20) — the Trend type above is the simplified
+// variant DiLOS' harness uses by default; this one follows the published
+// algorithm:
+//
+//   - trend detection over a *shrinking-then-growing* split of the access
+//     history: start from the most recent H/2 deltas and expand toward the
+//     full window until a majority stride emerges (recent behaviour is
+//     favoured, old noise cannot drown a new stream);
+//   - the prefetch window is sized from recent prefetch *consumption*:
+//     PWS_t = min(MaxWindow, 2^ceil(log2(used_t−1 + 1))), never below
+//     what the current trend run already justified, and decayed by halves
+//     when prefetched pages go unused.
+type Leap struct {
+	HistorySize int
+	MaxWindow   int
+
+	window   int
+	lastUsed int
+}
+
+// NewLeap creates a Leap prefetcher with the paper's defaults (history 32,
+// max window 32).
+func NewLeap() *Leap {
+	return &Leap{HistorySize: 32, MaxWindow: 32, window: 1}
+}
+
+// Name implements Prefetcher.
+func (l *Leap) Name() string { return "leap" }
+
+// Window exposes the current window (for tests).
+func (l *Leap) Window() int { return l.window }
+
+// OnFault implements Prefetcher.
+func (l *Leap) OnFault(ctx Context) []pagetable.VPN {
+	if !ctx.Major {
+		return nil
+	}
+	// Consumption-based window sizing: HitRatio approximates the share of
+	// the previous window that was consumed.
+	used := int(float64(l.window)*ctx.HitRatio + 0.5)
+	switch {
+	case used > l.lastUsed:
+		l.window = nextPow2(used + 1)
+	case used < l.lastUsed/2:
+		l.window /= 2
+	}
+	if l.window < 1 {
+		l.window = 1
+	}
+	if l.window > l.MaxWindow {
+		l.window = l.MaxWindow
+	}
+	l.lastUsed = used
+
+	stride, ok := l.trend(ctx.History)
+	if !ok {
+		// No trend at any split: Leap falls back to reading just the
+		// faulted page (window collapses to nothing speculative).
+		return nil
+	}
+	out := make([]pagetable.VPN, 0, l.window)
+	for k := int64(1); k <= int64(l.window); k++ {
+		next := int64(ctx.VPN) + stride*k
+		if next < 0 {
+			break
+		}
+		out = append(out, pagetable.VPN(next))
+	}
+	return out
+}
+
+// trend searches for a majority stride, preferring recent history: it
+// tests the most recent half of the deltas first and doubles the span
+// until a majority appears or the full history is exhausted.
+func (l *Leap) trend(history []int64) (int64, bool) {
+	n := len(history)
+	if n == 0 {
+		return 0, false
+	}
+	for span := (n + 1) / 2; ; span *= 2 {
+		if span > n {
+			span = n
+		}
+		if d, ok := majority(history[n-span:]); ok && d != 0 {
+			return d, true
+		}
+		if span == n {
+			return 0, false
+		}
+	}
+}
+
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p *= 2
+	}
+	return p
+}

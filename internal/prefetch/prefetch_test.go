@@ -1,0 +1,252 @@
+package prefetch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dilos/internal/pagetable"
+)
+
+func TestHistoryRing(t *testing.T) {
+	h := NewHistory(3)
+	for _, v := range []pagetable.VPN{10, 11, 12, 14, 10} {
+		h.Note(v)
+	}
+	d := h.Deltas()
+	want := []int64{1, 2, -4}
+	if len(d) != 3 {
+		t.Fatalf("deltas = %v", d)
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("deltas = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestReadaheadForward(t *testing.T) {
+	r := NewReadahead(8)
+	out := r.OnFault(Context{VPN: 100, Major: true})
+	if len(out) != 8 || out[0] != 101 || out[7] != 108 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestReadaheadDirectionFlip(t *testing.T) {
+	r := NewReadahead(4)
+	r.OnFault(Context{VPN: 100, Major: true})
+	out := r.OnFault(Context{VPN: 90, Major: true}) // moving backwards
+	if out[0] != 89 || out[3] != 86 {
+		t.Fatalf("out = %v", out)
+	}
+	out = r.OnFault(Context{VPN: 95, Major: true}) // forwards again
+	if out[0] != 96 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestReadaheadClampsAtZero(t *testing.T) {
+	r := NewReadahead(8)
+	r.OnFault(Context{VPN: 100, Major: true})
+	out := r.OnFault(Context{VPN: 3, Major: true}) // backwards near zero
+	for _, v := range out {
+		if int64(v) < 0 {
+			t.Fatalf("negative VPN proposed: %v", out)
+		}
+	}
+	if len(out) != 3 {
+		t.Fatalf("out = %v, want [2 1 0]", out)
+	}
+}
+
+func TestTrendDetectsStride(t *testing.T) {
+	tr := NewTrend()
+	hist := []int64{16, 16, 16, 16, 16, 1, 16, 16}
+	out := tr.OnFault(Context{VPN: 1000, Major: true, History: hist})
+	if len(out) == 0 || out[0] != 1016 || out[1] != 1032 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestTrendFallsBackToLastDelta(t *testing.T) {
+	tr := NewTrend()
+	hist := []int64{3, -5, 7, 2, -1, 4, 9, -2} // no majority
+	out := tr.OnFault(Context{VPN: 1000, Major: true, History: hist})
+	if len(out) == 0 || out[0] != pagetable.VPN(1000-2) {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestTrendWindowAdapts(t *testing.T) {
+	tr := NewTrend()
+	w0 := tr.Window()
+	tr.OnFault(Context{VPN: 1, Major: true, HitRatio: 0.9, History: []int64{1, 1, 1}})
+	if tr.Window() <= w0 {
+		t.Fatalf("window did not grow: %d", tr.Window())
+	}
+	for i := 0; i < 10; i++ {
+		tr.OnFault(Context{VPN: 1, Major: true, HitRatio: 0.05, History: []int64{1, 1, 1}})
+	}
+	if tr.Window() != tr.MinWindow {
+		t.Fatalf("window did not shrink to floor: %d", tr.Window())
+	}
+}
+
+func TestNonePrefetcher(t *testing.T) {
+	if out := (None{}).OnFault(Context{VPN: 5}); out != nil {
+		t.Fatalf("None proposed %v", out)
+	}
+}
+
+// Property: majority() agrees with a brute-force count.
+func TestQuickMajority(t *testing.T) {
+	f := func(raw []int8) bool {
+		xs := make([]int64, len(raw))
+		counts := map[int64]int{}
+		for i, r := range raw {
+			xs[i] = int64(r % 3) // small domain to make majorities common
+			counts[xs[i]]++
+		}
+		got, ok := majority(xs)
+		var want int64
+		var wantOK bool
+		for v, n := range counts {
+			if n*2 > len(xs) {
+				want, wantOK = v, true
+			}
+		}
+		if ok != wantOK {
+			return false
+		}
+		return !ok || got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitTrackerCountsAccessedBits(t *testing.T) {
+	tbl := pagetable.New()
+	ht := NewHitTracker()
+	// Three prefetched pages: one accessed, one untouched, one evicted.
+	tbl.Set(1, pagetable.Local(11, true)|pagetable.BitAccessed)
+	tbl.Set(2, pagetable.Local(12, true))
+	tbl.Set(3, pagetable.Remote(33))
+	ht.Note([]pagetable.VPN{1, 2, 3})
+	cost := ht.Scan(tbl)
+	if cost != 3*ht.PerPTECost {
+		t.Fatalf("cost = %v", cost)
+	}
+	scanned, hits := ht.Stats()
+	if scanned != 3 || hits != 1 {
+		t.Fatalf("scanned=%d hits=%d", scanned, hits)
+	}
+	if r := ht.Ratio(); r < 0.06 || r > 0.07 { // 0.2 * 1/3
+		t.Fatalf("ratio = %v", r)
+	}
+}
+
+func TestHitTrackerDefersInFlight(t *testing.T) {
+	tbl := pagetable.New()
+	ht := NewHitTracker()
+	tbl.Set(5, pagetable.Fetching(0))
+	ht.Note([]pagetable.VPN{5})
+	ht.Scan(tbl) // first scan: deferred, no verdict
+	if s, _ := ht.Stats(); s != 0 {
+		t.Fatalf("scanned = %d, want 0 (deferred)", s)
+	}
+	ht.Scan(tbl) // second scan: counted as miss
+	s, h := ht.Stats()
+	if s != 1 || h != 0 {
+		t.Fatalf("scanned=%d hits=%d", s, h)
+	}
+}
+
+func TestHitTrackerBatchBound(t *testing.T) {
+	tbl := pagetable.New()
+	ht := NewHitTracker()
+	ht.ScanBatch = 4
+	var vpns []pagetable.VPN
+	for v := pagetable.VPN(0); v < 10; v++ {
+		tbl.Set(v, pagetable.Local(uint64(v), true)|pagetable.BitAccessed)
+		vpns = append(vpns, v)
+	}
+	ht.Note(vpns)
+	ht.Scan(tbl)
+	if s, _ := ht.Stats(); s != 4 {
+		t.Fatalf("scanned = %d, want 4", s)
+	}
+	ht.Scan(tbl)
+	if s, _ := ht.Stats(); s != 8 {
+		t.Fatalf("scanned = %d, want 8", s)
+	}
+}
+
+func TestReadaheadBacksOffOnMisses(t *testing.T) {
+	r := NewReadahead(0)
+	full := r.OnFault(Context{VPN: 100, Major: true, HitRatio: 0.5})
+	if len(full) != 7 {
+		t.Fatalf("full window = %d", len(full))
+	}
+	tiny := r.OnFault(Context{VPN: 200, Major: true, HitRatio: 0.01})
+	if len(tiny) != 1 {
+		t.Fatalf("random-pattern window = %d, want 1", len(tiny))
+	}
+	mid := r.OnFault(Context{VPN: 300, Major: true, HitRatio: 0.10})
+	if len(mid) < 2 || len(mid) >= 7 {
+		t.Fatalf("mid window = %d", len(mid))
+	}
+	back := r.OnFault(Context{VPN: 400, Major: true, HitRatio: 0.6})
+	if len(back) != 7 {
+		t.Fatalf("window did not recover: %d", len(back))
+	}
+}
+
+func TestLeapRecentTrendWins(t *testing.T) {
+	l := NewLeap()
+	// Old history says stride 1, recent history says stride 16: the
+	// recent half must win even though stride 1 has more total votes.
+	hist := []int64{1, 1, 1, 1, 1, 1, 1, 1, 16, 16, 16, 16, 16, 16}
+	out := l.OnFault(Context{VPN: 1000, Major: true, History: hist, HitRatio: 0.9})
+	if len(out) == 0 || out[0] != 1016 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestLeapNoTrendMeansNoSpeculation(t *testing.T) {
+	l := NewLeap()
+	hist := []int64{5, -3, 11, 2, -9, 7, 1, -4, 13, -2, 8, -6}
+	if out := l.OnFault(Context{VPN: 1000, Major: true, History: hist}); out != nil {
+		t.Fatalf("no-trend fault prefetched %v", out)
+	}
+}
+
+func TestLeapWindowGrowsWithConsumption(t *testing.T) {
+	l := NewLeap()
+	hist := []int64{1, 1, 1, 1, 1, 1}
+	w0 := l.Window()
+	for i := 0; i < 5; i++ {
+		l.OnFault(Context{VPN: pagetable.VPN(100 + i), Major: true, History: hist, HitRatio: 1.0})
+	}
+	if l.Window() <= w0 {
+		t.Fatalf("window did not grow: %d", l.Window())
+	}
+	grown := l.Window()
+	for i := 0; i < 6; i++ {
+		l.OnFault(Context{VPN: pagetable.VPN(500 + i), Major: true, History: hist, HitRatio: 0.0})
+	}
+	if l.Window() >= grown {
+		t.Fatalf("window did not decay: %d", l.Window())
+	}
+}
+
+func TestLeapCapsAtMaxWindow(t *testing.T) {
+	l := NewLeap()
+	hist := []int64{1, 1, 1, 1}
+	for i := 0; i < 20; i++ {
+		l.OnFault(Context{VPN: pagetable.VPN(i), Major: true, History: hist, HitRatio: 1.0})
+	}
+	if l.Window() > l.MaxWindow {
+		t.Fatalf("window %d exceeds cap %d", l.Window(), l.MaxWindow)
+	}
+}

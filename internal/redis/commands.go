@@ -1,0 +1,163 @@
+package redis
+
+import "strconv"
+
+// Additional commands beyond the benchmark set — the string/list surface a
+// key-value store is expected to have, all operating through the space.
+
+// Exists reports whether key is present.
+func (s *Server) Exists(key []byte) bool {
+	s.sp.Compute(s.costs.Dispatch)
+	_, ok := s.dict.Find(key)
+	return ok
+}
+
+// StrLen returns the value length, or 0 for a missing key.
+func (s *Server) StrLen(key []byte) uint32 {
+	s.sp.Compute(s.costs.Dispatch)
+	val, ok := s.dict.Find(key)
+	if !ok {
+		return 0
+	}
+	return s.SDSLen(val)
+}
+
+// Append appends suffix to the value (creating the key if missing) and
+// returns the new length. Like Redis' sds, it grows in place when the SDS'
+// spare capacity allows and reallocates otherwise.
+func (s *Server) Append(key, suffix []byte) uint32 {
+	s.sp.Compute(s.costs.Dispatch)
+	val, ok := s.dict.Find(key)
+	if !ok {
+		sds := s.NewSDS(suffix)
+		s.dict.Insert(key, sds)
+		return uint32(len(suffix))
+	}
+	n := s.sp.LoadU32(val)
+	alloc := s.sp.LoadU32(val + 4)
+	if n+uint32(len(suffix)) <= alloc {
+		s.sp.Store(val+sdsHeader+uint64(n), suffix)
+		s.sp.StoreU32(val, n+uint32(len(suffix)))
+		return n + uint32(len(suffix))
+	}
+	// Reallocate: old body + suffix into a fresh SDS.
+	body := make([]byte, int(n)+len(suffix))
+	s.sp.Load(val+sdsHeader, body[:n])
+	copy(body[n:], suffix)
+	sds := s.NewSDS(body)
+	s.dict.Insert(key, sds)
+	s.FreeSDS(val)
+	return uint32(len(body))
+}
+
+// IncrBy interprets the value as a decimal integer and adds delta,
+// returning the new value (Redis' INCR/INCRBY). Missing keys start at 0.
+// Returns ok=false when the value is not an integer.
+func (s *Server) IncrBy(key []byte, delta int64) (int64, bool) {
+	s.sp.Compute(s.costs.Dispatch)
+	cur := int64(0)
+	if val, ok := s.dict.Find(key); ok {
+		body := s.SDSRead(val)
+		v, err := strconv.ParseInt(string(body), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		cur = v
+	}
+	cur += delta
+	s.Set(key, []byte(strconv.FormatInt(cur, 10)))
+	return cur, true
+}
+
+// LIndex returns element idx of the list at key (negative counts from the
+// tail), or nil when out of range — a single-element LRANGE that skips
+// whole quicklist nodes by their cached counts.
+func (s *Server) LIndex(key []byte, idx int) []byte {
+	s.sp.Compute(s.costs.Dispatch)
+	addr, ok := s.dict.Find(key)
+	if !ok {
+		return nil
+	}
+	ql := s.openQuicklist(addr)
+	n := int(ql.Len())
+	if idx < 0 {
+		idx = n + idx
+	}
+	if idx < 0 || idx >= n {
+		return nil
+	}
+	out := ql.Range(idx, idx, nil, nil, nil)
+	if len(out) != 1 {
+		return nil
+	}
+	return out[0]
+}
+
+// DBSize returns the number of keys.
+func (s *Server) DBSize() uint64 {
+	s.sp.Compute(s.costs.Dispatch)
+	return s.dict.Len()
+}
+
+// SetNX stores key → val only if the key does not exist; reports whether
+// it was stored.
+func (s *Server) SetNX(key, val []byte) bool {
+	s.sp.Compute(s.costs.Dispatch)
+	if _, ok := s.dict.Find(key); ok {
+		return false
+	}
+	s.dict.Insert(key, s.NewSDS(val))
+	return true
+}
+
+// GetSet atomically replaces the value and returns the old one (nil if
+// the key was absent).
+func (s *Server) GetSet(key, val []byte) []byte {
+	s.sp.Compute(s.costs.Dispatch)
+	sds := s.NewSDS(val)
+	old, existed := s.dict.Insert(key, sds)
+	if !existed {
+		return nil
+	}
+	out := s.SDSRead(old)
+	s.FreeSDS(old)
+	return out
+}
+
+// GetDel returns the value and deletes the key (nil if absent).
+func (s *Server) GetDel(key []byte) []byte {
+	s.sp.Compute(s.costs.Dispatch)
+	val, ok := s.dict.Delete(key)
+	if !ok {
+		return nil
+	}
+	out := s.SDSRead(val)
+	s.FreeSDS(val)
+	return out
+}
+
+// MGet returns the values for several keys (nil entries for misses).
+func (s *Server) MGet(keys ...[]byte) [][]byte {
+	s.sp.Compute(s.costs.Dispatch)
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		if val, ok := s.dict.Find(k); ok {
+			out[i] = s.SDSRead(val)
+		}
+	}
+	return out
+}
+
+// MSet stores several key/value pairs (args alternate key, value).
+func (s *Server) MSet(pairs ...[]byte) {
+	if len(pairs)%2 != 0 {
+		panic("redis: MSet needs key/value pairs")
+	}
+	s.sp.Compute(s.costs.Dispatch)
+	for i := 0; i < len(pairs); i += 2 {
+		sds := s.NewSDS(pairs[i+1])
+		if old, ok := s.dict.Insert(pairs[i], sds); ok {
+			s.FreeSDS(old)
+		}
+	}
+}

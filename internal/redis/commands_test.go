@@ -1,0 +1,166 @@
+package redis
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"testing"
+)
+
+func TestExistsAndDBSize(t *testing.T) {
+	srv, _ := localServer()
+	if srv.Exists([]byte("nope")) {
+		t.Fatal("phantom key")
+	}
+	srv.Set([]byte("a"), []byte("1"))
+	srv.Set([]byte("b"), []byte("2"))
+	if !srv.Exists([]byte("a")) || srv.DBSize() != 2 {
+		t.Fatalf("exists/dbsize wrong (size=%d)", srv.DBSize())
+	}
+	srv.Del([]byte("a"))
+	if srv.Exists([]byte("a")) || srv.DBSize() != 1 {
+		t.Fatal("delete not reflected")
+	}
+}
+
+func TestStrLen(t *testing.T) {
+	srv, _ := localServer()
+	srv.Set([]byte("k"), []byte("hello"))
+	if srv.StrLen([]byte("k")) != 5 {
+		t.Fatalf("strlen = %d", srv.StrLen([]byte("k")))
+	}
+	if srv.StrLen([]byte("missing")) != 0 {
+		t.Fatal("missing key strlen != 0")
+	}
+}
+
+func TestAppendInPlaceAndRealloc(t *testing.T) {
+	srv, _ := localServer()
+	// Missing key: created.
+	if n := srv.Append([]byte("log"), []byte("abc")); n != 3 {
+		t.Fatalf("n = %d", n)
+	}
+	// Small appends eventually exceed the class capacity and reallocate;
+	// content must survive both paths.
+	want := []byte("abc")
+	for i := 0; i < 40; i++ {
+		chunk := []byte(fmt.Sprintf("-%02d", i))
+		srv.Append([]byte("log"), chunk)
+		want = append(want, chunk...)
+	}
+	if got := srv.Get([]byte("log")); !bytes.Equal(got, want) {
+		t.Fatalf("append chain broken:\n got %q\nwant %q", got, want)
+	}
+	if srv.StrLen([]byte("log")) != uint32(len(want)) {
+		t.Fatal("strlen disagrees")
+	}
+}
+
+func TestIncrBy(t *testing.T) {
+	srv, _ := localServer()
+	if v, ok := srv.IncrBy([]byte("n"), 5); !ok || v != 5 {
+		t.Fatalf("incr from missing: %d %t", v, ok)
+	}
+	if v, ok := srv.IncrBy([]byte("n"), -2); !ok || v != 3 {
+		t.Fatalf("incr: %d %t", v, ok)
+	}
+	if got := srv.Get([]byte("n")); string(got) != "3" {
+		t.Fatalf("stored %q", got)
+	}
+	srv.Set([]byte("s"), []byte("not-a-number"))
+	if _, ok := srv.IncrBy([]byte("s"), 1); ok {
+		t.Fatal("incr of non-integer succeeded")
+	}
+	// Survives many increments (SDS churn through the allocator).
+	for i := 0; i < 200; i++ {
+		srv.IncrBy([]byte("n"), 1)
+	}
+	if got := srv.Get([]byte("n")); string(got) != strconv.Itoa(203) {
+		t.Fatalf("final %q", got)
+	}
+}
+
+func TestLIndex(t *testing.T) {
+	srv, _ := localServer()
+	key := []byte("l")
+	const n = 300
+	for i := 0; i < n; i++ {
+		srv.RPush(key, []byte(fmt.Sprintf("e%03d", i)))
+	}
+	cases := map[int]string{0: "e000", 150: "e150", n - 1: fmt.Sprintf("e%03d", n-1), -1: fmt.Sprintf("e%03d", n-1), -n: "e000"}
+	for idx, want := range cases {
+		if got := srv.LIndex(key, idx); string(got) != want {
+			t.Fatalf("lindex %d = %q, want %q", idx, got, want)
+		}
+	}
+	if srv.LIndex(key, n) != nil || srv.LIndex(key, -n-1) != nil {
+		t.Fatal("out-of-range index returned data")
+	}
+	if srv.LIndex([]byte("missing"), 0) != nil {
+		t.Fatal("missing list returned data")
+	}
+}
+
+func TestSetNXGetSetGetDel(t *testing.T) {
+	srv, _ := localServer()
+	if !srv.SetNX([]byte("k"), []byte("v1")) {
+		t.Fatal("setnx on missing key failed")
+	}
+	if srv.SetNX([]byte("k"), []byte("v2")) {
+		t.Fatal("setnx overwrote")
+	}
+	if old := srv.GetSet([]byte("k"), []byte("v3")); string(old) != "v1" {
+		t.Fatalf("getset old = %q", old)
+	}
+	if srv.GetSet([]byte("fresh"), []byte("x")) != nil {
+		t.Fatal("getset on missing key returned a value")
+	}
+	if got := srv.GetDel([]byte("k")); string(got) != "v3" {
+		t.Fatalf("getdel = %q", got)
+	}
+	if srv.Exists([]byte("k")) {
+		t.Fatal("getdel left the key")
+	}
+	if srv.GetDel([]byte("k")) != nil {
+		t.Fatal("getdel on missing key returned a value")
+	}
+}
+
+func TestMGetMSet(t *testing.T) {
+	srv, _ := localServer()
+	srv.MSet([]byte("a"), []byte("1"), []byte("b"), []byte("2"))
+	out := srv.MGet([]byte("a"), []byte("missing"), []byte("b"))
+	if string(out[0]) != "1" || out[1] != nil || string(out[2]) != "2" {
+		t.Fatalf("mget = %q", out)
+	}
+}
+
+func TestDispatchNewStringCommands(t *testing.T) {
+	srv, _ := localServer()
+	if r := dispatch(t, srv, "SETNX", "k", "v"); r.Int != 1 {
+		t.Fatalf("setnx = %+v", r)
+	}
+	if r := dispatch(t, srv, "SETNX", "k", "w"); r.Int != 0 {
+		t.Fatalf("setnx 2 = %+v", r)
+	}
+	if r := dispatch(t, srv, "GETSET", "k", "x"); string(r.Bulk) != "v" {
+		t.Fatalf("getset = %+v", r)
+	}
+	if r := dispatch(t, srv, "MSET", "a", "1", "b", "2"); r.Str != "OK" {
+		t.Fatalf("mset = %+v", r)
+	}
+	if r := dispatch(t, srv, "MSET", "a", "1", "b"); r.Kind != RespError {
+		t.Fatalf("odd mset = %+v", r)
+	}
+	r := dispatch(t, srv, "MGET", "a", "zzz", "b")
+	if len(r.Array) != 3 || string(r.Array[0].Bulk) != "1" ||
+		r.Array[1].Kind != RespNil || string(r.Array[2].Bulk) != "2" {
+		t.Fatalf("mget = %+v", r)
+	}
+	if r := dispatch(t, srv, "GETDEL", "a"); string(r.Bulk) != "1" {
+		t.Fatalf("getdel = %+v", r)
+	}
+	if r := dispatch(t, srv, "GETDEL", "a"); r.Kind != RespNil {
+		t.Fatalf("getdel 2 = %+v", r)
+	}
+}

@@ -1,0 +1,56 @@
+package redis
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadResp hardens the RESP decoder against arbitrary wire bytes: it
+// must never panic, and whatever it accepts must re-encode to something it
+// decodes identically (decode∘encode idempotence).
+func FuzzReadResp(f *testing.F) {
+	var seed bytes.Buffer
+	WriteResp(&seed, Command([]byte("SET"), []byte("k"), []byte("v")))
+	f.Add(seed.Bytes())
+	f.Add([]byte("+OK\r\n"))
+	f.Add([]byte("$3\r\nabc\r\n"))
+	f.Add([]byte("*2\r\n:1\r\n$-1\r\n"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		v, err := ReadResp(bufio.NewReader(bytes.NewReader(wire)))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var re bytes.Buffer
+		if err := WriteResp(&re, v); err != nil {
+			t.Fatalf("accepted value failed to encode: %v", err)
+		}
+		v2, err := ReadResp(bufio.NewReader(&re))
+		if err != nil {
+			t.Fatalf("re-encoded value failed to decode: %v", err)
+		}
+		if !respEqual(v, v2) {
+			t.Fatal("decode/encode not idempotent")
+		}
+	})
+}
+
+// FuzzDispatch feeds arbitrary command arrays to the server: no panics,
+// and replies must always be encodable.
+func FuzzDispatch(f *testing.F) {
+	f.Add([]byte("SET"), []byte("a"), []byte("b"))
+	f.Add([]byte("GET"), []byte("a"), []byte(""))
+	f.Add([]byte("RPUSH"), []byte("l"), []byte("x"))
+	f.Add([]byte("INCRBY"), []byte("n"), []byte("nope"))
+	f.Fuzz(func(t *testing.T, a, b, c []byte) {
+		srv, _ := localServer()
+		for _, cmd := range [][][]byte{{a}, {a, b}, {a, b, c}} {
+			reply := srv.Dispatch(Command(cmd...))
+			var buf bytes.Buffer
+			if err := WriteResp(&buf, reply); err != nil {
+				t.Fatalf("unencodable reply: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package redis
+
+import (
+	"encoding/binary"
+
+	"dilos/internal/core"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+)
+
+// AppGuide is the paper's app-aware prefetcher for Redis (§6.3): four
+// subpage-prefetch handlers and four hooker functions, compiled with the
+// Redis "source" (this package), no changes to the command implementations
+// beyond the loader-style hook points they already expose.
+//
+//   - GET: when a value is found, a daemon reads the SDS header with a
+//     subpage fetch, learns the value length, and prefetches exactly the
+//     pages the value occupies.
+//   - LRANGE (Figure 11): the daemon chases the quicklist — one subpage
+//     read per 32-byte node yields the ziplist pointer, the cached ziplist
+//     size, and the next node; the daemon prefetches the ziplist's pages
+//     and the next node's page, then chases on — staying ahead of the
+//     traversal at one subpage round-trip per node.
+type AppGuide struct {
+	Depth int // quicklist chase runway (nodes)
+
+	sys    *core.System
+	coreID int
+
+	getQ []uint64 // SDS addresses awaiting header-guided prefetch
+
+	lrNode   uint64 // next quicklist node to chase
+	lrActive bool
+	lrRunway int
+
+	work sim.Waiter
+
+	SubpageReads int64
+	PagePrefetch int64
+}
+
+// NewAppGuide creates the Redis guide.
+func NewAppGuide() *AppGuide { return &AppGuide{Depth: 6} }
+
+// Name implements core.Guide.
+func (g *AppGuide) Name() string { return "redis-app-aware" }
+
+// Start implements core.Guide.
+func (g *AppGuide) Start(sys *core.System) {
+	g.sys = sys
+	sys.Eng.GoDaemon("guide.redis", g.daemon)
+}
+
+// OnFault implements core.Guide (the guide is hook-driven).
+func (g *AppGuide) OnFault(coreID int, vpn pagetable.VPN) {}
+
+// Install wires the guide's hookers into a server running on process p
+// (what DiLOS' ELF loader does when the guide binary is loaded beside the
+// application).
+func (g *AppGuide) Install(srv *Server, p *sim.Proc) {
+	srv.OnGetValue = func(sds uint64) {
+		g.getQ = append(g.getQ, sds)
+		g.work.Wake(p.Now())
+	}
+	srv.OnLRangeStart = func(head uint64) {
+		g.lrNode = head
+		g.lrActive = true
+		g.lrRunway = 0
+		g.work.Wake(p.Now())
+	}
+	srv.OnLRangeNode = func(node, zl uint64) {
+		if g.lrRunway > 0 {
+			g.lrRunway--
+		}
+		g.work.Wake(p.Now())
+	}
+	srv.OnLRangeEnd = func() {
+		g.lrActive = false
+	}
+}
+
+func (g *AppGuide) daemon(p *sim.Proc) {
+	for {
+		switch {
+		case len(g.getQ) > 0:
+			sds := g.getQ[0]
+			g.getQ = g.getQ[1:]
+			g.prefetchSDS(p, sds)
+		case g.lrActive && g.lrNode != 0 && g.lrRunway < g.Depth:
+			g.chaseQuicklist(p)
+		default:
+			g.work.Wait(p)
+		}
+	}
+}
+
+// prefetchSDS reads the 8-byte SDS header via the guide queue and
+// prefetches the exact pages of the value body.
+func (g *AppGuide) prefetchSDS(p *sim.Proc, sds uint64) {
+	var hdr [8]byte
+	if err := g.sys.ReadRemote(p, g.coreID, sds, hdr[:]); err != nil {
+		return
+	}
+	g.SubpageReads++
+	n := uint64(binary.LittleEndian.Uint32(hdr[:4]))
+	g.prefetchRange(p, sds, sdsHeader+n)
+}
+
+// chaseQuicklist advances one node: a single subpage read of the 32-byte
+// node header yields the ziplist pointer, its cached size, and the next
+// node — Figure 11's PG/SubPG choreography at one round-trip per node.
+func (g *AppGuide) chaseQuicklist(p *sim.Proc) {
+	node := g.lrNode
+	var nb [qlNodeSize]byte
+	if err := g.sys.ReadRemote(p, g.coreID, node, nb[:]); err != nil {
+		g.lrActive = false
+		return
+	}
+	g.SubpageReads++
+	next := binary.LittleEndian.Uint64(nb[8:16])
+	zl := binary.LittleEndian.Uint64(nb[16:24])
+	zlbytes := uint64(binary.LittleEndian.Uint32(nb[28:32]))
+	if zl != 0 && zlbytes > 0 {
+		g.prefetchRange(p, zl, zlbytes)
+	}
+	if next != 0 {
+		g.prefetchRange(p, next, qlNodeSize)
+	}
+	g.lrNode = next
+	g.lrRunway++
+}
+
+// prefetchRange schedules page prefetches covering [addr, addr+n).
+func (g *AppGuide) prefetchRange(p *sim.Proc, addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	first := pagetable.VPNOf(addr)
+	last := pagetable.VPNOf(addr + n - 1)
+	vpns := make([]pagetable.VPN, 0, last-first+1)
+	for v := first; v <= last; v++ {
+		vpns = append(vpns, v)
+	}
+	g.PagePrefetch += int64(len(vpns))
+	g.sys.SchedulePrefetch(p, g.coreID, vpns)
+}

@@ -1,0 +1,156 @@
+package redis
+
+// Ziplist and quicklist — the storage behind Redis lists (the LRANGE
+// workload, §6.3 and Figure 11). A quicklist is a doubly linked list of
+// 32-byte nodes, each owning a ziplist (a packed byte array of entries).
+// The pointer-chasing shape — node → next node, node → ziplist, ziplist
+// spanning pages — is exactly what defeats general-purpose prefetchers and
+// what the quicklist guide exploits.
+
+const (
+	zlHeader    = 8    // [zlbytes u32][count u32]
+	zlMaxBytes  = 3072 // new node when a ziplist would exceed this
+	qlNodeSize  = 32   // [prev][next][zl][count u32][zlbytes u32]
+	qlHandleLen = 24   // [head][tail][len]
+)
+
+// Quicklist is a host-side handle; all state lives in simulated memory at
+// handleAddr so that re-opening a list from the dict reads it back.
+type Quicklist struct {
+	s          *Server
+	handleAddr uint64
+}
+
+// NewQuicklist allocates an empty list.
+func (s *Server) NewQuicklist() *Quicklist {
+	h := s.alloc.Alloc(qlHandleLen)
+	s.sp.StoreU64(h, 0)
+	s.sp.StoreU64(h+8, 0)
+	s.sp.StoreU64(h+16, 0)
+	return &Quicklist{s: s, handleAddr: h}
+}
+
+// openQuicklist wraps an existing handle address.
+func (s *Server) openQuicklist(addr uint64) *Quicklist {
+	return &Quicklist{s: s, handleAddr: addr}
+}
+
+// Len returns the number of elements.
+func (q *Quicklist) Len() uint64 { return q.s.sp.LoadU64(q.handleAddr + 16) }
+
+func (q *Quicklist) head() uint64 { return q.s.sp.LoadU64(q.handleAddr) }
+func (q *Quicklist) tail() uint64 { return q.s.sp.LoadU64(q.handleAddr + 8) }
+
+// newZiplist allocates an empty ziplist sized for capacity bytes.
+func (q *Quicklist) newZiplist(capacity uint64) uint64 {
+	sp := q.s.sp
+	zl := q.s.alloc.Alloc(zlHeader + capacity)
+	sp.StoreU32(zl, zlHeader) // zlbytes: used bytes including header
+	sp.StoreU32(zl+4, 0)      // count
+	return zl
+}
+
+// Push appends val at the tail (RPUSH).
+func (q *Quicklist) Push(val []byte) {
+	sp := q.s.sp
+	need := uint64(4 + len(val))
+	tail := q.tail()
+	var zl uint64
+	if tail != 0 {
+		zl = sp.LoadU64(tail + 16)
+		used := uint64(sp.LoadU32(zl))
+		capacity := q.s.alloc.SizeOf(zl)
+		if used+need > capacity || used+need > zlMaxBytes {
+			tail = 0 // ziplist full: open a new node
+		}
+	}
+	if tail == 0 {
+		tail = q.appendNode(need)
+		zl = sp.LoadU64(tail + 16)
+	}
+	used := uint64(sp.LoadU32(zl))
+	sp.StoreU32(zl+used, uint32(len(val)))
+	sp.Store(zl+used+4, val)
+	sp.StoreU32(zl, uint32(used+need))
+	sp.StoreU32(zl+4, sp.LoadU32(zl+4)+1)
+	sp.StoreU32(tail+24, sp.LoadU32(tail+24)+1)
+	sp.StoreU32(tail+28, uint32(used+need)) // cached zlbytes for the guide
+	sp.StoreU64(q.handleAddr+16, q.Len()+1)
+}
+
+// appendNode links a fresh node (with a ziplist sized for at least `need`
+// bytes) at the tail and returns its address.
+func (q *Quicklist) appendNode(need uint64) uint64 {
+	sp := q.s.sp
+	capacity := uint64(zlMaxBytes)
+	if need > capacity {
+		capacity = need
+	}
+	node := q.s.alloc.Alloc(qlNodeSize)
+	zl := q.newZiplist(capacity)
+	old := q.tail()
+	sp.StoreU64(node, old) // prev
+	sp.StoreU64(node+8, 0) // next
+	sp.StoreU64(node+16, zl)
+	sp.StoreU32(node+24, 0)
+	sp.StoreU32(node+28, 0)
+	if old != 0 {
+		sp.StoreU64(old+8, node)
+	} else {
+		sp.StoreU64(q.handleAddr, node) // head
+	}
+	sp.StoreU64(q.handleAddr+8, node) // tail
+	return node
+}
+
+// Range returns elements [start, stop] (inclusive, like LRANGE). The three
+// callbacks are the guide hooks; any may be nil.
+func (q *Quicklist) Range(start, stop int, onStart func(uint64), onNode func(node, zl uint64), onEnd func()) [][]byte {
+	sp := q.s.sp
+	if stop < 0 {
+		stop = int(q.Len()) + stop
+	}
+	if start < 0 {
+		start = int(q.Len()) + start
+	}
+	if start < 0 {
+		start = 0
+	}
+	node := q.head()
+	if node == 0 || stop < start {
+		return nil
+	}
+	if onStart != nil {
+		onStart(node)
+	}
+	var out [][]byte
+	idx := 0
+	for node != 0 && idx <= stop {
+		zl := sp.LoadU64(node + 16)
+		if onNode != nil {
+			onNode(node, zl)
+		}
+		count := int(sp.LoadU32(node + 24))
+		if idx+count <= start {
+			idx += count // skip whole node without touching the ziplist
+			node = sp.LoadU64(node + 8)
+			continue
+		}
+		off := uint64(zlHeader)
+		for k := 0; k < count && idx <= stop; k++ {
+			elen := uint64(sp.LoadU32(zl + off))
+			if idx >= start {
+				buf := make([]byte, elen)
+				sp.Load(zl+off+4, buf)
+				out = append(out, buf)
+			}
+			off += 4 + elen
+			idx++
+		}
+		node = sp.LoadU64(node + 8)
+	}
+	if onEnd != nil {
+		onEnd()
+	}
+	return out
+}

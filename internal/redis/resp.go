@@ -1,0 +1,352 @@
+package redis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RESP2 (REdis Serialization Protocol) codec plus a command dispatcher:
+// the wire-compatibility layer that turns this package into something a
+// redis client library could talk to. The simulator's Redis benchmarks
+// call the Server methods directly (no protocol cost); Dispatch is the
+// bridge for protocol-level use and tests the command surface end to end.
+
+// RESP value kinds.
+type RespKind uint8
+
+// The RESP2 types.
+const (
+	RespString RespKind = iota // simple string
+	RespError
+	RespInt
+	RespBulk
+	RespArray
+	RespNil // nil bulk string ($-1)
+)
+
+// RespValue is one RESP2 value.
+type RespValue struct {
+	Kind  RespKind
+	Str   string      // simple string / error text
+	Int   int64       // integer
+	Bulk  []byte      // bulk string payload
+	Array []RespValue // array elements
+}
+
+// WriteResp encodes a value in RESP2 framing.
+func WriteResp(w io.Writer, v RespValue) error {
+	switch v.Kind {
+	case RespString:
+		_, err := fmt.Fprintf(w, "+%s\r\n", v.Str)
+		return err
+	case RespError:
+		_, err := fmt.Fprintf(w, "-%s\r\n", v.Str)
+		return err
+	case RespInt:
+		_, err := fmt.Fprintf(w, ":%d\r\n", v.Int)
+		return err
+	case RespBulk:
+		if _, err := fmt.Fprintf(w, "$%d\r\n", len(v.Bulk)); err != nil {
+			return err
+		}
+		if _, err := w.Write(v.Bulk); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\r\n")
+		return err
+	case RespNil:
+		_, err := io.WriteString(w, "$-1\r\n")
+		return err
+	case RespArray:
+		if _, err := fmt.Fprintf(w, "*%d\r\n", len(v.Array)); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := WriteResp(w, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("resp: unknown kind %d", v.Kind)
+}
+
+// ReadResp decodes one RESP2 value.
+func ReadResp(r *bufio.Reader) (RespValue, error) {
+	line, err := respLine(r)
+	if err != nil {
+		return RespValue{}, err
+	}
+	if len(line) == 0 {
+		return RespValue{}, fmt.Errorf("resp: empty frame")
+	}
+	body := string(line[1:])
+	switch line[0] {
+	case '+':
+		return RespValue{Kind: RespString, Str: body}, nil
+	case '-':
+		return RespValue{Kind: RespError, Str: body}, nil
+	case ':':
+		n, err := strconv.ParseInt(body, 10, 64)
+		if err != nil {
+			return RespValue{}, fmt.Errorf("resp: bad integer %q", body)
+		}
+		return RespValue{Kind: RespInt, Int: n}, nil
+	case '$':
+		n, err := strconv.Atoi(body)
+		if err != nil {
+			return RespValue{}, fmt.Errorf("resp: bad bulk length %q", body)
+		}
+		if n < 0 {
+			return RespValue{Kind: RespNil}, nil
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return RespValue{}, err
+		}
+		if buf[n] != '\r' || buf[n+1] != '\n' {
+			return RespValue{}, fmt.Errorf("resp: bulk not CRLF terminated")
+		}
+		return RespValue{Kind: RespBulk, Bulk: buf[:n]}, nil
+	case '*':
+		n, err := strconv.Atoi(body)
+		if err != nil || n < 0 {
+			return RespValue{}, fmt.Errorf("resp: bad array length %q", body)
+		}
+		arr := make([]RespValue, n)
+		for i := range arr {
+			arr[i], err = ReadResp(r)
+			if err != nil {
+				return RespValue{}, err
+			}
+		}
+		return RespValue{Kind: RespArray, Array: arr}, nil
+	}
+	return RespValue{}, fmt.Errorf("resp: unknown type byte %q", line[0])
+}
+
+func respLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	if len(line) < 2 || line[len(line)-2] != '\r' {
+		return nil, fmt.Errorf("resp: line not CRLF terminated")
+	}
+	return line[:len(line)-2], nil
+}
+
+// Command builds a RESP command array from arguments.
+func Command(args ...[]byte) RespValue {
+	arr := make([]RespValue, len(args))
+	for i, a := range args {
+		arr[i] = RespValue{Kind: RespBulk, Bulk: a}
+	}
+	return RespValue{Kind: RespArray, Array: arr}
+}
+
+func respErr(format string, args ...any) RespValue {
+	return RespValue{Kind: RespError, Str: "ERR " + fmt.Sprintf(format, args...)}
+}
+
+// Dispatch executes one RESP command array against the server and returns
+// the RESP reply — the redis-server command table for the implemented
+// surface: GET SET SETNX GETSET GETDEL MGET MSET DEL EXISTS STRLEN APPEND
+// INCR INCRBY DECR DECRBY RPUSH LRANGE LLEN LINDEX DBSIZE PING ECHO.
+func (s *Server) Dispatch(cmd RespValue) RespValue {
+	if cmd.Kind != RespArray || len(cmd.Array) == 0 {
+		return respErr("protocol: expected a command array")
+	}
+	args := make([][]byte, len(cmd.Array))
+	for i, a := range cmd.Array {
+		if a.Kind != RespBulk {
+			return respErr("protocol: command arguments must be bulk strings")
+		}
+		args[i] = a.Bulk
+	}
+	name := string(bytes.ToUpper(args[0]))
+	want := func(n int) *RespValue {
+		if len(args) != n {
+			v := respErr("wrong number of arguments for '%s'", name)
+			return &v
+		}
+		return nil
+	}
+	switch name {
+	case "PING":
+		return RespValue{Kind: RespString, Str: "PONG"}
+	case "ECHO":
+		if e := want(2); e != nil {
+			return *e
+		}
+		return RespValue{Kind: RespBulk, Bulk: args[1]}
+	case "SET":
+		if e := want(3); e != nil {
+			return *e
+		}
+		s.Set(args[1], args[2])
+		return RespValue{Kind: RespString, Str: "OK"}
+	case "SETNX":
+		if e := want(3); e != nil {
+			return *e
+		}
+		if s.SetNX(args[1], args[2]) {
+			return RespValue{Kind: RespInt, Int: 1}
+		}
+		return RespValue{Kind: RespInt, Int: 0}
+	case "GETSET":
+		if e := want(3); e != nil {
+			return *e
+		}
+		old := s.GetSet(args[1], args[2])
+		if old == nil {
+			return RespValue{Kind: RespNil}
+		}
+		return RespValue{Kind: RespBulk, Bulk: old}
+	case "GETDEL":
+		if e := want(2); e != nil {
+			return *e
+		}
+		v := s.GetDel(args[1])
+		if v == nil {
+			return RespValue{Kind: RespNil}
+		}
+		return RespValue{Kind: RespBulk, Bulk: v}
+	case "MGET":
+		if len(args) < 2 {
+			return respErr("wrong number of arguments for 'mget'")
+		}
+		vals := s.MGet(args[1:]...)
+		arr := make([]RespValue, len(vals))
+		for i, v := range vals {
+			if v == nil {
+				arr[i] = RespValue{Kind: RespNil}
+			} else {
+				arr[i] = RespValue{Kind: RespBulk, Bulk: v}
+			}
+		}
+		return RespValue{Kind: RespArray, Array: arr}
+	case "MSET":
+		if len(args) < 3 || len(args)%2 == 0 {
+			return respErr("wrong number of arguments for 'mset'")
+		}
+		s.MSet(args[1:]...)
+		return RespValue{Kind: RespString, Str: "OK"}
+	case "GET":
+		if e := want(2); e != nil {
+			return *e
+		}
+		v := s.Get(args[1])
+		if v == nil {
+			return RespValue{Kind: RespNil}
+		}
+		return RespValue{Kind: RespBulk, Bulk: v}
+	case "DEL":
+		n := int64(0)
+		for _, k := range args[1:] {
+			if s.Del(k) {
+				n++
+			}
+		}
+		return RespValue{Kind: RespInt, Int: n}
+	case "EXISTS":
+		n := int64(0)
+		for _, k := range args[1:] {
+			if s.Exists(k) {
+				n++
+			}
+		}
+		return RespValue{Kind: RespInt, Int: n}
+	case "STRLEN":
+		if e := want(2); e != nil {
+			return *e
+		}
+		return RespValue{Kind: RespInt, Int: int64(s.StrLen(args[1]))}
+	case "APPEND":
+		if e := want(3); e != nil {
+			return *e
+		}
+		return RespValue{Kind: RespInt, Int: int64(s.Append(args[1], args[2]))}
+	case "INCR", "DECR", "INCRBY", "DECRBY":
+		delta := int64(1)
+		switch name {
+		case "INCR":
+			if e := want(2); e != nil {
+				return *e
+			}
+		case "DECR":
+			if e := want(2); e != nil {
+				return *e
+			}
+			delta = -1
+		default:
+			if e := want(3); e != nil {
+				return *e
+			}
+			d, err := strconv.ParseInt(string(args[2]), 10, 64)
+			if err != nil {
+				return respErr("value is not an integer or out of range")
+			}
+			delta = d
+			if name == "DECRBY" {
+				delta = -d
+			}
+		}
+		v, ok := s.IncrBy(args[1], delta)
+		if !ok {
+			return respErr("value is not an integer or out of range")
+		}
+		return RespValue{Kind: RespInt, Int: v}
+	case "RPUSH":
+		if len(args) < 3 {
+			return respErr("wrong number of arguments for 'rpush'")
+		}
+		var n uint64
+		for _, v := range args[2:] {
+			n = s.RPush(args[1], v)
+		}
+		return RespValue{Kind: RespInt, Int: int64(n)}
+	case "LLEN":
+		if e := want(2); e != nil {
+			return *e
+		}
+		return RespValue{Kind: RespInt, Int: int64(s.LLen(args[1]))}
+	case "LINDEX":
+		if e := want(3); e != nil {
+			return *e
+		}
+		idx, err := strconv.Atoi(string(args[2]))
+		if err != nil {
+			return respErr("value is not an integer or out of range")
+		}
+		v := s.LIndex(args[1], idx)
+		if v == nil {
+			return RespValue{Kind: RespNil}
+		}
+		return RespValue{Kind: RespBulk, Bulk: v}
+	case "LRANGE":
+		if e := want(4); e != nil {
+			return *e
+		}
+		start, err1 := strconv.Atoi(string(args[2]))
+		stop, err2 := strconv.Atoi(string(args[3]))
+		if err1 != nil || err2 != nil {
+			return respErr("value is not an integer or out of range")
+		}
+		out := s.LRange(args[1], start, stop)
+		arr := make([]RespValue, len(out))
+		for i, e := range out {
+			arr[i] = RespValue{Kind: RespBulk, Bulk: e}
+		}
+		return RespValue{Kind: RespArray, Array: arr}
+	case "DBSIZE":
+		if e := want(1); e != nil {
+			return *e
+		}
+		return RespValue{Kind: RespInt, Int: int64(s.DBSize())}
+	}
+	return respErr("unknown command '%s'", name)
+}

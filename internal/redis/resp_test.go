@@ -1,0 +1,229 @@
+package redis
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func respRoundTrip(t *testing.T, v RespValue) RespValue {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteResp(&buf, v); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResp(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("decode %q: %v", buf.String(), err)
+	}
+	return got
+}
+
+func TestRespRoundTripBasics(t *testing.T) {
+	cases := []RespValue{
+		{Kind: RespString, Str: "OK"},
+		{Kind: RespError, Str: "ERR boom"},
+		{Kind: RespInt, Int: -42},
+		{Kind: RespBulk, Bulk: []byte("hello\r\nworld")}, // CRLF inside bulk
+		{Kind: RespBulk, Bulk: []byte{}},
+		{Kind: RespNil},
+		Command([]byte("SET"), []byte("k"), []byte("v")),
+		{Kind: RespArray, Array: []RespValue{}},
+	}
+	for i, v := range cases {
+		got := respRoundTrip(t, v)
+		if !respEqual(got, v) {
+			t.Fatalf("case %d: %+v != %+v", i, got, v)
+		}
+	}
+}
+
+func respEqual(a, b RespValue) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case RespString, RespError:
+		return a.Str == b.Str
+	case RespInt:
+		return a.Int == b.Int
+	case RespBulk:
+		return bytes.Equal(a.Bulk, b.Bulk)
+	case RespNil:
+		return true
+	case RespArray:
+		if len(a.Array) != len(b.Array) {
+			return false
+		}
+		for i := range a.Array {
+			if !respEqual(a.Array[i], b.Array[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Property: arbitrary command arrays round-trip through the codec.
+func TestQuickRespCommands(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cmd := Command(raw...)
+		var buf bytes.Buffer
+		if err := WriteResp(&buf, cmd); err != nil {
+			return false
+		}
+		got, err := ReadResp(bufio.NewReader(&buf))
+		if err != nil {
+			return false
+		}
+		return respEqual(got, cmd)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRespRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "x\r\n", "$5\r\nab\r\n", "*2\r\n+a\r\n", ":notanint\r\n", "+no-terminator"} {
+		if _, err := ReadResp(bufio.NewReader(bytes.NewReader([]byte(s)))); err == nil {
+			t.Fatalf("accepted garbage %q", s)
+		}
+	}
+}
+
+func dispatch(t *testing.T, srv *Server, args ...string) RespValue {
+	t.Helper()
+	bs := make([][]byte, len(args))
+	for i, a := range args {
+		bs[i] = []byte(a)
+	}
+	return srv.Dispatch(Command(bs...))
+}
+
+func TestDispatchStringCommands(t *testing.T) {
+	srv, _ := localServer()
+	if r := dispatch(t, srv, "PING"); r.Str != "PONG" {
+		t.Fatalf("ping = %+v", r)
+	}
+	if r := dispatch(t, srv, "ECHO", "hi"); string(r.Bulk) != "hi" {
+		t.Fatalf("echo = %+v", r)
+	}
+	if r := dispatch(t, srv, "SET", "k", "v"); r.Str != "OK" {
+		t.Fatalf("set = %+v", r)
+	}
+	if r := dispatch(t, srv, "GET", "k"); string(r.Bulk) != "v" {
+		t.Fatalf("get = %+v", r)
+	}
+	if r := dispatch(t, srv, "GET", "missing"); r.Kind != RespNil {
+		t.Fatalf("get missing = %+v", r)
+	}
+	if r := dispatch(t, srv, "APPEND", "k", "!!"); r.Int != 3 {
+		t.Fatalf("append = %+v", r)
+	}
+	if r := dispatch(t, srv, "STRLEN", "k"); r.Int != 3 {
+		t.Fatalf("strlen = %+v", r)
+	}
+	if r := dispatch(t, srv, "EXISTS", "k", "missing", "k"); r.Int != 2 {
+		t.Fatalf("exists = %+v", r)
+	}
+	if r := dispatch(t, srv, "DEL", "k", "missing"); r.Int != 1 {
+		t.Fatalf("del = %+v", r)
+	}
+	if r := dispatch(t, srv, "DBSIZE"); r.Int != 0 {
+		t.Fatalf("dbsize = %+v", r)
+	}
+}
+
+func TestDispatchCounters(t *testing.T) {
+	srv, _ := localServer()
+	if r := dispatch(t, srv, "INCR", "n"); r.Int != 1 {
+		t.Fatalf("incr = %+v", r)
+	}
+	if r := dispatch(t, srv, "INCRBY", "n", "10"); r.Int != 11 {
+		t.Fatalf("incrby = %+v", r)
+	}
+	if r := dispatch(t, srv, "DECRBY", "n", "4"); r.Int != 7 {
+		t.Fatalf("decrby = %+v", r)
+	}
+	if r := dispatch(t, srv, "DECR", "n"); r.Int != 6 {
+		t.Fatalf("decr = %+v", r)
+	}
+	srv.Set([]byte("s"), []byte("text"))
+	if r := dispatch(t, srv, "INCR", "s"); r.Kind != RespError {
+		t.Fatalf("incr non-int = %+v", r)
+	}
+}
+
+func TestDispatchLists(t *testing.T) {
+	srv, _ := localServer()
+	if r := dispatch(t, srv, "RPUSH", "l", "a", "b", "c"); r.Int != 3 {
+		t.Fatalf("rpush = %+v", r)
+	}
+	if r := dispatch(t, srv, "LLEN", "l"); r.Int != 3 {
+		t.Fatalf("llen = %+v", r)
+	}
+	if r := dispatch(t, srv, "LINDEX", "l", "1"); string(r.Bulk) != "b" {
+		t.Fatalf("lindex = %+v", r)
+	}
+	if r := dispatch(t, srv, "LINDEX", "l", "9"); r.Kind != RespNil {
+		t.Fatalf("lindex oob = %+v", r)
+	}
+	r := dispatch(t, srv, "LRANGE", "l", "0", "-1")
+	if r.Kind != RespArray || len(r.Array) != 3 || string(r.Array[2].Bulk) != "c" {
+		t.Fatalf("lrange = %+v", r)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	srv, _ := localServer()
+	if r := dispatch(t, srv, "NOSUCH"); r.Kind != RespError {
+		t.Fatalf("unknown = %+v", r)
+	}
+	if r := dispatch(t, srv, "GET"); r.Kind != RespError {
+		t.Fatalf("arity = %+v", r)
+	}
+	if r := srv.Dispatch(RespValue{Kind: RespInt, Int: 1}); r.Kind != RespError {
+		t.Fatalf("non-array = %+v", r)
+	}
+	if r := srv.Dispatch(RespValue{Kind: RespArray,
+		Array: []RespValue{{Kind: RespInt, Int: 1}}}); r.Kind != RespError {
+		t.Fatalf("non-bulk arg = %+v", r)
+	}
+}
+
+// End-to-end: a RESP conversation over a pipe against a server running on
+// DiLOS-style local space — client encodes, server decodes+dispatches,
+// replies round-trip.
+func TestRespConversation(t *testing.T) {
+	srv, _ := localServer()
+	var wire bytes.Buffer
+	cmds := []RespValue{
+		Command([]byte("SET"), []byte("greeting"), []byte("hello")),
+		Command([]byte("GET"), []byte("greeting")),
+		Command([]byte("RPUSH"), []byte("q"), []byte("1"), []byte("2")),
+		Command([]byte("LRANGE"), []byte("q"), []byte("0"), []byte("-1")),
+	}
+	for _, c := range cmds {
+		if err := WriteResp(&wire, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&wire)
+	var replies []RespValue
+	for range cmds {
+		cmd, err := ReadResp(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replies = append(replies, srv.Dispatch(cmd))
+	}
+	if replies[0].Str != "OK" || string(replies[1].Bulk) != "hello" ||
+		replies[2].Int != 2 || len(replies[3].Array) != 2 {
+		t.Fatalf("conversation = %+v", replies)
+	}
+}

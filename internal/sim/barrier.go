@@ -1,0 +1,29 @@
+package sim
+
+// Barrier synchronizes N processes in virtual time: everyone leaves at the
+// time the last process arrived (the multi-threaded GAPBS phases use it).
+type Barrier struct {
+	n       int
+	arrived int
+	w       Waiter
+}
+
+// NewBarrier creates a barrier for n processes.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier needs at least one process")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks p until all n processes have arrived. The last arriver
+// releases everyone at its own (latest) time and does not block.
+func (b *Barrier) Wait(p *Proc) {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.w.Wake(p.Now())
+		return
+	}
+	b.w.Wait(p)
+}

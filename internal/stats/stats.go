@@ -1,0 +1,164 @@
+// Package stats provides the measurement primitives the evaluation harness
+// is built on: counters, latency histograms with tail percentiles, and
+// time-bucketed bandwidth series (for the Figure 12 style plots).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dilos/internal/sim"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	Name string
+	N    int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.N += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.N++ }
+
+func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.Name, c.N) }
+
+// Histogram records latency samples and reports percentiles. Samples are
+// stored exactly (the simulations here record at most a few million), so
+// percentiles are exact rather than bucket-approximated.
+type Histogram struct {
+	Name    string
+	samples []sim.Time
+	sorted  bool
+	sum     sim.Time
+	max     sim.Time
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram(name string) *Histogram {
+	return &Histogram{Name: name}
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v sim.Time) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or 0 with no samples.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(h.samples) {
+		rank = len(h.samples)
+	}
+	return h.samples[rank-1]
+}
+
+// P50, P99, P999 are shorthands for the usual tail percentiles.
+func (h *Histogram) P50() sim.Time  { return h.Percentile(50) }
+func (h *Histogram) P99() sim.Time  { return h.Percentile(99) }
+func (h *Histogram) P999() sim.Time { return h.Percentile(99.9) }
+
+// Reset drops all samples.
+func (h *Histogram) Reset() {
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.sum = 0
+	h.max = 0
+}
+
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p99=%v p99.9=%v max=%v",
+		h.Name, h.Count(), h.Mean(), h.P50(), h.P99(), h.P999(), h.Max())
+}
+
+// Bandwidth accumulates transferred bytes into fixed-width virtual-time
+// buckets, producing the bandwidth-over-time series of Figure 12.
+type Bandwidth struct {
+	Name    string
+	Bucket  sim.Time // bucket width
+	buckets []int64  // bytes per bucket
+	total   int64
+}
+
+// NewBandwidth creates a bandwidth series with the given bucket width.
+func NewBandwidth(name string, bucket sim.Time) *Bandwidth {
+	if bucket <= 0 {
+		panic("stats: bandwidth bucket must be positive")
+	}
+	return &Bandwidth{Name: name, Bucket: bucket}
+}
+
+// Add records `bytes` transferred at virtual time `at`.
+func (b *Bandwidth) Add(at sim.Time, bytes int64) {
+	if bytes < 0 {
+		panic("stats: negative bandwidth sample")
+	}
+	idx := int(at / b.Bucket)
+	for len(b.buckets) <= idx {
+		b.buckets = append(b.buckets, 0)
+	}
+	b.buckets[idx] += bytes
+	b.total += bytes
+}
+
+// Total returns the total bytes recorded.
+func (b *Bandwidth) Total() int64 { return b.total }
+
+// Buckets returns the per-bucket byte counts (shared slice; do not mutate).
+func (b *Bandwidth) Buckets() []int64 { return b.buckets }
+
+// Series returns (bucket start time, bytes/sec) pairs for plotting.
+func (b *Bandwidth) Series() []BandwidthPoint {
+	pts := make([]BandwidthPoint, len(b.buckets))
+	for i, v := range b.buckets {
+		pts[i] = BandwidthPoint{
+			At:          sim.Time(i) * b.Bucket,
+			BytesPerSec: float64(v) / b.Bucket.Seconds(),
+		}
+	}
+	return pts
+}
+
+// BandwidthPoint is one point of a bandwidth series.
+type BandwidthPoint struct {
+	At          sim.Time
+	BytesPerSec float64
+}
+
+// GBps formats a bytes/sec value as GB/s (decimal GB, as the paper does).
+func GBps(bytesPerSec float64) float64 { return bytesPerSec / 1e9 }

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hardens the trace decoder against corrupt files.
+func FuzzLoad(f *testing.F) {
+	r := NewRecorder(0)
+	r.Record(1, 2, Major)
+	r.Record(5, 9, Write)
+	var seed bytes.Buffer
+	r.Save(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("DTRC"))
+	f.Add([]byte("XXXX\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loads must save/load identically.
+		r := NewRecorder(len(events) + 1)
+		for _, e := range events {
+			r.Record(e.At, e.VPN, e.Kind)
+		}
+		var buf bytes.Buffer
+		if err := r.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(events) {
+			t.Fatal("length changed across save/load")
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package transport_test
+
+import (
+	"testing"
+
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/memnode"
+	"dilos/internal/prefetch"
+	"dilos/internal/redis"
+	"dilos/internal/sim"
+	"dilos/internal/transport"
+)
+
+// startDaemon boots a real memnoded over loopback.
+func startDaemon(t *testing.T, sizeMB uint64, pkey uint32) string {
+	t.Helper()
+	node := memnode.New(sizeMB<<20, pkey)
+	srv := transport.NewServer(node)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestDiLOSOverRealTCPDaemon runs the complete LibOS — fault handler,
+// prefetcher, cleaner, reclaimer — with every page living on a memnoded
+// daemon reached over real TCP. The simulation supplies the timing; the
+// data path leaves the process.
+func TestDiLOSOverRealTCPDaemon(t *testing.T) {
+	addr := startDaemon(t, 128, 0xd170)
+	backing, err := transport.NewBacking(addr, 0xd170)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backing.C.Close()
+
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 64,
+		Cores:       2,
+		RemoteBytes: 1, // ignored with Backings
+		Fabric:      fabric.DefaultParams(),
+		Prefetcher:  prefetch.NewReadahead(0),
+		Backings:    []core.Backing{backing},
+	})
+	sys.Start()
+
+	const pages = 256 // 4x the cache: every page round-trips the network
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		base, err := sys.MmapDDC(pages)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*core.PageSize, i*0x9e3779b97f4a7c15)
+		}
+		for i := uint64(0); i < pages; i++ {
+			if got := sp.LoadU64(base + i*core.PageSize); got != i*0x9e3779b97f4a7c15 {
+				t.Errorf("page %d corrupted across the real network: %#x", i, got)
+				return
+			}
+		}
+	})
+	eng.Run()
+
+	if sys.MajorFaults.N == 0 || sys.Mgr.Evicted.N == 0 {
+		t.Fatalf("no paging over the network: major=%d evicted=%d",
+			sys.MajorFaults.N, sys.Mgr.Evicted.N)
+	}
+	// Confirm the data actually left the process.
+	_, inUse, err := backing.C.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inUse == 0 {
+		t.Fatal("daemon reports no pages in use")
+	}
+}
+
+// TestDiLOSShardedAcrossTwoDaemons stripes pages across two real daemons.
+func TestDiLOSShardedAcrossTwoDaemons(t *testing.T) {
+	a := startDaemon(t, 64, 0xaaaa)
+	b := startDaemon(t, 64, 0xbbbb)
+	ba, err := transport.NewBacking(a, 0xaaaa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := transport.NewBacking(b, 0xbbbb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 64,
+		Cores:       2,
+		RemoteBytes: 1,
+		Fabric:      fabric.DefaultParams(),
+		Backings:    []core.Backing{ba, bb},
+	})
+	sys.Start()
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		base, _ := sys.MmapDDC(200)
+		for i := uint64(0); i < 200; i++ {
+			sp.StoreU64(base+i*core.PageSize, ^i)
+		}
+		for i := uint64(0); i < 200; i++ {
+			if sp.LoadU64(base+i*core.PageSize) != ^i {
+				t.Errorf("page %d corrupted", i)
+				return
+			}
+		}
+	})
+	eng.Run()
+	for name, bk := range map[string]*transport.Backing{"a": ba, "b": bb} {
+		if _, inUse, _ := bk.C.Info(); inUse == 0 {
+			t.Fatalf("shard %s unused", name)
+		}
+	}
+}
+
+// TestRedisOverRealTCPDaemon: the full Redis stack, guided allocator and
+// all, with its keyspace on a real remote daemon.
+func TestRedisOverRealTCPDaemon(t *testing.T) {
+	addr := startDaemon(t, 256, 0xd170)
+	backing, err := transport.NewBacking(addr, 0xd170)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 128,
+		Cores:       2,
+		RemoteBytes: 1,
+		Fabric:      fabric.DefaultParams(),
+		Backings:    []core.Backing{backing},
+	})
+	sys.Start()
+	sys.Launch("redis", 0, func(sp *core.DDCProc) {
+		srv := redis.NewServer(sp)
+		const keys = 200
+		redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
+		res := redis.RunGET(sp, srv, keys, 400, redis.SizeFixed(4096), 13)
+		if res.BadValues != 0 {
+			t.Errorf("bad values over the network: %d", res.BadValues)
+		}
+	})
+	eng.Run()
+}

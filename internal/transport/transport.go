@@ -1,0 +1,413 @@
+// Package transport implements a real (non-simulated) wire protocol for a
+// remote memory node over TCP: the one-sided READ/WRITE/vectored-op
+// service a DiLOS computing node needs, runnable today on any pair of
+// hosts (cmd/memnoded serves it; Client speaks it). The simulator's fabric
+// models RDMA timing; this package demonstrates the same protocol working
+// end-to-end outside the simulator — including the protection-key check
+// the paper's driver enforces in the RNIC.
+//
+// Wire format (little-endian), one request/response pair per message:
+//
+//	request:  [op u8][pkey u32][nsegs u16] then per segment
+//	          [off u64][len u32]; for WRITE/WRITEV the payloads follow
+//	          in segment order.
+//	response: [status u8] then for READ/READV the payloads in segment
+//	          order; for ALLOC a [off u64].
+//
+// Ops: 1 READ, 2 WRITE, 3 READV, 4 WRITEV, 5 ALLOC (pages), 6 INFO.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dilos/internal/memnode"
+)
+
+// Op codes.
+const (
+	OpRead   = 1
+	OpWrite  = 2
+	OpReadV  = 3
+	OpWriteV = 4
+	OpAlloc  = 5
+	OpInfo   = 6
+)
+
+// Status codes.
+const (
+	StatusOK      = 0
+	StatusBadKey  = 1
+	StatusBadOp   = 2
+	StatusBounds  = 3
+	StatusNoSpace = 4
+)
+
+// MaxSegs bounds vectored requests (mirrors the fabric's practical cap).
+const MaxSegs = 64
+
+// Seg is one segment of a vectored request.
+type Seg struct {
+	Off uint64
+	Len uint32
+}
+
+// Server serves a memory node over TCP.
+type Server struct {
+	node *memnode.Node
+	mu   sync.Mutex // the node structure is not concurrent-safe
+	ln   net.Listener
+}
+
+// NewServer wraps a memory node.
+func NewServer(node *memnode.Node) *Server { return &Server{node: node} }
+
+// Listen binds the server; addr like ":7479". Returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+	var hdr [7]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return
+		}
+		op := hdr[0]
+		pkey := binary.LittleEndian.Uint32(hdr[1:5])
+		nsegs := binary.LittleEndian.Uint16(hdr[5:7])
+		if err := s.serveOne(r, w, op, pkey, int(nsegs)); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32, nsegs int) error {
+	if nsegs > MaxSegs {
+		w.WriteByte(StatusBadOp)
+		return fmt.Errorf("too many segments")
+	}
+	segs := make([]Seg, nsegs)
+	var segHdr [12]byte
+	for i := range segs {
+		if _, err := io.ReadFull(r, segHdr[:]); err != nil {
+			return err
+		}
+		segs[i].Off = binary.LittleEndian.Uint64(segHdr[:8])
+		segs[i].Len = binary.LittleEndian.Uint32(segHdr[8:12])
+	}
+	// Drain write payloads before any early status return, to keep the
+	// stream in sync.
+	var payload []byte
+	if op == OpWrite || op == OpWriteV {
+		total := 0
+		for _, sg := range segs {
+			total += int(sg.Len)
+		}
+		payload = make([]byte, total)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return err
+		}
+	}
+	if pkey != s.node.ProtKey {
+		w.WriteByte(StatusBadKey)
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch op {
+	case OpRead, OpReadV:
+		for _, sg := range segs {
+			if sg.Off+uint64(sg.Len) > s.node.Size() {
+				w.WriteByte(StatusBounds)
+				return nil
+			}
+		}
+		w.WriteByte(StatusOK)
+		buf := make([]byte, 0, 4096)
+		for _, sg := range segs {
+			if cap(buf) < int(sg.Len) {
+				buf = make([]byte, sg.Len)
+			}
+			b := buf[:sg.Len]
+			s.node.ReadAt(sg.Off, b)
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+	case OpWrite, OpWriteV:
+		off := 0
+		for _, sg := range segs {
+			if sg.Off+uint64(sg.Len) > s.node.Size() {
+				w.WriteByte(StatusBounds)
+				return nil
+			}
+			off += int(sg.Len)
+		}
+		off = 0
+		for _, sg := range segs {
+			s.node.WriteAt(sg.Off, payload[off:off+int(sg.Len)])
+			off += int(sg.Len)
+		}
+		w.WriteByte(StatusOK)
+	case OpAlloc:
+		// segs[0].Len carries the page count.
+		if nsegs != 1 {
+			w.WriteByte(StatusBadOp)
+			return nil
+		}
+		base, err := s.node.AllocRange(uint64(segs[0].Len))
+		if err != nil {
+			w.WriteByte(StatusNoSpace)
+			return nil
+		}
+		w.WriteByte(StatusOK)
+		var out [8]byte
+		binary.LittleEndian.PutUint64(out[:], base)
+		w.Write(out[:])
+	case OpInfo:
+		w.WriteByte(StatusOK)
+		var out [16]byte
+		binary.LittleEndian.PutUint64(out[:8], s.node.Size())
+		binary.LittleEndian.PutUint64(out[8:], uint64(s.node.PagesInUse()))
+		w.Write(out[:])
+	default:
+		w.WriteByte(StatusBadOp)
+	}
+	return nil
+}
+
+// Client is a computing-node-side connection to a memory node daemon.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	pkey uint32
+	mu   sync.Mutex
+}
+
+// Dial connects to a memory node daemon.
+func Dial(addr string, pkey uint32) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 64<<10),
+		w:    bufio.NewWriterSize(conn, 64<<10),
+		pkey: pkey,
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) request(op byte, segs []Seg, payload []byte) (byte, error) {
+	var hdr [7]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], c.pkey)
+	binary.LittleEndian.PutUint16(hdr[5:7], uint16(len(segs)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var segHdr [12]byte
+	for _, sg := range segs {
+		binary.LittleEndian.PutUint64(segHdr[:8], sg.Off)
+		binary.LittleEndian.PutUint32(segHdr[8:12], sg.Len)
+		if _, err := c.w.Write(segHdr[:]); err != nil {
+			return 0, err
+		}
+	}
+	if payload != nil {
+		if _, err := c.w.Write(payload); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return status, nil
+}
+
+func statusErr(op string, status byte) error {
+	if status == StatusOK {
+		return nil
+	}
+	return fmt.Errorf("transport: %s failed with status %d", op, status)
+}
+
+// Read performs a one-sided READ into p.
+func (c *Client) Read(off uint64, p []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, err := c.request(OpRead, []Seg{{off, uint32(len(p))}}, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return statusErr("read", status)
+	}
+	_, err = io.ReadFull(c.r, p)
+	return err
+}
+
+// Write performs a one-sided WRITE of p.
+func (c *Client) Write(off uint64, p []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, err := c.request(OpWrite, []Seg{{off, uint32(len(p))}}, p)
+	if err != nil {
+		return err
+	}
+	return statusErr("write", status)
+}
+
+// ReadV performs a vectored READ; bufs[i] receives segs[i].
+func (c *Client) ReadV(segs []Seg, bufs [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, err := c.request(OpReadV, segs, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return statusErr("readv", status)
+	}
+	for _, b := range bufs {
+		if _, err := io.ReadFull(c.r, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteV performs a vectored WRITE of bufs to segs.
+func (c *Client) WriteV(segs []Seg, bufs [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var payload []byte
+	for _, b := range bufs {
+		payload = append(payload, b...)
+	}
+	status, err := c.request(OpWriteV, segs, payload)
+	if err != nil {
+		return err
+	}
+	return statusErr("writev", status)
+}
+
+// Alloc reserves a contiguous range of pages, returning the base offset.
+func (c *Client) Alloc(pages uint32) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, err := c.request(OpAlloc, []Seg{{0, pages}}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, statusErr("alloc", status)
+	}
+	var out [8]byte
+	if _, err := io.ReadFull(c.r, out[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(out[:]), nil
+}
+
+// Info returns the region size and pages in use.
+func (c *Client) Info() (size uint64, inUse uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	status, err := c.request(OpInfo, nil, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != StatusOK {
+		return 0, 0, statusErr("info", status)
+	}
+	var out [16]byte
+	if _, err := io.ReadFull(c.r, out[:]); err != nil {
+		return 0, 0, err
+	}
+	return binary.LittleEndian.Uint64(out[:8]), binary.LittleEndian.Uint64(out[8:]), nil
+}
+
+// Backing adapts a Client into the backing interface a DiLOS computing
+// node expects (fabric.Store + page-range allocation): with it, a
+// simulated LibOS keeps every one of its pages on a real memnoded daemon —
+// the data path crosses the network, the timing stays modelled. IO errors
+// are fatal (a paging system cannot continue without its backing store).
+type Backing struct {
+	C    *Client
+	PKey uint32
+}
+
+// NewBacking dials a memnoded daemon and wraps it as a Backing.
+func NewBacking(addr string, pkey uint32) (*Backing, error) {
+	c, err := Dial(addr, pkey)
+	if err != nil {
+		return nil, err
+	}
+	return &Backing{C: c, PKey: pkey}, nil
+}
+
+// ReadAt implements fabric.Store.
+func (b *Backing) ReadAt(off uint64, p []byte) {
+	if err := b.C.Read(off, p); err != nil {
+		panic(fmt.Sprintf("transport: backing read failed: %v", err))
+	}
+}
+
+// WriteAt implements fabric.Store.
+func (b *Backing) WriteAt(off uint64, p []byte) {
+	if err := b.C.Write(off, p); err != nil {
+		panic(fmt.Sprintf("transport: backing write failed: %v", err))
+	}
+}
+
+// AllocRange reserves contiguous pages on the daemon.
+func (b *Backing) AllocRange(pages uint64) (uint64, error) {
+	return b.C.Alloc(uint32(pages))
+}
+
+// Key returns the protection key presented on every request.
+func (b *Backing) Key() uint32 { return b.PKey }

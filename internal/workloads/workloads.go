@@ -1,0 +1,293 @@
+// Package workloads implements the paper's simple benchmarks (§6.1–§6.2)
+// against the space.Space abstraction, so the identical, unmodified code
+// runs on DiLOS, Fastswap, or plain local memory:
+//
+//   - sequential read/write with 4 KiB strides (Table 2, Figures 1/6,
+//     Tables 1/3);
+//   - in-place quicksort of random 64-bit integers (Figure 7(a) —
+//     std::sort in the paper);
+//   - Lloyd's k-means over multi-dimensional points (Figure 7(b) —
+//     scikit-learn in the paper), whose repeated full-data passes that
+//     dirty the assignment and accumulate across pages are what stresses
+//     reclamation.
+package workloads
+
+import (
+	"math/rand"
+
+	"dilos/internal/sim"
+	"dilos/internal/space"
+)
+
+// PageSize is the stride of the sequential workloads.
+const PageSize = 4096
+
+// SeqRead touches one byte per page over `pages` pages.
+func SeqRead(sp space.Space, base uint64, pages uint64) sim.Time {
+	t0 := sp.Now()
+	for i := uint64(0); i < pages; i++ {
+		sp.LoadU8(base + i*PageSize)
+	}
+	return sp.Now() - t0
+}
+
+// SeqWrite stores one word per page over `pages` pages.
+func SeqWrite(sp space.Space, base uint64, pages uint64) sim.Time {
+	t0 := sp.Now()
+	for i := uint64(0); i < pages; i++ {
+		sp.StoreU64(base+i*PageSize, i)
+	}
+	return sp.Now() - t0
+}
+
+// FillRandomU64 populates n u64 elements at base with a deterministic
+// pseudo-random sequence.
+func FillRandomU64(sp space.Space, base uint64, n uint64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, PageSize)
+	for off := uint64(0); off < n*8; {
+		chunk := n*8 - off
+		if chunk > PageSize {
+			chunk = PageSize
+		}
+		for i := uint64(0); i+8 <= chunk; i += 8 {
+			v := rng.Uint64()
+			buf[i] = byte(v)
+			buf[i+1] = byte(v >> 8)
+			buf[i+2] = byte(v >> 16)
+			buf[i+3] = byte(v >> 24)
+			buf[i+4] = byte(v >> 32)
+			buf[i+5] = byte(v >> 40)
+			buf[i+6] = byte(v >> 48)
+			buf[i+7] = byte(v >> 56)
+		}
+		sp.Store(base+off, buf[:chunk])
+		off += chunk
+	}
+}
+
+// Quicksort sorts n u64 elements at base in place — the paper's
+// std::sort workload. Iterative with an explicit stack and median-of-three
+// pivots, falling back to insertion sort on small ranges like std::sort's
+// introsort does.
+func Quicksort(sp space.Space, base uint64, n uint64) sim.Time {
+	t0 := sp.Now()
+	if n > 1 {
+		quicksort(sp, base, 0, int64(n)-1)
+	}
+	return sp.Now() - t0
+}
+
+const insertionCutoff = 16
+
+func quicksort(sp space.Space, base uint64, lo, hi int64) {
+	type rng struct{ lo, hi int64 }
+	stack := []rng{{lo, hi}}
+	get := func(i int64) uint64 { return sp.LoadU64(base + uint64(i)*8) }
+	put := func(i int64, v uint64) { sp.StoreU64(base+uint64(i)*8, v) }
+	swap := func(i, j int64) {
+		a, b := get(i), get(j)
+		put(i, b)
+		put(j, a)
+	}
+	for len(stack) > 0 {
+		r := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lo, hi := r.lo, r.hi
+		for hi-lo >= insertionCutoff {
+			// Median of three.
+			mid := lo + (hi-lo)/2
+			if get(mid) < get(lo) {
+				swap(mid, lo)
+			}
+			if get(hi) < get(lo) {
+				swap(hi, lo)
+			}
+			if get(hi) < get(mid) {
+				swap(hi, mid)
+			}
+			pivot := get(mid)
+			i, j := lo, hi
+			for i <= j {
+				for get(i) < pivot {
+					i++
+				}
+				for get(j) > pivot {
+					j--
+				}
+				if i <= j {
+					swap(i, j)
+					i++
+					j--
+				}
+			}
+			// Recurse on the smaller half; loop on the bigger.
+			if j-lo < hi-i {
+				if lo < j {
+					stack = append(stack, rng{lo, j})
+				}
+				lo = i
+			} else {
+				if i < hi {
+					stack = append(stack, rng{i, hi})
+				}
+				hi = j
+			}
+		}
+		insertion(sp, base, lo, hi)
+	}
+}
+
+func insertion(sp space.Space, base uint64, lo, hi int64) {
+	for i := lo + 1; i <= hi; i++ {
+		v := sp.LoadU64(base + uint64(i)*8)
+		j := i - 1
+		for j >= lo {
+			u := sp.LoadU64(base + uint64(j)*8)
+			if u <= v {
+				break
+			}
+			sp.StoreU64(base+uint64(j+1)*8, u)
+			j--
+		}
+		sp.StoreU64(base+uint64(j+1)*8, v)
+	}
+}
+
+// IsSorted verifies ascending order (for tests/benchmark validation).
+func IsSorted(sp space.Space, base uint64, n uint64) bool {
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		v := sp.LoadU64(base + i*8)
+		if i > 0 && v < prev {
+			return false
+		}
+		prev = v
+	}
+	return true
+}
+
+// KMeansConfig sizes a k-means run.
+type KMeansConfig struct {
+	Points     uint64
+	Dims       int
+	K          int
+	Iterations int
+	Seed       int64
+	// MulCost is the CPU cost per multiply-accumulate in the distance
+	// computation (scikit-learn's BLAS path, amortized).
+	MulCost sim.Time
+}
+
+// DefaultKMeans mirrors the paper's shape: 15 M scalars → here scaled by
+// the caller; k = 10 clusters.
+func DefaultKMeans(points uint64) KMeansConfig {
+	return KMeansConfig{
+		Points:     points,
+		Dims:       4,
+		K:          10,
+		Iterations: 8,
+		Seed:       99,
+		MulCost:    1 * sim.Nanosecond,
+	}
+}
+
+// KMeansLayout returns the byte sizes of the three arrays at base:
+// points, then assignments, then the N×k distance matrix scikit-learn's
+// vectorized implementation materializes every iteration (the write churn
+// that stresses reclamation, per the paper's Figure 7(b) discussion).
+func KMeansLayout(cfg KMeansConfig) (pointsBytes, assignBytes, distBytes uint64) {
+	return cfg.Points * uint64(cfg.Dims) * 8, cfg.Points * 8, cfg.Points * uint64(cfg.K) * 8
+}
+
+// KMeansInit fills the point array with clustered synthetic data.
+func KMeansInit(sp space.Space, base uint64, cfg KMeansConfig) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	centers := make([][]int64, cfg.K)
+	for c := range centers {
+		centers[c] = make([]int64, cfg.Dims)
+		for d := range centers[c] {
+			centers[c][d] = int64(rng.Intn(1_000_000))
+		}
+	}
+	for i := uint64(0); i < cfg.Points; i++ {
+		c := centers[rng.Intn(cfg.K)]
+		for d := 0; d < cfg.Dims; d++ {
+			v := c[d] + int64(rng.Intn(20001)) - 10000
+			sp.StoreU64(base+(i*uint64(cfg.Dims)+uint64(d))*8, uint64(v))
+		}
+	}
+}
+
+// KMeans runs Lloyd iterations the way scikit-learn's vectorized
+// implementation does: each iteration first materializes the full N×k
+// distance matrix at distBase (a large streaming write), then scans it for
+// per-point argmins (dirtying the assignment array), then recomputes
+// centroids. Returns elapsed time and the final inertia.
+func KMeans(sp space.Space, pointsBase, assignBase, distBase uint64, cfg KMeansConfig) (sim.Time, uint64) {
+	t0 := sp.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	cent := make([][]int64, cfg.K)
+	for c := range cent {
+		cent[c] = make([]int64, cfg.Dims)
+		i := uint64(rng.Int63n(int64(cfg.Points)))
+		for d := 0; d < cfg.Dims; d++ {
+			cent[c][d] = int64(sp.LoadU64(pointsBase + (i*uint64(cfg.Dims)+uint64(d))*8))
+		}
+	}
+	var inertia uint64
+	sums := make([][]int64, cfg.K)
+	counts := make([]int64, cfg.K)
+	for c := range sums {
+		sums[c] = make([]int64, cfg.Dims)
+	}
+	pt := make([]int64, cfg.Dims)
+	for it := 0; it < cfg.Iterations; it++ {
+		for c := range sums {
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+			counts[c] = 0
+		}
+		// Pass 1: materialize the distance matrix (N×k streaming write).
+		for i := uint64(0); i < cfg.Points; i++ {
+			for d := 0; d < cfg.Dims; d++ {
+				pt[d] = int64(sp.LoadU64(pointsBase + (i*uint64(cfg.Dims)+uint64(d))*8))
+			}
+			for c := 0; c < cfg.K; c++ {
+				var dist int64
+				for d := 0; d < cfg.Dims; d++ {
+					diff := pt[d] - cent[c][d]
+					dist += diff * diff / 1024 // scaled to avoid overflow
+				}
+				sp.StoreU64(distBase+(i*uint64(cfg.K)+uint64(c))*8, uint64(dist))
+			}
+			sp.Compute(sim.Time(cfg.K*cfg.Dims) * cfg.MulCost)
+		}
+		// Pass 2: argmin over the matrix, update assignments + sums.
+		inertia = 0
+		for i := uint64(0); i < cfg.Points; i++ {
+			best, bestDist := 0, uint64(1)<<62
+			for c := 0; c < cfg.K; c++ {
+				if dist := sp.LoadU64(distBase + (i*uint64(cfg.K)+uint64(c))*8); dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			sp.StoreU64(assignBase+i*8, uint64(best))
+			inertia += bestDist
+			counts[best]++
+			for d := 0; d < cfg.Dims; d++ {
+				sums[best][d] += int64(sp.LoadU64(pointsBase + (i*uint64(cfg.Dims)+uint64(d))*8))
+			}
+		}
+		for c := 0; c < cfg.K; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for d := 0; d < cfg.Dims; d++ {
+				cent[c][d] = sums[c][d] / counts[c]
+			}
+		}
+	}
+	return sp.Now() - t0, inertia
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/sim"
+	"dilos/internal/space"
+)
+
+func TestQuicksortLocal(t *testing.T) {
+	sp := space.NewLocal(16 << 20)
+	const n = 50000
+	base := sp.Malloc(n * 8)
+	FillRandomU64(sp, base, n, 1)
+	Quicksort(sp, base, n)
+	if !IsSorted(sp, base, n) {
+		t.Fatal("not sorted")
+	}
+}
+
+// Property: quicksort through a Space agrees with sort.Slice.
+func TestQuickQuicksortVsSort(t *testing.T) {
+	f := func(raw []uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sp := space.NewLocal(1 << 20)
+		base := sp.Malloc(uint64(len(raw)) * 8)
+		ref := make([]uint64, len(raw))
+		copy(ref, raw)
+		for i, v := range raw {
+			sp.StoreU64(base+uint64(i)*8, v)
+		}
+		Quicksort(sp, base, uint64(len(raw)))
+		sort.Slice(ref, func(i, j int) bool { return ref[i] < ref[j] })
+		for i, v := range ref {
+			if sp.LoadU64(base+uint64(i)*8) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuicksortDuplicatesAndEdge(t *testing.T) {
+	sp := space.NewLocal(1 << 20)
+	cases := [][]uint64{
+		{},
+		{1},
+		{2, 1},
+		{5, 5, 5, 5, 5},
+		{9, 8, 7, 6, 5, 4, 3, 2, 1, 0},
+	}
+	for _, c := range cases {
+		base := sp.Malloc(uint64(len(c)+1) * 8)
+		for i, v := range c {
+			sp.StoreU64(base+uint64(i)*8, v)
+		}
+		Quicksort(sp, base, uint64(len(c)))
+		if !IsSorted(sp, base, uint64(len(c))) {
+			t.Fatalf("case %v not sorted", c)
+		}
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	sp := space.NewLocal(64 << 20)
+	cfg := DefaultKMeans(20000)
+	pb, ab, db := KMeansLayout(cfg)
+	pBase := sp.Malloc(pb)
+	aBase := sp.Malloc(ab)
+	dBase := sp.Malloc(db)
+	KMeansInit(sp, pBase, cfg)
+
+	cfg1 := cfg
+	cfg1.Iterations = 1
+	_, inertia1 := KMeans(sp, pBase, aBase, dBase, cfg1)
+	_, inertia8 := KMeans(sp, pBase, aBase, dBase, cfg)
+	if inertia8 > inertia1 {
+		t.Fatalf("inertia rose: %d → %d", inertia1, inertia8)
+	}
+	// Assignments must be valid cluster ids.
+	for i := uint64(0); i < 100; i++ {
+		if a := sp.LoadU64(aBase + i*8); a >= uint64(cfg.K) {
+			t.Fatalf("assignment %d out of range", a)
+		}
+	}
+}
+
+func TestSeqReadWriteOnDiLOS(t *testing.T) {
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 256, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		base, _ := sys.MmapDDC(1024)
+		r := SeqRead(sp, base, 1024)
+		w := SeqWrite(sp, base, 1024)
+		if r <= 0 || w <= 0 {
+			t.Error("no time elapsed")
+		}
+	})
+	eng.Run()
+	if sys.MajorFaults.N == 0 {
+		t.Fatal("sequential pass did not fault")
+	}
+}
+
+func TestQuicksortOnDiLOSUnderPressure(t *testing.T) {
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: 128, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(),
+	})
+	sys.Start()
+	const n = 128 * 1024 // 1 MiB of u64 = 256 pages vs 128-frame cache
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		base := sp.Malloc(n * 8)
+		FillRandomU64(sp, base, n, 2)
+		Quicksort(sp, base, n)
+		if !IsSorted(sp, base, n) {
+			t.Error("not sorted under paging")
+		}
+	})
+	eng.Run()
+	if sys.Mgr.Evicted.N == 0 {
+		t.Fatal("no eviction pressure")
+	}
+}
+
+func TestFillRandomDeterministic(t *testing.T) {
+	a := space.NewLocal(1 << 20)
+	b := space.NewLocal(1 << 20)
+	ba, bb := a.Malloc(8000), b.Malloc(8000)
+	FillRandomU64(a, ba, 1000, 7)
+	FillRandomU64(b, bb, 1000, 7)
+	for i := uint64(0); i < 1000; i++ {
+		if a.LoadU64(ba+i*8) != b.LoadU64(bb+i*8) {
+			t.Fatal("fill not deterministic")
+		}
+	}
+	_ = rand.Int
+}
