@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
+	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/redis"
 	"dilos/internal/sim"
@@ -32,7 +34,26 @@ func main() {
 	pf := flag.String("prefetch", "readahead", "none | readahead | trend | leap | app-aware (dilos only)")
 	cache := flag.Float64("cache", 0.125, "local memory as a fraction of the working set")
 	pages := flag.Uint64("pages", 16384, "working-set pages for seq workloads")
+	nodes := flag.Int("nodes", 1, "memory node count (dilos only)")
+	replicas := flag.Int("replicas", 1, "replicas per page, up to -nodes (dilos only)")
+	policyName := flag.String("placement", "striped",
+		"page placement policy: striped | blocked | hashed (dilos only)")
+	dumpStats := flag.Bool("stats", false, "dump the full stats snapshot as JSON after the run")
 	flag.Parse()
+
+	policy, err := placement.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped") {
+		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement require -system dilos\n")
+		os.Exit(2)
+	}
+	if *nodes < 1 || *replicas < 1 || *replicas > *nodes {
+		fmt.Fprintf(os.Stderr, "-replicas must be between 1 and -nodes (%d)\n", *nodes)
+		os.Exit(2)
+	}
 
 	var prefetcher prefetch.Prefetcher
 	switch *pf {
@@ -57,6 +78,7 @@ func main() {
 
 	var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
 	var report func()
+	var registry *stats.Registry
 
 	var guide *redis.AppGuide
 	if *pf == "app-aware" {
@@ -67,12 +89,14 @@ func main() {
 		cfg := core.Config{
 			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
 			Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
+			MemNodes: *nodes, Replicas: *replicas, Placement: policy,
 		}
 		if guide != nil {
 			cfg.Guide = guide
 		}
 		sys := core.New(eng, cfg)
 		sys.Start()
+		registry = sys.Registry()
 		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
 			sys.Launch("app", 0, func(sp *core.DDCProc) { fn(sp, sys.MmapDDC) })
 		}
@@ -90,6 +114,7 @@ func main() {
 			Fabric: fabric.DefaultParams(),
 		})
 		sys.Start()
+		registry = sys.Registry()
 		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
 			sys.Launch("app", 0, func(sp *fastswap.FSProc) { fn(sp, sys.MmapDDC) })
 		}
@@ -163,7 +188,19 @@ func main() {
 
 	fmt.Printf("%s on %s (%s, %.1f%% local): %v — %s\n",
 		*workload, *system, *pf, *cache*100, elapsed, summary)
+	if *nodes > 1 || *replicas > 1 {
+		fmt.Printf("placement: %s across %d nodes, %d replica(s) per page\n",
+			policy.Name(), *nodes, *replicas)
+	}
 	report()
+	if *dumpStats {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(registry.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 func procOf(sp space.Space) *sim.Proc {

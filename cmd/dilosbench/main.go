@@ -50,13 +50,14 @@ var registry = map[string]struct {
 	"abl2":   {"ablation: shared-nothing vs shared queues", runAbl2},
 	"ext1":   {"extension: sharding across 1/2/4 memory nodes", runExt1},
 	"ext2":   {"extension: PageRank thread scaling on DiLOS", runExt2},
+	"ext3":   {"extension: placement policies across 4 memory nodes", runExt3},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2",
+	"abl1", "abl2", "ext1", "ext2", "ext3",
 }
 
 func main() {
@@ -64,8 +65,16 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	scale := flag.Float64("scale", 1, "working-set scale multiplier")
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of tables")
+	withStats := flag.Bool("stats", false,
+		"capture a full stats snapshot per system run and dump them as JSON")
 	flag.Parse()
 	jsonOut = *asJSON
+	statsOut = *withStats
+	if statsOut {
+		experiments.Collect = func(label string, snap stats.Snapshot) {
+			statsDump = append(statsDump, labeledSnapshot{Label: label, Stats: snap})
+		}
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments (pass -exp <id> or -exp all):")
@@ -88,6 +97,7 @@ func main() {
 			registry[id].run(sc)
 			fmt.Println()
 		}
+		dumpStats()
 		return
 	}
 	for _, id := range strings.Split(*exp, ",") {
@@ -98,6 +108,21 @@ func main() {
 		}
 		e.run(sc)
 		fmt.Println()
+	}
+	dumpStats()
+}
+
+// dumpStats prints the accumulated per-run snapshots after the tables.
+func dumpStats() {
+	if !statsOut {
+		return
+	}
+	fmt.Println("stats snapshots (one object per system run):")
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(statsDump); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -268,10 +293,12 @@ func runTab4(sc experiments.Scale) {
 	fmt.Println("Table 4 — tail latency at 12.5% local memory (µs)")
 	fmt.Println("  [paper (ms, 20GB sets): Fastswap GET 10.0/11.0, LRANGE 25.8/34.3;")
 	fmt.Println("   DiLOS app-aware GET 3.0/4.0, LRANGE 14.6/18.4]")
-	fmt.Printf("  %-22s %12s %12s %12s %12s\n", "", "GET p99", "GET p99.9", "LRANGE p99", "LRANGE p99.9")
+	fmt.Printf("  %-22s %12s %12s %12s %12s %12s %12s\n",
+		"", "GET p99", "GET p99.9", "LRANGE p99", "LRANGE p99.9", "major p99", "minor p99")
 	for _, r := range experiments.Tab4(sc) {
-		fmt.Printf("  %-22s %12s %12s %12s %12s\n",
-			r.System, us(r.GetP99), us(r.GetP999), us(r.LRangeP99), us(r.LRangeP999))
+		fmt.Printf("  %-22s %12s %12s %12s %12s %12s %12s\n",
+			r.System, us(r.GetP99), us(r.GetP999), us(r.LRangeP99), us(r.LRangeP999),
+			us(r.MajorFaultP99), us(r.MinorFaultP99))
 	}
 }
 
@@ -355,8 +382,27 @@ func runExt1(sc experiments.Scale) {
 	}
 }
 
+func runExt3(sc experiments.Scale) {
+	fmt.Println("Extension — placement policies, sequential read over 4 memory nodes")
+	fmt.Printf("  %-10s %10s %8s   %s\n", "policy", "read GB/s", "spread", "RX GB per node")
+	for _, r := range experiments.ExtPlacement(sc) {
+		fmt.Printf("  %-10s %10.2f %8.2f   %v\n", r.Policy, r.ReadGBs, r.Spread, r.PerLink)
+	}
+}
+
 // jsonOut switches the harness into structured output.
 var jsonOut bool
+
+// statsOut enables the per-run stats snapshot dump (-stats); statsDump
+// accumulates whatever the experiments.Collect hook hands back.
+var statsOut bool
+
+type labeledSnapshot struct {
+	Label string         `json:"label"`
+	Stats stats.Snapshot `json:"stats"`
+}
+
+var statsDump []labeledSnapshot
 
 // jsonRunners maps experiment ids to row-producing functions for -json.
 var jsonRunners = map[string]func(experiments.Scale) any{
@@ -383,6 +429,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"abl2":   func(sc experiments.Scale) any { return experiments.AblationSharedQueue(sc) },
 	"ext1":   func(sc experiments.Scale) any { return experiments.ExtMultiNode(sc) },
 	"ext2":   func(sc experiments.Scale) any { return experiments.ExtThreadScaling(sc) },
+	"ext3":   func(sc experiments.Scale) any { return experiments.ExtPlacement(sc) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {
@@ -399,9 +446,13 @@ func runJSON(sc experiments.Scale, exp string) {
 		}
 		out[id] = fn(sc)
 	}
+	var doc any = out
+	if statsOut {
+		doc = map[string]any{"results": out, "stats": statsDump}
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

@@ -27,6 +27,8 @@ import (
 
 	"dilos/internal/fabric"
 	"dilos/internal/memnode"
+	"dilos/internal/pagetable"
+	"dilos/internal/placement"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
 )
@@ -103,6 +105,14 @@ type System struct {
 	objects []object
 	clock   int // evacuator clock hand
 
+	// Remote chunk layout is owned by the shared placement substrate: one
+	// region spans the whole memory node; objects claim chunk runs from a
+	// bump cursor and resolve their backing offsets through it.
+	space     *placement.AddressSpace
+	region    placement.Region
+	nextChunk uint64
+	registry  *stats.Registry
+
 	pfQueue  []pfItem
 	pfWaiter sim.Waiter
 	evacKick sim.Waiter
@@ -149,9 +159,43 @@ func New(eng *sim.Engine, cfg Config) *System {
 		Misses:      stats.Counter{Name: "aifm.misses"},
 		Prefetches:  stats.Counter{Name: "aifm.prefetches"},
 		Evacuated:   stats.Counter{Name: "aifm.evacuated"},
+		space:       placement.New(placement.Config{Nodes: 1}),
 	}
+	region, err := s.space.Map(cfg.RemoteBytes/ChunkSize, func(_ int, chunks uint64) (uint64, error) {
+		return node.AllocRange(chunks)
+	})
+	if err != nil {
+		panic("aifm: mapping the remote region: " + err.Error())
+	}
+	s.region = region
+	s.registry = s.buildRegistry()
 	return s
 }
+
+// buildRegistry registers every metric the system owns at construction.
+func (s *System) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	r.RegisterCounter(&s.DerefChecks)
+	r.RegisterCounter(&s.Misses)
+	r.RegisterCounter(&s.Prefetches)
+	r.RegisterCounter(&s.Evacuated)
+	s.Link.RxBytes.Name = "link.node0.rx.bytes"
+	s.Link.TxBytes.Name = "link.node0.tx.bytes"
+	s.Link.RxOps.Name = "link.node0.rx.ops"
+	s.Link.TxOps.Name = "link.node0.tx.ops"
+	r.RegisterCounter(&s.Link.RxBytes)
+	r.RegisterCounter(&s.Link.TxBytes)
+	r.RegisterCounter(&s.Link.RxOps)
+	r.RegisterCounter(&s.Link.TxOps)
+	s.Node.ReadsSrv.Name = "memnode.node0.reads"
+	s.Node.WritesSv.Name = "memnode.node0.writes"
+	r.RegisterCounter(&s.Node.ReadsSrv)
+	r.RegisterCounter(&s.Node.WritesSv)
+	return r
+}
+
+// Registry exposes every metric the system registered at construction.
+func (s *System) Registry() *stats.Registry { return s.registry }
 
 // Start launches the background prefetch-mapper and evacuator threads.
 func (s *System) Start() {
@@ -186,13 +230,21 @@ func (t *Thread) Compute(d sim.Time) { t.p.Advance(d) }
 // Now returns virtual time.
 func (t *Thread) Now() sim.Time { return t.p.Now() }
 
-// newObject registers a chunk-sized object with remote backing.
+// newObject registers a chunk-sized object with remote backing: it claims
+// a run of chunks from the placement region (contiguous on the single
+// node) and resolves the head chunk's offset through the address space.
 func (s *System) newObject(size uint32) (int, error) {
-	remote, err := s.Node.AllocRange((uint64(size) + ChunkSize - 1) / ChunkSize)
-	if err != nil {
-		return 0, err
+	chunks := (uint64(size) + ChunkSize - 1) / ChunkSize
+	if s.nextChunk+chunks > s.region.Pages {
+		return 0, fmt.Errorf("aifm: out of remote memory (%d chunks used of %d)",
+			s.nextChunk, s.region.Pages)
 	}
-	s.objects = append(s.objects, object{size: size, state: objRemote, remote: remote})
+	sl, ok := s.space.First(s.region.BaseVPN + pagetable.VPN(s.nextChunk))
+	if !ok {
+		panic("aifm: region chunk did not resolve")
+	}
+	s.nextChunk += chunks
+	s.objects = append(s.objects, object{size: size, state: objRemote, remote: sl.Off})
 	return len(s.objects) - 1, nil
 }
 

@@ -186,3 +186,38 @@ func TestArrayBoundsPanic(t *testing.T) {
 	})
 	eng.Run()
 }
+
+func TestRegistrySnapshotCoversSystem(t *testing.T) {
+	eng := sim.New()
+	sys := New(eng, Config{
+		LocalBytes: 1 << 20, RemoteBytes: 16 << 20, Fabric: fabric.TCPParams(),
+	})
+	sys.Start()
+	sys.Launch("app", func(th *Thread) {
+		arr, err := sys.NewArray(8, 4096)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for i := uint64(0); i < 4096; i++ {
+			arr.WriteU64(th, i, i)
+		}
+		for i := uint64(0); i < 4096; i++ {
+			if got := arr.ReadU64(th, i); got != i {
+				t.Errorf("elem %d: got %d", i, got)
+				return
+			}
+		}
+	})
+	eng.Run()
+	snap := sys.Registry().Snapshot()
+	if n, ok := snap.Counter("aifm.deref_checks"); !ok || n != sys.DerefChecks.N {
+		t.Fatalf("snapshot deref_checks = %d,%v want %d", n, ok, sys.DerefChecks.N)
+	}
+	if n, ok := snap.Counter("aifm.misses"); !ok || n == 0 {
+		t.Fatalf("snapshot misses = %d,%v", n, ok)
+	}
+	if n, ok := snap.Counter("link.node0.rx.bytes"); !ok || n == 0 {
+		t.Fatalf("snapshot link counter = %d,%v", n, ok)
+	}
+}

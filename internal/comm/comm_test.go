@@ -2,6 +2,7 @@ package comm
 
 import (
 	"testing"
+	"testing/quick"
 
 	"dilos/internal/fabric"
 	"dilos/internal/memnode"
@@ -65,5 +66,81 @@ func TestModuleString(t *testing.T) {
 		if m.String() != want {
 			t.Fatalf("%d.String() = %q", m, m.String())
 		}
+	}
+}
+
+// TestHubDistinctQPsProperty checks the shared-nothing invariant over
+// arbitrary core counts: a per-module hub hands every (core, module) pair
+// its own queue pair, and the same pair always resolves to the same QP.
+func TestHubDistinctQPsProperty(t *testing.T) {
+	prop := func(coreSeed uint8) bool {
+		cores := int(coreSeed)%8 + 1
+		node := memnode.New(8<<20, 7)
+		link := fabric.NewLink(node, fabric.DefaultParams())
+		h := NewHub(link, cores, node.ProtKey)
+		if h.Cores() != cores {
+			return false
+		}
+		seen := map[*fabric.QP]bool{}
+		for c := 0; c < cores; c++ {
+			for m := Module(0); m < NumModules; m++ {
+				qp := h.QP(c, m)
+				if qp == nil || seen[qp] || h.QP(c, m) != qp {
+					return false
+				}
+				seen[qp] = true
+			}
+		}
+		return len(seen) == cores*int(NumModules)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedHubAliasesProperty checks the ablation hub's invariant: all
+// modules on one core alias a single queue pair, and distinct cores still
+// get distinct queue pairs.
+func TestSharedHubAliasesProperty(t *testing.T) {
+	prop := func(coreSeed uint8) bool {
+		cores := int(coreSeed)%8 + 1
+		node := memnode.New(8<<20, 7)
+		link := fabric.NewLink(node, fabric.DefaultParams())
+		h := NewSharedHub(link, cores, node.ProtKey)
+		perCore := map[*fabric.QP]bool{}
+		for c := 0; c < cores; c++ {
+			qp := h.QP(c, ModFault)
+			if qp == nil || perCore[qp] {
+				return false
+			}
+			perCore[qp] = true
+			for m := Module(0); m < NumModules; m++ {
+				if h.QP(c, m) != qp {
+					return false
+				}
+			}
+		}
+		return len(perCore) == cores
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleStringRoundTrip(t *testing.T) {
+	for m := Module(0); m < NumModules; m++ {
+		got, err := ParseModule(m.String())
+		if err != nil {
+			t.Fatalf("ParseModule(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseModule(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+	if _, err := ParseModule("bogus"); err == nil {
+		t.Fatal("ParseModule accepted an unknown name")
+	}
+	if _, err := ParseModule(NumModules.String()); err == nil {
+		t.Fatal("ParseModule accepted the out-of-range sentinel")
 	}
 }

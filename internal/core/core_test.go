@@ -8,6 +8,7 @@ import (
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
 	"dilos/internal/pagetable"
+	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/trace"
@@ -379,7 +380,7 @@ func TestMultiMemoryNodeSharding(t *testing.T) {
 		}
 	}
 	// Striping is page-round-robin: consecutive pages hit different nodes.
-	base := sys.regions[0].baseVPN
+	base := sys.Space().Regions()[0].BaseVPN
 	n0, _, _ := sys.RemoteOf(base)
 	n1, _, _ := sys.RemoteOf(base + 1)
 	n3, _, _ := sys.RemoteOf(base + 3)
@@ -657,4 +658,146 @@ func TestFastswapMultiCoreOverlappingFaultStress(t *testing.T) {
 		})
 	}
 	eng.Run()
+}
+
+func TestReplicaFetchesCountedAtFetchSiteOnly(t *testing.T) {
+	// Regression: replicaSlots used to bump ReplicaFetches on *every*
+	// failover-aware resolution — cleaner/reclaimer write-back targets,
+	// prefetch filtering, subpage reads — not just faults actually served
+	// by a replica. Resolution must be free; only fetches count.
+	eng := sim.New()
+	sys := New(eng, Config{
+		CacheFrames: 128, Cores: 1, RemoteBytes: 64 << 20,
+		Fabric: fabric.DefaultParams(), MemNodes: 2, Replicas: 2,
+	})
+	sys.Start()
+	const pages = 64
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(pages)
+		sys.FailNode(1)
+
+		// Exercise every non-fetch resolution path the way the daemons do.
+		baseVPN := pagetable.VPNOf(base)
+		for i := uint64(0); i < pages; i++ {
+			if _, ok := sys.Mgr.RemoteOf(baseVPN + pagetable.VPN(i)); !ok {
+				t.Errorf("page %d did not resolve", i)
+				return
+			}
+			if _, _, ok := sys.RemoteOf(baseVPN + pagetable.VPN(i)); !ok {
+				t.Errorf("page %d did not resolve via RemoteOf", i)
+				return
+			}
+		}
+		if sys.ReplicaFetches.N != 0 {
+			t.Errorf("resolution alone counted %d replica fetches", sys.ReplicaFetches.N)
+			return
+		}
+
+		// Now actually fault every page in: exactly the pages whose
+		// primary is the failed node (odd indices under 2-way striping)
+		// count.
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	if want := int64(pages / 2); sys.ReplicaFetches.N != want {
+		t.Fatalf("ReplicaFetches = %d, want %d (one per failed-primary fault)",
+			sys.ReplicaFetches.N, want)
+	}
+}
+
+func TestMinorFaultLatencyRecorded(t *testing.T) {
+	// Regression: only major faults used to land in a histogram, so tail
+	// latency reports ignored the wait-on-inflight (minor) path entirely.
+	sys, eng := newSys(t, 2048, prefetch.NewReadahead(0))
+	sys.Launch("seq", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(512)
+		for i := uint64(0); i < 512; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	if sys.MinorFaults.N == 0 {
+		t.Fatal("sequential scan with readahead produced no minor faults")
+	}
+	if got := int64(sys.MinorFaultLat.Count()); got != sys.MinorFaults.N {
+		t.Fatalf("MinorFaultLat has %d samples for %d minor faults", got, sys.MinorFaults.N)
+	}
+	if sys.MinorFaultLat.Max() <= 0 {
+		t.Fatal("minor-fault latency samples are empty")
+	}
+	// Major-fault samples stay separate.
+	if int64(sys.FaultLat.Count()) != sys.MajorFaults.N {
+		t.Fatalf("FaultLat has %d samples for %d major faults",
+			sys.FaultLat.Count(), sys.MajorFaults.N)
+	}
+}
+
+func TestRegistrySnapshotCoversSystem(t *testing.T) {
+	sys, eng := newSys(t, 64, nil)
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, _ := sys.MmapDDC(128)
+		for i := uint64(0); i < 128; i++ {
+			sp.StoreU64(base+i*PageSize, i)
+		}
+	})
+	eng.Run()
+	snap := sys.Registry().Snapshot()
+	if n, ok := snap.Counter("dilos.major_faults"); !ok || n != sys.MajorFaults.N {
+		t.Fatalf("snapshot major_faults = %d,%v want %d", n, ok, sys.MajorFaults.N)
+	}
+	if n, ok := snap.Counter("link.node0.rx.bytes"); !ok || n == 0 {
+		t.Fatalf("snapshot link counter = %d,%v", n, ok)
+	}
+	if n, ok := snap.Counter("pagemgr.cleaned"); !ok || n != sys.Mgr.Cleaned.N {
+		t.Fatalf("snapshot pagemgr.cleaned = %d,%v want %d", n, ok, sys.Mgr.Cleaned.N)
+	}
+	if h, ok := snap.Histogram("dilos.fault_latency"); !ok || h.Count == 0 {
+		t.Fatalf("snapshot fault_latency = %+v,%v", h, ok)
+	}
+	if _, ok := snap.Histogram("dilos.minor_fault_latency"); !ok {
+		t.Fatal("snapshot missing minor_fault_latency")
+	}
+}
+
+func TestPlacementPolicySelectable(t *testing.T) {
+	// The layout policy is part of Config: blocked placement keeps runs
+	// whole per node, and data still round-trips through eviction.
+	for _, name := range []string{"striped", "blocked", "hashed"} {
+		pol, err := placement.ParsePolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := sim.New()
+		sys := New(eng, Config{
+			CacheFrames: 64, Cores: 1, RemoteBytes: 64 << 20,
+			Fabric: fabric.DefaultParams(), MemNodes: 3, Placement: pol,
+		})
+		sys.Start()
+		const pages = 192
+		sys.Launch("app", 0, func(sp *DDCProc) {
+			base, _ := sys.MmapDDC(pages)
+			for i := uint64(0); i < pages; i++ {
+				sp.StoreU64(base+i*PageSize, i^0xabc)
+			}
+			for i := uint64(0); i < pages; i++ {
+				if got := sp.LoadU64(base + i*PageSize); got != i^0xabc {
+					t.Errorf("%s: page %d corrupted: %#x", name, i, got)
+					return
+				}
+			}
+		})
+		eng.Run()
+		if sys.Space().Policy().Name() != name {
+			t.Fatalf("policy %s not installed", name)
+		}
+		// Every node must hold data under every policy (the workload spans
+		// the whole region).
+		for i, link := range sys.Links {
+			if link.RxBytes.N == 0 && link.TxBytes.N == 0 {
+				t.Fatalf("%s: node %d saw no traffic", name, i)
+			}
+		}
+	}
 }

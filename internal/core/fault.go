@@ -49,11 +49,17 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		}
 		// The fetch offset comes from the (failover-aware) slot mapping,
 		// not the PTE payload, so a page whose primary node died reads
-		// from its next live replica.
-		node, remote, ok := s.remoteOf(vpn)
+		// from its next live replica. This is the one place (besides the
+		// Action path) that counts ReplicaFetches: a fault actually served
+		// by a non-primary copy.
+		slots, failover, ok := s.space.Resolve(vpn)
 		if !ok {
 			panic(fmt.Sprintf("core: remote PTE for unmapped vpn %d", vpn))
 		}
+		if failover {
+			s.ReplicaFetches.Inc()
+		}
+		node, remote := slots[0].Node, slots[0].Off
 		s.majorFetch(p, h.coreID, node, vpn, pte, func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op {
 			return qp.Read(now, remote, buf)
 		}, false)
@@ -63,10 +69,14 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		s.MajorFaults.Inc()
 		s.GuidedFetches.Inc()
 		payload := pte.Payload()
-		node, remoteBase, ok := s.remoteOf(vpn)
+		slots, failover, ok := s.space.Resolve(vpn)
 		if !ok {
 			panic(fmt.Sprintf("core: action PTE for unmapped vpn %d", vpn))
 		}
+		if failover {
+			s.ReplicaFetches.Inc()
+		}
+		node, remoteBase := slots[0].Node, slots[0].Off
 		// The vector-log slot is consumed inside the issue callback, which
 		// majorFetch only invokes after winning the PTE transition — a
 		// racing faulter must not release the same slot twice.
@@ -100,6 +110,7 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 			s.finishFetch(p, slot, gen)
 			return
 		}
+		t0 := p.Now()
 		p.Advance(c.Costs.Exception)
 		s.MinorFaults.Inc()
 		if s.Trace != nil {
@@ -111,6 +122,7 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		s.runPrefetch(p, h.coreID, vpn, false)
 		op.Wait(p)
 		s.finishFetch(p, slot, gen)
+		s.MinorFaultLat.Record(p.Now() - t0)
 	default:
 		panic(fmt.Sprintf("core: segfault at vpn %d (invalid PTE)", vpn))
 	}

@@ -11,12 +11,12 @@
 // share a single address space; four key components — fault handler,
 // prefetcher, page manager, communication module — cooperate on the
 // computing node; guides plug in beside the application without modifying
-// it.
+// it. Page→(node, slot) layout lives in internal/placement; every metric
+// registers in a stats.Registry at construction.
 package core
 
 import (
 	"fmt"
-	"sort"
 
 	"dilos/internal/comm"
 	"dilos/internal/dram"
@@ -25,6 +25,7 @@ import (
 	"dilos/internal/mmu"
 	"dilos/internal/pagemgr"
 	"dilos/internal/pagetable"
+	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
@@ -126,11 +127,14 @@ type Config struct {
 	// SharedQP collapses each core's per-module queues into one shared
 	// queue — the head-of-line-prone design §4.5 rejects. Ablation only.
 	SharedQP bool
-	// MemNodes shards the remote backing across this many memory nodes
-	// with page-granularity striping — the multi-node extension the paper
-	// leaves as future work (§5.1). Default 1. Each node gets its own
-	// link, RemoteBytes of registered memory, and per-core queue pairs.
+	// MemNodes shards the remote backing across this many memory nodes —
+	// the multi-node extension the paper leaves as future work (§5.1).
+	// Default 1. Each node gets its own link, RemoteBytes of registered
+	// memory, and per-core queue pairs.
 	MemNodes int
+	// Placement selects the page→node layout policy (nil → striped, the
+	// original page-round-robin behavior).
+	Placement placement.Policy
 	// Backings overrides the in-process memory nodes entirely (one shard
 	// per entry) — e.g. transport.Backing instances pointing at real
 	// memnoded daemons. When set, MemNodes and RemoteBytes are ignored
@@ -148,7 +152,8 @@ type Config struct {
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
 // and Hub always refer to node 0; with MemNodes > 1 the full sets live in
-// Nodes, Links, and Hubs, and pages stripe across them round-robin by VPN.
+// Nodes, Links, and Hubs, and the placement policy spreads pages across
+// them (striped round-robin by default).
 type System struct {
 	Eng      *sim.Engine
 	Node     *memnode.Node
@@ -169,13 +174,13 @@ type System struct {
 	Trace    *trace.Recorder
 
 	backings []Backing
-	replicas int
-	failed   []bool
-	regions  []region
-	nextVA   uint64
+	space    *placement.AddressSpace
+	registry *stats.Registry
 	heap     *heapArena
 
-	// ReplicaFetches counts fetches served by a non-primary replica.
+	// ReplicaFetches counts fetches served by a non-primary replica
+	// because the primary's node failed — incremented at the fetch site
+	// only, never by write-back or prefetch target resolution.
 	ReplicaFetches stats.Counter
 
 	slots     []inflight
@@ -190,17 +195,11 @@ type System struct {
 	LateMapHits   stats.Counter
 	GuidedFetches stats.Counter
 	Prefetches    stats.Counter
-	FaultLat      *stats.Histogram
+	FaultLat      *stats.Histogram // major-fault end-to-end latency
+	MinorFaultLat *stats.Histogram // minor-fault (wait-on-inflight) latency
 	BD            Breakdown
 
 	started bool
-}
-
-type region struct {
-	baseVPN     pagetable.VPN
-	pages       uint64
-	remoteBases []uint64 // one sub-range base per memory node
-	perNode     uint64   // stripe slots per node (per replica segment)
 }
 
 type inflight struct {
@@ -273,28 +272,30 @@ func New(eng *sim.Engine, cfg Config) *System {
 		pf = prefetch.None{}
 	}
 	s := &System{
-		Eng:            eng,
-		Node:           node,
-		Link:           link,
-		Nodes:          nodes,
-		backings:       backings,
-		Links:          links,
-		Hubs:           hubs,
-		Table:          tbl,
-		Pool:           pool,
-		Mgr:            mgr,
-		Hub:            hub,
-		Costs:          DefaultCosts(),
-		MMUC:           mmu.DefaultCosts(),
-		Pf:             pf,
-		Track:          prefetch.NewHitTracker(),
-		Hist:           prefetch.NewHistory(32),
-		AppGuide:       cfg.Guide,
-		Trace:          cfg.Trace,
-		replicas:       cfg.Replicas,
-		failed:         make([]bool, cfg.MemNodes),
+		Eng:      eng,
+		Node:     node,
+		Link:     link,
+		Nodes:    nodes,
+		backings: backings,
+		Links:    links,
+		Hubs:     hubs,
+		Table:    tbl,
+		Pool:     pool,
+		Mgr:      mgr,
+		Hub:      hub,
+		Costs:    DefaultCosts(),
+		MMUC:     mmu.DefaultCosts(),
+		Pf:       pf,
+		Track:    prefetch.NewHitTracker(),
+		Hist:     prefetch.NewHistory(32),
+		AppGuide: cfg.Guide,
+		Trace:    cfg.Trace,
+		space: placement.New(placement.Config{
+			Nodes:    cfg.MemNodes,
+			Replicas: cfg.Replicas,
+			Policy:   cfg.Placement,
+		}),
 		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
-		nextVA:         1 << 30, // DDC regions start at 1 GiB
 		pfQueue:        make([][]pfItem, cfg.Cores),
 		pfWaiter:       make([]sim.Waiter, cfg.Cores),
 		MajorFaults:    stats.Counter{Name: "dilos.major_faults"},
@@ -303,44 +304,78 @@ func New(eng *sim.Engine, cfg Config) *System {
 		GuidedFetches:  stats.Counter{Name: "dilos.guided_fetches"},
 		Prefetches:     stats.Counter{Name: "dilos.prefetches"},
 		FaultLat:       stats.NewHistogram("dilos.fault_latency"),
+		MinorFaultLat:  stats.NewHistogram("dilos.minor_fault_latency"),
 	}
 	mgr.RemoteOf = func(v pagetable.VPN) (pagemgr.Target, bool) {
-		slots, ok := s.replicaSlots(v)
+		slots, _, ok := s.space.Resolve(v)
 		if !ok {
 			return pagemgr.Target{}, false
 		}
 		tgt := pagemgr.Target{
-			Off:       slots[0].off,
-			CleanQP:   s.Hubs[slots[0].node].QP(0, comm.ModCleaner),
-			ReclaimQP: s.Hubs[slots[0].node].QP(0, comm.ModReclaim),
+			Off:       slots[0].Off,
+			CleanQP:   s.Hubs[slots[0].Node].QP(0, comm.ModCleaner),
+			ReclaimQP: s.Hubs[slots[0].Node].QP(0, comm.ModReclaim),
 		}
 		for _, sl := range slots[1:] {
 			tgt.Replicas = append(tgt.Replicas, pagemgr.Target{
-				Off:       sl.off,
-				CleanQP:   s.Hubs[sl.node].QP(0, comm.ModCleaner),
-				ReclaimQP: s.Hubs[sl.node].QP(0, comm.ModReclaim),
+				Off:       sl.Off,
+				CleanQP:   s.Hubs[sl.Node].QP(0, comm.ModCleaner),
+				ReclaimQP: s.Hubs[sl.Node].QP(0, comm.ModReclaim),
 			})
 		}
 		return tgt, true
 	}
+	s.registry = s.buildRegistry()
 	return s
 }
+
+// buildRegistry registers every metric the system owns at construction —
+// the single observability surface Snapshot() serialises.
+func (s *System) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	r.RegisterCounter(&s.MajorFaults)
+	r.RegisterCounter(&s.MinorFaults)
+	r.RegisterCounter(&s.LateMapHits)
+	r.RegisterCounter(&s.GuidedFetches)
+	r.RegisterCounter(&s.Prefetches)
+	r.RegisterCounter(&s.ReplicaFetches)
+	r.RegisterHistogram(s.FaultLat)
+	r.RegisterHistogram(s.MinorFaultLat)
+	s.Mgr.RegisterStats(r)
+	for i, l := range s.Links {
+		// Links are born with identical generic names; qualify per node so
+		// the registry's uniqueness invariant holds.
+		prefix := fmt.Sprintf("link.node%d.", i)
+		l.RxBytes.Name = prefix + "rx.bytes"
+		l.TxBytes.Name = prefix + "tx.bytes"
+		l.RxOps.Name = prefix + "rx.ops"
+		l.TxOps.Name = prefix + "tx.ops"
+		r.RegisterCounter(&l.RxBytes)
+		r.RegisterCounter(&l.TxBytes)
+		r.RegisterCounter(&l.RxOps)
+		r.RegisterCounter(&l.TxOps)
+	}
+	for i, n := range s.Nodes {
+		prefix := fmt.Sprintf("memnode.node%d.", i)
+		n.ReadsSrv.Name = prefix + "reads"
+		n.WritesSv.Name = prefix + "writes"
+		r.RegisterCounter(&n.ReadsSrv)
+		r.RegisterCounter(&n.WritesSv)
+	}
+	return r
+}
+
+// Registry exposes every metric the system registered at construction.
+func (s *System) Registry() *stats.Registry { return s.registry }
+
+// Space exposes the placement substrate (tests and guides inspect layout
+// through it; all fetch paths already resolve through it internally).
+func (s *System) Space() *placement.AddressSpace { return s.space }
 
 // FailNode marks a memory node as failed: fetches fail over to the next
 // live replica of each page; write-backs skip it. Panics if a page would
 // lose its last live replica.
-func (s *System) FailNode(i int) {
-	live := 0
-	for n := range s.failed {
-		if !s.failed[n] && n != i {
-			live++
-		}
-	}
-	if live == 0 {
-		panic("core: cannot fail the last memory node")
-	}
-	s.failed[i] = true
-}
+func (s *System) FailNode(i int) { s.space.FailNode(i) }
 
 // Start launches the background daemons (page manager, per-core prefetch
 // mappers, the app-aware guide). Call once before running workloads.
@@ -361,76 +396,34 @@ func (s *System) Start() {
 
 // MmapDDC maps a disaggregated region of `pages` pages (the compat layer's
 // mmap with MAP_DDC, §5): every page starts Remote, backed by zeroed slot
-// ranges striped page-round-robin across the memory nodes. With R replicas
-// each node provisions R segments: segment k of node n holds the rank-k
-// copies of the pages whose primary is node (n−k) mod N.
+// ranges laid out by the placement policy (page-round-robin striping by
+// default). With R replicas each node provisions R segments; replica k of
+// a page lives on node (primary+k) mod N in segment k.
 func (s *System) MmapDDC(pages uint64) (uint64, error) {
-	n := uint64(len(s.backings))
-	perNode := (pages + n - 1) / n
-	bases := make([]uint64, n)
-	for i, b := range s.backings {
-		base, err := b.AllocRange(perNode * uint64(s.replicas))
-		if err != nil {
-			return 0, err
-		}
-		bases[i] = base
+	reg, err := s.space.Map(pages, func(node int, slots uint64) (uint64, error) {
+		return s.backings[node].AllocRange(slots)
+	})
+	if err != nil {
+		return 0, err
 	}
-	base := s.nextVA
-	s.nextVA += pages * PageSize
-	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, remoteBases: bases, perNode: perNode}
-	s.regions = append(s.regions, r)
-	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].baseVPN < s.regions[j].baseVPN })
 	for i := uint64(0); i < pages; i++ {
-		vpn := r.baseVPN + pagetable.VPN(i)
-		off := bases[i%n] + (i/n)*PageSize
-		s.Table.Set(vpn, pagetable.Remote(off/PageSize))
-	}
-	return base, nil
-}
-
-type slotRef struct {
-	node int
-	off  uint64
-}
-
-// replicaSlots returns every replica slot of a page, primary first,
-// skipping failed nodes.
-func (s *System) replicaSlots(v pagetable.VPN) ([]slotRef, bool) {
-	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].baseVPN > v })
-	if i == 0 {
-		return nil, false
-	}
-	r := s.regions[i-1]
-	idx := uint64(v - r.baseVPN)
-	if idx >= r.pages {
-		return nil, false
-	}
-	n := uint64(len(s.backings))
-	var slots []slotRef
-	for k := 0; k < s.replicas; k++ {
-		node := int((idx + uint64(k)) % n)
-		if s.failed[node] {
-			continue
+		vpn := reg.BaseVPN + pagetable.VPN(i)
+		sl, ok := s.space.Primary(vpn)
+		if !ok {
+			panic("core: freshly mapped vpn did not resolve")
 		}
-		off := r.remoteBases[node] + (uint64(k)*r.perNode+idx/n)*PageSize
-		slots = append(slots, slotRef{node: node, off: off})
+		s.Table.Set(vpn, pagetable.Remote(sl.Off/PageSize))
 	}
-	if len(slots) == 0 {
-		panic(fmt.Sprintf("core: every replica of vpn %d has failed", v))
-	}
-	if slots[0].node != int(idx%n) {
-		s.ReplicaFetches.Inc()
-	}
-	return slots, true
+	return reg.Base, nil
 }
 
 // remoteOf maps a virtual page to its first live (node, slot offset).
 func (s *System) remoteOf(v pagetable.VPN) (int, uint64, bool) {
-	slots, ok := s.replicaSlots(v)
+	sl, ok := s.space.First(v)
 	if !ok {
 		return 0, 0, false
 	}
-	return slots[0].node, slots[0].off, true
+	return sl.Node, sl.Off, true
 }
 
 // RemoteOf exposes the page→(node, remote slot) mapping (guides use it for

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/pagemgr"
+	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
@@ -51,6 +54,11 @@ func AblationEagerEviction(sc Scale) []AblationRow {
 				}
 			})
 			eng.Run()
+			if write {
+				collect("abl1/"+label+"/write", sys)
+			} else {
+				collect("abl1/"+label+"/read", sys)
+			}
 			gbs := stats.GBps(float64(sc.SeqPages*4096) / d.Seconds())
 			if write {
 				row.WriteGBs = gbs
@@ -97,6 +105,7 @@ func AblationSharedQueue(sc Scale) []AblationRow {
 			d = workloads.SeqWrite(sp, base, sc.SeqPages)
 		})
 		eng.Run()
+		collect("abl2/"+label, sys)
 		return AblationRow{
 			Label:     label,
 			WriteGBs:  stats.GBps(float64(sc.SeqPages*4096) / d.Seconds()),
@@ -139,12 +148,73 @@ func ExtMultiNode(sc Scale) []MultiNodeRow {
 			d = workloads.SeqRead(sp, base, sc.SeqPages)
 		})
 		eng.Run()
+		collect(fmt.Sprintf("ext1/nodes=%d", nodes), sys)
 		row := MultiNodeRow{
 			Nodes:   nodes,
 			ReadGBs: stats.GBps(float64(sc.SeqPages*4096) / d.Seconds()),
 		}
 		for _, link := range sys.Links {
 			row.PerLink = append(row.PerLink, float64(link.RxBytes.N)/1e9)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PlacementRow is one placement policy's outcome on the ext3 extension:
+// sequential-read bandwidth over four memory nodes, plus how evenly the
+// policy spread the fetch traffic across the links.
+type PlacementRow struct {
+	Policy  string
+	ReadGBs float64
+	PerLink []float64 // RX GB moved per memory node
+	Spread  float64   // max/min per-link RX; 1.0 is perfectly even
+}
+
+// ExtPlacement compares the placement policies end-to-end: the ext1
+// sequential read, fixed at four memory nodes, once per policy. Striping
+// interleaves consecutive pages (even under any access pattern); blocked
+// placement keeps runs contiguous (one hot node at a time on a sweep);
+// hashed placement scatters pages pseudo-randomly (even in expectation).
+func ExtPlacement(sc Scale) []PlacementRow {
+	const nodes = 4
+	var rows []PlacementRow
+	for _, pol := range placement.Policies() {
+		eng := sim.New()
+		sys := core.New(eng, core.Config{
+			CacheFrames: frames(sc.SeqPages, 0.125),
+			Cores:       2,
+			RemoteBytes: sc.SeqPages*4096 + (64 << 20),
+			Fabric:      fabric.DefaultParams(),
+			Prefetcher:  prefetch.NewTrend(),
+			MemNodes:    nodes,
+			Placement:   pol,
+		})
+		sys.Start()
+		var d sim.Time
+		sys.Launch("seq", 0, func(sp *core.DDCProc) {
+			base, _ := sys.MmapDDC(sc.SeqPages)
+			d = workloads.SeqRead(sp, base, sc.SeqPages)
+		})
+		eng.Run()
+		collect("ext3/"+pol.Name(), sys)
+		row := PlacementRow{
+			Policy:  pol.Name(),
+			ReadGBs: stats.GBps(float64(sc.SeqPages*4096) / d.Seconds()),
+		}
+		minRx, maxRx := -1.0, 0.0
+		for _, link := range sys.Links {
+			gb := float64(link.RxBytes.N) / 1e9
+			row.PerLink = append(row.PerLink, gb)
+			if minRx < 0 || gb < minRx {
+				minRx = gb
+			}
+			if gb > maxRx {
+				maxRx = gb
+			}
+		}
+		if minRx > 0 {
+			row.Spread = maxRx / minRx
 		}
 		rows = append(rows, row)
 	}

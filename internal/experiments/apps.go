@@ -176,6 +176,7 @@ func aifmSnappy(sc Scale, decompress bool) []CompletionRow {
 			elapsed = th.Now() - t0
 		})
 		eng.Run()
+		collect("aifm.snappy/"+FracLabel(frac), sys)
 		rows = append(rows, CompletionRow{SysAIFM, frac, elapsed, check})
 	}
 	return rows
@@ -288,6 +289,7 @@ func Fig8(sc Scale) []CompletionRow {
 			check = r.Checksum
 		})
 		eng.Run()
+		collect("aifm.dataframe/"+FracLabel(frac), sys)
 		rows = append(rows, CompletionRow{SysAIFM, frac, analysis, check})
 	}
 	return rows
@@ -347,19 +349,23 @@ func gapbsRunWorkers(kind SystemKind, sc Scale, bc bool, frac float64, workers i
 		}
 	}
 
+	var src statsSource
 	switch kind {
 	case SysFastswap:
 		sys := fswap(eng, wsPages, frac)
+		src = sys
 		launch(func(name string, coreID int, fn func(space.Space)) {
 			sys.Launch(name, coreID, func(sp *fastswap.FSProc) { fn(sp) })
 		})
 	default:
 		sys := dilos(eng, wsPages, frac, pfFor(kind), nil, nil, false)
+		src = sys
 		launch(func(name string, coreID int, fn func(space.Space)) {
 			sys.Launch(name, coreID, func(sp *core.DDCProc) { fn(sp) })
 		})
 	}
 	eng.Run()
+	collect("gapbs/"+string(kind)+"/"+FracLabel(frac), src)
 	return elapsed, check
 }
 

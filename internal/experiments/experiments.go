@@ -18,7 +18,23 @@ import (
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/space"
+	"dilos/internal/stats"
 )
+
+// Collect, when set, receives a labeled stats.Snapshot for every system an
+// experiment runs — cmd/dilosbench wires it to -stats. Snapshots are taken
+// after the simulation finishes, so they cover the whole run.
+var Collect func(label string, snap stats.Snapshot)
+
+// statsSource is any paging system exposing its metric registry.
+type statsSource interface{ Registry() *stats.Registry }
+
+// collect feeds sys's snapshot to the Collect hook, if one is installed.
+func collect(label string, sys statsSource) {
+	if Collect != nil {
+		Collect(label, sys.Registry().Snapshot())
+	}
+}
 
 // Scale sizes the workloads. Zero values select the defaults.
 type Scale struct {
@@ -160,6 +176,7 @@ func runOn(kind SystemKind, wsPages uint64, frac float64,
 		})
 		eng.Run()
 		major, minor = sys.MajorFaults.N, sys.MinorFaults.N
+		collect(string(kind)+"/"+FracLabel(frac), sys)
 	default:
 		sys := dilos(eng, wsPages, frac, pfFor(kind), nil, nil, kind == SysDiLOSTCP)
 		sys.Launch("app", 0, func(sp *core.DDCProc) {
@@ -169,6 +186,7 @@ func runOn(kind SystemKind, wsPages uint64, frac float64,
 		})
 		eng.Run()
 		major, minor = sys.MajorFaults.N, sys.MinorFaults.N
+		collect(string(kind)+"/"+FracLabel(frac), sys)
 	}
 	return elapsed, major, minor
 }

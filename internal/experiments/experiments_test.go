@@ -3,7 +3,9 @@ package experiments
 import (
 	"testing"
 
+	"dilos/internal/placement"
 	"dilos/internal/sim"
+	"dilos/internal/stats"
 )
 
 // tiny keeps the smoke tests fast while exercising every experiment path.
@@ -240,6 +242,55 @@ func TestExtMultiNode(t *testing.T) {
 			}
 			total += gb
 		}
+	}
+}
+
+func TestExtPlacement(t *testing.T) {
+	rows := ExtPlacement(tiny())
+	if len(rows) != len(placement.Policies()) {
+		t.Fatalf("rows = %d, want one per policy", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if seen[r.Policy] {
+			t.Fatalf("policy %q appears twice", r.Policy)
+		}
+		seen[r.Policy] = true
+		if r.ReadGBs <= 0 {
+			t.Fatalf("%s: no throughput", r.Policy)
+		}
+		if len(r.PerLink) != 4 {
+			t.Fatalf("%s: PerLink = %v, want 4 nodes", r.Policy, r.PerLink)
+		}
+		total := 0.0
+		for _, gb := range r.PerLink {
+			total += gb
+		}
+		if total == 0 {
+			t.Fatalf("%s: links saw no traffic", r.Policy)
+		}
+		// Interleaving policies must keep the links balanced on a
+		// sequential sweep; blocked placement is exempt (it is the
+		// deliberately skewed baseline).
+		if r.Policy != "blocked" && (r.Spread == 0 || r.Spread > 2.0) {
+			t.Fatalf("%s: spread %.2f, want ≤ 2.0 across links (%v)",
+				r.Policy, r.Spread, r.PerLink)
+		}
+	}
+}
+
+func TestCollectHookSeesRuns(t *testing.T) {
+	var labels []string
+	Collect = func(label string, snap stats.Snapshot) {
+		labels = append(labels, label)
+		if _, ok := snap.Counter("dilos.major_faults"); !ok {
+			t.Errorf("%s: snapshot missing dilos.major_faults", label)
+		}
+	}
+	defer func() { Collect = nil }()
+	ExtPlacement(tiny())
+	if len(labels) != len(placement.Policies()) {
+		t.Fatalf("collected %d snapshots (%v), want one per policy", len(labels), labels)
 	}
 }
 

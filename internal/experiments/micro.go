@@ -40,6 +40,7 @@ func Fig1(sc Scale) []BreakdownRow {
 			workloads.SeqRead(sp, base, sc.SeqPages)
 		})
 		eng.Run()
+		collect("fig1/"+label, sys)
 		e, m, f, mp, r := sys.BD.Mean()
 		return BreakdownRow{
 			Label: label, Exception: e, Software: m, Fetch: f, Map: mp,
@@ -165,6 +166,7 @@ func Fig6(sc Scale) []BreakdownRow {
 		workloads.SeqRead(sp, base, sc.SeqPages)
 	})
 	eng.Run()
+	collect("fig6/DiLOS", sys)
 	e, h, f, m, r := sys.BD.Mean()
 	rows = append(rows, BreakdownRow{
 		Label: "DiLOS", Exception: e, Software: h, Fetch: f, Map: m,

@@ -23,6 +23,10 @@ type RedisRow struct {
 	P99      sim.Time
 	P999     sim.Time
 	Bad      int
+	// Fault-path tails underneath the request tails (Table 4's extra
+	// columns): p99 of the major- and minor-fault service latencies.
+	MajorFaultP99 sim.Time
+	MinorFaultP99 sim.Time
 }
 
 // redisGET runs one GET configuration.
@@ -49,19 +53,27 @@ func redisGET(kind SystemKind, frac float64, nKeys, queries int, sizeOf func(int
 	}
 
 	eng := sim.New()
+	var src statsSource
+	var faultLat, minorLat *stats.Histogram
 	switch kind {
 	case SysFastswap:
 		sys := fswap(eng, wsPages, frac)
+		src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 		sys.Launch("redis", 0, func(sp *fastswap.FSProc) { runSrv(sp, nil, sp.Proc()) })
 	case SysDiLOSApp:
 		g := redis.NewAppGuide()
 		sys := dilos(eng, wsPages, frac, nil, g, nil, false)
+		src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 		sys.Launch("redis", 0, func(sp *core.DDCProc) { runSrv(sp, g, sp.Proc()) })
 	default:
 		sys := dilos(eng, wsPages, frac, pfFor(kind), nil, nil, false)
+		src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 		sys.Launch("redis", 0, func(sp *core.DDCProc) { runSrv(sp, nil, sp.Proc()) })
 	}
 	eng.Run()
+	row.MajorFaultP99 = faultLat.P99()
+	row.MinorFaultP99 = minorLat.P99()
+	collect("redis.get/"+string(kind)+"/"+FracLabel(frac), src)
 	return row
 }
 
@@ -117,19 +129,27 @@ func Fig10d(sc Scale) []RedisRow {
 				row.P999 = res.Latency.P999()
 			}
 			eng := sim.New()
+			var src statsSource
+			var faultLat, minorLat *stats.Histogram
 			switch kind {
 			case SysFastswap:
 				sys := fswap(eng, wsPages, frac)
+				src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 				sys.Launch("redis", 0, func(sp *fastswap.FSProc) { runSrv(sp, nil, sp.Proc()) })
 			case SysDiLOSApp:
 				g := redis.NewAppGuide()
 				sys := dilos(eng, wsPages, frac, nil, g, nil, false)
+				src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 				sys.Launch("redis", 0, func(sp *core.DDCProc) { runSrv(sp, g, sp.Proc()) })
 			default:
 				sys := dilos(eng, wsPages, frac, pfFor(kind), nil, nil, false)
+				src, faultLat, minorLat = sys, sys.FaultLat, sys.MinorFaultLat
 				sys.Launch("redis", 0, func(sp *core.DDCProc) { runSrv(sp, nil, sp.Proc()) })
 			}
 			eng.Run()
+			row.MajorFaultP99 = faultLat.P99()
+			row.MinorFaultP99 = minorLat.P99()
+			collect("redis.lrange/"+string(kind)+"/"+FracLabel(frac), src)
 			rows = append(rows, row)
 		}
 	}
@@ -144,6 +164,11 @@ type Tab4Row struct {
 	GetP999    sim.Time
 	LRangeP99  sim.Time
 	LRangeP999 sim.Time
+	// Fault-service tails during the GET run: they explain where the
+	// request tails above come from (major = remote fetch, minor = a page
+	// already in flight or cached unmapped).
+	MajorFaultP99 sim.Time
+	MinorFaultP99 sim.Time
 }
 
 // Tab4 reproduces Table 4: p99/p99.9 of GET (mixed) and LRANGE at 12.5 %
@@ -154,11 +179,13 @@ func Tab4(sc Scale) []Tab4Row {
 	var rows []Tab4Row
 	for i, kind := range redisSystems {
 		rows = append(rows, Tab4Row{
-			System:     kind,
-			GetP99:     get[i].P99,
-			GetP999:    get[i].P999,
-			LRangeP99:  lr[i].P99,
-			LRangeP999: lr[i].P999,
+			System:        kind,
+			GetP99:        get[i].P99,
+			GetP999:       get[i].P999,
+			LRangeP99:     lr[i].P99,
+			LRangeP999:    lr[i].P999,
+			MajorFaultP99: get[i].MajorFaultP99,
+			MinorFaultP99: get[i].MinorFaultP99,
 		})
 	}
 	return rows
@@ -225,6 +252,11 @@ func Fig12(sc Scale) []Fig12Row {
 			_ = res
 		})
 		eng.Run()
+		label := "fig12/default"
+		if guided {
+			label = "fig12/guided"
+		}
+		collect(label, sys)
 		row.SavedBytes = sys.Mgr.VectorSaves.N
 		row.RxSeries = sys.Link.RxBW.Series()
 		row.TxSeries = sys.Link.TxBW.Series()

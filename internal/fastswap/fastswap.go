@@ -19,13 +19,13 @@ package fastswap
 
 import (
 	"fmt"
-	"sort"
 
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
 	"dilos/internal/memnode"
 	"dilos/internal/mmu"
 	"dilos/internal/pagetable"
+	"dilos/internal/placement"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
 )
@@ -125,9 +125,9 @@ type System struct {
 
 	cache map[pagetable.VPN]*scEntry
 
-	regions []region
-	nextVA  uint64
-	heap    struct {
+	space    *placement.AddressSpace
+	registry *stats.Registry
+	heap     struct {
 		base, size, used uint64
 	}
 
@@ -141,21 +141,16 @@ type System struct {
 	dir           int64
 	dirtyPressure bool
 
-	MajorFaults stats.Counter
-	MinorFaults stats.Counter
-	DirectRecl  stats.Counter
-	KswapdRecl  stats.Counter
-	SyncWrites  stats.Counter
-	FaultLat    *stats.Histogram
-	BD          Breakdown
+	MajorFaults   stats.Counter
+	MinorFaults   stats.Counter
+	DirectRecl    stats.Counter
+	KswapdRecl    stats.Counter
+	SyncWrites    stats.Counter
+	FaultLat      *stats.Histogram // major-fault end-to-end latency
+	MinorFaultLat *stats.Histogram // minor-fault (swap-cache hit) latency
+	BD            Breakdown
 
 	started bool
-}
-
-type region struct {
-	baseVPN    pagetable.VPN
-	pages      uint64
-	remoteBase uint64
 }
 
 // New assembles a Fastswap node.
@@ -181,7 +176,7 @@ func New(eng *sim.Engine, cfg Config) *System {
 		MMUC:        mmu.DefaultCosts(),
 		cluster:     cfg.Cluster,
 		cache:       map[pagetable.VPN]*scEntry{},
-		nextVA:      1 << 30,
+		space:       placement.New(placement.Config{Nodes: 1}),
 		dir:         1,
 		offloadTick: cfg.OffloadPeriod,
 		MajorFaults: stats.Counter{Name: "fastswap.major_faults"},
@@ -190,6 +185,8 @@ func New(eng *sim.Engine, cfg Config) *System {
 		KswapdRecl:  stats.Counter{Name: "fastswap.kswapd_reclaims"},
 		SyncWrites:  stats.Counter{Name: "fastswap.sync_writes"},
 		FaultLat:    stats.NewHistogram("fastswap.fault_latency"),
+		MinorFaultLat: stats.NewHistogram(
+			"fastswap.minor_fault_latency"),
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		s.qps = append(s.qps, link.MustQP(fmt.Sprintf("cpu%d.swap", c), node.ProtKey))
@@ -206,8 +203,37 @@ func New(eng *sim.Engine, cfg Config) *System {
 	// faulting core reclaims inline on most majors — the 29 %
 	// "reclamation" segment of Figure 1's average case.
 	s.directWater = s.highWater
+	s.registry = s.buildRegistry()
 	return s
 }
+
+// buildRegistry registers every metric the system owns at construction.
+func (s *System) buildRegistry() *stats.Registry {
+	r := stats.NewRegistry()
+	r.RegisterCounter(&s.MajorFaults)
+	r.RegisterCounter(&s.MinorFaults)
+	r.RegisterCounter(&s.DirectRecl)
+	r.RegisterCounter(&s.KswapdRecl)
+	r.RegisterCounter(&s.SyncWrites)
+	r.RegisterHistogram(s.FaultLat)
+	r.RegisterHistogram(s.MinorFaultLat)
+	s.Link.RxBytes.Name = "link.node0.rx.bytes"
+	s.Link.TxBytes.Name = "link.node0.tx.bytes"
+	s.Link.RxOps.Name = "link.node0.rx.ops"
+	s.Link.TxOps.Name = "link.node0.tx.ops"
+	r.RegisterCounter(&s.Link.RxBytes)
+	r.RegisterCounter(&s.Link.TxBytes)
+	r.RegisterCounter(&s.Link.RxOps)
+	r.RegisterCounter(&s.Link.TxOps)
+	s.Node.ReadsSrv.Name = "memnode.node0.reads"
+	s.Node.WritesSv.Name = "memnode.node0.writes"
+	r.RegisterCounter(&s.Node.ReadsSrv)
+	r.RegisterCounter(&s.Node.WritesSv)
+	return r
+}
+
+// Registry exposes every metric the system registered at construction.
+func (s *System) Registry() *stats.Registry { return s.registry }
 
 // Start launches the dedicated reclaim thread (Fastswap's offloaded
 // reclamation).
@@ -219,34 +245,32 @@ func (s *System) Start() {
 	s.Eng.GoDaemon("fastswap.kswapd", s.kswapdLoop)
 }
 
-// MmapDDC reserves a swap-backed region of `pages` pages.
+// MmapDDC reserves a swap-backed region of `pages` pages. Layout lives in
+// the shared placement substrate (single node, striped → contiguous).
 func (s *System) MmapDDC(pages uint64) (uint64, error) {
-	remoteBase, err := s.Node.AllocRange(pages)
+	reg, err := s.space.Map(pages, func(_ int, slots uint64) (uint64, error) {
+		return s.Node.AllocRange(slots)
+	})
 	if err != nil {
 		return 0, err
 	}
-	base := s.nextVA
-	s.nextVA += pages * PageSize
-	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, remoteBase: remoteBase}
-	s.regions = append(s.regions, r)
-	sort.Slice(s.regions, func(i, j int) bool { return s.regions[i].baseVPN < s.regions[j].baseVPN })
 	for i := uint64(0); i < pages; i++ {
-		vpn := r.baseVPN + pagetable.VPN(i)
-		s.Table.Set(vpn, pagetable.Remote((remoteBase+i*PageSize)/PageSize))
+		vpn := reg.BaseVPN + pagetable.VPN(i)
+		sl, ok := s.space.Primary(vpn)
+		if !ok {
+			panic("fastswap: freshly mapped vpn did not resolve")
+		}
+		s.Table.Set(vpn, pagetable.Remote(sl.Off/PageSize))
 	}
-	return base, nil
+	return reg.Base, nil
 }
 
 func (s *System) remoteOf(v pagetable.VPN) (uint64, bool) {
-	i := sort.Search(len(s.regions), func(i int) bool { return s.regions[i].baseVPN > v })
-	if i == 0 {
+	sl, ok := s.space.First(v)
+	if !ok {
 		return 0, false
 	}
-	r := s.regions[i-1]
-	if uint64(v-r.baseVPN) >= r.pages {
-		return 0, false
-	}
-	return r.remoteBase + uint64(v-r.baseVPN)*PageSize, true
+	return sl.Off, true
 }
 
 // Malloc is the same region-allocator compat layer as DiLOS'.

@@ -223,3 +223,48 @@ func TestFreshReadaheadPageGetsSecondChance(t *testing.T) {
 			sys.MajorFaults.N, pages)
 	}
 }
+
+func TestMinorFaultLatencyRecorded(t *testing.T) {
+	// Regression: only major faults used to land in a histogram; the
+	// swap-cache-hit (minor) path — the dominant path on sequential reads
+	// per Table 1 — went unmeasured.
+	sys, eng := newSys(t, 2048)
+	const pages = 512
+	sys.Launch("app", 0, func(sp *FSProc) {
+		base, _ := sys.MmapDDC(pages)
+		for i := uint64(0); i < pages; i++ {
+			sp.LoadU8(base + i*PageSize)
+		}
+	})
+	eng.Run()
+	if sys.MinorFaults.N == 0 {
+		t.Fatal("no minor faults on a sequential read")
+	}
+	if got := int64(sys.MinorFaultLat.Count()); got != sys.MinorFaults.N {
+		t.Fatalf("MinorFaultLat has %d samples for %d minor faults", got, sys.MinorFaults.N)
+	}
+	if sys.MinorFaultLat.Max() <= 0 {
+		t.Fatal("minor-fault latency samples are empty")
+	}
+}
+
+func TestRegistrySnapshotCoversSystem(t *testing.T) {
+	sys, eng := newSys(t, 256)
+	sys.Launch("app", 0, func(sp *FSProc) {
+		base, _ := sys.MmapDDC(128)
+		for i := uint64(0); i < 128; i++ {
+			sp.StoreU64(base+i*PageSize, i)
+		}
+	})
+	eng.Run()
+	snap := sys.Registry().Snapshot()
+	if n, ok := snap.Counter("fastswap.major_faults"); !ok || n != sys.MajorFaults.N {
+		t.Fatalf("snapshot major_faults = %d,%v want %d", n, ok, sys.MajorFaults.N)
+	}
+	if n, ok := snap.Counter("link.node0.rx.bytes"); !ok || n == 0 {
+		t.Fatalf("snapshot link counter = %d,%v", n, ok)
+	}
+	if _, ok := snap.Histogram("fastswap.minor_fault_latency"); !ok {
+		t.Fatal("snapshot missing minor_fault_latency")
+	}
+}

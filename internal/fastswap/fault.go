@@ -41,11 +41,13 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 				// Reclaimed (or replaced) while we slept on the IO; the
 				// retried translation will fault again and take the major
 				// path.
+				s.MinorFaultLat.Record(p.Now() - t0)
 				return
 			}
 			e.op = nil
 		}
 		s.mapEntry(vpn, e)
+		s.MinorFaultLat.Record(p.Now() - t0)
 		return
 	}
 

@@ -133,6 +133,15 @@ func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
 	}
 }
 
+// RegisterStats folds the manager's counters into its owner's registry.
+func (m *Manager) RegisterStats(r *stats.Registry) {
+	r.RegisterCounter(&m.Cleaned)
+	r.RegisterCounter(&m.Evicted)
+	r.RegisterCounter(&m.SyncWrites)
+	r.RegisterCounter(&m.AllocWaits)
+	r.RegisterCounter(&m.VectorSaves)
+}
+
 // Start launches the cleaner and reclaimer daemons.
 func (m *Manager) Start(eng *sim.Engine) {
 	if m.RemoteOf == nil {

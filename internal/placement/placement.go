@@ -1,0 +1,236 @@
+// Package placement is the shared placement substrate of every paging
+// system in this repository: it owns the DDC address-space layout —
+// virtual-address assignment, the page→(memory node, remote slot)
+// mapping, R-way replication, and node-failure failover — behind a
+// pluggable Policy. core (DiLOS), fastswap, and aifm all resolve remote
+// offsets through an AddressSpace instead of hand-rolling their own
+// region bookkeeping, so new placement schemes and failure-handling
+// changes are single-package edits.
+//
+// Layout invariants (property-tested, see DESIGN.md §6):
+//
+//   - every mapped VPN resolves to exactly one primary slot plus R−1
+//     replica slots on pairwise-distinct nodes;
+//   - no two pages of a region share a (node, segment, slot) triple;
+//   - Resolve never returns a slot on a failed node, and failing a node
+//     never strands a page (the last live replica cannot be failed).
+package placement
+
+import (
+	"fmt"
+	"sort"
+
+	"dilos/internal/pagetable"
+)
+
+// PageSize re-exports the paging granularity.
+const PageSize = pagetable.PageSize
+
+// Slot locates one replica copy of a page: the memory node index and the
+// byte offset inside that node's registered region.
+type Slot struct {
+	Node int
+	Off  uint64
+}
+
+// Config assembles an AddressSpace.
+type Config struct {
+	// Nodes is the memory-node count (default 1).
+	Nodes int
+	// Replicas keeps this many copies of every page on distinct nodes
+	// (default 1, i.e. no replication). Must not exceed Nodes.
+	Replicas int
+	// Policy picks the page→node layout (default Striped).
+	Policy Policy
+	// BaseVA is the first DDC virtual address (default 1 GiB).
+	BaseVA uint64
+}
+
+// AddressSpace owns the DDC regions of one computing node.
+type AddressSpace struct {
+	policy   Policy
+	nodes    int
+	replicas int
+	failed   []bool
+	live     int
+	regions  []region
+	nextVA   uint64
+}
+
+type region struct {
+	baseVPN     pagetable.VPN
+	pages       uint64
+	remoteBases []uint64 // one backing base per memory node
+	perNode     uint64   // slot capacity per node per replica segment
+}
+
+// Region describes one mapped DDC range.
+type Region struct {
+	Base    uint64
+	BaseVPN pagetable.VPN
+	Pages   uint64
+}
+
+// New creates an empty address space.
+func New(cfg Config) *AddressSpace {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Nodes {
+		panic("placement: Replicas must not exceed the memory node count")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Striped{}
+	}
+	if cfg.BaseVA == 0 {
+		cfg.BaseVA = 1 << 30 // DDC regions start at 1 GiB
+	}
+	return &AddressSpace{
+		policy:   cfg.Policy,
+		nodes:    cfg.Nodes,
+		replicas: cfg.Replicas,
+		failed:   make([]bool, cfg.Nodes),
+		live:     cfg.Nodes,
+		nextVA:   cfg.BaseVA,
+	}
+}
+
+// Nodes returns the memory-node count.
+func (a *AddressSpace) Nodes() int { return a.nodes }
+
+// Replicas returns the replication factor.
+func (a *AddressSpace) Replicas() int { return a.replicas }
+
+// Policy returns the placement policy in force.
+func (a *AddressSpace) Policy() Policy { return a.policy }
+
+// Regions returns the mapped regions in VPN order.
+func (a *AddressSpace) Regions() []Region {
+	out := make([]Region, len(a.regions))
+	for i, r := range a.regions {
+		out[i] = Region{Base: uint64(r.baseVPN) * PageSize, BaseVPN: r.baseVPN, Pages: r.pages}
+	}
+	return out
+}
+
+// Map carves a fresh VA range of `pages` pages and provisions its remote
+// backing: alloc is called once per memory node with the slot count that
+// node must register (covering all replica segments) and returns the
+// node-local base offset of the range it reserved.
+func (a *AddressSpace) Map(pages uint64, alloc func(node int, slots uint64) (uint64, error)) (Region, error) {
+	if pages == 0 {
+		return Region{}, fmt.Errorf("placement: zero-page region")
+	}
+	perNode := a.policy.SlotsPerNode(pages, a.nodes)
+	bases := make([]uint64, a.nodes)
+	for i := range bases {
+		base, err := alloc(i, perNode*uint64(a.replicas))
+		if err != nil {
+			return Region{}, err
+		}
+		bases[i] = base
+	}
+	base := a.nextVA
+	a.nextVA += pages * PageSize
+	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, remoteBases: bases, perNode: perNode}
+	a.regions = append(a.regions, r)
+	sort.Slice(a.regions, func(i, j int) bool { return a.regions[i].baseVPN < a.regions[j].baseVPN })
+	return Region{Base: base, BaseVPN: r.baseVPN, Pages: pages}, nil
+}
+
+// lookup finds the region containing v.
+func (a *AddressSpace) lookup(v pagetable.VPN) (*region, uint64, bool) {
+	i := sort.Search(len(a.regions), func(i int) bool { return a.regions[i].baseVPN > v })
+	if i == 0 {
+		return nil, 0, false
+	}
+	r := &a.regions[i-1]
+	idx := uint64(v - r.baseVPN)
+	if idx >= r.pages {
+		return nil, 0, false
+	}
+	return r, idx, true
+}
+
+// slotOf computes replica k's slot for page idx of region r: node
+// (primary+k) mod N, segment k, at the page's primary slot index.
+func (a *AddressSpace) slotOf(r *region, idx uint64, primary int, slot uint64, k int) Slot {
+	node := (primary + k) % a.nodes
+	return Slot{
+		Node: node,
+		Off:  r.remoteBases[node] + (uint64(k)*r.perNode+slot)*PageSize,
+	}
+}
+
+// Primary returns the page's primary slot regardless of node health —
+// the stable identity used for initial PTE payloads. Use Resolve for
+// anything that touches the wire.
+func (a *AddressSpace) Primary(v pagetable.VPN) (Slot, bool) {
+	r, idx, ok := a.lookup(v)
+	if !ok {
+		return Slot{}, false
+	}
+	node, slot := a.policy.Place(idx, r.pages, a.nodes)
+	return a.slotOf(r, idx, node, slot, 0), true
+}
+
+// Resolve returns every live replica slot of a page, primary first and
+// skipping failed nodes. failover reports that the page's primary node
+// is down (the head slot is a non-primary replica) — fault handlers use
+// it to count genuine failover fetches. Panics if every replica of a
+// mapped page has failed, which FailNode makes unreachable.
+func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool) {
+	r, idx, ok := a.lookup(v)
+	if !ok {
+		return nil, false, false
+	}
+	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	for k := 0; k < a.replicas; k++ {
+		s := a.slotOf(r, idx, primary, slot, k)
+		if a.failed[s.Node] {
+			if k == 0 {
+				failover = true
+			}
+			continue
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) == 0 {
+		panic(fmt.Sprintf("placement: every replica of vpn %d has failed", v))
+	}
+	return slots, failover, true
+}
+
+// First returns the first live replica slot of a page — the fetch
+// target.
+func (a *AddressSpace) First(v pagetable.VPN) (Slot, bool) {
+	slots, _, ok := a.Resolve(v)
+	if !ok {
+		return Slot{}, false
+	}
+	return slots[0], true
+}
+
+// FailNode marks a memory node as failed: Resolve skips it from then on,
+// so fetches fail over to the next live replica and write-backs stop
+// reaching it. Panics when i is the last live node — that would strand
+// every singly-replicated page.
+func (a *AddressSpace) FailNode(i int) {
+	if i < 0 || i >= a.nodes {
+		panic(fmt.Sprintf("placement: no such node %d", i))
+	}
+	if a.failed[i] {
+		return
+	}
+	if a.live == 1 {
+		panic("placement: cannot fail the last memory node")
+	}
+	a.failed[i] = true
+	a.live--
+}
+
+// Failed reports whether node i has been failed.
+func (a *AddressSpace) Failed(i int) bool { return a.failed[i] }

@@ -1,0 +1,151 @@
+package placement
+
+import (
+	"fmt"
+)
+
+// Policy decides where the pages of a DDC region live: it maps a
+// region-relative page index onto a primary memory node and a per-node
+// slot index. Implementations must be bijective per node — two pages of
+// the same region must never share a (node, slot) pair — and every slot
+// index must stay below SlotsPerNode(pages, nodes), which is the backing
+// capacity the AddressSpace provisions on each node (per replica segment).
+//
+// Replica placement is derived, not policy-specific: replica k of a page
+// lives on node (primary+k) mod nodes in that node's k-th slot segment,
+// reusing the page's primary slot index. Because primary slots are unique
+// per node, every replica segment inherits collision-freedom.
+type Policy interface {
+	// Name is the policy's CLI-facing identifier.
+	Name() string
+	// Place returns the primary node and per-node slot of page idx in a
+	// region of `pages` pages spread over `nodes` memory nodes.
+	Place(idx, pages uint64, nodes int) (node int, slot uint64)
+	// SlotsPerNode is the per-node slot capacity a region of `pages`
+	// pages needs under this policy.
+	SlotsPerNode(pages uint64, nodes int) uint64
+}
+
+// Striped is page-round-robin striping — the layout the multi-node
+// extension shipped with (§5.1): page i lives on node i mod N at slot
+// i div N. Consecutive pages hit different nodes, so sequential scans
+// aggregate the bandwidth of every link.
+type Striped struct{}
+
+// Name implements Policy.
+func (Striped) Name() string { return "striped" }
+
+// Place implements Policy.
+func (Striped) Place(idx, pages uint64, nodes int) (int, uint64) {
+	n := uint64(nodes)
+	return int(idx % n), idx / n
+}
+
+// SlotsPerNode implements Policy.
+func (Striped) SlotsPerNode(pages uint64, nodes int) uint64 {
+	n := uint64(nodes)
+	return (pages + n - 1) / n
+}
+
+// Blocked is contiguous-block placement: the region is split into N
+// equal runs and each run lives whole on one node. Sequential scans see
+// one link at a time, but each page's neighbours share its node — the
+// layout object stores and block devices favour for locality.
+type Blocked struct{}
+
+// Name implements Policy.
+func (Blocked) Name() string { return "blocked" }
+
+// Place implements Policy.
+func (Blocked) Place(idx, pages uint64, nodes int) (int, uint64) {
+	per := Blocked{}.SlotsPerNode(pages, nodes)
+	node := int(idx / per)
+	if node >= nodes { // only when pages == 0 edge cases; clamp defensively
+		node = nodes - 1
+	}
+	return node, idx % per
+}
+
+// SlotsPerNode implements Policy.
+func (Blocked) SlotsPerNode(pages uint64, nodes int) uint64 {
+	n := uint64(nodes)
+	return (pages + n - 1) / n
+}
+
+// Hashed spreads pages pseudo-randomly: a keyed bijective permutation of
+// the page index is computed, then striped. Bijectivity (a Feistel
+// network with cycle-walking, so the permutation is exact on [0,pages))
+// keeps slots collision-free while decorrelating node assignment from
+// access patterns — strided scans cannot gang up on one node.
+type Hashed struct {
+	// Seed keys the permutation. The zero value is a valid key.
+	Seed uint64
+}
+
+// Name implements Policy.
+func (Hashed) Name() string { return "hashed" }
+
+// Place implements Policy.
+func (h Hashed) Place(idx, pages uint64, nodes int) (int, uint64) {
+	p := h.permute(idx, pages)
+	n := uint64(nodes)
+	return int(p % n), p / n
+}
+
+// SlotsPerNode implements Policy.
+func (Hashed) SlotsPerNode(pages uint64, nodes int) uint64 {
+	n := uint64(nodes)
+	return (pages + n - 1) / n
+}
+
+// permute applies a bijective permutation of [0, pages) to idx: a
+// four-round Feistel network over the smallest even-bit power-of-two
+// domain covering pages, cycle-walked back into range. Cycle-walking
+// terminates because the Feistel network is itself a bijection of the
+// covering domain.
+func (h Hashed) permute(idx, pages uint64) uint64 {
+	if pages <= 1 {
+		return idx
+	}
+	half := uint(1)
+	for uint64(1)<<(2*half) < pages {
+		half++
+	}
+	mask := uint64(1)<<half - 1
+	v := idx
+	for {
+		l, r := v>>half, v&mask
+		for round := uint64(0); round < 4; round++ {
+			l, r = r, l^(feistelRound(r, round^h.Seed)&mask)
+		}
+		v = l<<half | r
+		if v < pages {
+			return v
+		}
+	}
+}
+
+// feistelRound is the keyed round function (an xorshift-multiply mix —
+// only diffusion matters, not cryptographic strength).
+func feistelRound(v, key uint64) uint64 {
+	v ^= key * 0x9e3779b97f4a7c15
+	v ^= v >> 23
+	v *= 0x2545f4914f6cdd1d
+	v ^= v >> 29
+	return v
+}
+
+// Policies lists the selectable placement policies in CLI order.
+func Policies() []Policy {
+	return []Policy{Striped{}, Blocked{}, Hashed{}}
+}
+
+// ParsePolicy resolves a CLI policy name.
+func ParsePolicy(name string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("placement: unknown policy %q (have striped, blocked, hashed)", name)
+}

@@ -78,7 +78,10 @@ func (h *Histogram) Percentile(p float64) sim.Time {
 		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
 		h.sorted = true
 	}
-	rank := int(math.Ceil(p / 100 * float64(len(h.samples))))
+	// Multiply before dividing: p/100 is inexact in binary floating
+	// point, and ceil amplifies the dust into an off-by-one rank
+	// (e.g. ceil(0.28*25) = 8, but ceil(28*25/100) = 7).
+	rank := int(math.Ceil(float64(len(h.samples)) * p / 100))
 	if rank < 1 {
 		rank = 1
 	}
