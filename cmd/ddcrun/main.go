@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"dilos/internal/chaos"
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
@@ -39,6 +40,10 @@ func main() {
 	policyName := flag.String("placement", "striped",
 		"page placement policy: striped | blocked | hashed (dilos only)")
 	dumpStats := flag.Bool("stats", false, "dump the full stats snapshot as JSON after the run")
+	chaosProfile := flag.String("chaos-profile", "none",
+		"fault injection profile: none | flaky | tail | crash (dilos only)")
+	chaosSeed := flag.Uint64("chaos-seed", 42,
+		"seed for deterministic fault injection (same seed ⇒ identical faults)")
 	flag.Parse()
 
 	policy, err := placement.ParsePolicy(*policyName)
@@ -46,9 +51,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped") {
-		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement require -system dilos\n")
+	chaosCfg, err := chaos.ParseProfile(*chaosProfile, *chaosSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	chaosOn := *chaosProfile != "" && *chaosProfile != "none"
+	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped" || chaosOn) {
+		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement/-chaos-profile require -system dilos\n")
+		os.Exit(2)
+	}
+	if chaosOn {
+		for _, w := range chaosCfg.Crashes {
+			if w.Node >= *nodes {
+				fmt.Fprintf(os.Stderr, "profile %q crashes node %d; raise -nodes (and use -replicas 2 to survive it)\n",
+					*chaosProfile, w.Node)
+				os.Exit(2)
+			}
+		}
 	}
 	if *nodes < 1 || *replicas < 1 || *replicas > *nodes {
 		fmt.Fprintf(os.Stderr, "-replicas must be between 1 and -nodes (%d)\n", *nodes)
@@ -94,6 +114,9 @@ func main() {
 		if guide != nil {
 			cfg.Guide = guide
 		}
+		if chaosOn {
+			cfg.Chaos = chaos.NewInjector(chaosCfg)
+		}
 		sys := core.New(eng, cfg)
 		sys.Start()
 		registry = sys.Registry()
@@ -107,6 +130,15 @@ func main() {
 				sys.Mgr.Cleaned.N, sys.Mgr.Evicted.N, sys.Mgr.SyncWrites.N)
 			fmt.Printf("network: rx=%d MB tx=%d MB\n",
 				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+			if sys.Chaos != nil {
+				fmt.Printf("chaos: injected-fails=%d tails=%d stalls=%d node-down-ops=%d\n",
+					sys.Chaos.Fails.N, sys.Chaos.Tails.N, sys.Chaos.Stalls.N, sys.Chaos.Crashed.N)
+				fmt.Printf("recovery: retries=%d gave-up=%d replica-fetches=%d write-fails=%d "+
+					"prefetch-fails=%d rereplicated=%d breaker-trips=%d recoveries=%d\n",
+					sys.FetchRetries.Retries.N, sys.FetchRetries.GaveUp.N, sys.ReplicaFetches.N,
+					sys.Mgr.WriteFails.N, sys.PrefetchFails.N, sys.ReReplicated.N,
+					sys.Health.NodeFails.N, sys.Health.NodeRecoveries.N)
+			}
 		}
 	case "fastswap":
 		sys := fastswap.New(eng, fastswap.Config{

@@ -51,14 +51,18 @@ var registry = map[string]struct {
 	"ext1":   {"extension: sharding across 1/2/4 memory nodes", runExt1},
 	"ext2":   {"extension: PageRank thread scaling on DiLOS", runExt2},
 	"ext3":   {"extension: placement policies across 4 memory nodes", runExt3},
+	"ext4":   {"extension: chaos — node crash, failover, recovery", runExt4},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4",
 }
+
+// chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
+var chaosSeed uint64
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
@@ -67,6 +71,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of tables")
 	withStats := flag.Bool("stats", false,
 		"capture a full stats snapshot per system run and dump them as JSON")
+	flag.Uint64Var(&chaosSeed, "chaos-seed", 42,
+		"seed for ext4's deterministic fault injection (same seed ⇒ identical run)")
 	flag.Parse()
 	jsonOut = *asJSON
 	statsOut = *withStats
@@ -390,6 +396,53 @@ func runExt3(sc experiments.Scale) {
 	}
 }
 
+func runExt4(sc experiments.Scale) {
+	fmt.Println("Extension — chaos: replicated DiLOS through a memory-node crash")
+	fmt.Printf("  [seed %d; node 1 down %.0f–%.0fms; Replicas: 2]\n",
+		chaosSeed, experiments.ExtChaosCrashAt().Seconds()*1e3, experiments.ExtChaosCrashUntil().Seconds()*1e3)
+	r := experiments.ExtChaos(sc, chaosSeed)
+	fmt.Printf("  %d pages over a %.0fms run\n", r.Pages, r.RunFor.Seconds()*1e3)
+	if r.RecoveredAt == 0 {
+		fmt.Printf("  detected %.3fms after crash; recovery did not complete in the run\n",
+			(r.DetectedAt-r.CrashAt).Seconds()*1e3)
+	} else {
+		fmt.Printf("  detected %.3fms after crash; recovered %.3fms after the node returned\n",
+			(r.DetectedAt-r.CrashAt).Seconds()*1e3, (r.RecoveredAt-r.CrashUntil).Seconds()*1e3)
+	}
+	fmt.Printf("  %-12s %-12s %-12s %-12s\n", "baseline", "outage avg", "outage dip", "recovered")
+	fmt.Printf("  %-12.2f %-12.2f %-12.2f %-12.2f  (GB/s touched)\n",
+		r.BaselineGBs, r.OutageGBs, r.DipGBs, r.RecoveredGBs)
+	fmt.Printf("  injected fails %d, retries %d (timeouts %d, gave up %d)\n",
+		r.InjectedFails, r.Retries, r.Timeouts, r.GaveUp)
+	fmt.Printf("  replica fetches %d, failed write-backs %d, re-replicated pages %d\n",
+		r.ReplicaFetches, r.WriteFails, r.ReReplicated)
+	fmt.Printf("  breaker: %d trip(s), %d recovery(ies)\n", r.NodeFails, r.NodeRecoveries)
+	fmt.Println("  throughput over time (1ms buckets):")
+	fmt.Printf("    %s\n", floatSparkline(r.Series))
+}
+
+// floatSparkline renders a plain float series as unicode blocks.
+func floatSparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return "(empty)"
+	}
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	max := 0.0
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return "(idle)"
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		out[i] = blocks[int(v/max*float64(len(blocks)-1))]
+	}
+	return string(out)
+}
+
 // jsonOut switches the harness into structured output.
 var jsonOut bool
 
@@ -430,6 +483,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext1":   func(sc experiments.Scale) any { return experiments.ExtMultiNode(sc) },
 	"ext2":   func(sc experiments.Scale) any { return experiments.ExtThreadScaling(sc) },
 	"ext3":   func(sc experiments.Scale) any { return experiments.ExtPlacement(sc) },
+	"ext4":   func(sc experiments.Scale) any { return experiments.ExtChaos(sc, chaosSeed) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

@@ -1,0 +1,235 @@
+// Package chaos is the deterministic fault-injection substrate of the
+// paging stack. DiLOS assumes a lossless fabric; the surveys in PAPERS.md
+// name far-memory fault tolerance as the field's biggest open problem, so
+// this repository makes failure a first-class, *testable* input: a seeded
+// Injector that the fabric consults once per RDMA op and that can
+//
+//   - fail an op outright with some probability (lost/poisoned packet,
+//     RNR-retry exhaustion — the op completes after a detection latency
+//     carrying an error instead of data),
+//   - amplify an op's latency (tail events: congestion, PFC pauses),
+//   - stall a queue pair (the op and everything FIFO-ordered behind it
+//     slips by a fixed window),
+//   - crash and recover whole memory nodes on a schedule driven by sim
+//     time (every op against a down node fails until the window closes).
+//
+// Determinism is the point: the same seed and schedule produce the
+// byte-identical fault sequence on every run (property-tested), so chaos
+// experiments are reproducible, bisectable, and usable as regression
+// tests. The injector draws a fixed number of PRNG values per decision
+// regardless of outcome, so one decision never shifts the sequence of the
+// rest.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Injected op failures carry one of these sentinel errors.
+var (
+	// ErrInjected marks a probabilistically failed op.
+	ErrInjected = errors.New("chaos: injected op failure")
+	// ErrNodeDown marks an op against a node inside a crash window.
+	ErrNodeDown = errors.New("chaos: memory node down")
+)
+
+// CrashWindow schedules a memory-node outage: every op against Node
+// issued at t with At <= t < Until fails with ErrNodeDown. Until == 0
+// means the node never comes back.
+type CrashWindow struct {
+	Node  int
+	At    sim.Time
+	Until sim.Time
+}
+
+// Config parameterises an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives the PRNG; identical seeds (and schedules) reproduce
+	// identical fault sequences.
+	Seed uint64
+	// FailProb is the per-op probability of an injected failure.
+	FailProb float64
+	// TailProb is the per-op probability of tail-latency amplification;
+	// an amplified op's latency is multiplied by TailFactor.
+	TailProb   float64
+	TailFactor float64
+	// StallProb is the per-op probability of a queue-pair stall of
+	// StallTime (the op and everything FIFO-behind it slips).
+	StallProb float64
+	StallTime sim.Time
+	// DetectLatency is how long a failed op takes to complete with its
+	// error — the (simulated) transport timeout. Zero selects the default.
+	DetectLatency sim.Time
+	// Crashes schedules whole-node outages.
+	Crashes []CrashWindow
+}
+
+// DefaultDetectLatency is the failure-detection latency when the config
+// leaves it zero: roughly an RDMA retransmission timeout, long against a
+// ~3 µs op but short against the health monitor's probe period.
+const DefaultDetectLatency = 15 * sim.Microsecond
+
+// Decision is the injector's verdict on one op.
+type Decision struct {
+	// Fail aborts the op: no data moves and the op completes with Err
+	// after FailAfter.
+	Fail      bool
+	Err       error
+	FailAfter sim.Time
+	// Extra is added to the op's completion latency (tail amplification).
+	Extra sim.Time
+	// Stall is added to the queue pair's FIFO horizon before the op.
+	Stall sim.Time
+}
+
+// Injector makes per-op fault decisions. It is not safe for concurrent
+// use; in this repository every consumer runs inside the single-threaded
+// simulation.
+type Injector struct {
+	cfg Config
+	rng Rand
+
+	Fails   stats.Counter // ops failed (probabilistic + node-down)
+	Tails   stats.Counter // ops with amplified latency
+	Stalls  stats.Counter // QP stalls injected
+	Crashed stats.Counter // ops refused because the node was down
+}
+
+// NewInjector builds an injector from the config.
+func NewInjector(cfg Config) *Injector {
+	if cfg.DetectLatency <= 0 {
+		cfg.DetectLatency = DefaultDetectLatency
+	}
+	if cfg.TailFactor < 1 {
+		cfg.TailFactor = 1
+	}
+	return &Injector{
+		cfg:     cfg,
+		rng:     NewRand(cfg.Seed),
+		Fails:   stats.Counter{Name: "chaos.fails"},
+		Tails:   stats.Counter{Name: "chaos.tails"},
+		Stalls:  stats.Counter{Name: "chaos.stalls"},
+		Crashed: stats.Counter{Name: "chaos.node_down_ops"},
+	}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// RegisterStats folds the injector's counters into a registry.
+func (in *Injector) RegisterStats(r *stats.Registry) {
+	r.RegisterCounter(&in.Fails)
+	r.RegisterCounter(&in.Tails)
+	r.RegisterCounter(&in.Stalls)
+	r.RegisterCounter(&in.Crashed)
+}
+
+// NodeDown reports whether node is inside a crash window at time now.
+// It is PRNG-free, so callers may consult it without perturbing the
+// fault sequence.
+func (in *Injector) NodeDown(node int, now sim.Time) bool {
+	for _, w := range in.cfg.Crashes {
+		if w.Node == node && now >= w.At && (w.Until == 0 || now < w.Until) {
+			return true
+		}
+	}
+	return false
+}
+
+// Decide renders the verdict for one op of `bytes` bytes against `node`
+// issued at `now`; lat is the op's nominal latency (for proportional tail
+// amplification). Exactly three PRNG draws happen per call, whatever the
+// outcome, so decisions never shift each other's randomness.
+func (in *Injector) Decide(now sim.Time, node int, write bool, bytes int, lat sim.Time) Decision {
+	pFail := in.rng.Float64()
+	pTail := in.rng.Float64()
+	pStall := in.rng.Float64()
+	var d Decision
+	if in.NodeDown(node, now) {
+		in.Crashed.Inc()
+		in.Fails.Inc()
+		return Decision{Fail: true, Err: ErrNodeDown, FailAfter: in.cfg.DetectLatency}
+	}
+	if pFail < in.cfg.FailProb {
+		in.Fails.Inc()
+		return Decision{Fail: true, Err: ErrInjected, FailAfter: in.cfg.DetectLatency}
+	}
+	if pTail < in.cfg.TailProb && in.cfg.TailFactor > 1 {
+		d.Extra = sim.Time(float64(lat) * (in.cfg.TailFactor - 1))
+		in.Tails.Inc()
+	}
+	if pStall < in.cfg.StallProb && in.cfg.StallTime > 0 {
+		d.Stall = in.cfg.StallTime
+		in.Stalls.Inc()
+	}
+	return d
+}
+
+// Profiles name canned configurations for the CLI tools (-chaos-profile).
+// Times are virtual; the crash profile's window is sized for the ext4
+// experiment's run length and documented in EXPERIMENTS.md.
+func Profiles() []string { return []string{"none", "flaky", "tail", "crash"} }
+
+// ParseProfile builds a Config for a named profile under a seed.
+func ParseProfile(name string, seed uint64) (Config, error) {
+	switch strings.ToLower(name) {
+	case "", "none":
+		return Config{Seed: seed}, nil
+	case "flaky":
+		return Config{
+			Seed:       seed,
+			FailProb:   0.02,
+			TailProb:   0.05,
+			TailFactor: 8,
+			StallProb:  0.005,
+			StallTime:  50 * sim.Microsecond,
+		}, nil
+	case "tail":
+		return Config{
+			Seed:       seed,
+			TailProb:   0.10,
+			TailFactor: 12,
+		}, nil
+	case "crash":
+		return Config{
+			Seed:    seed,
+			Crashes: []CrashWindow{{Node: 1, At: 2 * sim.Millisecond, Until: 8 * sim.Millisecond}},
+		}, nil
+	}
+	return Config{}, fmt.Errorf("chaos: unknown profile %q (have %v)", name, Profiles())
+}
+
+// Rand is a splitmix64 PRNG — tiny, fast, and fully determined by its
+// seed. It also serves the retry jitter in fabric.ReliableQP, keeping the
+// whole failure-handling stack reproducible.
+type Rand struct{ state uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) Rand { return Rand{state: seed} }
+
+// Uint64 returns the next value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Jitter returns a uniform virtual-time value in [0, max).
+func (r *Rand) Jitter(max sim.Time) sim.Time {
+	if max <= 0 {
+		return 0
+	}
+	return sim.Time(r.Uint64() % uint64(max))
+}

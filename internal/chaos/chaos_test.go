@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"dilos/internal/sim"
+)
+
+// opTrace drives an injector through a fixed mixed op sequence (reads,
+// writes, vectored ops of varying size against several nodes) and
+// serialises every decision byte-for-byte.
+func opTrace(in *Injector, ops int) string {
+	var out []byte
+	rng := NewRand(7) // op mix generator, independent of the injector
+	now := sim.Time(0)
+	for i := 0; i < ops; i++ {
+		node := int(rng.Uint64() % 3)
+		write := rng.Uint64()%2 == 0
+		bytes := 64 << (rng.Uint64() % 7) // 64 B .. 4 KiB
+		segs := 1 + int(rng.Uint64()%4)
+		lat := sim.Time(2*sim.Microsecond) + sim.Time(bytes/4)
+		for s := 0; s < segs; s++ {
+			d := in.Decide(now, node, write, bytes, lat)
+			out = append(out, fmt.Sprintf("%d:%v:%v:%d:%d:%d;", i, d.Fail, d.Err, d.FailAfter, d.Extra, d.Stall)...)
+		}
+		now += sim.Time(rng.Uint64() % uint64(50*sim.Microsecond))
+	}
+	return string(out)
+}
+
+func chaosCfg(seed uint64) Config {
+	return Config{
+		Seed:       seed,
+		FailProb:   0.05,
+		TailProb:   0.10,
+		TailFactor: 8,
+		StallProb:  0.02,
+		StallTime:  40 * sim.Microsecond,
+		Crashes:    []CrashWindow{{Node: 1, At: 300 * sim.Microsecond, Until: 900 * sim.Microsecond}},
+	}
+}
+
+// TestInjectorDeterminism is the satellite property test: two injectors
+// with the same seed and schedule produce byte-identical fault sequences
+// across reads, writes, and vectored ops.
+func TestInjectorDeterminism(t *testing.T) {
+	for seed := uint64(1); seed <= 32; seed++ {
+		a := NewInjector(chaosCfg(seed))
+		b := NewInjector(chaosCfg(seed))
+		ta, tb := opTrace(a, 400), opTrace(b, 400)
+		if ta != tb {
+			t.Fatalf("seed %d: traces diverge", seed)
+		}
+		if a.Fails.N != b.Fails.N || a.Tails.N != b.Tails.N || a.Stalls.N != b.Stalls.N {
+			t.Fatalf("seed %d: counters diverge", seed)
+		}
+		if a.Fails.N == 0 || a.Tails.N == 0 {
+			t.Fatalf("seed %d: config injects but nothing was injected", seed)
+		}
+	}
+}
+
+func TestInjectorSeedsDiffer(t *testing.T) {
+	a := NewInjector(chaosCfg(1))
+	b := NewInjector(chaosCfg(2))
+	if opTrace(a, 400) == opTrace(b, 400) {
+		t.Fatal("different seeds produced the identical fault sequence")
+	}
+}
+
+func TestCrashWindow(t *testing.T) {
+	in := NewInjector(Config{Seed: 1, Crashes: []CrashWindow{
+		{Node: 1, At: 100, Until: 200},
+		{Node: 2, At: 50}, // forever
+	}})
+	cases := []struct {
+		node int
+		at   sim.Time
+		down bool
+	}{
+		{1, 99, false}, {1, 100, true}, {1, 199, true}, {1, 200, false},
+		{2, 49, false}, {2, 50, true}, {2, 1 << 40, true},
+		{0, 150, false},
+	}
+	for _, c := range cases {
+		if got := in.NodeDown(c.node, c.at); got != c.down {
+			t.Errorf("NodeDown(%d, %d) = %v, want %v", c.node, c.at, got, c.down)
+		}
+	}
+	// An op against a down node fails with ErrNodeDown and charges the
+	// detection latency, regardless of probabilities.
+	d := in.Decide(150, 1, false, 4096, 3*sim.Microsecond)
+	if !d.Fail || d.Err != ErrNodeDown || d.FailAfter != DefaultDetectLatency {
+		t.Fatalf("op against down node: %+v", d)
+	}
+	d = in.Decide(250, 1, false, 4096, 3*sim.Microsecond)
+	if d.Fail {
+		t.Fatalf("op after window still failed: %+v", d)
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := NewInjector(Config{Seed: 99})
+	for i := 0; i < 1000; i++ {
+		d := in.Decide(sim.Time(i), i%4, i%2 == 0, 4096, 3*sim.Microsecond)
+		if d.Fail || d.Extra != 0 || d.Stall != 0 {
+			t.Fatalf("zero config injected %+v at op %d", d, i)
+		}
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range Profiles() {
+		cfg, err := ParseProfile(name, 7)
+		if err != nil {
+			t.Fatalf("profile %q: %v", name, err)
+		}
+		if cfg.Seed != 7 {
+			t.Fatalf("profile %q dropped the seed", name)
+		}
+	}
+	if _, err := ParseProfile("bogus", 1); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(100)
+		if j < 0 || j >= 100 {
+			t.Fatalf("jitter %d out of [0,100)", j)
+		}
+	}
+	if r.Jitter(0) != 0 || r.Jitter(-5) != 0 {
+		t.Fatal("non-positive max must yield 0")
+	}
+}

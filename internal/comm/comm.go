@@ -22,6 +22,7 @@ const (
 	ModCleaner                // background write-back
 	ModReclaim                // reclaimer traffic (sync write-back under pressure)
 	ModGuide                  // guide subpage queues (§4.5, separate from paging)
+	ModHealth                 // health-monitor probes and re-replication traffic
 	NumModules
 )
 
@@ -37,6 +38,8 @@ func (m Module) String() string {
 		return "reclaim"
 	case ModGuide:
 		return "guide"
+	case ModHealth:
+		return "health"
 	}
 	return fmt.Sprintf("module(%d)", int(m))
 }

@@ -7,6 +7,7 @@ import (
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
 	"dilos/internal/mmu"
+	"dilos/internal/pagemgr"
 	"dilos/internal/pagetable"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
@@ -49,19 +50,11 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		}
 		// The fetch offset comes from the (failover-aware) slot mapping,
 		// not the PTE payload, so a page whose primary node died reads
-		// from its next live replica. This is the one place (besides the
-		// Action path) that counts ReplicaFetches: a fault actually served
-		// by a non-primary copy.
-		slots, failover, ok := s.space.Resolve(vpn)
-		if !ok {
-			panic(fmt.Sprintf("core: remote PTE for unmapped vpn %d", vpn))
-		}
-		if failover {
-			s.ReplicaFetches.Inc()
-		}
-		node, remote := slots[0].Node, slots[0].Off
-		s.majorFetch(p, h.coreID, node, vpn, pte, func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op {
-			return qp.Read(now, remote, buf)
+		// from its next live replica. majorFetch resolves the slot and
+		// counts ReplicaFetches when the fetch is actually served by a
+		// non-primary copy.
+		s.majorFetch(p, h.coreID, vpn, pte, func(qp *fabric.QP, now sim.Time, base uint64, buf []byte) *fabric.Op {
+			return qp.Read(now, base, buf)
 		}, false)
 	case pagetable.TagAction:
 		p.Advance(c.Costs.Exception)
@@ -69,22 +62,19 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		s.MajorFaults.Inc()
 		s.GuidedFetches.Inc()
 		payload := pte.Payload()
-		slots, failover, ok := s.space.Resolve(vpn)
-		if !ok {
-			panic(fmt.Sprintf("core: action PTE for unmapped vpn %d", vpn))
-		}
-		if failover {
-			s.ReplicaFetches.Inc()
-		}
-		node, remoteBase := slots[0].Node, slots[0].Off
 		// The vector-log slot is consumed inside the issue callback, which
 		// majorFetch only invokes after winning the PTE transition — a
-		// racing faulter must not release the same slot twice.
-		s.majorFetch(p, h.coreID, node, vpn, pte, func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op {
-			chunks := s.Mgr.Vector(payload)
+		// racing faulter must not release the same slot twice. The chunks
+		// are cached across retries: the log slot is released exactly once
+		// even when the fetch fails over to another replica.
+		var chunks []pagemgr.Chunk
+		s.majorFetch(p, h.coreID, vpn, pte, func(qp *fabric.QP, now sim.Time, base uint64, buf []byte) *fabric.Op {
+			if chunks == nil {
+				chunks = s.Mgr.Vector(payload)
+			}
 			segs := make([]fabric.Seg, len(chunks))
 			for i, ch := range chunks {
-				segs[i] = fabric.Seg{Off: remoteBase + uint64(ch.Off), Buf: buf[ch.Off : ch.Off+ch.Len]}
+				segs[i] = fabric.Seg{Off: base + uint64(ch.Off), Buf: buf[ch.Off : ch.Off+ch.Len]}
 			}
 			return qp.ReadV(now, segs)
 		}, true)
@@ -93,12 +83,14 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		sl := &s.slots[slot]
 		gen := sl.gen
 		op := sl.op
-		if op == nil {
-			// Issue and publish happen without an intervening yield, so a
-			// visible Fetching PTE always has its op installed.
+		if op == nil && !sl.demand {
+			// Prefetch issue and publish happen without an intervening
+			// yield, so a visible prefetch Fetching PTE always has its op
+			// installed. (A demand slot may briefly have none while its
+			// owner waits out an all-replicas-down window.)
 			panic("core: fetching PTE with no op")
 		}
-		if op.CompleteAt+s.Costs.Map <= p.Now() {
+		if op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
 			// The data already arrived; on real hardware the (parallel)
 			// prefetch mapper would have installed the PTE by now and no
 			// fault would have trapped. The serialized simulation just
@@ -120,19 +112,70 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		// minor faults included — overlapping whatever wait remains.
 		p.Advance(s.Costs.HandlerCheck)
 		s.runPrefetch(p, h.coreID, vpn, false)
-		op.Wait(p)
-		s.finishFetch(p, slot, gen)
+		s.awaitInflight(p, slot, gen)
 		s.MinorFaultLat.Record(p.Now() - t0)
 	default:
 		panic(fmt.Sprintf("core: segfault at vpn %d (invalid PTE)", vpn))
 	}
 }
 
+// awaitInflight is the minor faulter's wait: block on the in-flight op and
+// map the page when it lands. Failure handling depends on who owns the
+// slot. A demand owner is already running its own recovery (re-issuing and
+// republishing sl.op), so the minor faulter just re-checks until the owner
+// succeeds or maps. A failed *prefetch* has no recovering owner — whoever
+// notices first (this faulter or the prefetch mapper) reverts the PTE to
+// Remote so the access retries as a major fault.
+func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) {
+	for {
+		sl := &s.slots[slot]
+		if sl.gen != gen || !sl.active {
+			return // mapped (and possibly recycled) by someone else
+		}
+		op := sl.op
+		if op == nil {
+			p.Sleep(recoverPollInterval) // owner waiting out a dead replica set
+			continue
+		}
+		op.Wait(p)
+		if sl.gen != gen || !sl.active {
+			return
+		}
+		if sl.op != op {
+			continue // owner re-issued while we waited; track the new op
+		}
+		if op.Err != nil {
+			if sl.demand {
+				p.Sleep(recoverPollInterval)
+				continue
+			}
+			s.revertPrefetch(p, slot, gen)
+			return
+		}
+		s.finishFetch(p, slot, gen)
+		return
+	}
+}
+
+// recoverPollInterval paces processes waiting on someone else's recovery
+// (minor faulters behind a failed demand fetch, fetches stuck with every
+// replica down waiting for the health monitor to act).
+const recoverPollInterval = 20 * sim.Microsecond
+
+// maxRecoverRounds bounds the fetch recovery loop. Each round walks every
+// readable replica with full retry/backoff and then sleeps; thousands of
+// fruitless rounds mean the configuration is unrecoverable (e.g. a
+// permanent crash of the only replica's node), and a loud panic beats a
+// simulation that silently never finishes.
+const maxRecoverRounds = 4096
+
 // majorFetch is the §4.2 fast path: one PTE transition, one frame, one
 // asynchronous RDMA request, with prefetch + hit tracking + the guide hook
-// hidden in the fetch window, then the mapping.
-func (s *System) majorFetch(p *sim.Proc, coreID, node int, vpn pagetable.VPN, pte *pagetable.PTE,
-	issue func(qp *fabric.QP, now sim.Time, buf []byte) *fabric.Op, zeroFill bool) {
+// hidden in the fetch window, then the mapping. The issue callback builds
+// the op against a replica base offset so the same shape (whole-page or
+// vectored) can be re-issued against another replica on failure.
+func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pagetable.PTE,
+	issue func(qp *fabric.QP, now sim.Time, base uint64, buf []byte) *fabric.Op, zeroFill bool) {
 	t0 := p.Now()
 	p.Advance(s.Costs.HandlerCheck)
 
@@ -154,12 +197,25 @@ func (s *System) majorFetch(p *sim.Proc, coreID, node int, vpn pagetable.VPN, pt
 		p.Advance(s.Costs.ZeroFill)
 	}
 	slot := s.newSlot(vpn, frame)
+	s.slots[slot].demand = true
 	*pte = pagetable.Fetching(slot)
 	s.BD.Handler += p.Now() - t0
 
-	op := issue(s.Hubs[node].QP(coreID, comm.ModFault), p.Now(), buf)
-	s.slots[slot].op = op
+	slots, failover, ok := s.space.Resolve(vpn)
+	if !ok {
+		panic(fmt.Sprintf("core: remote PTE for unmapped vpn %d", vpn))
+	}
 	tIssue := p.Now()
+	var op *fabric.Op
+	counted := false
+	if len(slots) > 0 {
+		if failover {
+			s.ReplicaFetches.Inc()
+			counted = true
+		}
+		op = issue(s.Hubs[slots[0].Node].QP(coreID, comm.ModFault), p.Now(), slots[0].Off, buf)
+		s.slots[slot].op = op
+	}
 
 	// Work hidden in the fetch window (§4.3): hit tracker scan, prefetch
 	// issuance, guide hook.
@@ -169,7 +225,12 @@ func (s *System) majorFetch(p *sim.Proc, coreID, node int, vpn pagetable.VPN, pt
 		s.AppGuide.OnFault(coreID, vpn)
 	}
 
-	op.Wait(p)
+	if op != nil {
+		op.Wait(p)
+	}
+	if op == nil || op.Err != nil {
+		s.recoverFetch(p, coreID, vpn, slot, gen, counted, buf, issue)
+	}
 	s.BD.Fetch += p.Now() - tIssue
 	tMap := p.Now()
 	s.finishFetch(p, slot, gen)
@@ -178,19 +239,90 @@ func (s *System) majorFetch(p *sim.Proc, coreID, node int, vpn pagetable.VPN, pt
 	s.FaultLat.Record(p.Now() - t0 + s.MMUC.Exception)
 }
 
+// recoverFetch is the fault handler's failover loop: re-resolve the page
+// (the health monitor may have failed its node over since the last
+// attempt), walk every readable replica with retry/backoff, and — when no
+// replica serves — wait a beat for the monitor and try again. Every
+// re-issued op is republished into the inflight slot so minor faulters
+// track the live attempt.
+func (s *System) recoverFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, slot uint64, gen uint64,
+	counted bool, buf []byte, issue func(qp *fabric.QP, now sim.Time, base uint64, buf []byte) *fabric.Op) {
+	for round := 0; round < maxRecoverRounds; round++ {
+		slots, failover, ok := s.space.Resolve(vpn)
+		if !ok {
+			panic(fmt.Sprintf("core: recovering fetch for unmapped vpn %d", vpn))
+		}
+		for i, rsl := range slots {
+			rqp := &fabric.ReliableQP{
+				QP:  s.Hubs[rsl.Node].QP(coreID, comm.ModFault),
+				Pol: fabric.DefaultRetryPolicy(),
+				St:  s.FetchRetries,
+				Rng: &s.retryRng,
+			}
+			base := rsl.Off
+			err := rqp.Do(p, func(now sim.Time) *fabric.Op {
+				op := issue(rqp.QP, now, base, buf)
+				if sp := &s.slots[slot]; sp.gen == gen && sp.active {
+					sp.op = op
+				}
+				return op
+			})
+			if err == nil {
+				if (failover || i > 0) && !counted {
+					s.ReplicaFetches.Inc()
+				}
+				return
+			}
+		}
+		// No replica reachable this round; give the health monitor time to
+		// declare the node dead (failing it over) or bring one back.
+		p.Sleep(recoverPollInterval)
+		if sp := &s.slots[slot]; sp.gen != gen || !sp.active {
+			return // mapped concurrently off one of our successful attempts
+		}
+	}
+	panic(fmt.Sprintf("core: vpn %d unreachable after %d recovery rounds", vpn, maxRecoverRounds))
+}
+
 // finishFetch maps a completed fetch if nobody else has: exactly one of the
 // original faulter, a minor faulter, or the prefetch mapper performs the
-// mapping.
+// mapping. A slot whose op failed is never mapped — its owner (or the
+// prefetch revert) is responsible for it.
 func (s *System) finishFetch(p *sim.Proc, slot uint64, gen uint64) {
 	sl := &s.slots[slot]
 	if sl.gen != gen || !sl.active {
 		return // already mapped (or slot recycled after mapping)
+	}
+	if sl.op != nil && sl.op.Err != nil {
+		return
 	}
 	sl.active = false
 	p.Advance(s.Costs.Map)
 	s.Table.Set(sl.vpn, pagetable.Local(uint64(sl.frame), true))
 	s.Pool.Meta(sl.frame).Pinned = false
 	s.Mgr.InsertLRU(sl.frame, sl.vpn)
+	s.releaseSlot(slot)
+}
+
+// revertPrefetch undoes a failed prefetch: the PTE returns to Remote (its
+// stable primary identity), the frame is freed, and the slot is recycled —
+// all without a yield, so exactly one of the prefetch mapper and a minor
+// faulter performs it. The next access takes a fresh major fault through
+// the (failover-aware) fetch path.
+func (s *System) revertPrefetch(p *sim.Proc, slot uint64, gen uint64) {
+	sl := &s.slots[slot]
+	if sl.gen != gen || !sl.active {
+		return
+	}
+	sl.active = false
+	prim, ok := s.space.Primary(sl.vpn)
+	if !ok {
+		panic(fmt.Sprintf("core: reverting prefetch of unmapped vpn %d", sl.vpn))
+	}
+	s.Table.Set(sl.vpn, pagetable.Remote(prim.Off/PageSize))
+	s.Pool.Meta(sl.frame).Pinned = false
+	s.Pool.Free(sl.frame)
+	s.PrefetchFails.Inc()
 	s.releaseSlot(slot)
 }
 
@@ -269,6 +401,15 @@ func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
 		}
 		op := sl.op
 		op.Wait(p)
+		if sl.gen != item.gen || !sl.active {
+			continue
+		}
+		if op.Err != nil {
+			// A failed prefetch is disposable: revert the page to Remote
+			// (unless a minor faulter already did) and move on.
+			s.revertPrefetch(p, item.slot, item.gen)
+			continue
+		}
 		s.finishFetch(p, item.slot, item.gen)
 	}
 }
@@ -296,7 +437,7 @@ func (s *System) ReadRemote(p *sim.Proc, coreID int, addr uint64, buf []byte) er
 		}
 		op := s.Hubs[node].QP(coreID, comm.ModGuide).Read(p.Now(), remote+off, buf)
 		op.Wait(p)
-		return nil
+		return op.Err
 	default:
 		return fmt.Errorf("core: subpage read of %v page at %#x", pte.Tag(), addr)
 	}

@@ -18,6 +18,7 @@ package core
 import (
 	"fmt"
 
+	"dilos/internal/chaos"
 	"dilos/internal/comm"
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
@@ -148,6 +149,14 @@ type Config struct {
 	// Trace, when set, records every fault (major/minor) into the ring for
 	// offline analysis and replay (internal/trace).
 	Trace *trace.Recorder
+	// Chaos, when set, injects deterministic faults into every link (see
+	// internal/chaos) and enables the failure-handling stack: the health
+	// monitor daemons, fetch retry/failover, and re-replication. Without it
+	// the system behaves exactly as before — ops never fail.
+	Chaos *chaos.Injector
+	// Health overrides the health monitor tuning (nil → DefaultHealthConfig
+	// when Chaos is set; ignored otherwise unless explicitly provided).
+	Health *HealthConfig
 }
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
@@ -178,10 +187,24 @@ type System struct {
 	registry *stats.Registry
 	heap     *heapArena
 
+	// Chaos is the fault injector shared by every link (nil without chaos).
+	Chaos *chaos.Injector
+	// Health is the memory-node health monitor (nil without chaos/health).
+	Health *HealthMonitor
+	// retryRng seeds retry jitter; deterministic per chaos seed.
+	retryRng chaos.Rand
+
 	// ReplicaFetches counts fetches served by a non-primary replica
 	// because the primary's node failed — incremented at the fetch site
 	// only, never by write-back or prefetch target resolution.
 	ReplicaFetches stats.Counter
+	// ReReplicated counts pages copied back onto a recovered node.
+	ReReplicated stats.Counter
+	// PrefetchFails counts prefetches reverted because their op failed.
+	PrefetchFails stats.Counter
+	// FetchRetries aggregates the fault path's retry/timeout/gave-up
+	// counters across every core's reliable fetch attempts.
+	FetchRetries *fabric.RetryStats
 
 	slots     []inflight
 	freeSlots []uint64
@@ -208,6 +231,10 @@ type inflight struct {
 	vpn    pagetable.VPN
 	gen    uint64
 	active bool
+	// demand marks a fault-handler-owned fetch: its owner runs recovery on
+	// failure (re-issuing and republishing op), so waiters poll rather
+	// than revert. Prefetch slots (demand=false) are reverted on failure.
+	demand bool
 }
 
 type pfItem struct {
@@ -244,6 +271,8 @@ func New(eng *sim.Engine, cfg Config) *System {
 	links := make([]*fabric.Link, cfg.MemNodes)
 	for i := range links {
 		links[i] = fabric.NewLinkOver(backings[i], backings[i].Key(), cfg.Fabric)
+		links[i].NodeID = i
+		links[i].Chaos = cfg.Chaos
 	}
 	var node *memnode.Node
 	if nodes != nil {
@@ -295,7 +324,11 @@ func New(eng *sim.Engine, cfg Config) *System {
 			Replicas: cfg.Replicas,
 			Policy:   cfg.Placement,
 		}),
+		Chaos:          cfg.Chaos,
 		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
+		ReReplicated:   stats.Counter{Name: "dilos.rereplicated"},
+		PrefetchFails:  stats.Counter{Name: "dilos.prefetch_fails"},
+		FetchRetries:   fabric.NewRetryStats("fetch"),
 		pfQueue:        make([][]pfItem, cfg.Cores),
 		pfWaiter:       make([]sim.Waiter, cfg.Cores),
 		MajorFaults:    stats.Counter{Name: "dilos.major_faults"},
@@ -306,9 +339,18 @@ func New(eng *sim.Engine, cfg Config) *System {
 		FaultLat:       stats.NewHistogram("dilos.fault_latency"),
 		MinorFaultLat:  stats.NewHistogram("dilos.minor_fault_latency"),
 	}
+	// Retry jitter derives from the chaos seed so the full failure-handling
+	// stack replays under one number; without chaos the fixed seed keeps
+	// behavior deterministic anyway (jitter only fires after a failed op,
+	// which cannot happen without an injector).
+	retrySeed := uint64(0xd1705)
+	if cfg.Chaos != nil {
+		retrySeed ^= cfg.Chaos.Config().Seed
+	}
+	s.retryRng = chaos.NewRand(retrySeed)
 	mgr.RemoteOf = func(v pagetable.VPN) (pagemgr.Target, bool) {
-		slots, _, ok := s.space.Resolve(v)
-		if !ok {
+		slots, ok := s.space.WriteSlots(v)
+		if !ok || len(slots) == 0 {
 			return pagemgr.Target{}, false
 		}
 		tgt := pagemgr.Target{
@@ -325,6 +367,14 @@ func New(eng *sim.Engine, cfg Config) *System {
 		}
 		return tgt, true
 	}
+	if cfg.Chaos != nil || cfg.Health != nil {
+		hc := cfg.Health
+		if hc == nil {
+			d := DefaultHealthConfig()
+			hc = &d
+		}
+		s.Health = NewHealthMonitor(s, *hc)
+	}
 	s.registry = s.buildRegistry()
 	return s
 }
@@ -339,9 +389,18 @@ func (s *System) buildRegistry() *stats.Registry {
 	r.RegisterCounter(&s.GuidedFetches)
 	r.RegisterCounter(&s.Prefetches)
 	r.RegisterCounter(&s.ReplicaFetches)
+	r.RegisterCounter(&s.ReReplicated)
+	r.RegisterCounter(&s.PrefetchFails)
 	r.RegisterHistogram(s.FaultLat)
 	r.RegisterHistogram(s.MinorFaultLat)
 	s.Mgr.RegisterStats(r)
+	s.FetchRetries.RegisterStats(r)
+	if s.Chaos != nil {
+		s.Chaos.RegisterStats(r)
+	}
+	if s.Health != nil {
+		s.Health.RegisterStats(r)
+	}
 	for i, l := range s.Links {
 		// Links are born with identical generic names; qualify per node so
 		// the registry's uniqueness invariant holds.
@@ -350,10 +409,12 @@ func (s *System) buildRegistry() *stats.Registry {
 		l.TxBytes.Name = prefix + "tx.bytes"
 		l.RxOps.Name = prefix + "rx.ops"
 		l.TxOps.Name = prefix + "tx.ops"
+		l.FailedOps.Name = prefix + "failed.ops"
 		r.RegisterCounter(&l.RxBytes)
 		r.RegisterCounter(&l.TxBytes)
 		r.RegisterCounter(&l.RxOps)
 		r.RegisterCounter(&l.TxOps)
+		r.RegisterCounter(&l.FailedOps)
 	}
 	for i, n := range s.Nodes {
 		prefix := fmt.Sprintf("memnode.node%d.", i)
@@ -377,6 +438,11 @@ func (s *System) Space() *placement.AddressSpace { return s.space }
 // lose its last live replica.
 func (s *System) FailNode(i int) { s.space.FailNode(i) }
 
+// RecoverNode returns a failed node to service immediately, without
+// re-replicating lost pages (tests and manual operation; the health
+// monitor's recovery path re-replicates first).
+func (s *System) RecoverNode(i int) { s.space.RecoverNode(i) }
+
 // Start launches the background daemons (page manager, per-core prefetch
 // mappers, the app-aware guide). Call once before running workloads.
 func (s *System) Start() {
@@ -391,6 +457,9 @@ func (s *System) Start() {
 	}
 	if s.AppGuide != nil {
 		s.AppGuide.Start(s)
+	}
+	if s.Health != nil {
+		s.Health.Start()
 	}
 }
 
@@ -435,7 +504,7 @@ func (s *System) newSlot(vpn pagetable.VPN, frame dram.FrameID) uint64 {
 		idx := s.freeSlots[k-1]
 		s.freeSlots = s.freeSlots[:k-1]
 		sl := &s.slots[idx]
-		sl.vpn, sl.frame, sl.op, sl.active = vpn, frame, nil, true
+		sl.vpn, sl.frame, sl.op, sl.active, sl.demand = vpn, frame, nil, true, false
 		return idx
 	}
 	s.slots = append(s.slots, inflight{vpn: vpn, frame: frame, active: true})
@@ -446,6 +515,7 @@ func (s *System) releaseSlot(idx uint64) {
 	sl := &s.slots[idx]
 	sl.gen++
 	sl.op = nil
+	sl.demand = false
 	s.freeSlots = append(s.freeSlots, idx)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"testing"
 
 	"dilos/internal/placement"
@@ -425,5 +426,56 @@ func TestFig10dAppAwareWins(t *testing.T) {
 	// configuration on LRANGE.
 	if app <= bestOther {
 		t.Fatalf("app-aware (%.0f ops/s) does not top LRANGE (best other %.0f)", app, bestOther)
+	}
+}
+
+func TestExtChaosCrashRecovery(t *testing.T) {
+	// ext4's acceptance bar: a replicated run through a mid-run node crash
+	// completes with failover + re-replication observed and the throughput
+	// recovering after the node returns.
+	res := ExtChaos(tiny(), 42)
+	if res.NodeFails < 1 || res.NodeRecoveries < 1 {
+		t.Fatalf("breaker never cycled: fails=%d recoveries=%d", res.NodeFails, res.NodeRecoveries)
+	}
+	if res.DetectedAt <= res.CrashAt {
+		t.Fatalf("detection (%v) not after crash (%v)", res.DetectedAt, res.CrashAt)
+	}
+	if res.RecoveredAt <= res.CrashUntil {
+		t.Fatalf("recovery (%v) not after the window closed (%v)", res.RecoveredAt, res.CrashUntil)
+	}
+	if res.ReplicaFetches == 0 {
+		t.Fatal("no fetch failed over to the surviving replica")
+	}
+	if res.ReReplicated == 0 {
+		t.Fatal("recovery re-replicated no pages")
+	}
+	if res.InjectedFails == 0 {
+		t.Fatal("the crash window injected no op failures")
+	}
+	if res.BaselineGBs <= 0 || res.RecoveredGBs <= 0 {
+		t.Fatalf("degenerate throughput: baseline=%.3f recovered=%.3f", res.BaselineGBs, res.RecoveredGBs)
+	}
+	// The dip must be visible (the detection window stalls fetches on the
+	// dead node) and the system must climb back to near-baseline speed.
+	if res.DipGBs >= res.BaselineGBs*0.9 {
+		t.Fatalf("no crash dip: worst bucket %.3f GB/s vs baseline %.3f GB/s", res.DipGBs, res.BaselineGBs)
+	}
+	if res.RecoveredGBs <= res.DipGBs {
+		t.Fatalf("throughput never recovered: %.3f GB/s after vs %.3f at the dip", res.RecoveredGBs, res.DipGBs)
+	}
+	if res.RecoveredGBs < res.BaselineGBs*0.8 {
+		t.Fatalf("recovered throughput %.3f GB/s far below baseline %.3f GB/s", res.RecoveredGBs, res.BaselineGBs)
+	}
+}
+
+func TestExtChaosSameSeedReproduces(t *testing.T) {
+	a := ExtChaos(tiny(), 1234)
+	b := ExtChaos(tiny(), 1234)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	c := ExtChaos(tiny(), 99)
+	if reflect.DeepEqual(a.Series, c.Series) {
+		t.Fatal("different seeds produced identical timelines (suspicious)")
 	}
 }

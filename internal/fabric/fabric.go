@@ -22,11 +22,21 @@
 // Data movement happens at issue time (the simulation resumes exactly one
 // process at a time, and every remote page slot has a single owner, so
 // issue-time snapshots are indistinguishable from completion-time copies).
+// A corollary the failure model leans on: a failed op's outcome is also
+// known at issue time (Op.Err is set before the op "completes"), so
+// daemons that must not act on unconfirmed writes can check it without
+// waiting.
+//
+// Failure is a first-class outcome: a Link may carry a chaos.Injector
+// (reliable.go wraps queue pairs with retry/backoff on top), ops complete
+// with Op.Err set instead of data, and Store accesses can themselves fail
+// (a real TCP backing losing its daemon, a malformed offset).
 package fabric
 
 import (
 	"fmt"
 
+	"dilos/internal/chaos"
 	"dilos/internal/memnode"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
@@ -36,10 +46,11 @@ import (
 // in-process memnode.Node satisfies it; internal/transport provides an
 // adapter that satisfies it over a real TCP connection to cmd/memnoded, so
 // the entire LibOS stack can keep its data on another machine while the
-// simulation supplies the timing.
+// simulation supplies the timing. Both paths can fail: bounds errors
+// in-process, I/O errors over the wire.
 type Store interface {
-	ReadAt(off uint64, p []byte)
-	WriteAt(off uint64, p []byte)
+	ReadAt(off uint64, p []byte) error
+	WriteAt(off uint64, p []byte) error
 }
 
 // Seg is one segment of a vectored RDMA request.
@@ -58,12 +69,17 @@ const (
 
 // Op is an asynchronous one-sided operation. It is complete at CompleteAt;
 // a process observes completion by Wait (blocking) or Done (polling).
+// A failed op carries Err: no data moved, and the completion time models
+// the failure-detection (timeout) latency. Because the simulation moves
+// data at issue time, Err is populated at issue time too — Wait only
+// supplies the timing.
 type Op struct {
 	Kind       OpKind
 	IssuedAt   sim.Time
 	CompleteAt sim.Time
 	Bytes      int
 	Segs       int
+	Err        error
 }
 
 // Wait blocks p until the op completes.
@@ -80,13 +96,23 @@ type Link struct {
 	store Store
 	key   uint32
 
+	// NodeID names the memory node this link reaches (for the chaos
+	// injector's per-node crash schedule).
+	NodeID int
+	// Chaos, when set, is consulted once per op and may fail, delay, or
+	// stall it. With Chaos nil a Store error is a programming bug and
+	// panics, preserving the pre-chaos contract for systems that never
+	// opted into failure handling.
+	Chaos *chaos.Injector
+
 	rxBusy sim.Time
 	txBusy sim.Time
 
-	RxBytes stats.Counter
-	TxBytes stats.Counter
-	RxOps   stats.Counter
-	TxOps   stats.Counter
+	RxBytes   stats.Counter
+	TxBytes   stats.Counter
+	RxOps     stats.Counter
+	TxOps     stats.Counter
+	FailedOps stats.Counter
 
 	// Optional bandwidth series (nil disables); Figure 12 uses these.
 	RxBW *stats.Bandwidth
@@ -102,13 +128,14 @@ func NewLink(node *memnode.Node, p Params) *Link {
 // internal/transport) guarded by the given protection key.
 func NewLinkOver(store Store, protKey uint32, p Params) *Link {
 	return &Link{
-		P:       p,
-		store:   store,
-		key:     protKey,
-		RxBytes: stats.Counter{Name: "link.rx.bytes"},
-		TxBytes: stats.Counter{Name: "link.tx.bytes"},
-		RxOps:   stats.Counter{Name: "link.rx.ops"},
-		TxOps:   stats.Counter{Name: "link.tx.ops"},
+		P:         p,
+		store:     store,
+		key:       protKey,
+		RxBytes:   stats.Counter{Name: "link.rx.bytes"},
+		TxBytes:   stats.Counter{Name: "link.tx.bytes"},
+		RxOps:     stats.Counter{Name: "link.rx.ops"},
+		TxOps:     stats.Counter{Name: "link.tx.ops"},
+		FailedOps: stats.Counter{Name: "link.failed.ops"},
 	}
 }
 
@@ -166,13 +193,28 @@ func (q *QP) WriteV(now sim.Time, segs []Seg) *Op { return q.writeV(now, segs) }
 func (q *QP) readV(now sim.Time, segs []Seg) *Op {
 	bytes := 0
 	for _, s := range segs {
-		q.link.store.ReadAt(s.Off, s.Buf)
 		bytes += len(s.Buf)
 	}
-	op := q.schedule(now, bytes, len(segs), &q.link.rxBusy)
+	dec := q.decide(now, false, bytes, len(segs))
+	var storeErr error
+	if !dec.Fail {
+		// The chaos verdict precedes the data movement: a failed READ
+		// delivers nothing.
+		for _, s := range segs {
+			if err := q.link.store.ReadAt(s.Off, s.Buf); err != nil {
+				storeErr = err
+				break
+			}
+		}
+	}
+	op := q.schedule(now, bytes, len(segs), &q.link.rxBusy, dec, storeErr)
 	op.Kind = OpRead
-	q.link.RxBytes.Add(int64(bytes))
 	q.link.RxOps.Inc()
+	if op.Err != nil {
+		q.link.FailedOps.Inc()
+		return op
+	}
+	q.link.RxBytes.Add(int64(bytes))
 	if q.link.RxBW != nil {
 		q.link.RxBW.Add(op.CompleteAt, int64(bytes))
 	}
@@ -182,31 +224,37 @@ func (q *QP) readV(now sim.Time, segs []Seg) *Op {
 func (q *QP) writeV(now sim.Time, segs []Seg) *Op {
 	bytes := 0
 	for _, s := range segs {
-		q.link.store.WriteAt(s.Off, s.Buf)
 		bytes += len(s.Buf)
 	}
-	op := q.schedule(now, bytes, len(segs), &q.link.txBusy)
+	dec := q.decide(now, true, bytes, len(segs))
+	var storeErr error
+	if !dec.Fail {
+		// A failed WRITE reaches no memory: the store is untouched.
+		for _, s := range segs {
+			if err := q.link.store.WriteAt(s.Off, s.Buf); err != nil {
+				storeErr = err
+				break
+			}
+		}
+	}
+	op := q.schedule(now, bytes, len(segs), &q.link.txBusy, dec, storeErr)
 	op.Kind = OpWrite
-	q.link.TxBytes.Add(int64(bytes))
 	q.link.TxOps.Inc()
+	if op.Err != nil {
+		q.link.FailedOps.Inc()
+		return op
+	}
+	q.link.TxBytes.Add(int64(bytes))
 	if q.link.TxBW != nil {
 		q.link.TxBW.Add(op.CompleteAt, int64(bytes))
 	}
 	return op
 }
 
-// schedule computes the op's completion time: it occupies the direction's
-// link from max(now, busy horizon) for OpOverhead + transfer time (+ vector
-// segment overheads), then completes after the base latency (+ the TCP
-// emulation delay, if configured).
-func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time) *Op {
-	if segs < 1 {
-		panic("fabric: empty vector")
-	}
-	start := now
-	if *busy > start {
-		start = *busy
-	}
+// latSpec computes the occupancy and latency of an op (shared by the
+// normal schedule and the chaos decision, which amplifies latency
+// proportionally).
+func (q *QP) latSpec(bytes, segs int) (occ, lat sim.Time) {
 	var segExtra sim.Time
 	for s := 1; s < segs; s++ {
 		if s < q.link.P.MaxFastSegs {
@@ -215,14 +263,61 @@ func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time) *Op {
 			segExtra += q.link.P.SegOverheadSlow
 		}
 	}
-	occ := q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByteBW/1000) + segExtra
-	lat := q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByte/1000) + segExtra
+	occ = q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByteBW/1000) + segExtra
+	lat = q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByte/1000) + segExtra
+	return occ, lat
+}
+
+// decide consults the link's chaos injector, if any.
+func (q *QP) decide(now sim.Time, write bool, bytes, segs int) chaos.Decision {
+	if q.link.Chaos == nil {
+		return chaos.Decision{}
+	}
+	_, lat := q.latSpec(bytes, segs)
+	return q.link.Chaos.Decide(now, q.link.NodeID, write, bytes, lat+q.link.P.BaseLatency)
+}
+
+// schedule computes the op's completion time: it occupies the direction's
+// link from max(now, busy horizon) for OpOverhead + transfer time (+ vector
+// segment overheads), then completes after the base latency (+ the TCP
+// emulation delay, if configured). An injected stall pushes the QP's FIFO
+// horizon first; a failed op skips the link occupancy (nothing was
+// transferred) and completes with its error after the detection latency.
+func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time, dec chaos.Decision, storeErr error) *Op {
+	if segs < 1 {
+		panic("fabric: empty vector")
+	}
+	if storeErr != nil && q.link.Chaos == nil {
+		// A system that never opted into failure handling must not limp
+		// on silently with a poisoned op.
+		panic(fmt.Sprintf("fabric: store access failed: %v", storeErr))
+	}
+	if dec.Stall > 0 {
+		stalled := now + dec.Stall
+		if stalled > q.last {
+			q.last = stalled
+		}
+	}
+	if dec.Fail {
+		complete := now + dec.FailAfter
+		if complete < q.last {
+			complete = q.last // FIFO per QP, failures included
+		}
+		q.last = complete
+		q.Ops.Inc()
+		return &Op{IssuedAt: now, CompleteAt: complete, Bytes: bytes, Segs: segs, Err: dec.Err}
+	}
+	start := now
+	if *busy > start {
+		start = *busy
+	}
+	occ, lat := q.latSpec(bytes, segs)
 	*busy = start + occ
-	complete := start + lat + q.link.P.BaseLatency + q.link.P.TCPExtra
+	complete := start + lat + q.link.P.BaseLatency + q.link.P.TCPExtra + dec.Extra
 	if complete < q.last {
 		complete = q.last // FIFO per QP
 	}
 	q.last = complete
 	q.Ops.Inc()
-	return &Op{IssuedAt: now, CompleteAt: complete, Bytes: bytes, Segs: segs}
+	return &Op{IssuedAt: now, CompleteAt: complete, Bytes: bytes, Segs: segs, Err: storeErr}
 }

@@ -110,23 +110,43 @@ func (n *Node) FreePage(off uint64) {
 }
 
 // ReadAt copies region bytes [off, off+len(p)) into p. This is the
-// one-sided READ service path used by the fabric.
-func (n *Node) ReadAt(off uint64, p []byte) {
-	n.check(off, uint64(len(p)))
+// one-sided READ service path used by the fabric. Out-of-range access
+// returns an error rather than panicking: on the served (transport) path a
+// malformed request must not crash the daemon.
+func (n *Node) ReadAt(off uint64, p []byte) error {
+	if err := n.CheckRange(off, uint64(len(p))); err != nil {
+		return err
+	}
 	copy(p, n.mem[off:])
 	n.ReadsSrv.Inc()
+	return nil
 }
 
 // WriteAt copies p into the region at off — the one-sided WRITE path.
-func (n *Node) WriteAt(off uint64, p []byte) {
-	n.check(off, uint64(len(p)))
+func (n *Node) WriteAt(off uint64, p []byte) error {
+	if err := n.CheckRange(off, uint64(len(p))); err != nil {
+		return err
+	}
 	copy(n.mem[off:], p)
 	n.WritesSv.Inc()
+	return nil
 }
 
+// CheckRange validates that [off, off+length) lies inside the registered
+// region, guarding against uint64 overflow in the sum.
+func (n *Node) CheckRange(off, length uint64) error {
+	size := uint64(len(n.mem))
+	if length > size || off > size-length {
+		return fmt.Errorf("memnode: access [%d,+%d) outside region of %d bytes",
+			off, length, size)
+	}
+	return nil
+}
+
+// check is the in-process guard for control-path programming errors
+// (FreePage of a bogus offset): those still panic.
 func (n *Node) check(off, length uint64) {
-	if off+length > uint64(len(n.mem)) {
-		panic(fmt.Sprintf("memnode: access [%d,%d) outside region of %d bytes",
-			off, off+length, len(n.mem)))
+	if err := n.CheckRange(off, length); err != nil {
+		panic(err.Error())
 	}
 }

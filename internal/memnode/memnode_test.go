@@ -59,14 +59,21 @@ func TestKeyAccessor(t *testing.T) {
 	}
 }
 
-func TestOutOfBoundsPanics(t *testing.T) {
+func TestOutOfBoundsReturnsError(t *testing.T) {
 	n := New(1<<20, 0xa)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	n.ReadAt(n.Size()-1, make([]byte, 8))
+	if err := n.ReadAt(n.Size()-1, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-bounds read accepted")
+	}
+	if err := n.WriteAt(n.Size(), []byte{1}); err == nil {
+		t.Fatal("out-of-bounds write accepted")
+	}
+	// Offsets that would overflow off+len must be rejected, not wrap.
+	if err := n.ReadAt(^uint64(0)-2, make([]byte, 8)); err == nil {
+		t.Fatal("overflowing read accepted")
+	}
+	if err := n.CheckRange(0, n.Size()); err != nil {
+		t.Fatalf("full-region access rejected: %v", err)
+	}
 }
 
 func TestUnalignedFreePanics(t *testing.T) {

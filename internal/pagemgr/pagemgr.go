@@ -111,6 +111,7 @@ type Manager struct {
 	SyncWrites  stats.Counter // emergency synchronous write-backs
 	AllocWaits  stats.Counter // allocations that had to wait for a free frame
 	VectorSaves stats.Counter // bytes saved by guided paging write-backs
+	WriteFails  stats.Counter // write-backs left dirty because a replica write failed
 }
 
 type vecEntry struct {
@@ -130,6 +131,7 @@ func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
 		SyncWrites:  stats.Counter{Name: "pagemgr.sync_writes"},
 		AllocWaits:  stats.Counter{Name: "pagemgr.alloc_waits"},
 		VectorSaves: stats.Counter{Name: "pagemgr.vector_saved_bytes"},
+		WriteFails:  stats.Counter{Name: "pagemgr.write_fails"},
 	}
 }
 
@@ -140,6 +142,7 @@ func (m *Manager) RegisterStats(r *stats.Registry) {
 	r.RegisterCounter(&m.SyncWrites)
 	r.RegisterCounter(&m.AllocWaits)
 	r.RegisterCounter(&m.VectorSaves)
+	r.RegisterCounter(&m.WriteFails)
 }
 
 // Start launches the cleaner and reclaimer daemons.
@@ -238,7 +241,16 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 		if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
 			return true
 		}
-		lastOp = m.writeBack(p, id, f.VPN, false)
+		op, ok := m.writeBack(p, id, f.VPN, false)
+		if !ok {
+			// A replica write failed at issue (fabric errors are known at
+			// issue time) or the page has no reachable write target: leave
+			// the dirty bit set so the next pass retries, and never let the
+			// reclaimer treat the page as clean.
+			m.WriteFails.Inc()
+			return true
+		}
+		lastOp = op
 		m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
 		m.Cleaned.Inc()
 		batch++
@@ -255,11 +267,15 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 // writeBack writes a page's content to its remote slot — the whole page,
 // or just the live chunks when a guide provides them (logging the vector
 // for the reclaimer). reclaimPath selects the reclaimer's queue pair
-// instead of the cleaner's.
-func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, reclaimPath bool) *fabric.Op {
+// instead of the cleaner's. ok=false means at least one replica write did
+// not land (failed at issue, or the page currently has no reachable write
+// target): the caller must keep the page dirty so the write-back is
+// retried — clearing the dirty bit after a failed write would let the
+// reclaimer evict the only good copy.
+func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, reclaimPath bool) (*fabric.Op, bool) {
 	tgt, ok := m.RemoteOf(vpn)
 	if !ok {
-		panic(fmt.Sprintf("pagemgr: no remote slot for vpn %d", vpn))
+		return nil, false
 	}
 	data := m.Pool.Bytes(id)
 	targets := append([]Target{tgt}, tgt.Replicas...)
@@ -271,8 +287,11 @@ func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, rec
 		}
 	}
 	// Issue the write to every replica slot; return the op that completes
-	// last so callers pacing on it cover the whole replica set.
+	// last so callers pacing on it cover the whole replica set. Failure is
+	// known at issue time (see the fabric's data-movement contract), so a
+	// failed replica write is visible here synchronously.
 	var last *fabric.Op
+	ok = true
 	for _, t := range targets {
 		qp := t.CleanQP
 		if reclaimPath {
@@ -291,16 +310,23 @@ func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, rec
 		} else {
 			op = qp.Write(p.Now(), t.Off, data)
 		}
+		if op.Err != nil {
+			ok = false
+			continue
+		}
 		if last == nil || op.CompleteAt > last.CompleteAt {
 			last = op
 		}
+	}
+	if !ok {
+		return last, false
 	}
 	if guided {
 		m.cleanVec[vpn] = chunks
 	} else {
 		delete(m.cleanVec, vpn)
 	}
-	return last
+	return last, true
 }
 
 // usable reports whether a chunk vector is worth a vectored request: within
@@ -370,8 +396,11 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 			m.Pool.LRURotate(id)
 			continue
 		}
-		m.evict(p, id, f.VPN)
-		return true
+		if m.evict(p, id, f.VPN) {
+			return true
+		}
+		m.Pool.LRURotate(id) // no reachable remote slot right now; skip
+		continue
 	}
 	// No clean victim in a full sweep: the cleaner is behind. Clean a batch
 	// of cold dirty pages ourselves on the reclaim QP (asynchronously,
@@ -394,7 +423,12 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 				return true
 			}
 			p.Advance(m.Cfg.ScanCost)
-			lastOp = m.writeBack(p, id, f.VPN, true)
+			op, ok := m.writeBack(p, id, f.VPN, true)
+			if !ok {
+				m.WriteFails.Inc()
+				return true
+			}
+			lastOp = op
 			m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
 			cleaned++
 			if victim == dram.NoFrame && !pte.Accessed() {
@@ -416,8 +450,7 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 			f := m.Pool.Meta(victim)
 			pte := m.Table.Lookup(victimVPN)
 			if !f.Pinned && f.VPN == victimVPN && pte.Tag() == pagetable.TagLocal &&
-				!pte.Dirty() && !pte.Accessed() {
-				m.evict(p, victim, victimVPN)
+				!pte.Dirty() && !pte.Accessed() && m.evict(p, victim, victimVPN) {
 				return true
 			}
 		}
@@ -428,10 +461,13 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 
 // evict unmaps a clean page and frees its frame. With a logged clean vector
 // the page leaves as an Action PTE (guided paging); otherwise as Remote.
-func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) {
+// Returns false — leaving the page resident — when the page currently has
+// no reachable remote slot (every replica's node is down): evicting it then
+// would discard the only copy.
+func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) bool {
 	tgt, ok := m.RemoteOf(vpn)
 	if !ok {
-		panic("pagemgr: evicting page with no remote slot")
+		return false
 	}
 	p.Advance(m.Cfg.UnmapCost)
 	if chunks, ok := m.cleanVec[vpn]; ok {
@@ -445,4 +481,5 @@ func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) {
 	m.Pool.Free(id)
 	m.Evicted.Inc()
 	m.freed.Wake(p.Now())
+	return true
 }

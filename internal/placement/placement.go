@@ -12,8 +12,15 @@
 //   - every mapped VPN resolves to exactly one primary slot plus R−1
 //     replica slots on pairwise-distinct nodes;
 //   - no two pages of a region share a (node, segment, slot) triple;
-//   - Resolve never returns a slot on a failed node, and failing a node
-//     never strands a page (the last live replica cannot be failed).
+//   - Resolve never returns a slot on a failed or syncing node, and
+//     failing a node never strands a page (the last live node cannot be
+//     failed); when every replica of a page is unreachable Resolve
+//     reports it with an empty slot list, never a panic.
+//
+// Node health is three-state: live (serves reads and writes), failed
+// (serves nothing), and syncing (a recovering node that accepts
+// write-backs — WriteSlots — but serves no reads until re-replication
+// completes and FinishRecover promotes it back to live).
 package placement
 
 import (
@@ -46,12 +53,22 @@ type Config struct {
 	BaseVA uint64
 }
 
+// nodeState is a memory node's health from the placement substrate's
+// point of view.
+type nodeState uint8
+
+const (
+	nodeLive    nodeState = iota // serves reads and writes
+	nodeFailed                   // serves nothing
+	nodeSyncing                  // accepts write-backs; serves no reads yet
+)
+
 // AddressSpace owns the DDC regions of one computing node.
 type AddressSpace struct {
 	policy   Policy
 	nodes    int
 	replicas int
-	failed   []bool
+	state    []nodeState
 	live     int
 	regions  []region
 	nextVA   uint64
@@ -92,7 +109,7 @@ func New(cfg Config) *AddressSpace {
 		policy:   cfg.Policy,
 		nodes:    cfg.Nodes,
 		replicas: cfg.Replicas,
-		failed:   make([]bool, cfg.Nodes),
+		state:    make([]nodeState, cfg.Nodes),
 		live:     cfg.Nodes,
 		nextVA:   cfg.BaseVA,
 	}
@@ -177,11 +194,14 @@ func (a *AddressSpace) Primary(v pagetable.VPN) (Slot, bool) {
 	return a.slotOf(r, idx, node, slot, 0), true
 }
 
-// Resolve returns every live replica slot of a page, primary first and
-// skipping failed nodes. failover reports that the page's primary node
-// is down (the head slot is a non-primary replica) — fault handlers use
-// it to count genuine failover fetches. Panics if every replica of a
-// mapped page has failed, which FailNode makes unreachable.
+// Resolve returns every readable replica slot of a page, primary first
+// and skipping failed and syncing nodes. failover reports that the page's
+// primary node is not readable (the head slot, if any, is a non-primary
+// replica) — fault handlers use it to count genuine failover fetches.
+// ok means "mapped": a mapped page whose every replica is unreachable
+// returns ok=true with an EMPTY slot list, so callers must check
+// len(slots) and degrade (wait, retry, or surface an error) instead of
+// relying on a panic.
 func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool) {
 	r, idx, ok := a.lookup(v)
 	if !ok {
@@ -190,7 +210,7 @@ func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool
 	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
 	for k := 0; k < a.replicas; k++ {
 		s := a.slotOf(r, idx, primary, slot, k)
-		if a.failed[s.Node] {
+		if a.state[s.Node] != nodeLive {
 			if k == 0 {
 				failover = true
 			}
@@ -198,17 +218,50 @@ func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool
 		}
 		slots = append(slots, s)
 	}
-	if len(slots) == 0 {
-		panic(fmt.Sprintf("placement: every replica of vpn %d has failed", v))
-	}
 	return slots, failover, true
 }
 
-// First returns the first live replica slot of a page — the fetch
-// target.
+// WriteSlots returns every replica slot of a page that should receive
+// write-backs: slots on live nodes plus slots on syncing nodes (a
+// recovering node must see new writes while re-replication backfills the
+// old ones, or it would come back stale).
+func (a *AddressSpace) WriteSlots(v pagetable.VPN) (slots []Slot, ok bool) {
+	r, idx, ok := a.lookup(v)
+	if !ok {
+		return nil, false
+	}
+	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	for k := 0; k < a.replicas; k++ {
+		s := a.slotOf(r, idx, primary, slot, k)
+		if a.state[s.Node] == nodeFailed {
+			continue
+		}
+		slots = append(slots, s)
+	}
+	return slots, true
+}
+
+// AllSlots returns every replica slot of a page regardless of node
+// health, primary first — the layout identity re-replication walks when
+// backfilling a recovered node.
+func (a *AddressSpace) AllSlots(v pagetable.VPN) (slots []Slot, ok bool) {
+	r, idx, ok := a.lookup(v)
+	if !ok {
+		return nil, false
+	}
+	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	for k := 0; k < a.replicas; k++ {
+		slots = append(slots, a.slotOf(r, idx, primary, slot, k))
+	}
+	return slots, true
+}
+
+// First returns the first readable replica slot of a page — the fetch
+// target. ok is false when the page is unmapped or no replica is
+// currently readable.
 func (a *AddressSpace) First(v pagetable.VPN) (Slot, bool) {
 	slots, _, ok := a.Resolve(v)
-	if !ok {
+	if !ok || len(slots) == 0 {
 		return Slot{}, false
 	}
 	return slots[0], true
@@ -219,18 +272,56 @@ func (a *AddressSpace) First(v pagetable.VPN) (Slot, bool) {
 // reaching it. Panics when i is the last live node — that would strand
 // every singly-replicated page.
 func (a *AddressSpace) FailNode(i int) {
+	a.checkNode(i)
+	if a.state[i] == nodeFailed {
+		return
+	}
+	if a.live == 1 && a.state[i] == nodeLive {
+		panic("placement: cannot fail the last memory node")
+	}
+	if a.state[i] == nodeLive {
+		a.live--
+	}
+	a.state[i] = nodeFailed
+}
+
+// BeginRecover moves a failed node to the syncing state: write-backs
+// start reaching it again (WriteSlots), but reads still avoid it until
+// FinishRecover. No-op unless the node is failed.
+func (a *AddressSpace) BeginRecover(i int) {
+	a.checkNode(i)
+	if a.state[i] == nodeFailed {
+		a.state[i] = nodeSyncing
+	}
+}
+
+// FinishRecover promotes a syncing node back to live once its replicas
+// have been backfilled. No-op unless the node is syncing.
+func (a *AddressSpace) FinishRecover(i int) {
+	a.checkNode(i)
+	if a.state[i] == nodeSyncing {
+		a.state[i] = nodeLive
+		a.live++
+	}
+}
+
+// RecoverNode restores a failed node straight to live — the shortcut for
+// callers (tests, manual operation) that have re-replicated out of band
+// or accept stale replicas.
+func (a *AddressSpace) RecoverNode(i int) {
+	a.BeginRecover(i)
+	a.FinishRecover(i)
+}
+
+// Failed reports whether node i is currently unreadable (failed or still
+// syncing).
+func (a *AddressSpace) Failed(i int) bool { return a.state[i] != nodeLive }
+
+// LiveNodes returns the number of fully live nodes.
+func (a *AddressSpace) LiveNodes() int { return a.live }
+
+func (a *AddressSpace) checkNode(i int) {
 	if i < 0 || i >= a.nodes {
 		panic(fmt.Sprintf("placement: no such node %d", i))
 	}
-	if a.failed[i] {
-		return
-	}
-	if a.live == 1 {
-		panic("placement: cannot fail the last memory node")
-	}
-	a.failed[i] = true
-	a.live--
 }
-
-// Failed reports whether node i has been failed.
-func (a *AddressSpace) Failed(i int) bool { return a.failed[i] }

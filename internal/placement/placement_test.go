@@ -302,3 +302,114 @@ func TestConfigValidation(t *testing.T) {
 	}()
 	New(Config{Nodes: 2, Replicas: 3})
 }
+
+// TestAllReplicasDownDegrades is the regression test for the old
+// behaviour where Resolve panicked once every replica of a mapped page
+// had failed. With 3 nodes and 2 replicas, failing nodes 0 and 1 leaves
+// the pages replicated on {0,1} with no readable copy: Resolve must
+// report that with ok=true and an empty slot list, and First must return
+// false — never a panic.
+func TestAllReplicasDownDegrades(t *testing.T) {
+	a := New(Config{Nodes: 3, Replicas: 2})
+	b := newBump(3)
+	reg, err := a.Map(60, b.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.FailNode(0)
+	a.FailNode(1)
+	stranded := 0
+	for i := uint64(0); i < reg.Pages; i++ {
+		v := reg.BaseVPN + pagetable.VPN(i)
+		slots, failover, ok := a.Resolve(v)
+		if !ok {
+			t.Fatalf("Resolve(%d): mapped page reported unmapped", v)
+		}
+		if len(slots) == 0 {
+			stranded++
+			if !failover {
+				t.Fatalf("vpn %d: no readable replica but failover=false", v)
+			}
+			if _, ok := a.First(v); ok {
+				t.Fatalf("First(%d) returned a slot with every replica down", v)
+			}
+			// The layout identity survives: AllSlots still names both copies.
+			all, ok := a.AllSlots(v)
+			if !ok || len(all) != 2 {
+				t.Fatalf("AllSlots(%d) = %v, %v", v, all, ok)
+			}
+			continue
+		}
+		for _, s := range slots {
+			if s.Node != 2 {
+				t.Fatalf("vpn %d resolved to dead node %d", v, s.Node)
+			}
+		}
+	}
+	// Striped over 3 nodes with replicas on (p, p+1): pages with primary 0
+	// (replica 1) are stranded — a third of the region.
+	if want := int(reg.Pages) / 3; stranded != want {
+		t.Fatalf("stranded pages = %d, want %d", stranded, want)
+	}
+}
+
+// TestRecoveryStates walks a node through failed → syncing → live and
+// checks what each state serves: a syncing node receives write-backs but
+// no reads, and only FinishRecover makes it readable again.
+func TestRecoveryStates(t *testing.T) {
+	a := New(Config{Nodes: 2, Replicas: 2})
+	b := newBump(2)
+	reg, err := a.Map(8, b.alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := reg.BaseVPN
+	if a.LiveNodes() != 2 {
+		t.Fatalf("LiveNodes = %d", a.LiveNodes())
+	}
+
+	a.FailNode(1)
+	if a.LiveNodes() != 1 || !a.Failed(1) {
+		t.Fatalf("after fail: live=%d failed=%v", a.LiveNodes(), a.Failed(1))
+	}
+	if ws, _ := a.WriteSlots(v); len(ws) != 1 || ws[0].Node != 0 {
+		t.Fatalf("failed node still receives writes: %v", ws)
+	}
+
+	a.BeginRecover(1)
+	if a.LiveNodes() != 1 {
+		t.Fatalf("syncing node counted live")
+	}
+	slots, _, _ := a.Resolve(v)
+	for _, s := range slots {
+		if s.Node == 1 {
+			t.Fatal("syncing node served a read")
+		}
+	}
+	ws, _ := a.WriteSlots(v)
+	if len(ws) != 2 {
+		t.Fatalf("syncing node missing from WriteSlots: %v", ws)
+	}
+
+	a.FinishRecover(1)
+	if a.LiveNodes() != 2 || a.Failed(1) {
+		t.Fatalf("after recover: live=%d failed=%v", a.LiveNodes(), a.Failed(1))
+	}
+	slots, _, _ = a.Resolve(v)
+	if len(slots) != 2 {
+		t.Fatalf("recovered node not serving reads: %v", slots)
+	}
+
+	// FinishRecover without BeginRecover is a no-op; RecoverNode is the
+	// two-step shortcut and is idempotent.
+	a.FailNode(0)
+	a.FinishRecover(0)
+	if !a.Failed(0) {
+		t.Fatal("FinishRecover skipped the syncing state")
+	}
+	a.RecoverNode(0)
+	a.RecoverNode(0)
+	if a.Failed(0) || a.LiveNodes() != 2 {
+		t.Fatalf("RecoverNode: live=%d failed=%v", a.LiveNodes(), a.Failed(0))
+	}
+}

@@ -20,10 +20,12 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dilos/internal/memnode"
 )
@@ -151,8 +153,10 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32
 	defer s.mu.Unlock()
 	switch op {
 	case OpRead, OpReadV:
+		// Overflow-safe bounds check up front: a malformed request gets a
+		// status byte back, never a daemon crash.
 		for _, sg := range segs {
-			if sg.Off+uint64(sg.Len) > s.node.Size() {
+			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
 				w.WriteByte(StatusBounds)
 				return nil
 			}
@@ -164,7 +168,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32
 				buf = make([]byte, sg.Len)
 			}
 			b := buf[:sg.Len]
-			s.node.ReadAt(sg.Off, b)
+			if err := s.node.ReadAt(sg.Off, b); err != nil {
+				return err // unreachable after the pre-check
+			}
 			if _, err := w.Write(b); err != nil {
 				return err
 			}
@@ -172,7 +178,7 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32
 	case OpWrite, OpWriteV:
 		off := 0
 		for _, sg := range segs {
-			if sg.Off+uint64(sg.Len) > s.node.Size() {
+			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
 				w.WriteByte(StatusBounds)
 				return nil
 			}
@@ -180,7 +186,9 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32
 		}
 		off = 0
 		for _, sg := range segs {
-			s.node.WriteAt(sg.Off, payload[off:off+int(sg.Len)])
+			if err := s.node.WriteAt(sg.Off, payload[off:off+int(sg.Len)]); err != nil {
+				return err // unreachable after the pre-check
+			}
 			off += int(sg.Len)
 		}
 		w.WriteByte(StatusOK)
@@ -211,31 +219,167 @@ func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32
 	return nil
 }
 
+// Client dial/IO defaults. They are generous for a LAN; tests and
+// latency-sensitive callers tighten them with SetTimeouts.
+const (
+	DefaultDialTimeout = 2 * time.Second
+	DefaultIOTimeout   = 2 * time.Second
+	DefaultRedials     = 3
+	redialBackoffBase  = 25 * time.Millisecond
+	redialBackoffCap   = 500 * time.Millisecond
+)
+
+// StatusError is a non-OK response from the daemon: the request was
+// received, parsed, and rejected. The connection stays usable, so the
+// client does not retry these.
+type StatusError struct {
+	Op     string
+	Status byte
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("transport: %s failed with status %d", e.Op, e.Status)
+}
+
+func statusErr(op string, status byte) error {
+	if status == StatusOK {
+		return nil
+	}
+	return &StatusError{Op: op, Status: status}
+}
+
 // Client is a computing-node-side connection to a memory node daemon.
+// Every request runs under an I/O deadline; a timed-out or broken
+// connection is torn down and redialed with exponential backoff, and the
+// whole request is resent on the fresh connection (safe because the
+// protocol is stateless per message). A dead server therefore surfaces as
+// an error after a bounded delay instead of blocking forever.
 type Client struct {
+	addr        string
+	pkey        uint32
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	redials     int
+
+	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
-	pkey uint32
-	mu   sync.Mutex
 }
 
-// Dial connects to a memory node daemon.
+// Dial connects to a memory node daemon with the default timeouts.
 func Dial(addr string, pkey uint32) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	c := &Client{
+		addr:        addr,
+		pkey:        pkey,
+		dialTimeout: DefaultDialTimeout,
+		ioTimeout:   DefaultIOTimeout,
+		redials:     DefaultRedials,
+	}
+	c.mu.Lock()
+	err := c.ensure()
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	return &Client{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 64<<10),
-		w:    bufio.NewWriterSize(conn, 64<<10),
-		pkey: pkey,
-	}, nil
+	return c, nil
+}
+
+// SetTimeouts adjusts the deadline and reconnection policy: zero durations
+// keep the current values, a negative redials disables reconnection
+// entirely, redials >= 0 sets the redial attempt count.
+func (c *Client) SetTimeouts(dial, io time.Duration, redials int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dial > 0 {
+		c.dialTimeout = dial
+	}
+	if io > 0 {
+		c.ioTimeout = io
+	}
+	if redials < 0 {
+		c.redials = 0
+	} else {
+		c.redials = redials
+	}
 }
 
 // Close tears the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.r, c.w = nil, nil, nil
+	return err
+}
+
+// ensure dials if the client has no live connection. Caller holds c.mu.
+func (c *Client) ensure() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// teardown drops a connection in an unknown state. Caller holds c.mu.
+func (c *Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r, c.w = nil, nil, nil
+	}
+}
+
+// transact runs one request/response exchange under the deadline and
+// reconnection policy. recv consumes the response (status byte already
+// read) through c.r.
+func (c *Client) transact(opName string, op byte, segs []Seg, payload []byte, recv func(status byte) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	backoff := redialBackoffBase
+	var lastErr error
+	for attempt := 0; attempt <= c.redials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > redialBackoffCap {
+				backoff = redialBackoffCap
+			}
+		}
+		if err := c.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		if c.ioTimeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+		}
+		status, err := c.request(op, segs, payload)
+		if err == nil {
+			if err = recv(status); err == nil {
+				return nil
+			}
+			var se *StatusError
+			if errors.As(err, &se) {
+				return err // daemon answered; the stream is in sync
+			}
+		}
+		// Timeout or broken pipe mid-exchange: the stream position is
+		// unknown, so drop the connection and resend the whole request on
+		// a fresh one.
+		lastErr = err
+		c.teardown()
+	}
+	return fmt.Errorf("transport: %s %s: %w", opName, c.addr, lastErr)
+}
 
 func (c *Client) request(op byte, segs []Seg, payload []byte) (byte, error) {
 	var hdr [7]byte
@@ -268,114 +412,90 @@ func (c *Client) request(op byte, segs []Seg, payload []byte) (byte, error) {
 	return status, nil
 }
 
-func statusErr(op string, status byte) error {
-	if status == StatusOK {
-		return nil
-	}
-	return fmt.Errorf("transport: %s failed with status %d", op, status)
-}
-
 // Read performs a one-sided READ into p.
 func (c *Client) Read(off uint64, p []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, err := c.request(OpRead, []Seg{{off, uint32(len(p))}}, nil)
-	if err != nil {
+	return c.transact("read", OpRead, []Seg{{off, uint32(len(p))}}, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("read", status)
+		}
+		_, err := io.ReadFull(c.r, p)
 		return err
-	}
-	if status != StatusOK {
-		return statusErr("read", status)
-	}
-	_, err = io.ReadFull(c.r, p)
-	return err
+	})
 }
 
 // Write performs a one-sided WRITE of p.
 func (c *Client) Write(off uint64, p []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, err := c.request(OpWrite, []Seg{{off, uint32(len(p))}}, p)
-	if err != nil {
-		return err
-	}
-	return statusErr("write", status)
+	return c.transact("write", OpWrite, []Seg{{off, uint32(len(p))}}, p, func(status byte) error {
+		return statusErr("write", status)
+	})
 }
 
 // ReadV performs a vectored READ; bufs[i] receives segs[i].
 func (c *Client) ReadV(segs []Seg, bufs [][]byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, err := c.request(OpReadV, segs, nil)
-	if err != nil {
-		return err
-	}
-	if status != StatusOK {
-		return statusErr("readv", status)
-	}
-	for _, b := range bufs {
-		if _, err := io.ReadFull(c.r, b); err != nil {
-			return err
+	return c.transact("readv", OpReadV, segs, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("readv", status)
 		}
-	}
-	return nil
+		for _, b := range bufs {
+			if _, err := io.ReadFull(c.r, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // WriteV performs a vectored WRITE of bufs to segs.
 func (c *Client) WriteV(segs []Seg, bufs [][]byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var payload []byte
 	for _, b := range bufs {
 		payload = append(payload, b...)
 	}
-	status, err := c.request(OpWriteV, segs, payload)
-	if err != nil {
-		return err
-	}
-	return statusErr("writev", status)
+	return c.transact("writev", OpWriteV, segs, payload, func(status byte) error {
+		return statusErr("writev", status)
+	})
 }
 
 // Alloc reserves a contiguous range of pages, returning the base offset.
 func (c *Client) Alloc(pages uint32) (uint64, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, err := c.request(OpAlloc, []Seg{{0, pages}}, nil)
-	if err != nil {
-		return 0, err
-	}
-	if status != StatusOK {
-		return 0, statusErr("alloc", status)
-	}
-	var out [8]byte
-	if _, err := io.ReadFull(c.r, out[:]); err != nil {
-		return 0, err
-	}
-	return binary.LittleEndian.Uint64(out[:]), nil
+	var base uint64
+	err := c.transact("alloc", OpAlloc, []Seg{{0, pages}}, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("alloc", status)
+		}
+		var out [8]byte
+		if _, err := io.ReadFull(c.r, out[:]); err != nil {
+			return err
+		}
+		base = binary.LittleEndian.Uint64(out[:])
+		return nil
+	})
+	return base, err
 }
 
 // Info returns the region size and pages in use.
 func (c *Client) Info() (size uint64, inUse uint64, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	status, err := c.request(OpInfo, nil, nil)
-	if err != nil {
-		return 0, 0, err
-	}
-	if status != StatusOK {
-		return 0, 0, statusErr("info", status)
-	}
-	var out [16]byte
-	if _, err := io.ReadFull(c.r, out[:]); err != nil {
-		return 0, 0, err
-	}
-	return binary.LittleEndian.Uint64(out[:8]), binary.LittleEndian.Uint64(out[8:]), nil
+	err = c.transact("info", OpInfo, nil, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("info", status)
+		}
+		var out [16]byte
+		if _, err := io.ReadFull(c.r, out[:]); err != nil {
+			return err
+		}
+		size = binary.LittleEndian.Uint64(out[:8])
+		inUse = binary.LittleEndian.Uint64(out[8:])
+		return nil
+	})
+	return size, inUse, err
 }
 
 // Backing adapts a Client into the backing interface a DiLOS computing
 // node expects (fabric.Store + page-range allocation): with it, a
 // simulated LibOS keeps every one of its pages on a real memnoded daemon —
 // the data path crosses the network, the timing stays modelled. IO errors
-// are fatal (a paging system cannot continue without its backing store).
+// surface through fabric.Op.Err, where the paging stack's retry and
+// failover machinery handles them like any injected fault.
 type Backing struct {
 	C    *Client
 	PKey uint32
@@ -391,17 +511,13 @@ func NewBacking(addr string, pkey uint32) (*Backing, error) {
 }
 
 // ReadAt implements fabric.Store.
-func (b *Backing) ReadAt(off uint64, p []byte) {
-	if err := b.C.Read(off, p); err != nil {
-		panic(fmt.Sprintf("transport: backing read failed: %v", err))
-	}
+func (b *Backing) ReadAt(off uint64, p []byte) error {
+	return b.C.Read(off, p)
 }
 
 // WriteAt implements fabric.Store.
-func (b *Backing) WriteAt(off uint64, p []byte) {
-	if err := b.C.Write(off, p); err != nil {
-		panic(fmt.Sprintf("transport: backing write failed: %v", err))
-	}
+func (b *Backing) WriteAt(off uint64, p []byte) error {
+	return b.C.Write(off, p)
 }
 
 // AllocRange reserves contiguous pages on the daemon.

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"dilos/internal/memnode"
 )
@@ -164,5 +167,107 @@ func TestConcurrentClients(t *testing.T) {
 		if err != nil {
 			t.Fatalf("client %d: %v", k, err)
 		}
+	}
+}
+
+// TestDeadServerSurfacesError is the regression test for the client
+// hanging forever on a dead server: a listener that accepts but never
+// responds must produce an error after a bounded delay, not a hang.
+func TestDeadServerSurfacesError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, never answer
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeouts(200*time.Millisecond, 200*time.Millisecond, 1)
+	done := make(chan error, 1)
+	go func() { done <- c.Read(0, make([]byte, 8)) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read from a dead server succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read from a dead server hung")
+	}
+}
+
+// TestReconnectAfterConnectionDrop drops the client's first connection
+// server-side; the client must redial transparently and complete the
+// request on the fresh connection.
+func TestReconnectAfterConnectionDrop(t *testing.T) {
+	node := memnode.New(16<<20, 0xbeef)
+	srv := NewServer(node)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			if first {
+				first = false
+				conn.Close()
+				continue
+			}
+			go srv.handle(conn)
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeouts(time.Second, time.Second, 3)
+	want := []byte{1, 2, 3, 4}
+	if err := c.Write(0, want); err != nil {
+		t.Fatalf("write after connection drop: %v", err)
+	}
+	got := make([]byte, 4)
+	if err := c.Read(0, got); err != nil {
+		t.Fatalf("read after connection drop: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("data mismatch after reconnect")
+	}
+}
+
+// TestStatusErrorsAreNotRetried checks that a daemon-side rejection (a
+// bounds error) comes back as a StatusError immediately — the connection
+// stays usable and no redial happens.
+func TestStatusErrorsAreNotRetried(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr, 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Read(^uint64(0)-2, make([]byte, 8)) // overflow-probing offset
+	var se *StatusError
+	if !errors.As(err, &se) || se.Status != StatusBounds {
+		t.Fatalf("want StatusBounds, got %v", err)
+	}
+	// The same connection still serves valid requests.
+	if err := c.Write(0, []byte{9}); err != nil {
+		t.Fatalf("connection unusable after status error: %v", err)
 	}
 }
