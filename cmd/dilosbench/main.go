@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -22,6 +24,24 @@ import (
 	"dilos/internal/sim"
 	"dilos/internal/stats"
 )
+
+// writeMemProfile dumps a heap profile for -memprofile (after a GC, so the
+// profile reflects live simulator state rather than garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
 
 var registry = map[string]struct {
 	desc string
@@ -52,13 +72,14 @@ var registry = map[string]struct {
 	"ext2":   {"extension: PageRank thread scaling on DiLOS", runExt2},
 	"ext3":   {"extension: placement policies across 4 memory nodes", runExt3},
 	"ext4":   {"extension: chaos — node crash, failover, recovery", runExt4},
+	"ext5":   {"extension: doorbell-batched vs per-op submission", runExt5},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5",
 }
 
 // chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
@@ -73,7 +94,33 @@ func main() {
 		"capture a full stats snapshot per system run and dump them as JSON")
 	flag.Uint64Var(&chaosSeed, "chaos-seed", 42,
 		"seed for ext4's deterministic fault injection (same seed ⇒ identical run)")
+	batch := flag.String("batch", "off",
+		"doorbell-batched submission (on|off) for every DiLOS system the experiments build; ext5 measures both regardless")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+	switch *batch {
+	case "on":
+		experiments.Batch = true
+	case "off":
+		experiments.Batch = false
+	default:
+		fmt.Fprintf(os.Stderr, "-batch must be on or off, got %q\n", *batch)
+		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 	jsonOut = *asJSON
 	statsOut = *withStats
 	if statsOut {
@@ -421,6 +468,46 @@ func runExt4(sc experiments.Scale) {
 	fmt.Printf("    %s\n", floatSparkline(r.Series))
 }
 
+func runExt5(sc experiments.Scale) {
+	fmt.Println("Extension — doorbell-batched I/O pipeline (ext5): per-op vs batched submission")
+	fmt.Println("  [12.5% local cache; batched = one doorbell per prefetch window / cleaner")
+	fmt.Println("   node-batch, contiguous remote offsets coalesced into ≤3-segment vectors]")
+	rows := experiments.ExtBatch(sc)
+	fmt.Printf("  %-22s %-8s %-34s %9s %7s %9s\n",
+		"workload", "mode", "result", "doorbells", "ops/db", "coalesced")
+	var base experiments.BatchRow
+	for _, r := range rows {
+		var result string
+		var cur, ref float64
+		switch {
+		case r.ReadGBs > 0:
+			result = fmt.Sprintf("%.2f GB/s", r.ReadGBs)
+			cur, ref = r.ReadGBs, base.ReadGBs
+		case r.WriteGBs > 0:
+			result = fmt.Sprintf("%.2f GB/s (wb %.2f GB/s)", r.WriteGBs, r.CleanGBs)
+			cur, ref = r.WriteGBs, base.WriteGBs
+		case r.OpsPerS > 0:
+			result = fmt.Sprintf("%.1f kops/s", r.OpsPerS/1e3)
+			cur, ref = r.OpsPerS, base.OpsPerS
+		default:
+			result = fmt.Sprintf("%.2f ms", r.Elapsed.Seconds()*1e3)
+			cur, ref = 1/r.Elapsed.Seconds(), 1/base.Elapsed.Seconds()
+		}
+		mode := "per-op"
+		if r.Batched {
+			mode = "batched"
+			if ref > 0 {
+				result += fmt.Sprintf("  %+.1f%%", (cur/ref-1)*100)
+			}
+		} else {
+			base = r
+		}
+		fmt.Printf("  %-22s %-8s %-34s %9d %7.1f %9d\n",
+			r.Workload, mode, result, r.Doorbells, r.MeanBatch, r.Coalesced)
+	}
+	fmt.Println("  (paper has no batched variant; the per-op rows are the §6 baseline shapes)")
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -484,6 +571,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext2":   func(sc experiments.Scale) any { return experiments.ExtThreadScaling(sc) },
 	"ext3":   func(sc experiments.Scale) any { return experiments.ExtPlacement(sc) },
 	"ext4":   func(sc experiments.Scale) any { return experiments.ExtChaos(sc, chaosSeed) },
+	"ext5":   func(sc experiments.Scale) any { return experiments.ExtBatch(sc) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

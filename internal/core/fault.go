@@ -36,6 +36,7 @@ type coreHandler struct {
 func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 	s := h.sys
 	p := c.Proc
+	s.catchUpMapper(p, h.coreID)
 	pte := s.Table.Entry(vpn)
 
 	switch pte.Tag() {
@@ -92,14 +93,21 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		}
 		if op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
 			// The data already arrived; on real hardware the (parallel)
-			// prefetch mapper would have installed the PTE by now and no
-			// fault would have trapped. The serialized simulation just
-			// hadn't run the mapper yet — map without counting a fault.
+			// prefetch mapper would have installed the PTE by now — paying
+			// the map on its own core — and no fault would have trapped.
+			// The serialized simulation just hadn't run the mapper yet:
+			// install the mapping without charging the app anything.
 			s.LateMapHits.Inc()
 			if s.Trace != nil {
 				s.Trace.Record(p.Now(), vpn, trace.Hit)
 			}
-			s.finishFetch(p, slot, gen)
+			s.mapFetched(p, slot, gen, false)
+			// Keep the readahead window moving: like Linux's PG_readahead
+			// marker, a hit on a freshly prefetched page still triggers the
+			// next async window (at its normal CPU cost) — otherwise the
+			// window only advances on faults and stalls exactly when
+			// prefetching is winning.
+			s.runPrefetch(p, h.coreID, vpn, false)
 			return
 		}
 		t0 := p.Now()
@@ -289,6 +297,13 @@ func (s *System) recoverFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, slot u
 // mapping. A slot whose op failed is never mapped — its owner (or the
 // prefetch revert) is responsible for it.
 func (s *System) finishFetch(p *sim.Proc, slot uint64, gen uint64) {
+	s.mapFetched(p, slot, gen, true)
+}
+
+// mapFetched installs a completed fetch. charge=false is the late-map-hit
+// path, where the map cost belongs to the (parallel) mapper core, not the
+// process that happened to notice the completed op.
+func (s *System) mapFetched(p *sim.Proc, slot uint64, gen uint64, charge bool) {
 	sl := &s.slots[slot]
 	if sl.gen != gen || !sl.active {
 		return // already mapped (or slot recycled after mapping)
@@ -297,7 +312,9 @@ func (s *System) finishFetch(p *sim.Proc, slot uint64, gen uint64) {
 		return
 	}
 	sl.active = false
-	p.Advance(s.Costs.Map)
+	if charge {
+		p.Advance(s.Costs.Map)
+	}
 	s.Table.Set(sl.vpn, pagetable.Local(uint64(sl.frame), true))
 	s.Pool.Meta(sl.frame).Pinned = false
 	s.Mgr.InsertLRU(sl.frame, sl.vpn)
@@ -349,8 +366,15 @@ func (s *System) runPrefetch(p *sim.Proc, coreID int, vpn pagetable.VPN, major b
 // SchedulePrefetch issues page prefetches for every target that is
 // currently Remote (others are skipped — already local or in flight). It
 // is also the entry point app-aware guides use to request pages (§4.3).
+// With Config.Batch the whole window is posted per node through one
+// doorbell (fabric.QP.Submit), contiguous remote offsets coalesced into
+// vectored reads; otherwise each page is a solo qp.Read.
 func (s *System) SchedulePrefetch(p *sim.Proc, coreID int, targets []pagetable.VPN) {
 	if len(targets) == 0 {
+		return
+	}
+	if s.Batch {
+		s.schedulePrefetchBatched(p, coreID, targets)
 		return
 	}
 	var noted []pagetable.VPN
@@ -384,6 +408,170 @@ func (s *System) SchedulePrefetch(p *sim.Proc, coreID int, targets []pagetable.V
 	}
 }
 
+// batchChunk bounds how many WQEs ride behind one doorbell. Real senders
+// (mlx5-style drivers, Leap's window issue) ring the doorbell every few
+// WQEs rather than once at the end of a deep window: an unbounded batch
+// delays the *first* page of the window by the entire window's CPU build
+// time, and the head of a prefetch window is exactly what the next minor
+// fault waits on. Eight WQEs keeps the head delay near a single issue
+// while still amortizing the doorbell across the tail.
+const batchChunk = 8
+
+// schedulePrefetchBatched is the doorbell-batched prefetch issue. The
+// window is processed in chunks of batchChunk targets; each chunk runs in
+// two phases with no yield anywhere (Advance and Wake never yield), which
+// is what keeps the Fetching-PTE invariant: every published prefetch slot
+// has its op installed before any other process can run.
+//
+//	Phase 1: filter the chunk's targets, allocate + pin frames, publish
+//	         Fetching PTEs, record the (node, offset, buffer, slot) tuples.
+//	Phase 2: per node, post the chunk through one doorbell and install
+//	         each resulting op into the slot its page came from.
+//
+// Each page keeps its own work-queue entry (and so its own completion
+// time) on purpose: coalescing prefetch reads into vectored ops would make
+// the first page of every vector complete as late as the last, delaying
+// its mapping and stretching exactly the minor-fault waits prefetching
+// exists to hide. Offset coalescing pays off on the cleaner's write-backs,
+// where only the final completion is ever waited on.
+//
+// All intermediate state lives in the core's scratch arena — a fault in
+// steady state allocates nothing beyond the ops themselves.
+func (s *System) schedulePrefetchBatched(p *sim.Proc, coreID int, targets []pagetable.VPN) {
+	sc := &s.pfScratch[coreID]
+	sc.noted = sc.noted[:0]
+	if cap(sc.segs) < batchChunk {
+		// Reserve the seg arena so per-node appends never reallocate under
+		// the Req subslices pointing into it.
+		sc.segs = make([]fabric.Seg, 0, batchChunk)
+	}
+	for len(targets) > 0 {
+		chunk := targets
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		targets = targets[len(chunk):]
+		sc.items = sc.items[:0]
+		for _, t := range chunk {
+			p.Advance(s.Costs.PrefetchFilter)
+			if s.Table.Lookup(t).Tag() != pagetable.TagRemote {
+				continue
+			}
+			node, remote, ok := s.remoteOf(t)
+			if !ok {
+				continue
+			}
+			frame, ok := s.Mgr.TryAllocFrame(p)
+			if !ok {
+				targets = nil // no headroom: prefetching must not force reclamation
+				break
+			}
+			s.Pool.Meta(frame).Pinned = true
+			slot := s.newSlot(t, frame)
+			s.Table.Set(t, pagetable.Fetching(slot))
+			sc.items = append(sc.items, pfIssue{node: node, off: remote, buf: s.Pool.Bytes(frame), slot: slot, gen: s.slots[slot].gen})
+			s.Prefetches.Inc()
+			sc.noted = append(sc.noted, t)
+		}
+		if len(sc.items) == 0 {
+			continue
+		}
+		done := 0
+		for done < len(sc.items) {
+			// Next unsubmitted node, preserving first-appearance order so
+			// runs stay deterministic (O(items·nodes), tiny factors).
+			node := -1
+			for _, it := range sc.items {
+				if it.node >= 0 && (node == -1 || it.node == node) {
+					node = it.node
+					break
+				}
+			}
+			sc.segs = sc.segs[:0]
+			sc.reqs = sc.reqs[:0]
+			sc.ops = sc.ops[:0]
+			qp := s.Hubs[node].QP(coreID, comm.ModPrefetch)
+			for i := range sc.items {
+				if it := &sc.items[i]; it.node == node {
+					sc.segs = append(sc.segs, fabric.Seg{Off: it.off, Buf: it.buf})
+					sc.reqs = append(sc.reqs, fabric.Req{Kind: fabric.OpRead, Segs: sc.segs[len(sc.segs)-1:]})
+				}
+			}
+			for r := range sc.reqs {
+				if r == 0 {
+					p.Advance(s.Costs.PrefetchIssue)
+				} else {
+					p.Advance(s.Costs.PrefetchWQE)
+				}
+			}
+			sc.ops = qp.Submit(p.Now(), sc.reqs, sc.ops)
+			// Requests carry this node's pages in order; hand each op to
+			// the slot its page came from.
+			r := 0
+			for i := range sc.items {
+				if it := &sc.items[i]; it.node == node {
+					s.slots[it.slot].op = sc.ops[r]
+					it.node = -1 // submitted
+					done++
+					r++
+				}
+			}
+		}
+		// The mapper queue gets the chunk in *target* order, not node-
+		// grouped submission order: the app walks pages in target order,
+		// and a queue grouped by node would leave the head blocked on one
+		// link while pages from another node sit completed but unmapped —
+		// every such access would pay the map cost on the app core.
+		for i := range sc.items {
+			it := &sc.items[i]
+			s.pfQueue[coreID] = append(s.pfQueue[coreID], pfItem{slot: it.slot, gen: it.gen})
+		}
+	}
+	if len(sc.noted) > 0 {
+		s.Track.Note(sc.noted)
+		s.pfWaiter[coreID].Wake(p.Now())
+	}
+}
+
+// catchUpMapper brings this core's prefetch mapper up to date with the
+// present: every queued prefetch whose data has already arrived (op
+// complete, map delay elapsed) gets its PTE installed now, charge-free. On
+// real hardware the mapper runs on its own core in parallel and would have
+// done exactly this by the current instant; the serialized simulation only
+// schedules the mapper daemon when some process yields, so without the
+// catch-up the app observes stale Fetching PTEs — it pays map costs for
+// pages that were ready (late-map hits), and the PTE hit tracker scans
+// those pages as in-flight misses, collapsing adaptive prefetch windows
+// that were in fact hitting. The whole queue is walked — completions from
+// different nodes' links interleave, so ripe ops can sit behind unripe
+// ones; unripe (and failed) entries stay queued for the daemon backstop.
+func (s *System) catchUpMapper(p *sim.Proc, coreID int) {
+	// The daemon holds the queue head while blocked on its completion; that
+	// entry is the commonest ripe page, so check it first.
+	if held := &s.pfHeld[coreID]; held.valid {
+		if sl := &s.slots[held.item.slot]; sl.gen == held.item.gen && sl.active {
+			if op := sl.op; op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
+				s.mapFetched(p, held.item.slot, held.item.gen, false)
+			}
+		}
+	}
+	q := s.pfQueue[coreID]
+	keep := q[:0]
+	for _, it := range q {
+		sl := &s.slots[it.slot]
+		if sl.gen != it.gen || !sl.active {
+			continue // already mapped and recycled; drop from the queue
+		}
+		op := sl.op
+		if op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
+			s.mapFetched(p, it.slot, it.gen, false)
+			continue
+		}
+		keep = append(keep, it)
+	}
+	s.pfQueue[coreID] = keep
+}
+
 // pfMapLoop is the per-core prefetch mapper: it waits for each in-flight
 // prefetch and maps it into the unified page table the moment it completes
 // (unless a minor faulter got there first).
@@ -400,7 +588,11 @@ func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
 			continue // already mapped by a minor faulter and recycled
 		}
 		op := sl.op
+		// Publish the held entry so catchUpMapper can install it if its
+		// completion ripens while this daemon is waiting to be scheduled.
+		s.pfHeld[coreID] = pfHeldItem{item: item, valid: true}
 		op.Wait(p)
+		s.pfHeld[coreID].valid = false
 		if sl.gen != item.gen || !sl.active {
 			continue
 		}

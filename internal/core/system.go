@@ -43,9 +43,14 @@ type Costs struct {
 	HandlerCheck   sim.Time // decode tag, flip remote→fetching
 	FrameAlloc     sim.Time // pop a frame from the free list
 	Map            sim.Time // install the local PTE
-	PrefetchIssue  sim.Time // per prefetch request issued
+	PrefetchIssue  sim.Time // per prefetch request issued (doorbell + post)
 	PrefetchFilter sim.Time // per prefetch candidate examined (PTE lookup)
 	ZeroFill       sim.Time // scrub a frame before a vectored (partial) fetch
+	// PrefetchWQE is the CPU cost of building one additional work-queue
+	// entry when the prefetch window is submitted as a doorbell batch
+	// (Config.Batch): the first request of a batch pays the full
+	// PrefetchIssue (doorbell write included), the rest only this.
+	PrefetchWQE sim.Time
 }
 
 // DefaultCosts returns the calibrated DiLOS handler costs (the entire
@@ -58,6 +63,7 @@ func DefaultCosts() Costs {
 		PrefetchIssue:  120 * sim.Nanosecond,
 		PrefetchFilter: 40 * sim.Nanosecond,
 		ZeroFill:       200 * sim.Nanosecond,
+		PrefetchWQE:    40 * sim.Nanosecond,
 	}
 }
 
@@ -157,6 +163,13 @@ type Config struct {
 	// Health overrides the health monitor tuning (nil → DefaultHealthConfig
 	// when Chaos is set; ignored otherwise unless explicitly provided).
 	Health *HealthConfig
+	// Batch enables doorbell-batched submission on the hot I/O paths: the
+	// prefetcher posts its whole window per node through one doorbell
+	// (fabric.QP.Submit) with contiguous remote offsets coalesced into
+	// vectored reads, and the page manager's cleaner/reclaimer batch their
+	// write-backs (replicas included) the same way. Off by default so the
+	// per-op calibration numbers are unchanged; ext5 measures the win.
+	Batch bool
 }
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
@@ -209,8 +222,20 @@ type System struct {
 	slots     []inflight
 	freeSlots []uint64
 
+	// Batch mirrors Config.Batch (doorbell-batched submission).
+	Batch bool
+
 	pfQueue  [][]pfItem
 	pfWaiter []sim.Waiter
+	// pfHeld[c] is the queue entry core c's mapper daemon popped and is
+	// currently blocked on — published so catchUpMapper can install it the
+	// moment its completion ripens, instead of waiting for the daemon to be
+	// scheduled.
+	pfHeld []pfHeldItem
+	// pfScratch is the per-core scratch arena for batched prefetch issue —
+	// reused across faults so the hot path does not allocate. Safe to share
+	// per core because SchedulePrefetch never yields while using it.
+	pfScratch []pfScratch
 
 	// Counters and instrumentation.
 	MajorFaults   stats.Counter
@@ -238,6 +263,31 @@ type inflight struct {
 }
 
 type pfItem struct {
+	slot uint64
+	gen  uint64
+}
+
+type pfHeldItem struct {
+	item  pfItem
+	valid bool
+}
+
+// pfScratch holds one core's reusable buffers for batched prefetch issue.
+// items records every accepted target in issue order; per node the segs
+// are coalesced into reqs, submitted, and the resulting ops installed back
+// into the items' slots.
+type pfScratch struct {
+	items []pfIssue
+	segs  []fabric.Seg
+	reqs  []fabric.Req
+	ops   []*fabric.Op
+	noted []pagetable.VPN
+}
+
+type pfIssue struct {
+	node int // remote node, or -1 once its op has been submitted
+	off  uint64
+	buf  []byte
 	slot uint64
 	gen  uint64
 }
@@ -287,6 +337,7 @@ func New(eng *sim.Engine, cfg Config) *System {
 	}
 	mgr := pagemgr.New(pool, tbl, mcfg)
 	mgr.Guide = cfg.EvictionGuide
+	mgr.Batch = cfg.Batch
 	hubs := make([]*comm.Hub, cfg.MemNodes)
 	for i := range hubs {
 		if cfg.SharedQP {
@@ -325,12 +376,15 @@ func New(eng *sim.Engine, cfg Config) *System {
 			Policy:   cfg.Placement,
 		}),
 		Chaos:          cfg.Chaos,
+		Batch:          cfg.Batch,
 		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
 		ReReplicated:   stats.Counter{Name: "dilos.rereplicated"},
 		PrefetchFails:  stats.Counter{Name: "dilos.prefetch_fails"},
 		FetchRetries:   fabric.NewRetryStats("fetch"),
 		pfQueue:        make([][]pfItem, cfg.Cores),
+		pfHeld:         make([]pfHeldItem, cfg.Cores),
 		pfWaiter:       make([]sim.Waiter, cfg.Cores),
+		pfScratch:      make([]pfScratch, cfg.Cores),
 		MajorFaults:    stats.Counter{Name: "dilos.major_faults"},
 		MinorFaults:    stats.Counter{Name: "dilos.minor_faults"},
 		LateMapHits:    stats.Counter{Name: "dilos.late_map_hits"},
@@ -410,11 +464,19 @@ func (s *System) buildRegistry() *stats.Registry {
 		l.RxOps.Name = prefix + "rx.ops"
 		l.TxOps.Name = prefix + "tx.ops"
 		l.FailedOps.Name = prefix + "failed.ops"
+		l.Batches.Name = prefix + "batch.doorbells"
+		l.BatchedOps.Name = prefix + "batch.ops"
+		l.CoalescedSegs.Name = prefix + "batch.coalesced_segs"
+		l.BatchSize.Name = prefix + "batch.size"
 		r.RegisterCounter(&l.RxBytes)
 		r.RegisterCounter(&l.TxBytes)
 		r.RegisterCounter(&l.RxOps)
 		r.RegisterCounter(&l.TxOps)
 		r.RegisterCounter(&l.FailedOps)
+		r.RegisterCounter(&l.Batches)
+		r.RegisterCounter(&l.BatchedOps)
+		r.RegisterCounter(&l.CoalescedSegs)
+		r.RegisterHistogram(l.BatchSize)
 	}
 	for i, n := range s.Nodes {
 		prefix := fmt.Sprintf("memnode.node%d.", i)

@@ -26,6 +26,11 @@ import (
 // after the simulation finishes, so they cover the whole run.
 var Collect func(label string, snap stats.Snapshot)
 
+// Batch, when set, boots every DiLOS system the experiments construct with
+// doorbell-batched submission (core.Config.Batch) — cmd/dilosbench wires
+// it to -batch. Ext5 toggles it per leg to measure the win directly.
+var Batch bool
+
 // statsSource is any paging system exposing its metric registry.
 type statsSource interface{ Registry() *stats.Registry }
 
@@ -127,6 +132,7 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 		Prefetcher:    pf,
 		Guide:         g,
 		EvictionGuide: eg,
+		Batch:         Batch,
 	})
 	sys.Start()
 	return sys

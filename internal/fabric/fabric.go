@@ -114,6 +114,12 @@ type Link struct {
 	TxOps     stats.Counter
 	FailedOps stats.Counter
 
+	// Doorbell-batching instrumentation (QP.Submit / QP.Coalesce).
+	Batches       stats.Counter    // doorbells rung (one per Submit call)
+	BatchedOps    stats.Counter    // work-queue entries posted through Submit
+	CoalescedSegs stats.Counter    // segments merged into a preceding vectored op
+	BatchSize     *stats.Histogram // ops per doorbell
+
 	// Optional bandwidth series (nil disables); Figure 12 uses these.
 	RxBW *stats.Bandwidth
 	TxBW *stats.Bandwidth
@@ -128,14 +134,18 @@ func NewLink(node *memnode.Node, p Params) *Link {
 // internal/transport) guarded by the given protection key.
 func NewLinkOver(store Store, protKey uint32, p Params) *Link {
 	return &Link{
-		P:         p,
-		store:     store,
-		key:       protKey,
-		RxBytes:   stats.Counter{Name: "link.rx.bytes"},
-		TxBytes:   stats.Counter{Name: "link.tx.bytes"},
-		RxOps:     stats.Counter{Name: "link.rx.ops"},
-		TxOps:     stats.Counter{Name: "link.tx.ops"},
-		FailedOps: stats.Counter{Name: "link.failed.ops"},
+		P:             p,
+		store:         store,
+		key:           protKey,
+		RxBytes:       stats.Counter{Name: "link.rx.bytes"},
+		TxBytes:       stats.Counter{Name: "link.tx.bytes"},
+		RxOps:         stats.Counter{Name: "link.rx.ops"},
+		TxOps:         stats.Counter{Name: "link.tx.ops"},
+		FailedOps:     stats.Counter{Name: "link.failed.ops"},
+		Batches:       stats.Counter{Name: "fabric.batch.doorbells"},
+		BatchedOps:    stats.Counter{Name: "fabric.batch.ops"},
+		CoalescedSegs: stats.Counter{Name: "fabric.batch.coalesced_segs"},
+		BatchSize:     stats.NewHistogram("fabric.batch.size"),
 	}
 }
 
@@ -191,89 +201,162 @@ func (q *QP) ReadV(now sim.Time, segs []Seg) *Op { return q.readV(now, segs) }
 func (q *QP) WriteV(now sim.Time, segs []Seg) *Op { return q.writeV(now, segs) }
 
 func (q *QP) readV(now sim.Time, segs []Seg) *Op {
-	bytes := 0
-	for _, s := range segs {
-		bytes += len(s.Buf)
-	}
-	dec := q.decide(now, false, bytes, len(segs))
-	var storeErr error
-	if !dec.Fail {
-		// The chaos verdict precedes the data movement: a failed READ
-		// delivers nothing.
-		for _, s := range segs {
-			if err := q.link.store.ReadAt(s.Off, s.Buf); err != nil {
-				storeErr = err
-				break
-			}
-		}
-	}
-	op := q.schedule(now, bytes, len(segs), &q.link.rxBusy, dec, storeErr)
-	op.Kind = OpRead
-	q.link.RxOps.Inc()
-	if op.Err != nil {
-		q.link.FailedOps.Inc()
-		return op
-	}
-	q.link.RxBytes.Add(int64(bytes))
-	if q.link.RxBW != nil {
-		q.link.RxBW.Add(op.CompleteAt, int64(bytes))
-	}
-	return op
+	return q.issue(now, OpRead, segs, q.link.P.OpOverhead, false)
 }
 
 func (q *QP) writeV(now sim.Time, segs []Seg) *Op {
+	return q.issue(now, OpWrite, segs, q.link.P.OpOverhead, false)
+}
+
+// Req is one work-queue entry of a batched submission (QP.Submit): a read
+// or write over one or more segments.
+type Req struct {
+	Kind OpKind
+	Segs []Seg
+}
+
+// Submit posts a batch of requests through a single doorbell. The first
+// work-queue entry pays the full OpOverhead (MMIO doorbell + DMA setup);
+// every subsequent entry arrives in the same WQE chain and pays only the
+// cheaper per-WQE cost (Params.BatchWQE) — the amortization that lets Leap
+// issue a whole prefetch window at once. Everything else matches per-op
+// submission: chaos decisions are drawn once per op in batch order, data
+// moves (and Op.Err is known) at issue time, completions keep the QP's
+// FIFO order, and each direction's busy horizon advances by every op's
+// occupancy. Resulting ops are appended to dst, which callers on the hot
+// path reuse as scratch.
+func (q *QP) Submit(now sim.Time, reqs []Req, dst []*Op) []*Op {
+	if len(reqs) == 0 {
+		return dst
+	}
+	for i, r := range reqs {
+		overhead := q.link.P.OpOverhead
+		if i > 0 {
+			overhead = q.link.P.BatchWQE
+		}
+		dst = append(dst, q.issue(now, r.Kind, r.Segs, overhead, true))
+	}
+	q.link.Batches.Inc()
+	q.link.BatchedOps.Add(int64(len(reqs)))
+	if q.link.BatchSize != nil {
+		q.link.BatchSize.Record(sim.Time(len(reqs)))
+	}
+	return dst
+}
+
+// Coalesce builds a batch from a flat list of same-kind segments, merging
+// runs of adjacent entries whose remote ranges are contiguous into single
+// vectored requests of at most MaxFastSegs segments (the §6.3 cap). Input
+// order is preserved and the returned requests tile segs exactly — the
+// i-th request covers the next len(Segs) input entries — so callers can
+// map results back to their pages by walking both in order. Requests are
+// appended to dst; merged segments are counted on the link.
+func (q *QP) Coalesce(kind OpKind, segs []Seg, dst []Req) []Req {
+	maxSegs := q.link.P.MaxFastSegs
+	if maxSegs < 1 {
+		maxSegs = 1
+	}
+	for i := 0; i < len(segs); {
+		j := i + 1
+		for j < len(segs) && j-i < maxSegs &&
+			segs[j].Off == segs[j-1].Off+uint64(len(segs[j-1].Buf)) {
+			j++
+		}
+		dst = append(dst, Req{Kind: kind, Segs: segs[i:j]})
+		q.link.CoalescedSegs.Add(int64(j - i - 1))
+		i = j
+	}
+	return dst
+}
+
+// issue runs one op through the full submission path: chaos verdict,
+// issue-time data movement, scheduling, and link accounting. overhead is
+// the op's share of the doorbell cost (the full OpOverhead for solo ops,
+// BatchWQE for non-first batch entries); batched selects the cheaper
+// pipelined segment occupancy of a chained WQE.
+func (q *QP) issue(now sim.Time, kind OpKind, segs []Seg, overhead sim.Time, batched bool) *Op {
 	bytes := 0
 	for _, s := range segs {
 		bytes += len(s.Buf)
 	}
-	dec := q.decide(now, true, bytes, len(segs))
+	dec := q.decide(now, kind == OpWrite, bytes, len(segs), overhead, batched)
 	var storeErr error
 	if !dec.Fail {
-		// A failed WRITE reaches no memory: the store is untouched.
+		// The chaos verdict precedes the data movement: a failed READ
+		// delivers nothing, a failed WRITE reaches no memory.
 		for _, s := range segs {
-			if err := q.link.store.WriteAt(s.Off, s.Buf); err != nil {
+			var err error
+			if kind == OpRead {
+				err = q.link.store.ReadAt(s.Off, s.Buf)
+			} else {
+				err = q.link.store.WriteAt(s.Off, s.Buf)
+			}
+			if err != nil {
 				storeErr = err
 				break
 			}
 		}
 	}
-	op := q.schedule(now, bytes, len(segs), &q.link.txBusy, dec, storeErr)
-	op.Kind = OpWrite
-	q.link.TxOps.Inc()
+	busy := &q.link.rxBusy
+	if kind == OpWrite {
+		busy = &q.link.txBusy
+	}
+	op := q.schedule(now, bytes, len(segs), overhead, batched, busy, dec, storeErr)
+	op.Kind = kind
+	if kind == OpRead {
+		q.link.RxOps.Inc()
+	} else {
+		q.link.TxOps.Inc()
+	}
 	if op.Err != nil {
 		q.link.FailedOps.Inc()
 		return op
 	}
-	q.link.TxBytes.Add(int64(bytes))
-	if q.link.TxBW != nil {
-		q.link.TxBW.Add(op.CompleteAt, int64(bytes))
+	if kind == OpRead {
+		q.link.RxBytes.Add(int64(bytes))
+		if q.link.RxBW != nil {
+			q.link.RxBW.Add(op.CompleteAt, int64(bytes))
+		}
+	} else {
+		q.link.TxBytes.Add(int64(bytes))
+		if q.link.TxBW != nil {
+			q.link.TxBW.Add(op.CompleteAt, int64(bytes))
+		}
 	}
 	return op
 }
 
 // latSpec computes the occupancy and latency of an op (shared by the
 // normal schedule and the chaos decision, which amplifies latency
-// proportionally).
-func (q *QP) latSpec(bytes, segs int) (occ, lat sim.Time) {
-	var segExtra sim.Time
+// proportionally). overhead is the op's doorbell share; batched ops charge
+// extra fast segments at the pipelined SegOverheadBW occupancy while their
+// latency keeps the full store-and-forward SegOverhead.
+func (q *QP) latSpec(bytes, segs int, overhead sim.Time, batched bool) (occ, lat sim.Time) {
+	var segOcc, segLat sim.Time
 	for s := 1; s < segs; s++ {
 		if s < q.link.P.MaxFastSegs {
-			segExtra += q.link.P.SegOverhead
+			segLat += q.link.P.SegOverhead
+			if batched {
+				segOcc += q.link.P.SegOverheadBW
+			} else {
+				segOcc += q.link.P.SegOverhead
+			}
 		} else {
-			segExtra += q.link.P.SegOverheadSlow
+			segLat += q.link.P.SegOverheadSlow
+			segOcc += q.link.P.SegOverheadSlow
 		}
 	}
-	occ = q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByteBW/1000) + segExtra
-	lat = q.link.P.OpOverhead + sim.Time(int64(bytes)*q.link.P.PicosPerByte/1000) + segExtra
+	occ = overhead + sim.Time(int64(bytes)*q.link.P.PicosPerByteBW/1000) + segOcc
+	lat = overhead + sim.Time(int64(bytes)*q.link.P.PicosPerByte/1000) + segLat
 	return occ, lat
 }
 
 // decide consults the link's chaos injector, if any.
-func (q *QP) decide(now sim.Time, write bool, bytes, segs int) chaos.Decision {
+func (q *QP) decide(now sim.Time, write bool, bytes, segs int, overhead sim.Time, batched bool) chaos.Decision {
 	if q.link.Chaos == nil {
 		return chaos.Decision{}
 	}
-	_, lat := q.latSpec(bytes, segs)
+	_, lat := q.latSpec(bytes, segs, overhead, batched)
 	return q.link.Chaos.Decide(now, q.link.NodeID, write, bytes, lat+q.link.P.BaseLatency)
 }
 
@@ -283,7 +366,7 @@ func (q *QP) decide(now sim.Time, write bool, bytes, segs int) chaos.Decision {
 // emulation delay, if configured). An injected stall pushes the QP's FIFO
 // horizon first; a failed op skips the link occupancy (nothing was
 // transferred) and completes with its error after the detection latency.
-func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time, dec chaos.Decision, storeErr error) *Op {
+func (q *QP) schedule(now sim.Time, bytes, segs int, overhead sim.Time, batched bool, busy *sim.Time, dec chaos.Decision, storeErr error) *Op {
 	if segs < 1 {
 		panic("fabric: empty vector")
 	}
@@ -311,7 +394,7 @@ func (q *QP) schedule(now sim.Time, bytes, segs int, busy *sim.Time, dec chaos.D
 	if *busy > start {
 		start = *busy
 	}
-	occ, lat := q.latSpec(bytes, segs)
+	occ, lat := q.latSpec(bytes, segs, overhead, batched)
 	*busy = start + occ
 	complete := start + lat + q.link.P.BaseLatency + q.link.P.TCPExtra + dec.Extra
 	if complete < q.last {

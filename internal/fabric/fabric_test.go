@@ -305,3 +305,174 @@ func TestMemnodeHugePages(t *testing.T) {
 		t.Fatalf("huge pages = %d, want 2 (3MiB rounds to 4MiB)", node.HugePages())
 	}
 }
+
+func TestSubmitAmortizesDoorbell(t *testing.T) {
+	const n = 8
+	mkReqs := func(node *memnode.Node) []Req {
+		reqs := make([]Req, n)
+		for i := range reqs {
+			off, _ := node.AllocPage()
+			reqs[i] = Req{Kind: OpRead, Segs: []Seg{{Off: off, Buf: make([]byte, 4096)}}}
+		}
+		return reqs
+	}
+	perLink, perNode := testLink(t)
+	perReqs := mkReqs(perNode)
+	var perLast sim.Time
+	for _, r := range perReqs {
+		op := perLink.MustQP("q", perNode.ProtKey).readV(0, r.Segs)
+		perLast = op.CompleteAt
+	}
+	batchLink, batchNode := testLink(t)
+	ops := batchLink.MustQP("q", batchNode.ProtKey).Submit(0, mkReqs(batchNode), nil)
+	batchLast := ops[n-1].CompleteAt
+	want := sim.Time(n-1) * (perLink.P.OpOverhead - perLink.P.BatchWQE)
+	if perLast-batchLast != want {
+		t.Fatalf("batch saved %v, want %v (n-1 doorbells)", perLast-batchLast, want)
+	}
+	if batchLink.Batches.N != 1 || batchLink.BatchedOps.N != n {
+		t.Fatalf("counters: doorbells=%d ops=%d", batchLink.Batches.N, batchLink.BatchedOps.N)
+	}
+}
+
+// Property: Submit preserves per-QP FIFO (completions monotone in
+// submission order, across batches and interleaved solo ops) and the
+// link's byte counters conserve the sum of all submitted segment sizes.
+func TestQuickSubmitFIFOConservation(t *testing.T) {
+	f := func(sizes []uint16, seed int64) bool {
+		if len(sizes) == 0 || len(sizes) > 300 {
+			return true
+		}
+		node := memnode.New(64<<20, 7)
+		link := NewLink(node, DefaultParams())
+		qp := link.MustQP("q", 7)
+		off, _ := node.AllocRange(256)
+		rng := rand.New(rand.NewSource(seed))
+		now, prev := sim.Time(0), sim.Time(0)
+		var sum int64
+		i := 0
+		for i < len(sizes) {
+			now += sim.Time(rng.Intn(3000))
+			batch := rng.Intn(7) + 1
+			if batch > len(sizes)-i {
+				batch = len(sizes) - i
+			}
+			var reqs []Req
+			for _, s := range sizes[i : i+batch] {
+				size := int(s)%4096 + 1
+				kind := OpRead
+				if rng.Intn(2) == 0 {
+					kind = OpWrite
+				}
+				reqs = append(reqs, Req{Kind: kind, Segs: []Seg{{Off: off, Buf: make([]byte, size)}}})
+				sum += int64(size)
+			}
+			i += batch
+			var ops []*Op
+			if rng.Intn(4) == 0 && len(reqs) == 1 {
+				ops = []*Op{qp.readV(now, reqs[0].Segs)} // interleave a solo op
+			} else {
+				ops = qp.Submit(now, reqs, nil)
+			}
+			for _, op := range ops {
+				if op.CompleteAt < prev {
+					return false
+				}
+				prev = op.CompleteAt
+			}
+		}
+		return link.RxBytes.N+link.TxBytes.N == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Coalesce tiles its input exactly — requests cover the input
+// segments in order, no vector exceeds the fast-path cap, only truly
+// contiguous neighbours merge, and the merged-segment counter matches.
+func TestQuickCoalesceTiles(t *testing.T) {
+	f := func(gaps []bool) bool {
+		if len(gaps) == 0 || len(gaps) > 200 {
+			return true
+		}
+		node := memnode.New(16<<20, 5)
+		link := NewLink(node, DefaultParams())
+		qp := link.MustQP("q", 5)
+		segs := make([]Seg, len(gaps))
+		off := uint64(0)
+		for i, gap := range gaps {
+			if gap {
+				off += 8192 // break contiguity
+			}
+			segs[i] = Seg{Off: off, Buf: make([]byte, 4096)}
+			off += 4096
+		}
+		reqs := qp.Coalesce(OpRead, segs, nil)
+		k := 0
+		for _, r := range reqs {
+			if len(r.Segs) < 1 || len(r.Segs) > link.P.MaxFastSegs {
+				return false
+			}
+			for j, s := range r.Segs {
+				if s.Off != segs[k].Off {
+					return false
+				}
+				if j > 0 && s.Off != r.Segs[j-1].Off+uint64(len(r.Segs[j-1].Buf)) {
+					return false
+				}
+				k++
+			}
+		}
+		if k != len(segs) {
+			return false
+		}
+		return link.CoalescedSegs.N == int64(len(segs)-len(reqs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkSubmit measures the host-side cost of posting an 8-op doorbell
+// batch with scratch reuse — the prefetcher's steady-state pattern. The
+// only allocations should be the ops themselves.
+func BenchmarkSubmit(b *testing.B) {
+	node := memnode.New(64<<20, 2)
+	link := NewLink(node, DefaultParams())
+	qp := link.MustQP("q", 2)
+	off, _ := node.AllocRange(8)
+	reqs := make([]Req, 8)
+	bufs := make([][]byte, 8)
+	for i := range reqs {
+		bufs[i] = make([]byte, 4096)
+		reqs[i] = Req{Kind: OpRead, Segs: []Seg{{Off: off + uint64(i)*4096, Buf: bufs[i]}}}
+	}
+	ops := make([]*Op, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ops = qp.Submit(sim.Time(i)*sim.Millisecond, reqs, ops[:0])
+	}
+	_ = ops
+}
+
+// BenchmarkCoalesce measures vector-building over a 32-page contiguous
+// dirty run — the cleaner's sweep shape. Zero allocations after warmup.
+func BenchmarkCoalesce(b *testing.B) {
+	node := memnode.New(64<<20, 2)
+	link := NewLink(node, DefaultParams())
+	qp := link.MustQP("q", 2)
+	off, _ := node.AllocRange(32)
+	segs := make([]Seg, 32)
+	for i := range segs {
+		segs[i] = Seg{Off: off + uint64(i)*4096, Buf: make([]byte, 4096)}
+	}
+	reqs := make([]Req, 0, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs = qp.Coalesce(OpWrite, segs, reqs[:0])
+	}
+	_ = reqs
+}

@@ -34,6 +34,18 @@ type Params struct {
 	SegOverheadSlow sim.Time // per extra segment beyond MaxFastSegs
 	MaxFastSegs     int      // vector length at which slowdown becomes steep
 	TCPExtra        sim.Time // additional completion delay (TCP emulation)
+
+	// BatchWQE is the per-work-queue-entry cost of every op after the first
+	// in a doorbell-batched submission (QP.Submit). The first op of a batch
+	// pays the full OpOverhead (MMIO doorbell + DMA setup); subsequent
+	// entries arrive in the same WQE chain and only pay the NIC's per-WQE
+	// processing — the amortization Leap and Clio build their wins on.
+	BatchWQE sim.Time
+	// SegOverheadBW is the link-occupancy cost per extra fast segment of a
+	// batched vectored op: the NIC streams chained SGEs back to back, so
+	// occupancy grows by only the gather-DMA setup, while end-to-end latency
+	// still pays the full SegOverhead store-and-forward per segment.
+	SegOverheadBW sim.Time
 }
 
 // DefaultParams returns the RDMA (RoCE 100 GbE) calibration.
@@ -47,6 +59,8 @@ func DefaultParams() Params {
 		SegOverheadSlow: 1000 * sim.Nanosecond,
 		MaxFastSegs:     3,
 		TCPExtra:        0,
+		BatchWQE:        40 * sim.Nanosecond,
+		SegOverheadBW:   20 * sim.Nanosecond,
 	}
 }
 

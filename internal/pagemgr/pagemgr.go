@@ -96,8 +96,22 @@ type Manager struct {
 	// Guide, when non-nil, enables guided paging.
 	Guide EvictionGuide
 
+	// Batch enables doorbell-batched write-backs: the cleaner sweeps its
+	// dirty set first, groups targets by queue pair (one per memory node,
+	// replicas included), coalesces contiguous remote offsets into vectored
+	// writes, and posts each node's set through a single doorbell
+	// (fabric.QP.Submit). The reclaimer's emergency clean does the same on
+	// its own queue pair. Off by default: the per-op path is the paper's
+	// calibrated baseline.
+	Batch bool
+
 	needReclaim sim.Waiter // reclaimer parks here when free >= high water
 	freed       sim.Waiter // allocators park here when the pool is empty
+
+	// Per-daemon scratch arenas for batched write-backs (the cleaner and
+	// the reclaimer can interleave across yields, so they must not share).
+	cleanSc   wbScratch
+	reclaimSc wbScratch
 
 	// cleanVec remembers, per page, the vector the cleaner last wrote back
 	// (guided paging); the reclaimer turns it into an Action PTE.
@@ -117,6 +131,36 @@ type Manager struct {
 type vecEntry struct {
 	chunks []Chunk
 	used   bool
+}
+
+// wbScratch holds one daemon's reusable buffers for batched write-backs.
+type wbScratch struct {
+	items []wbItem
+	qps   []*fabric.QP
+	segs  []fabric.Seg
+	owner []int // parallel to segs: index into items
+	reqs  []fabric.Req
+	ops   []*fabric.Op
+}
+
+// wbItem is one dirty page picked up by a batched sweep, with everything
+// the flush and retire phases need resolved up front (no yields happen
+// between the sweep and the retire, so the snapshot stays valid).
+type wbItem struct {
+	id     dram.FrameID
+	vpn    pagetable.VPN
+	pte    pagetable.PTE
+	tgt    Target
+	chunks []Chunk
+	guided bool
+	failed bool
+}
+
+func qpOf(t *Target, reclaimPath bool) *fabric.QP {
+	if reclaimPath {
+		return t.ReclaimQP
+	}
+	return t.CleanQP
 }
 
 // New creates a page manager over the pool and table.
@@ -227,6 +271,10 @@ func (m *Manager) cleanerLoop(p *sim.Proc) {
 
 // cleanPass performs one cleaner scan; exposed for tests.
 func (m *Manager) cleanPass(p *sim.Proc) {
+	if m.Batch {
+		m.cleanPassBatched(p)
+		return
+	}
 	var lastOp *fabric.Op
 	batch := 0
 	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
@@ -262,6 +310,162 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 	if lastOp != nil {
 		lastOp.Wait(p) // pace the cleaner to the link, off the demand path
 	}
+}
+
+// cleanPassBatched is the doorbell-batched cleaner pass: sweep the dirty
+// set, flush it per queue pair through single doorbells, then retire —
+// clearing the dirty bit only for pages whose every replica write landed.
+// Sweep, flush, and retire run without a yield, so the page snapshots
+// taken by the sweep stay valid until the bits are cleared.
+func (m *Manager) cleanPassBatched(p *sim.Proc) {
+	sc := &m.cleanSc
+	sc.items = sc.items[:0]
+	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+		p.Advance(m.Cfg.ScanCost)
+		if len(sc.items) >= m.Cfg.CleanerBatch {
+			return false
+		}
+		if f.Pinned || f.VPN == dram.NoVPN {
+			return true
+		}
+		pte := m.Table.Lookup(f.VPN)
+		if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
+			return true
+		}
+		m.collectItem(sc, id, f.VPN, pte)
+		return true
+	})
+	lastOp := m.flushBatch(p, sc, false)
+	cleaned := m.retireBatch(sc, true)
+	if cleaned > 0 {
+		m.Table.BumpGen() // one shootdown per pass covers all cleared bits
+	}
+	if lastOp != nil {
+		lastOp.Wait(p) // pace the cleaner to the link, off the demand path
+	}
+}
+
+// collectItem snapshots one dirty page into the sweep's item list: its
+// (replicated) remote target and, under guided paging, its live chunks. A
+// page with no reachable write target is counted failed immediately and
+// stays dirty.
+func (m *Manager) collectItem(sc *wbScratch, id dram.FrameID, vpn pagetable.VPN, pte pagetable.PTE) {
+	tgt, ok := m.RemoteOf(vpn)
+	if !ok {
+		m.WriteFails.Inc()
+		return
+	}
+	it := wbItem{id: id, vpn: vpn, pte: pte, tgt: tgt}
+	if m.Guide != nil {
+		if c, ok := m.Guide.LiveChunks(vpn); ok && usable(c) {
+			it.chunks, it.guided = c, true
+		}
+	}
+	sc.items = append(sc.items, it)
+}
+
+// flushBatch posts every collected page to every one of its replica
+// targets, one doorbell per distinct queue pair (i.e. per memory node and
+// path), with contiguous remote offsets coalesced into vectored writes.
+// Failure is known at issue time, so a failed request marks every page it
+// carried as failed. Returns the op that completes last, for pacing.
+func (m *Manager) flushBatch(p *sim.Proc, sc *wbScratch, reclaimPath bool) *fabric.Op {
+	if len(sc.items) == 0 {
+		return nil
+	}
+	// Distinct queue pairs in first-appearance order (primary before
+	// replicas), so seeded runs replay identically.
+	sc.qps = sc.qps[:0]
+	for i := range sc.items {
+		it := &sc.items[i]
+		sc.addQP(qpOf(&it.tgt, reclaimPath))
+		for r := range it.tgt.Replicas {
+			sc.addQP(qpOf(&it.tgt.Replicas[r], reclaimPath))
+		}
+	}
+	var last *fabric.Op
+	for _, qp := range sc.qps {
+		sc.segs, sc.owner = sc.segs[:0], sc.owner[:0]
+		for i := range sc.items {
+			it := &sc.items[i]
+			m.gatherSegs(sc, i, &it.tgt, qp, reclaimPath)
+			for r := range it.tgt.Replicas {
+				m.gatherSegs(sc, i, &it.tgt.Replicas[r], qp, reclaimPath)
+			}
+		}
+		sc.reqs = qp.Coalesce(fabric.OpWrite, sc.segs, sc.reqs[:0])
+		sc.ops = qp.Submit(p.Now(), sc.reqs, sc.ops[:0])
+		idx := 0
+		for r, req := range sc.reqs {
+			op := sc.ops[r]
+			if op.Err != nil {
+				for k := 0; k < len(req.Segs); k++ {
+					sc.items[sc.owner[idx+k]].failed = true
+				}
+			} else if last == nil || op.CompleteAt > last.CompleteAt {
+				last = op
+			}
+			idx += len(req.Segs)
+		}
+	}
+	return last
+}
+
+func (sc *wbScratch) addQP(qp *fabric.QP) {
+	for _, q := range sc.qps {
+		if q == qp {
+			return
+		}
+	}
+	sc.qps = append(sc.qps, qp)
+}
+
+// gatherSegs appends item i's segments for one replica target if that
+// target rides the queue pair currently being flushed.
+func (m *Manager) gatherSegs(sc *wbScratch, i int, t *Target, qp *fabric.QP, reclaimPath bool) {
+	if qpOf(t, reclaimPath) != qp {
+		return
+	}
+	it := &sc.items[i]
+	data := m.Pool.Bytes(it.id)
+	if it.guided {
+		live := 0
+		for _, c := range it.chunks {
+			sc.segs = append(sc.segs, fabric.Seg{Off: t.Off + uint64(c.Off), Buf: data[c.Off : c.Off+c.Len]})
+			sc.owner = append(sc.owner, i)
+			live += int(c.Len)
+		}
+		m.VectorSaves.Add(int64(pagetable.PageSize - live))
+		return
+	}
+	sc.segs = append(sc.segs, fabric.Seg{Off: t.Off, Buf: data})
+	sc.owner = append(sc.owner, i)
+}
+
+// retireBatch clears the dirty bit of every page whose writes all landed
+// (recording its clean vector under guided paging) and counts the rest as
+// write failures — they stay dirty so the next pass retries and the
+// reclaimer never evicts the only good copy.
+func (m *Manager) retireBatch(sc *wbScratch, countCleaned bool) int {
+	cleaned := 0
+	for i := range sc.items {
+		it := &sc.items[i]
+		if it.failed {
+			m.WriteFails.Inc()
+			continue
+		}
+		m.Table.Set(it.vpn, it.pte&^pagetable.BitDirty)
+		if it.guided {
+			m.cleanVec[it.vpn] = it.chunks
+		} else {
+			delete(m.cleanVec, it.vpn)
+		}
+		if countCleaned {
+			m.Cleaned.Inc()
+		}
+		cleaned++
+	}
+	return cleaned
 }
 
 // writeBack writes a page's content to its remote slot — the whole page,
@@ -407,6 +611,9 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 	// waiting once at the end — still entirely off the fault handler, which
 	// is the design's invariant), then evict the first of them.
 	if firstDirty != dram.NoFrame {
+		if m.Batch {
+			return m.reclaimCleanBatched(p)
+		}
 		var lastOp *fabric.Op
 		cleaned := 0
 		var victim dram.FrameID = dram.NoFrame
@@ -457,6 +664,61 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 		return cleaned > 0
 	}
 	return false
+}
+
+// reclaimCleanBatched is the reclaimer's emergency clean under batching:
+// sweep a batch of cold dirty pages, flush them through the reclaim queue
+// pairs with one doorbell per node, retire the survivors, then wait once
+// and evict a victim — still entirely off the fault handler.
+func (m *Manager) reclaimCleanBatched(p *sim.Proc) bool {
+	sc := &m.reclaimSc
+	sc.items = sc.items[:0]
+	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+		if len(sc.items) >= 32 {
+			return false
+		}
+		if f.Pinned || f.VPN == dram.NoVPN {
+			return true
+		}
+		pte := m.Table.Lookup(f.VPN)
+		if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
+			return true
+		}
+		p.Advance(m.Cfg.ScanCost)
+		m.collectItem(sc, id, f.VPN, pte)
+		return true
+	})
+	lastOp := m.flushBatch(p, sc, true)
+	cleaned := m.retireBatch(sc, false)
+	// Pick the victim before waiting: the wait yields, and the scratch
+	// snapshot is only valid until then.
+	var victim dram.FrameID = dram.NoFrame
+	var victimVPN pagetable.VPN
+	for i := range sc.items {
+		if it := &sc.items[i]; !it.failed && !it.pte.Accessed() {
+			victim, victimVPN = it.id, it.vpn
+			break
+		}
+	}
+	if cleaned > 0 {
+		m.Table.BumpGen()
+	}
+	if lastOp != nil {
+		lastOp.Wait(p)
+		m.SyncWrites.Inc()
+	}
+	if victim != dram.NoFrame {
+		// The wait above yielded: the victim may have been touched,
+		// re-dirtied, or pinned since we chose it. Re-validate before
+		// evicting, or its newest writes would be lost.
+		f := m.Pool.Meta(victim)
+		pte := m.Table.Lookup(victimVPN)
+		if !f.Pinned && f.VPN == victimVPN && pte.Tag() == pagetable.TagLocal &&
+			!pte.Dirty() && !pte.Accessed() && m.evict(p, victim, victimVPN) {
+			return true
+		}
+	}
+	return cleaned > 0
 }
 
 // evict unmaps a clean page and frees its frame. With a logged clean vector

@@ -221,16 +221,28 @@ type HitTracker struct {
 	// ScanBatch bounds how many pending pages one scan inspects.
 	ScanBatch int
 
-	pending []tracked
+	pending []pendingPage
 	ratio   float64
 	scanned int64
 	hits    int64
 }
 
-type tracked struct {
-	vpn      pagetable.VPN
-	deferred bool // already seen in-flight once; next scan decides
+// pendingPage is one prefetched page awaiting a verdict. age counts the
+// scans that found it arrived but untouched.
+type pendingPage struct {
+	vpn pagetable.VPN
+	age uint8
 }
+
+// untouchedGrace is how many scans a prefetched page may sit local but
+// untouched before it is settled as a miss. One scan of grace is not
+// enough: batched submission completes the window early, so its tail is
+// routinely local-untouched on the first scan while the stream is still
+// marching toward it. Several scans of grace keeps sequential ratios
+// honest in both submission modes while random access — whose speculative
+// pages never get touched — still converges to a miss verdict within a
+// few faults, before useless prefetching can evict much of the hot set.
+const untouchedGrace = 3
 
 // NewHitTracker creates a tracker with testbed-calibrated scan costs.
 func NewHitTracker() *HitTracker {
@@ -243,7 +255,7 @@ func (t *HitTracker) Note(vpns []pagetable.VPN) {
 		if len(t.pending) >= 1024 {
 			break // bound memory; oldest entries will be scanned first
 		}
-		t.pending = append(t.pending, tracked{vpn: v})
+		t.pending = append(t.pending, pendingPage{vpn: v})
 	}
 }
 
@@ -253,11 +265,16 @@ func (t *HitTracker) Ratio() float64 { return t.ratio }
 // Stats returns lifetime (scanned, hit) counts.
 func (t *HitTracker) Stats() (scanned, hits int64) { return t.scanned, t.hits }
 
-// Scan inspects up to ScanBatch pending prefetched PTEs: local+accessed
-// counts as a hit, local+untouched as a miss; still-fetching entries get
-// one deferral, then count as a miss (the page was prefetched too early or
-// too late either way). Returns the CPU cost, which the fault handler
-// charges inside the fetch window.
+// Scan inspects up to ScanBatch pending prefetched PTEs and settles the
+// ones whose fate is decided: local+accessed is a hit (the prefetch was
+// consumed); evicted or reverted before any access (Remote/Action) is a
+// miss (the fetch was wasted); a page that sits local but untouched for
+// untouchedGrace scans is a miss too (the stream never came). Pages still
+// in flight stay pending without aging — batched submission completes
+// window tails early, and counting time spent merely *arrived-early* as
+// evidence of a miss would punish prefetches for completing sooner and
+// collapse adaptive windows exactly when they are working. Returns the
+// CPU cost, which the fault handler charges inside the fetch window.
 func (t *HitTracker) Scan(tbl *pagetable.Table) sim.Time {
 	n := len(t.pending)
 	if n > t.ScanBatch {
@@ -268,24 +285,24 @@ func (t *HitTracker) Scan(tbl *pagetable.Table) sim.Time {
 	}
 	var hits, total int
 	keep := t.pending[:0]
-	for i, tr := range t.pending {
+	for i, pp := range t.pending {
 		if i >= n {
-			keep = append(keep, tr)
+			keep = append(keep, pp)
 			continue
 		}
-		pte := tbl.Lookup(tr.vpn)
+		pte := tbl.Lookup(pp.vpn)
 		switch pte.Tag() {
 		case pagetable.TagLocal:
-			total++
 			if pte.Accessed() {
+				total++
 				hits++
+			} else if pp.age++; pp.age >= untouchedGrace {
+				total++ // arrived long ago, never touched: miss
+			} else {
+				keep = append(keep, pp) // arrived, not yet reached
 			}
 		case pagetable.TagFetching:
-			if tr.deferred {
-				total++ // still not there after a full scan cycle: miss
-			} else {
-				keep = append(keep, tracked{vpn: tr.vpn, deferred: true})
-			}
+			keep = append(keep, pp) // still in flight
 		default:
 			// Evicted (Remote/Action) before use, or unmapped: miss.
 			total++
@@ -299,20 +316,6 @@ func (t *HitTracker) Scan(tbl *pagetable.Table) sim.Time {
 		t.hits += int64(hits)
 	}
 	return sim.Time(n) * t.PerPTECost
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // Leap is a faithful implementation of Leap's majority-trend prefetcher
