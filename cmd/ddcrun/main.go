@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"dilos/internal/chaos"
 	"dilos/internal/core"
@@ -25,6 +26,7 @@ import (
 	"dilos/internal/sim"
 	"dilos/internal/space"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 	"dilos/internal/workloads"
 )
 
@@ -44,6 +46,10 @@ func main() {
 		"fault injection profile: none | flaky | tail | crash (dilos only)")
 	chaosSeed := flag.Uint64("chaos-seed", 42,
 		"seed for deterministic fault injection (same seed ⇒ identical faults)")
+	traceOut := flag.String("trace-out", "",
+		"record a flight-recorder trace and write it as Perfetto/Chrome JSON to this file")
+	sampleInterval := flag.Duration("sample-interval", 50*time.Microsecond,
+		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
 	flag.Parse()
 
 	policy, err := placement.ParsePolicy(*policyName)
@@ -99,6 +105,13 @@ func main() {
 	var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
 	var report func()
 	var registry *stats.Registry
+	var rec *telemetry.Recorder
+	var sampleEvery sim.Time
+	var telOf func() (*telemetry.Recorder, *telemetry.Sampler)
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(0)
+		sampleEvery = sim.Time((*sampleInterval).Nanoseconds())
+	}
 
 	var guide *redis.AppGuide
 	if *pf == "app-aware" {
@@ -110,6 +123,7 @@ func main() {
 			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
 			Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
 			MemNodes: *nodes, Replicas: *replicas, Placement: policy,
+			Tel: rec, SampleEvery: sampleEvery,
 		}
 		if guide != nil {
 			cfg.Guide = guide
@@ -120,6 +134,7 @@ func main() {
 		sys := core.New(eng, cfg)
 		sys.Start()
 		registry = sys.Registry()
+		telOf = sys.Telemetry
 		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
 			sys.Launch("app", 0, func(sp *core.DDCProc) { fn(sp, sys.MmapDDC) })
 		}
@@ -144,9 +159,11 @@ func main() {
 		sys := fastswap.New(eng, fastswap.Config{
 			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
 			Fabric: fabric.DefaultParams(),
+			Tel:    rec, SampleEvery: sampleEvery,
 		})
 		sys.Start()
 		registry = sys.Registry()
+		telOf = sys.Telemetry
 		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
 			sys.Launch("app", 0, func(sp *fastswap.FSProc) { fn(sp, sys.MmapDDC) })
 		}
@@ -217,6 +234,25 @@ func main() {
 		}
 	})
 	eng.Run()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, sam := telOf()
+		if err := telemetry.WritePerfetto(f, r, sam); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: wrote %s (%d spans, %d dropped)\n",
+			*traceOut, r.Len(), r.DroppedTotal())
+	}
 
 	fmt.Printf("%s on %s (%s, %.1f%% local): %v — %s\n",
 		*workload, *system, *pf, *cache*100, elapsed, summary)

@@ -20,9 +20,12 @@ import (
 	"sort"
 	"strings"
 
+	"time"
+
 	"dilos/internal/experiments"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // writeMemProfile dumps a heap profile for -memprofile (after a GC, so the
@@ -73,13 +76,14 @@ var registry = map[string]struct {
 	"ext3":   {"extension: placement policies across 4 memory nodes", runExt3},
 	"ext4":   {"extension: chaos — node crash, failover, recovery", runExt4},
 	"ext5":   {"extension: doorbell-batched vs per-op submission", runExt5},
+	"ext6":   {"extension: per-fault latency anatomy from the flight recorder", runExt6},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
 }
 
 // chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
@@ -98,6 +102,10 @@ func main() {
 		"doorbell-batched submission (on|off) for every DiLOS system the experiments build; ext5 measures both regardless")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	traceOut := flag.String("trace-out", "",
+		"record a flight-recorder trace and write it as Perfetto/Chrome JSON to this file (the last system run of the invocation wins)")
+	sampleInterval := flag.Duration("sample-interval", 50*time.Microsecond,
+		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
 	flag.Parse()
 	switch *batch {
 	case "on":
@@ -123,6 +131,23 @@ func main() {
 	defer writeMemProfile(*memprofile)
 	jsonOut = *asJSON
 	statsOut = *withStats
+	if *traceOut != "" {
+		experiments.Telemetry = true
+		experiments.SampleEvery = sim.Time((*sampleInterval).Nanoseconds())
+		experiments.TelemetrySink = func(label string, rec *telemetry.Recorder, sam *telemetry.Sampler) {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			if err := telemetry.WritePerfetto(f, rec, sam); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace: wrote %s (%s)\n", *traceOut, label)
+		}
+	}
 	if statsOut {
 		experiments.Collect = func(label string, snap stats.Snapshot) {
 			statsDump = append(statsDump, labeledSnapshot{Label: label, Stats: snap})
@@ -508,6 +533,38 @@ func runExt5(sc experiments.Scale) {
 	fmt.Println("  (paper has no batched variant; the per-op rows are the §6 baseline shapes)")
 }
 
+func runExt6(sc experiments.Scale) {
+	fmt.Println("Extension — per-fault latency anatomy from the flight recorder (µs)")
+	fmt.Println("  [sequential write+read sweep; major faults only; stage means sum to the")
+	fmt.Println("   total mean. DiLOS never reclaims on the fault path; Fastswap's direct")
+	fmt.Println("   reclamation grows as the cache shrinks]")
+	rows := experiments.ExtAnatomy(sc)
+	stages := []string{"exception", "lookup", "reclaim", "issue", "guide", "wait", "map"}
+	lastFrac := -1.0
+	for _, r := range rows {
+		if r.Fraction != lastFrac {
+			lastFrac = r.Fraction
+			fmt.Printf("  local memory %s:\n", experiments.FracLabel(r.Fraction))
+			fmt.Printf("    %-22s %-4s", "system", "")
+			for _, st := range stages {
+				fmt.Printf(" %9s", st)
+			}
+			fmt.Printf(" %9s %8s\n", "total", "faults")
+		}
+		a := r.Anatomy
+		fmt.Printf("    %-22s %-4s", r.System, "mean")
+		for _, st := range stages {
+			fmt.Printf(" %9.2f", float64(a.Stage(st).MeanNs)/1e3)
+		}
+		fmt.Printf(" %9.2f %8d\n", float64(a.MeanNs)/1e3, a.Faults)
+		fmt.Printf("    %-22s %-4s", "", "p99")
+		for _, st := range stages {
+			fmt.Printf(" %9.2f", float64(a.Stage(st).P99Ns)/1e3)
+		}
+		fmt.Printf(" %9.2f\n", float64(a.P99Ns)/1e3)
+	}
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -572,6 +629,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext3":   func(sc experiments.Scale) any { return experiments.ExtPlacement(sc) },
 	"ext4":   func(sc experiments.Scale) any { return experiments.ExtChaos(sc, chaosSeed) },
 	"ext5":   func(sc experiments.Scale) any { return experiments.ExtBatch(sc) },
+	"ext6":   func(sc experiments.Scale) any { return experiments.ExtAnatomy(sc) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

@@ -2,21 +2,28 @@
 // the workflow for evaluating prefetcher changes against captured fault
 // behaviour instead of hand-written loops.
 //
-//	tracetool record  -workload quicksort -out qs.trace
-//	tracetool analyze qs.trace
-//	tracetool replay  qs.trace -prefetch trend -cache 0.25
+//	tracetool record   -workload quicksort -out qs.trace
+//	tracetool analyze  qs.trace
+//	tracetool stats    -top 20 qs.trace
+//	tracetool replay   qs.trace -prefetch trend -cache 0.25
+//	tracetool timeline -workload seqread -out timeline.json
+//	tracetool timeline -check timeline.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
 	"dilos/internal/core"
 	"dilos/internal/fabric"
+	"dilos/internal/pagetable"
 	"dilos/internal/prefetch"
 	"dilos/internal/redis"
 	"dilos/internal/sim"
+	"dilos/internal/telemetry"
 	"dilos/internal/trace"
 	"dilos/internal/workloads"
 )
@@ -30,15 +37,19 @@ func main() {
 		record(os.Args[2:])
 	case "analyze":
 		analyze(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "timeline":
+		timeline(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool record|analyze|replay [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool record|analyze|stats|replay|timeline [flags]")
 	os.Exit(2)
 }
 
@@ -62,26 +73,7 @@ func record(args []string) {
 		Trace: rec,
 	})
 	sys.Start()
-	sys.Launch("app", 0, func(sp *core.DDCProc) {
-		switch *workload {
-		case "seqread":
-			base, _ := sys.MmapDDC(*pages)
-			workloads.SeqRead(sp, base, *pages)
-		case "quicksort":
-			n := *pages * 4096 / 8
-			base, _ := sys.MmapDDC(*pages + 1)
-			workloads.FillRandomU64(sp, base, n, 1)
-			workloads.Quicksort(sp, base, n)
-		case "redis-get":
-			srv := redis.NewServer(sp)
-			keys := int(*pages) / 2
-			redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
-			redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-			os.Exit(2)
-		}
-	})
+	launchWorkload(sys, *workload, *pages)
 	eng.Run()
 
 	f, err := os.Create(*out)
@@ -97,6 +89,31 @@ func record(args []string) {
 	fmt.Printf("recorded %d events (%d dropped) from %s to %s\n",
 		rec.Len(), rec.Dropped(), *workload, *out)
 	printStats(rec.Analyze())
+}
+
+// launchWorkload starts the named workload app on sys (both record and
+// timeline drive the same harness).
+func launchWorkload(sys *core.System, workload string, pages uint64) {
+	sys.Launch("app", 0, func(sp *core.DDCProc) {
+		switch workload {
+		case "seqread":
+			base, _ := sys.MmapDDC(pages)
+			workloads.SeqRead(sp, base, pages)
+		case "quicksort":
+			n := pages * 4096 / 8
+			base, _ := sys.MmapDDC(pages + 1)
+			workloads.FillRandomU64(sp, base, n, 1)
+			workloads.Quicksort(sp, base, n)
+		case "redis-get":
+			srv := redis.NewServer(sp)
+			keys := int(pages) / 2
+			redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
+			redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", workload)
+			os.Exit(2)
+		}
+	})
 }
 
 func loadFile(path string) []trace.Event {
@@ -182,4 +199,130 @@ func replay(args []string) {
 		len(events), span, *pf, *cache*100, elapsed)
 	fmt.Printf("  major=%d minor=%d hits=%d prefetches=%d\n",
 		sys.MajorFaults.N, sys.MinorFaults.N, sys.LateMapHits.N, sys.Prefetches.N)
+}
+
+// statsCmd ranks the hottest pages of a recorded access trace.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	top := fs.Int("top", 10, "how many hottest pages to list")
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		usage()
+	}
+	events := loadFile(fs.Arg(0))
+	type pageCount struct {
+		vpn          pagetable.VPN
+		total        int
+		major, minor int
+	}
+	byVPN := map[pagetable.VPN]*pageCount{}
+	for _, e := range events {
+		pc := byVPN[e.VPN]
+		if pc == nil {
+			pc = &pageCount{vpn: e.VPN}
+			byVPN[e.VPN] = pc
+		}
+		pc.total++
+		switch e.Kind {
+		case trace.Major:
+			pc.major++
+		case trace.Minor:
+			pc.minor++
+		}
+	}
+	ranked := make([]*pageCount, 0, len(byVPN))
+	for _, pc := range byVPN {
+		ranked = append(ranked, pc)
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].total != ranked[j].total {
+			return ranked[i].total > ranked[j].total
+		}
+		return ranked[i].vpn < ranked[j].vpn
+	})
+	if *top < len(ranked) {
+		ranked = ranked[:*top]
+	}
+	fmt.Printf("%s: %d events over %d pages; top %d:\n",
+		fs.Arg(0), len(events), len(byVPN), len(ranked))
+	fmt.Printf("  %4s %10s %8s %8s %8s %7s\n", "rank", "vpn", "events", "major", "minor", "share")
+	for i, pc := range ranked {
+		fmt.Printf("  %4d %10d %8d %8d %8d %6.2f%%\n",
+			i+1, pc.vpn, pc.total, pc.major, pc.minor, 100*float64(pc.total)/float64(len(events)))
+	}
+}
+
+// timeline either records a live run into a Perfetto/Chrome trace JSON, or
+// with -check validates a previously written file against the schema the
+// writer promises.
+func timeline(args []string) {
+	fs := flag.NewFlagSet("timeline", flag.ExitOnError)
+	workload := fs.String("workload", "seqread", "seqread | quicksort | redis-get")
+	out := fs.String("out", "timeline.json", "output Perfetto/Chrome trace JSON")
+	pages := fs.Uint64("pages", 4096, "working-set pages")
+	cache := fs.Float64("cache", 0.125, "local-memory fraction")
+	pf := fs.String("prefetch", "readahead", "none | readahead | trend | leap")
+	sample := fs.Duration("sample-interval", 50*time.Microsecond,
+		"virtual-time gauge sampling interval (0 disables counter tracks)")
+	check := fs.String("check", "", "validate an existing trace file instead of running a workload")
+	fs.Parse(args)
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sum, err := telemetry.Validate(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace — %d events (%d meta, %d spans, %d counters) on %d tracks, horizon %.3fms\n",
+			*check, sum.Events, sum.Meta, sum.Spans, sum.Counters, sum.Tracks, float64(sum.MaxTsNs)/1e6)
+		return
+	}
+
+	var prefetcher prefetch.Prefetcher
+	switch *pf {
+	case "none":
+	case "readahead":
+		prefetcher = prefetch.NewReadahead(0)
+	case "trend":
+		prefetcher = prefetch.NewTrend()
+	case "leap":
+		prefetcher = prefetch.NewLeap()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pf)
+		os.Exit(2)
+	}
+	frames := int(float64(*pages) * *cache)
+	if frames < 96 {
+		frames = 96
+	}
+	rec := telemetry.NewRecorder(0)
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: frames, Cores: 2, RemoteBytes: *pages*4096 + (128 << 20),
+		Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
+		Tel: rec, SampleEvery: sim.Time((*sample).Nanoseconds()),
+	})
+	sys.Start()
+	launchWorkload(sys, *workload, *pages)
+	eng.Run()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	_, sam := sys.Telemetry()
+	if err := telemetry.WritePerfetto(f, rec, sam); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("timeline: wrote %s from %s (%d spans, %d dropped)\n",
+		*out, *workload, rec.Len(), rec.DroppedTotal())
 }

@@ -11,6 +11,7 @@ import (
 	"dilos/internal/pagetable"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
+	"dilos/internal/telemetry"
 	"dilos/internal/trace"
 )
 
@@ -119,9 +120,26 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		// §4.3: the prefetcher and hit tracker run in the fault handler —
 		// minor faults included — overlapping whatever wait remains.
 		p.Advance(s.Costs.HandlerCheck)
-		s.runPrefetch(p, h.coreID, vpn, false)
-		s.awaitInflight(p, slot, gen)
+		guideDur, issueDur := s.runPrefetch(p, h.coreID, vpn, false)
+		tWait := p.Now()
+		wake, mapped := s.awaitInflight(p, slot, gen)
 		s.MinorFaultLat.Record(p.Now() - t0)
+		if s.Tel != nil {
+			var span telemetry.Span
+			span.Kind = telemetry.KindMinorFault
+			span.Start, span.End = t0, p.Now()
+			span.Arg = uint64(vpn)
+			span.Stages[telemetry.StageException] = c.Costs.Exception
+			span.Stages[telemetry.StageLookup] = s.Costs.HandlerCheck
+			span.Stages[telemetry.StageGuide] = guideDur
+			span.Stages[telemetry.StageIssue] = issueDur
+			if w := p.Now() - tWait - wake - mapped; w > 0 {
+				span.Stages[telemetry.StageWait] = w
+			}
+			span.Stages[telemetry.StageWake] = wake
+			span.Stages[telemetry.StageMap] = mapped
+			s.Tel.Emit(s.telCore[h.coreID], span)
+		}
 	default:
 		panic(fmt.Sprintf("core: segfault at vpn %d (invalid PTE)", vpn))
 	}
@@ -134,7 +152,11 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 // succeeds or maps. A failed *prefetch* has no recovering owner — whoever
 // notices first (this faulter or the prefetch mapper) reverts the PTE to
 // Remote so the access retries as a major fault.
-func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) {
+//
+// The returned durations feed the caller's telemetry span: how long after
+// the op's completion this process resumed (wake) and how long the map
+// took (mapped) — both zero when someone else mapped the page first.
+func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) (wake, mapped sim.Time) {
 	for {
 		sl := &s.slots[slot]
 		if sl.gen != gen || !sl.active {
@@ -160,7 +182,12 @@ func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) {
 			s.revertPrefetch(p, slot, gen)
 			return
 		}
+		if w := p.Now() - op.CompleteAt; w > 0 {
+			wake = w
+		}
+		tMap := p.Now()
 		s.finishFetch(p, slot, gen)
+		mapped = p.Now() - tMap
 		return
 	}
 }
@@ -185,6 +212,17 @@ const maxRecoverRounds = 4096
 func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pagetable.PTE,
 	issue func(qp *fabric.QP, now sim.Time, base uint64, buf []byte) *fabric.Op, zeroFill bool) {
 	t0 := p.Now()
+	rec := s.Tel != nil
+	var span telemetry.Span
+	if rec {
+		// The span starts at the hardware exception, which HandleFault
+		// already charged before calling in — so the rendered bar covers
+		// the same interval FaultLat samples.
+		span.Kind = telemetry.KindMajorFault
+		span.Start = t0 - s.MMUC.Exception
+		span.Arg = uint64(vpn)
+		span.Stages[telemetry.StageException] = s.MMUC.Exception
+	}
 	p.Advance(s.Costs.HandlerCheck)
 
 	expected := pte.Tag()
@@ -208,6 +246,9 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	s.slots[slot].demand = true
 	*pte = pagetable.Fetching(slot)
 	s.BD.Handler += p.Now() - t0
+	if rec {
+		span.Stages[telemetry.StageLookup] = p.Now() - t0
+	}
 
 	slots, failover, ok := s.space.Resolve(vpn)
 	if !ok {
@@ -228,11 +269,14 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	// Work hidden in the fetch window (§4.3): hit tracker scan, prefetch
 	// issuance, guide hook.
 	gen := s.slots[slot].gen
-	s.runPrefetch(p, coreID, vpn, true)
+	guideDur, issueDur := s.runPrefetch(p, coreID, vpn, true)
 	if s.AppGuide != nil {
+		tGuide := p.Now()
 		s.AppGuide.OnFault(coreID, vpn)
+		guideDur += p.Now() - tGuide
 	}
 
+	tWait := p.Now()
 	if op != nil {
 		op.Wait(p)
 	}
@@ -241,10 +285,20 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	}
 	s.BD.Fetch += p.Now() - tIssue
 	tMap := p.Now()
+	if rec {
+		span.Stages[telemetry.StageIssue] = issueDur
+		span.Stages[telemetry.StageGuide] = guideDur
+		span.Stages[telemetry.StageWait] = tMap - tWait
+	}
 	s.finishFetch(p, slot, gen)
 	s.BD.Map += p.Now() - tMap
 	s.BD.N++
 	s.FaultLat.Record(p.Now() - t0 + s.MMUC.Exception)
+	if rec {
+		span.Stages[telemetry.StageMap] = p.Now() - tMap
+		span.End = p.Now()
+		s.Tel.Emit(s.telCore[coreID], span)
+	}
 }
 
 // recoverFetch is the fault handler's failover loop: re-resolve the page
@@ -347,10 +401,15 @@ func (s *System) revertPrefetch(p *sim.Proc, slot uint64, gen uint64) {
 // asynchronous reads for every proposed page that is still Remote. The
 // per-core prefetch mapper daemon maps them into the unified page table as
 // they complete — "immediately", with no swap-cache stopover.
-func (s *System) runPrefetch(p *sim.Proc, coreID int, vpn pagetable.VPN, major bool) {
+//
+// The two returned durations split the CPU spent for telemetry: guide is
+// the hit-tracker scan plus policy decision, issue is the time posting the
+// proposed window onto the fabric.
+func (s *System) runPrefetch(p *sim.Proc, coreID int, vpn pagetable.VPN, major bool) (guide, issue sim.Time) {
 	if _, isNone := s.Pf.(prefetch.None); isNone {
-		return
+		return 0, 0
 	}
+	t0 := p.Now()
 	p.Advance(s.Track.Scan(s.Table))
 	s.Hist.Note(vpn)
 	ctx := prefetch.Context{
@@ -360,7 +419,9 @@ func (s *System) runPrefetch(p *sim.Proc, coreID int, vpn pagetable.VPN, major b
 		History:  s.Hist.Deltas(),
 	}
 	targets := s.Pf.OnFault(ctx)
+	t1 := p.Now()
 	s.SchedulePrefetch(p, coreID, targets)
+	return t1 - t0, p.Now() - t1
 }
 
 // SchedulePrefetch issues page prefetches for every target that is
@@ -591,6 +652,7 @@ func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
 		// Publish the held entry so catchUpMapper can install it if its
 		// completion ripens while this daemon is waiting to be scheduled.
 		s.pfHeld[coreID] = pfHeldItem{item: item, valid: true}
+		t0 := p.Now()
 		op.Wait(p)
 		s.pfHeld[coreID].valid = false
 		if sl.gen != item.gen || !sl.active {
@@ -602,7 +664,27 @@ func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
 			s.revertPrefetch(p, item.slot, item.gen)
 			continue
 		}
+		vpn := sl.vpn // captured before finishFetch recycles the slot
+		tMap := p.Now()
 		s.finishFetch(p, item.slot, item.gen)
+		if s.Tel != nil {
+			var span telemetry.Span
+			span.Kind = telemetry.KindPrefetchMap
+			span.Start, span.End = t0, p.Now()
+			span.Arg = uint64(vpn)
+			if w := op.CompleteAt - t0; w > 0 {
+				span.Stages[telemetry.StageWait] = w
+			}
+			wakeFrom := t0
+			if op.CompleteAt > wakeFrom {
+				wakeFrom = op.CompleteAt
+			}
+			if w := tMap - wakeFrom; w > 0 {
+				span.Stages[telemetry.StageWake] = w
+			}
+			span.Stages[telemetry.StageMap] = p.Now() - tMap
+			s.Tel.Emit(s.telPf[coreID], span)
+		}
 	}
 }
 

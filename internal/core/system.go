@@ -30,6 +30,7 @@ import (
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 	"dilos/internal/trace"
 )
 
@@ -155,6 +156,14 @@ type Config struct {
 	// Trace, when set, records every fault (major/minor) into the ring for
 	// offline analysis and replay (internal/trace).
 	Trace *trace.Recorder
+	// Tel, when set, attaches the flight recorder: the fault handler,
+	// prefetch mappers, cleaner, reclaimer, and fabric links emit spans
+	// into it (internal/telemetry). Nil compiles the instrumentation out:
+	// every emission site is guarded, so a disabled run is untouched.
+	Tel *telemetry.Recorder
+	// SampleEvery, with Tel set, starts the periodic gauge sampler at
+	// this interval (0 disables sampling; spans are still recorded).
+	SampleEvery sim.Time
 	// Chaos, when set, injects deterministic faults into every link (see
 	// internal/chaos) and enables the failure-handling stack: the health
 	// monitor daemons, fetch retry/failover, and re-replication. Without it
@@ -194,6 +203,20 @@ type System struct {
 	Hist     *prefetch.History
 	AppGuide Guide
 	Trace    *trace.Recorder
+
+	// Tel is the flight recorder (nil when disabled); Sam is the gauge
+	// sampler, started with the system when SampleEvery is set.
+	Tel *telemetry.Recorder
+	Sam *telemetry.Sampler
+	// telCore[c]/telPf[c] are core c's fault and prefetch-mapper tracks.
+	telCore     []int
+	telPf       []int
+	sampleEvery sim.Time
+
+	// Sampler-refreshed gauges (see SampleGauges).
+	CacheUsedG stats.Gauge
+	PfQueueG   stats.Gauge
+	PfWindowG  stats.Gauge
 
 	backings []Backing
 	space    *placement.AddressSpace
@@ -392,6 +415,30 @@ func New(eng *sim.Engine, cfg Config) *System {
 		Prefetches:     stats.Counter{Name: "dilos.prefetches"},
 		FaultLat:       stats.NewHistogram("dilos.fault_latency"),
 		MinorFaultLat:  stats.NewHistogram("dilos.minor_fault_latency"),
+		CacheUsedG:     stats.Gauge{Name: "dilos.cache_used_frames"},
+		PfQueueG:       stats.Gauge{Name: "dilos.prefetch_queue_depth"},
+		PfWindowG:      stats.Gauge{Name: "dilos.prefetch_window"},
+	}
+	if cfg.Tel != nil {
+		s.Tel = cfg.Tel
+		s.sampleEvery = cfg.SampleEvery
+		s.telCore = make([]int, cfg.Cores)
+		s.telPf = make([]int, cfg.Cores)
+		// Track registration order fixes timeline row order: cores first,
+		// then the prefetch mappers, daemons, and fabric links.
+		for c := 0; c < cfg.Cores; c++ {
+			s.telCore[c] = cfg.Tel.Track(fmt.Sprintf("core%d", c))
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			s.telPf[c] = cfg.Tel.Track(fmt.Sprintf("pfmap%d", c))
+		}
+		mgr.Tel = cfg.Tel
+		mgr.CleanTrack = cfg.Tel.Track("cleaner")
+		mgr.ReclaimTrack = cfg.Tel.Track("reclaimer")
+		for i, l := range links {
+			l.Tel = cfg.Tel
+			l.TelTrack = cfg.Tel.Track(fmt.Sprintf("fabric.node%d", i))
+		}
 	}
 	// Retry jitter derives from the chaos seed so the full failure-handling
 	// stack replays under one number; without chaos the fixed seed keeps
@@ -447,6 +494,9 @@ func (s *System) buildRegistry() *stats.Registry {
 	r.RegisterCounter(&s.PrefetchFails)
 	r.RegisterHistogram(s.FaultLat)
 	r.RegisterHistogram(s.MinorFaultLat)
+	r.RegisterGauge(&s.CacheUsedG)
+	r.RegisterGauge(&s.PfQueueG)
+	r.RegisterGauge(&s.PfWindowG)
 	s.Mgr.RegisterStats(r)
 	s.FetchRetries.RegisterStats(r)
 	if s.Chaos != nil {
@@ -468,6 +518,10 @@ func (s *System) buildRegistry() *stats.Registry {
 		l.BatchedOps.Name = prefix + "batch.ops"
 		l.CoalescedSegs.Name = prefix + "batch.coalesced_segs"
 		l.BatchSize.Name = prefix + "batch.size"
+		l.RxBacklog.Name = prefix + "rx.backlog_ns"
+		l.TxBacklog.Name = prefix + "tx.backlog_ns"
+		r.RegisterGauge(&l.RxBacklog)
+		r.RegisterGauge(&l.TxBacklog)
 		r.RegisterCounter(&l.RxBytes)
 		r.RegisterCounter(&l.TxBytes)
 		r.RegisterCounter(&l.RxOps)
@@ -523,7 +577,43 @@ func (s *System) Start() {
 	if s.Health != nil {
 		s.Health.Start()
 	}
+	// The sampler daemon spawns last so the relative scheduling order of
+	// every pre-existing daemon is unchanged by enabling it.
+	if s.Tel != nil && s.sampleEvery > 0 {
+		s.Sam = &telemetry.Sampler{
+			Interval: s.sampleEvery,
+			Registry: s.registry,
+			Collect:  s.SampleGauges,
+		}
+		s.Sam.Start(s.Eng)
+	}
 }
+
+// SampleGauges refreshes every sampler-visible level from live state: the
+// telemetry sampler calls it once per tick. It reads but never mutates
+// workload-visible state, so sampling cannot change a run's timing.
+func (s *System) SampleGauges(now sim.Time) {
+	s.CacheUsedG.Set(int64(s.Pool.Used()))
+	depth := 0
+	for _, q := range s.pfQueue {
+		depth += len(q)
+	}
+	s.PfQueueG.Set(int64(depth))
+	switch pf := s.Pf.(type) {
+	case *prefetch.Readahead:
+		s.PfWindowG.Set(int64(pf.Window))
+	case prefetch.Windowed:
+		s.PfWindowG.Set(int64(pf.Window()))
+	}
+	s.Mgr.SampleGauges()
+	for _, l := range s.Links {
+		l.SampleBacklog(now)
+	}
+}
+
+// Telemetry returns the flight recorder and sampler (nil when disabled) —
+// the hook the experiment harness uses to export timelines.
+func (s *System) Telemetry() (*telemetry.Recorder, *telemetry.Sampler) { return s.Tel, s.Sam }
 
 // MmapDDC maps a disaggregated region of `pages` pages (the compat layer's
 // mmap with MAP_DDC, §5): every page starts Remote, backed by zeroed slot

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"dilos/internal/core"
+	"dilos/internal/fabric"
+	"dilos/internal/fastswap"
+	"dilos/internal/sim"
+	"dilos/internal/space"
+	"dilos/internal/telemetry"
+	"dilos/internal/workloads"
+)
+
+// This file adds ext6: fault anatomy from the flight recorder. Where
+// Figure 1/6 report mean segments from hand-maintained accumulators
+// (Breakdown), ext6 derives the same decomposition — plus tails — from the
+// recorded per-fault spans, which both cross-checks the accumulators and
+// exercises the recorder end to end.
+
+// Ext6Row is one system × cache-fraction cell: the per-stage latency
+// anatomy of every major fault the run recorded.
+type Ext6Row struct {
+	System   SystemKind
+	Fraction float64
+	Anatomy  telemetry.Anatomy
+}
+
+// ext6Fractions sweeps the paging-pressure regimes; 100 % is omitted — a
+// fully cached run has almost no faults to attribute.
+var ext6Fractions = []float64{0.125, 0.25, 0.5}
+
+// ExtAnatomy runs a sequential write-then-read sweep on Fastswap and two
+// DiLOS flavours under its own flight recorders (independent of the
+// Telemetry global) and attributes every major fault to stages.
+func ExtAnatomy(sc Scale) []Ext6Row {
+	pages := sc.SeqPages / 4
+	if pages < 1024 {
+		pages = 1024
+	}
+	systems := []SystemKind{SysFastswap, SysDiLOSNone, SysDiLOSRA}
+	var rows []Ext6Row
+	for _, frac := range ext6Fractions {
+		for _, kind := range systems {
+			rows = append(rows, Ext6Row{
+				System:   kind,
+				Fraction: frac,
+				Anatomy:  runAnatomy(kind, pages, frac),
+			})
+		}
+	}
+	return rows
+}
+
+// runAnatomy boots one system with a recorder sized to hold every fault of
+// the run (write sweep + read sweep + readahead-induced minors) and
+// returns the recording's fault anatomy.
+func runAnatomy(kind SystemKind, pages uint64, frac float64) telemetry.Anatomy {
+	rec := telemetry.NewRecorder(int(3*pages) + 1024)
+	eng := sim.New()
+	app := func(mmap func(uint64) (uint64, error), sp space.Space) {
+		base, err := mmap(pages)
+		if err != nil {
+			panic(err)
+		}
+		workloads.SeqWrite(sp, base, pages)
+		workloads.SeqRead(sp, base, pages)
+	}
+	switch kind {
+	case SysFastswap:
+		sys := fastswap.New(eng, fastswap.Config{
+			CacheFrames: frames(pages, frac),
+			Cores:       4,
+			RemoteBytes: pages*fastswap.PageSize + (64 << 20),
+			Fabric:      fabric.DefaultParams(),
+			Tel:         rec,
+			SampleEvery: SampleEvery,
+		})
+		sys.Start()
+		sys.Launch("seq", 0, func(sp *fastswap.FSProc) { app(sys.MmapDDC, sp) })
+		eng.Run()
+		collect("ext6/"+string(kind)+"/"+FracLabel(frac), sys)
+	default:
+		sys := core.New(eng, core.Config{
+			CacheFrames: frames(pages, frac),
+			Cores:       4,
+			RemoteBytes: pages*core.PageSize + (64 << 20),
+			Fabric:      fabric.DefaultParams(),
+			Prefetcher:  pfFor(kind),
+			Batch:       Batch,
+			Tel:         rec,
+			SampleEvery: SampleEvery,
+		})
+		sys.Start()
+		sys.Launch("seq", 0, func(sp *core.DDCProc) { app(sys.MmapDDC, sp) })
+		eng.Run()
+		collect("ext6/"+string(kind)+"/"+FracLabel(frac), sys)
+	}
+	return telemetry.FaultAnatomy(rec)
+}

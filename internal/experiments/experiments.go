@@ -19,6 +19,7 @@ import (
 	"dilos/internal/sim"
 	"dilos/internal/space"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // Collect, when set, receives a labeled stats.Snapshot for every system an
@@ -31,14 +32,48 @@ var Collect func(label string, snap stats.Snapshot)
 // it to -batch. Ext5 toggles it per leg to measure the win directly.
 var Batch bool
 
+// Telemetry, when set, boots every system the experiments construct with a
+// flight recorder and gauge sampler — cmd/dilosbench wires it to
+// -trace-out. The recording itself never perturbs simulated time.
+var Telemetry bool
+
+// SampleEvery is the gauge-sampling interval used when Telemetry is on.
+// Zero keeps the recorder but disables periodic sampling.
+var SampleEvery sim.Time
+
+// TelemetrySink, when set, receives each labeled run's recorder and
+// sampler after the simulation finishes (sam may be nil).
+var TelemetrySink func(label string, rec *telemetry.Recorder, sam *telemetry.Sampler)
+
 // statsSource is any paging system exposing its metric registry.
 type statsSource interface{ Registry() *stats.Registry }
 
-// collect feeds sys's snapshot to the Collect hook, if one is installed.
+// telemetrySource is any paging system exposing its flight recorder.
+type telemetrySource interface {
+	Telemetry() (*telemetry.Recorder, *telemetry.Sampler)
+}
+
+// collect feeds sys's snapshot to the Collect hook, if one is installed,
+// and its flight recording to the TelemetrySink.
 func collect(label string, sys statsSource) {
 	if Collect != nil {
 		Collect(label, sys.Registry().Snapshot())
 	}
+	if TelemetrySink != nil {
+		if ts, ok := sys.(telemetrySource); ok {
+			if rec, sam := ts.Telemetry(); rec != nil {
+				TelemetrySink(label, rec, sam)
+			}
+		}
+	}
+}
+
+// recorderFor returns a fresh flight recorder when Telemetry is on.
+func recorderFor() *telemetry.Recorder {
+	if !Telemetry {
+		return nil
+	}
+	return telemetry.NewRecorder(0)
 }
 
 // Scale sizes the workloads. Zero values select the defaults.
@@ -133,6 +168,8 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 		Guide:         g,
 		EvictionGuide: eg,
 		Batch:         Batch,
+		Tel:           recorderFor(),
+		SampleEvery:   SampleEvery,
 	})
 	sys.Start()
 	return sys
@@ -145,6 +182,8 @@ func fswap(eng *sim.Engine, wsPages uint64, frac float64) *fastswap.System {
 		Cores:       4,
 		RemoteBytes: wsPages*fastswap.PageSize + (64 << 20),
 		Fabric:      fabric.DefaultParams(),
+		Tel:         recorderFor(),
+		SampleEvery: SampleEvery,
 	})
 	sys.Start()
 	return sys

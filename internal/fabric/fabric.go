@@ -40,6 +40,7 @@ import (
 	"dilos/internal/memnode"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // Store is the remote-memory service a link transfers against. The
@@ -123,6 +124,16 @@ type Link struct {
 	// Optional bandwidth series (nil disables); Figure 12 uses these.
 	RxBW *stats.Bandwidth
 	TxBW *stats.Bandwidth
+
+	// Tel, when set, records one flight-recorder span per op (issue →
+	// completion, Arg = bytes) and per retry backoff on TelTrack.
+	Tel      *telemetry.Recorder
+	TelTrack int
+
+	// RxBacklog/TxBacklog gauge how far each direction's busy horizon
+	// runs ahead of now, in ns — queueing visible to the sampler.
+	RxBacklog stats.Gauge
+	TxBacklog stats.Gauge
 }
 
 // NewLink connects to an in-process memory node with the given parameters.
@@ -146,7 +157,24 @@ func NewLinkOver(store Store, protKey uint32, p Params) *Link {
 		BatchedOps:    stats.Counter{Name: "fabric.batch.ops"},
 		CoalescedSegs: stats.Counter{Name: "fabric.batch.coalesced_segs"},
 		BatchSize:     stats.NewHistogram("fabric.batch.size"),
+		RxBacklog:     stats.Gauge{Name: "link.rx.backlog_ns"},
+		TxBacklog:     stats.Gauge{Name: "link.tx.backlog_ns"},
 	}
+}
+
+// SampleBacklog refreshes the backlog gauges: how much occupancy each
+// direction still has queued past `now`. The telemetry sampler calls
+// this every tick.
+func (l *Link) SampleBacklog(now sim.Time) {
+	rx, tx := l.rxBusy-now, l.txBusy-now
+	if rx < 0 {
+		rx = 0
+	}
+	if tx < 0 {
+		tx = 0
+	}
+	l.RxBacklog.Set(int64(rx))
+	l.TxBacklog.Set(int64(tx))
 }
 
 // Store returns the remote-memory service this link reaches.
@@ -303,6 +331,15 @@ func (q *QP) issue(now sim.Time, kind OpKind, segs []Seg, overhead sim.Time, bat
 	}
 	op := q.schedule(now, bytes, len(segs), overhead, batched, busy, dec, storeErr)
 	op.Kind = kind
+	if q.link.Tel != nil {
+		spanKind := telemetry.KindRead
+		if kind == OpWrite {
+			spanKind = telemetry.KindWrite
+		}
+		q.link.Tel.Emit(q.link.TelTrack, telemetry.Span{
+			Kind: spanKind, Start: now, End: op.CompleteAt, Arg: uint64(bytes),
+		})
+	}
 	if kind == OpRead {
 		q.link.RxOps.Inc()
 	} else {

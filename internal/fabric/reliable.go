@@ -4,6 +4,7 @@ import (
 	"dilos/internal/chaos"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // RetryPolicy bounds a ReliableQP's persistence: up to Attempts issues of
@@ -133,6 +134,12 @@ func (r *ReliableQP) do(p *sim.Proc, issue func(now sim.Time) *Op) error {
 		}
 		if r.St != nil {
 			r.St.Retries.Inc()
+		}
+		if l := r.QP.link; l.Tel != nil {
+			l.Tel.Emit(l.TelTrack, telemetry.Span{
+				Kind: telemetry.KindRetry, Start: p.Now(), End: p.Now() + sleep,
+				Arg: uint64(attempt + 1),
+			})
 		}
 		p.Sleep(sleep)
 		backoff *= 2

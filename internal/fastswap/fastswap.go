@@ -28,6 +28,7 @@ import (
 	"dilos/internal/placement"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // PageSize re-exports the paging granularity.
@@ -74,6 +75,11 @@ type Config struct {
 	Cluster int
 	// OffloadPeriod is how often the dedicated reclaim thread runs.
 	OffloadPeriod sim.Time
+	// Tel, when set, records flight-recorder spans for every fault,
+	// reclaim pass, and fabric op. nil compiles the hot-path hooks out.
+	Tel *telemetry.Recorder
+	// SampleEvery is the gauge sampling interval; 0 disables the sampler.
+	SampleEvery sim.Time
 }
 
 // Breakdown mirrors core.Breakdown for Figure 1/6.
@@ -150,6 +156,19 @@ type System struct {
 	MinorFaultLat *stats.Histogram // minor-fault (swap-cache hit) latency
 	BD            Breakdown
 
+	// Flight recorder (nil when Config.Tel was unset) and its sampler.
+	Tel         *telemetry.Recorder
+	Sam         *telemetry.Sampler
+	telCore     []int
+	kswapdTrack int
+	sampleEvery sim.Time
+
+	FreeG      stats.Gauge // free list vs the watermarks
+	CacheUsedG stats.Gauge // frames holding page content
+	SwapCacheG stats.Gauge // swap-cache entries (mapped or not)
+	LowWaterG  stats.Gauge
+	HighWaterG stats.Gauge
+
 	started bool
 }
 
@@ -187,6 +206,13 @@ func New(eng *sim.Engine, cfg Config) *System {
 		FaultLat:    stats.NewHistogram("fastswap.fault_latency"),
 		MinorFaultLat: stats.NewHistogram(
 			"fastswap.minor_fault_latency"),
+		Tel:         cfg.Tel,
+		sampleEvery: cfg.SampleEvery,
+		FreeG:       stats.Gauge{Name: "fastswap.free_frames"},
+		CacheUsedG:  stats.Gauge{Name: "fastswap.cache_used_frames"},
+		SwapCacheG:  stats.Gauge{Name: "fastswap.swap_cache_pages"},
+		LowWaterG:   stats.Gauge{Name: "fastswap.low_water"},
+		HighWaterG:  stats.Gauge{Name: "fastswap.high_water"},
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		s.qps = append(s.qps, link.MustQP(fmt.Sprintf("cpu%d.swap", c), node.ProtKey))
@@ -203,6 +229,16 @@ func New(eng *sim.Engine, cfg Config) *System {
 	// faulting core reclaims inline on most majors — the 29 %
 	// "reclamation" segment of Figure 1's average case.
 	s.directWater = s.highWater
+	s.LowWaterG.Set(int64(s.lowWater))
+	s.HighWaterG.Set(int64(s.highWater))
+	if s.Tel != nil {
+		for c := 0; c < cfg.Cores; c++ {
+			s.telCore = append(s.telCore, s.Tel.Track(fmt.Sprintf("core%d", c)))
+		}
+		s.kswapdTrack = s.Tel.Track("kswapd")
+		link.Tel = s.Tel
+		link.TelTrack = s.Tel.Track("fabric.node0")
+	}
 	s.registry = s.buildRegistry()
 	return s
 }
@@ -229,7 +265,32 @@ func (s *System) buildRegistry() *stats.Registry {
 	s.Node.WritesSv.Name = "memnode.node0.writes"
 	r.RegisterCounter(&s.Node.ReadsSrv)
 	r.RegisterCounter(&s.Node.WritesSv)
+	r.RegisterGauge(&s.FreeG)
+	r.RegisterGauge(&s.CacheUsedG)
+	r.RegisterGauge(&s.SwapCacheG)
+	r.RegisterGauge(&s.LowWaterG)
+	r.RegisterGauge(&s.HighWaterG)
+	s.Link.RxBacklog.Name = "link.node0.rx.backlog_ns"
+	s.Link.TxBacklog.Name = "link.node0.tx.backlog_ns"
+	r.RegisterGauge(&s.Link.RxBacklog)
+	r.RegisterGauge(&s.Link.TxBacklog)
 	return r
+}
+
+// SampleGauges refreshes every gauge from live state. The telemetry
+// sampler calls it each tick; it only reads, so enabling sampling cannot
+// perturb workload timing.
+func (s *System) SampleGauges(now sim.Time) {
+	s.FreeG.Set(int64(s.Pool.FreeCount()))
+	s.CacheUsedG.Set(int64(s.Pool.Used()))
+	s.SwapCacheG.Set(int64(len(s.cache)))
+	s.Link.SampleBacklog(now)
+}
+
+// Telemetry exposes the recorder and sampler for trace export (both nil
+// when telemetry was not configured).
+func (s *System) Telemetry() (*telemetry.Recorder, *telemetry.Sampler) {
+	return s.Tel, s.Sam
 }
 
 // Registry exposes every metric the system registered at construction.
@@ -243,6 +304,12 @@ func (s *System) Start() {
 	}
 	s.started = true
 	s.Eng.GoDaemon("fastswap.kswapd", s.kswapdLoop)
+	// The sampler daemon spawns last so enabling it never reorders the
+	// pre-existing daemons' scheduling.
+	if s.Tel != nil && s.sampleEvery > 0 {
+		s.Sam = &telemetry.Sampler{Interval: s.sampleEvery, Registry: s.registry, Collect: s.SampleGauges}
+		s.Sam.Start(s.Eng)
+	}
 }
 
 // MmapDDC reserves a swap-backed region of `pages` pages. Layout lives in

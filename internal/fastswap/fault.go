@@ -8,6 +8,7 @@ import (
 	"dilos/internal/mmu"
 	"dilos/internal/pagetable"
 	"dilos/internal/sim"
+	"dilos/internal/telemetry"
 )
 
 type coreHandler struct {
@@ -34,13 +35,14 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		s.MinorFaults.Inc()
 		e.fresh = false
 		p.Advance(s.Costs.MinorService)
+		tWait := p.Now()
 		if e.op != nil {
 			op := e.op
 			op.Wait(p)
 			if s.cache[vpn] != e {
 				// Reclaimed (or replaced) while we slept on the IO; the
 				// retried translation will fault again and take the major
-				// path.
+				// path. (No span: the refault records the real service.)
 				s.MinorFaultLat.Record(p.Now() - t0)
 				return
 			}
@@ -48,6 +50,16 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		}
 		s.mapEntry(vpn, e)
 		s.MinorFaultLat.Record(p.Now() - t0)
+		if s.Tel != nil {
+			var span telemetry.Span
+			span.Kind = telemetry.KindMinorFault
+			span.Start, span.End = t0, p.Now()
+			span.Arg = uint64(vpn)
+			span.Stages[telemetry.StageException] = c.Costs.Exception
+			span.Stages[telemetry.StageLookup] = s.Costs.KernelEntry + s.Costs.MinorService
+			span.Stages[telemetry.StageWait] = p.Now() - tWait
+			s.Tel.Emit(s.telCore[h.coreID], span)
+		}
 		return
 	}
 
@@ -85,12 +97,16 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 	}
 	// The swap-management segment is everything since entry except the
 	// direct-reclaim time (accounted separately, as Figure 1 does).
-	s.BD.SwapMgmt += (p.Now() - mgmtStart) - (s.BD.Reclaim - reclaim0) + s.Costs.KernelEntry
+	reclaimDur := s.BD.Reclaim - reclaim0
+	mgmtDur := (p.Now() - mgmtStart) - reclaimDur + s.Costs.KernelEntry
+	s.BD.SwapMgmt += mgmtDur
 	op := s.qps[h.coreID].Read(p.Now(), remote, s.Pool.Bytes(frame))
 	e.op = op
 
 	// Cluster readahead into the swap cache (unmapped!).
+	tIssue := p.Now()
 	s.readahead(p, h.coreID, vpn)
+	issueDur := p.Now() - tIssue
 
 	tFetch := p.Now()
 	op.Wait(p)
@@ -103,6 +119,19 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 	s.BD.Map += p.Now() - tMap
 	s.FaultLat.Record(p.Now() - t0)
 	s.lastFault = vpn
+	if s.Tel != nil {
+		var span telemetry.Span
+		span.Kind = telemetry.KindMajorFault
+		span.Start, span.End = t0, p.Now()
+		span.Arg = uint64(vpn)
+		span.Stages[telemetry.StageException] = c.Costs.Exception
+		span.Stages[telemetry.StageLookup] = mgmtDur
+		span.Stages[telemetry.StageReclaim] = reclaimDur
+		span.Stages[telemetry.StageIssue] = issueDur
+		span.Stages[telemetry.StageWait] = tMap - tFetch
+		span.Stages[telemetry.StageMap] = p.Now() - tMap
+		s.Tel.Emit(s.telCore[h.coreID], span)
+	}
 }
 
 // mapEntry installs the PTE for a swap-cache entry (the page stays in the
@@ -217,8 +246,14 @@ func (s *System) kswapdLoop(p *sim.Proc) {
 			continue
 		}
 		n := s.highWater - s.Pool.FreeCount()
-		if got := s.reclaimPages(p, n, false); got == 0 {
+		t0 := p.Now()
+		got := s.reclaimPages(p, n, false)
+		if got == 0 {
 			p.Sleep(5 * sim.Microsecond)
+		} else if s.Tel != nil {
+			s.Tel.Emit(s.kswapdTrack, telemetry.Span{
+				Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: uint64(got),
+			})
 		}
 		s.KswapdRecl.Inc()
 		p.Sleep(s.offloadTick)

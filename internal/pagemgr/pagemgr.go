@@ -26,6 +26,7 @@ import (
 	"dilos/internal/pagetable"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
+	"dilos/internal/telemetry"
 )
 
 // Chunk is a live byte range within a page (offsets relative to the page).
@@ -126,6 +127,20 @@ type Manager struct {
 	AllocWaits  stats.Counter // allocations that had to wait for a free frame
 	VectorSaves stats.Counter // bytes saved by guided paging write-backs
 	WriteFails  stats.Counter // write-backs left dirty because a replica write failed
+
+	// Gauges for the telemetry sampler: free-list depth vs the (constant)
+	// watermarks, and the dirty set the last cleaner sweep encountered.
+	FreeG      stats.Gauge
+	DirtyG     stats.Gauge
+	LowWaterG  stats.Gauge
+	HighWaterG stats.Gauge
+
+	// Tel, when set, records one span per cleaner pass that wrote pages
+	// back (on CleanTrack, Arg = pages cleaned) and one per reclaimer
+	// eviction step (on ReclaimTrack). Wired by the owning system.
+	Tel          *telemetry.Recorder
+	CleanTrack   int
+	ReclaimTrack int
 }
 
 type vecEntry struct {
@@ -165,7 +180,7 @@ func qpOf(t *Target, reclaimPath bool) *fabric.QP {
 
 // New creates a page manager over the pool and table.
 func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
-	return &Manager{
+	m := &Manager{
 		Pool:        pool,
 		Table:       tbl,
 		Cfg:         cfg,
@@ -176,7 +191,14 @@ func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
 		AllocWaits:  stats.Counter{Name: "pagemgr.alloc_waits"},
 		VectorSaves: stats.Counter{Name: "pagemgr.vector_saved_bytes"},
 		WriteFails:  stats.Counter{Name: "pagemgr.write_fails"},
+		FreeG:       stats.Gauge{Name: "pagemgr.free_frames"},
+		DirtyG:      stats.Gauge{Name: "pagemgr.dirty_pages"},
+		LowWaterG:   stats.Gauge{Name: "pagemgr.low_water"},
+		HighWaterG:  stats.Gauge{Name: "pagemgr.high_water"},
 	}
+	m.LowWaterG.Set(int64(cfg.LowWater))
+	m.HighWaterG.Set(int64(cfg.HighWater))
+	return m
 }
 
 // RegisterStats folds the manager's counters into its owner's registry.
@@ -187,6 +209,15 @@ func (m *Manager) RegisterStats(r *stats.Registry) {
 	r.RegisterCounter(&m.AllocWaits)
 	r.RegisterCounter(&m.VectorSaves)
 	r.RegisterCounter(&m.WriteFails)
+	r.RegisterGauge(&m.FreeG)
+	r.RegisterGauge(&m.DirtyG)
+	r.RegisterGauge(&m.LowWaterG)
+	r.RegisterGauge(&m.HighWaterG)
+}
+
+// SampleGauges refreshes the sampler-visible levels from live state.
+func (m *Manager) SampleGauges() {
+	m.FreeG.Set(int64(m.Pool.FreeCount()))
 }
 
 // Start launches the cleaner and reclaimer daemons.
@@ -275,8 +306,9 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 		m.cleanPassBatched(p)
 		return
 	}
+	t0 := p.Now()
 	var lastOp *fabric.Op
-	batch := 0
+	batch, dirty := 0, 0
 	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
 		p.Advance(m.Cfg.ScanCost)
 		if batch >= m.Cfg.CleanerBatch {
@@ -289,6 +321,7 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 		if pte.Tag() != pagetable.TagLocal || !pte.Dirty() {
 			return true
 		}
+		dirty++
 		op, ok := m.writeBack(p, id, f.VPN, false)
 		if !ok {
 			// A replica write failed at issue (fabric errors are known at
@@ -310,6 +343,12 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 	if lastOp != nil {
 		lastOp.Wait(p) // pace the cleaner to the link, off the demand path
 	}
+	m.DirtyG.Set(int64(dirty))
+	if m.Tel != nil && batch > 0 {
+		m.Tel.Emit(m.CleanTrack, telemetry.Span{
+			Kind: telemetry.KindClean, Start: t0, End: p.Now(), Arg: uint64(batch),
+		})
+	}
 }
 
 // cleanPassBatched is the doorbell-batched cleaner pass: sweep the dirty
@@ -318,6 +357,7 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 // Sweep, flush, and retire run without a yield, so the page snapshots
 // taken by the sweep stay valid until the bits are cleared.
 func (m *Manager) cleanPassBatched(p *sim.Proc) {
+	t0 := p.Now()
 	sc := &m.cleanSc
 	sc.items = sc.items[:0]
 	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
@@ -342,6 +382,12 @@ func (m *Manager) cleanPassBatched(p *sim.Proc) {
 	}
 	if lastOp != nil {
 		lastOp.Wait(p) // pace the cleaner to the link, off the demand path
+	}
+	m.DirtyG.Set(int64(len(sc.items)))
+	if m.Tel != nil && cleaned > 0 {
+		m.Tel.Emit(m.CleanTrack, telemetry.Span{
+			Kind: telemetry.KindClean, Start: t0, End: p.Now(), Arg: uint64(cleaned),
+		})
 	}
 }
 
@@ -557,7 +603,14 @@ func (m *Manager) reclaimerLoop(p *sim.Proc) {
 			m.needReclaim.Wait(p)
 			continue
 		}
-		if !m.reclaimStep(p) {
+		t0 := p.Now()
+		if m.reclaimStep(p) {
+			if m.Tel != nil {
+				m.Tel.Emit(m.ReclaimTrack, telemetry.Span{
+					Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: 1,
+				})
+			}
+		} else {
 			// Nothing evictable this instant (all pinned/accessed just
 			// cleared); yield briefly and retry.
 			p.Sleep(5 * sim.Microsecond)

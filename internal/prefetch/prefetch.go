@@ -30,6 +30,20 @@ type Prefetcher interface {
 	OnFault(ctx Context) []pagetable.VPN
 }
 
+// Windowed is implemented by prefetchers whose current issue window is
+// observable — the telemetry sampler exports it as the prefetch-window
+// gauge. Trend and Leap adapt their windows and implement it; Readahead's
+// fixed window is the exported Window field (which makes a method of the
+// same name impossible), so samplers special-case it.
+type Windowed interface {
+	Window() int
+}
+
+var (
+	_ Windowed = (*Trend)(nil)
+	_ Windowed = (*Leap)(nil)
+)
+
 // History is a bounded ring of inter-fault VPN deltas.
 type History struct {
 	deltas []int64

@@ -14,6 +14,7 @@ import (
 // silently shadowed metrics.
 type Registry struct {
 	counters   []*Counter
+	gauges     []*Gauge
 	histograms []*Histogram
 	bandwidths []*Bandwidth
 	names      map[string]bool
@@ -41,6 +42,13 @@ func (r *Registry) RegisterCounter(c *Counter) *Counter {
 	return c
 }
 
+// RegisterGauge adds a gauge to the registry and returns it.
+func (r *Registry) RegisterGauge(g *Gauge) *Gauge {
+	r.claim("gauge", g.Name)
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
 // RegisterHistogram adds a histogram to the registry and returns it.
 func (r *Registry) RegisterHistogram(h *Histogram) *Histogram {
 	r.claim("histogram", h.Name)
@@ -61,6 +69,9 @@ func (r *Registry) Merge(other *Registry) {
 	for _, c := range other.counters {
 		r.RegisterCounter(c)
 	}
+	for _, g := range other.gauges {
+		r.RegisterGauge(g)
+	}
 	for _, h := range other.histograms {
 		r.RegisterHistogram(h)
 	}
@@ -77,6 +88,7 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, c := range r.counters {
 		s.Counters = append(s.Counters, CounterSnap{Name: c.Name, N: c.N})
 	}
+	s.Gauges = r.GaugeSnaps()
 	for _, h := range r.histograms {
 		s.Histograms = append(s.Histograms, HistogramSnap{
 			Name:   h.Name,
@@ -101,10 +113,27 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// GaugeSnaps captures just the gauges, sorted by name. The telemetry
+// sampler calls this once per tick: unlike a full Snapshot it never
+// touches histograms, whose percentile computation sorts samples and is
+// far too costly to run at sampling frequency.
+func (r *Registry) GaugeSnaps() []GaugeSnap {
+	if len(r.gauges) == 0 {
+		return nil
+	}
+	gs := make([]GaugeSnap, len(r.gauges))
+	for i, g := range r.gauges {
+		gs[i] = GaugeSnap{Name: g.Name, Last: g.Last(), Min: g.Min(), Max: g.Max()}
+	}
+	sort.Slice(gs, func(i, j int) bool { return gs[i].Name < gs[j].Name })
+	return gs
+}
+
 // Snapshot is a point-in-time copy of every metric in a Registry,
 // shaped for JSON output (all durations in virtual nanoseconds).
 type Snapshot struct {
 	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
 	Histograms []HistogramSnap `json:"histograms,omitempty"`
 	Bandwidths []BandwidthSnap `json:"bandwidths,omitempty"`
 }
@@ -113,6 +142,14 @@ type Snapshot struct {
 type CounterSnap struct {
 	Name string `json:"name"`
 	N    int64  `json:"n"`
+}
+
+// GaugeSnap is one gauge's snapshot.
+type GaugeSnap struct {
+	Name string `json:"name"`
+	Last int64  `json:"last"`
+	Min  int64  `json:"min"`
+	Max  int64  `json:"max"`
 }
 
 // HistogramSnap is one histogram's snapshot.
@@ -148,6 +185,16 @@ func (s Snapshot) Counter(name string) (int64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// Gauge looks up a snapshotted gauge by name.
+func (s Snapshot) Gauge(name string) (GaugeSnap, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g, true
+		}
+	}
+	return GaugeSnap{}, false
 }
 
 // Histogram looks up a snapshotted histogram by name.

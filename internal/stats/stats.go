@@ -25,6 +25,49 @@ func (c *Counter) Inc() { c.N++ }
 
 func (c *Counter) String() string { return fmt.Sprintf("%s=%d", c.Name, c.N) }
 
+// Gauge tracks an instantaneous level (cache occupancy, queue depth,
+// free-list size). Unlike a Counter it can move both ways; the snapshot
+// keeps the last value plus the min/max envelope seen across the run, so
+// watermark breathing survives into aggregate output even without the
+// telemetry sampler attached.
+type Gauge struct {
+	Name     string
+	last     int64
+	min, max int64
+	n        int64
+}
+
+// Set records the current level.
+func (g *Gauge) Set(v int64) {
+	g.last = v
+	if g.n == 0 || v < g.min {
+		g.min = v
+	}
+	if g.n == 0 || v > g.max {
+		g.max = v
+	}
+	g.n++
+}
+
+// Add shifts the current level by d.
+func (g *Gauge) Add(d int64) { g.Set(g.last + d) }
+
+// Last returns the most recently set value.
+func (g *Gauge) Last() int64 { return g.last }
+
+// Min returns the smallest value ever set (0 before the first Set).
+func (g *Gauge) Min() int64 { return g.min }
+
+// Max returns the largest value ever set (0 before the first Set).
+func (g *Gauge) Max() int64 { return g.max }
+
+// Samples returns how many times the gauge has been set.
+func (g *Gauge) Samples() int64 { return g.n }
+
+func (g *Gauge) String() string {
+	return fmt.Sprintf("%s=%d [%d..%d]", g.Name, g.last, g.min, g.max)
+}
+
 // Histogram records latency samples and reports percentiles. Samples are
 // stored exactly (the simulations here record at most a few million), so
 // percentiles are exact rather than bucket-approximated.
@@ -116,6 +159,7 @@ type Bandwidth struct {
 	Bucket  sim.Time // bucket width
 	buckets []int64  // bytes per bucket
 	total   int64
+	lastAt  sim.Time // latest sample time, bounds the final partial bucket
 }
 
 // NewBandwidth creates a bandwidth series with the given bucket width.
@@ -137,6 +181,9 @@ func (b *Bandwidth) Add(at sim.Time, bytes int64) {
 	}
 	b.buckets[idx] += bytes
 	b.total += bytes
+	if at > b.lastAt {
+		b.lastAt = at
+	}
 }
 
 // Total returns the total bytes recorded.
@@ -146,12 +193,24 @@ func (b *Bandwidth) Total() int64 { return b.total }
 func (b *Bandwidth) Buckets() []int64 { return b.buckets }
 
 // Series returns (bucket start time, bytes/sec) pairs for plotting.
+// The final bucket is almost always partial — the run ended at the last
+// sample, not at the bucket's right edge — so its rate is computed over
+// the elapsed portion only. Averaging it over the full width dilutes
+// short runs toward zero (a 100 µs run in a 1 ms bucket reported a tenth
+// of its real bandwidth). When every sample landed at a single instant
+// there is no elapsed span to rate over, so the full width stands.
 func (b *Bandwidth) Series() []BandwidthPoint {
 	pts := make([]BandwidthPoint, len(b.buckets))
 	for i, v := range b.buckets {
+		width := b.Bucket
+		if i == len(b.buckets)-1 {
+			if elapsed := b.lastAt - sim.Time(i)*b.Bucket; elapsed > 0 && elapsed < width {
+				width = elapsed
+			}
+		}
 		pts[i] = BandwidthPoint{
 			At:          sim.Time(i) * b.Bucket,
-			BytesPerSec: float64(v) / b.Bucket.Seconds(),
+			BytesPerSec: float64(v) / width.Seconds(),
 		}
 	}
 	return pts

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Sampler periodically snapshots a registry's gauges into a time series,
+// turning instantaneous levels (free-list depth, dirty set, QP backlog,
+// prefetch window) into the counter tracks of the exported timeline.
+//
+// The sampler runs as a daemon: it never blocks the workload and the
+// engine does not wait for it. Each tick calls Collect first — the
+// owning system's hook that refreshes gauges from live state — then
+// copies the gauge values. It mutates nothing the workload can observe,
+// so enabling it cannot change a run's timing.
+type Sampler struct {
+	// Interval is the sampling period (default 50 µs if non-positive).
+	Interval sim.Time
+	// Registry supplies the gauges to record each tick.
+	Registry *stats.Registry
+	// Collect, if set, refreshes gauges from live system state before
+	// each tick is recorded.
+	Collect func(now sim.Time)
+
+	points []Point
+}
+
+// Point is one sampling tick.
+type Point struct {
+	At     sim.Time
+	Gauges []stats.GaugeSnap
+}
+
+// Start spawns the sampling daemon on the engine.
+func (s *Sampler) Start(eng *sim.Engine) {
+	if s.Interval <= 0 {
+		s.Interval = 50 * sim.Microsecond
+	}
+	eng.GoDaemon("telemetry.sampler", func(p *sim.Proc) {
+		for {
+			p.Sleep(s.Interval)
+			if s.Collect != nil {
+				s.Collect(p.Now())
+			}
+			s.points = append(s.points, Point{At: p.Now(), Gauges: s.Registry.GaugeSnaps()})
+		}
+	})
+}
+
+// Points returns the recorded time series.
+func (s *Sampler) Points() []Point { return s.points }

@@ -1,0 +1,216 @@
+// Package telemetry is the simulation's flight recorder: a low-overhead,
+// sim-time span recorder plus a periodic gauge sampler, exported as a
+// Chrome-trace/Perfetto timeline. It answers the attribution questions
+// aggregate counters cannot — which fault-path stage shrank when batching
+// landed, what the cleaner was doing while the free list breathed past
+// the watermark — without perturbing the run: emitting a span advances no
+// virtual time, performs no yields, and allocates nothing on the hot path.
+//
+// The recorder is optional everywhere. Instrumented code guards every
+// emission behind `if tel != nil`, so a disabled run executes the exact
+// instruction stream it did before this package existed.
+package telemetry
+
+import (
+	"dilos/internal/sim"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// KindMajorFault is one demand fault that fetched a page from the
+	// memory node (or zero-filled it). Carries stage sub-timings.
+	KindMajorFault Kind = iota
+	// KindMinorFault is a fault resolved locally: a DiLOS fault on an
+	// in-flight prefetch, or a Fastswap swap-cache hit.
+	KindMinorFault
+	// KindPrefetchMap is one prefetched page completing on a per-core
+	// mapper daemon: wait for the RDMA op, wake, install the PTE.
+	KindPrefetchMap
+	// KindClean is one cleaner pass that wrote dirty pages back.
+	KindClean
+	// KindReclaim is one reclaimer eviction step.
+	KindReclaim
+	// KindRead is one fabric read op, from issue to completion.
+	KindRead
+	// KindWrite is one fabric write op, from issue to completion.
+	KindWrite
+	// KindRetry is one reliable-QP backoff sleep before a retransmit.
+	KindRetry
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"major_fault", "minor_fault", "prefetch_map", "clean", "reclaim",
+	"read", "write", "retry",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Stage is one segment of a fault span's latency attribution. Stages are
+// laid out in causal order; a span's stage durations are cumulative
+// offsets from its start when rendered.
+type Stage uint8
+
+const (
+	// StageException: hardware exception delivery plus kernel entry.
+	StageException Stage = iota
+	// StageLookup: PTE walk / swap-cache lookup, bookkeeping, and frame
+	// allocation — DiLOS's handler check or Fastswap's swap management.
+	StageLookup
+	// StageReclaim: direct reclamation performed inside the handler
+	// (Fastswap only; DiLOS never reclaims on the fault path).
+	StageReclaim
+	// StageIssue: CPU spent posting speculative IO — DiLOS's prefetch
+	// WQE builds, Fastswap's readahead cluster.
+	StageIssue
+	// StageGuide: the hidden-window work — hit-tracker PTE scan,
+	// prefetcher policy, and the application guide hook.
+	StageGuide
+	// StageWait: time blocked on the fabric for the demand page.
+	StageWait
+	// StageWake: completion-to-resume scheduling delay (mapper daemons).
+	StageWake
+	// StageMap: PTE install and publish.
+	StageMap
+
+	NumStages
+)
+
+// StageNames are the canonical short names, in causal order.
+var StageNames = [NumStages]string{
+	"exception", "lookup", "reclaim", "issue", "guide", "wait", "wake", "map",
+}
+
+// Span is one recorded interval. It is a plain value — emitting one
+// copies it into a preallocated ring, so instrumented hot paths build
+// spans on the stack and never allocate.
+type Span struct {
+	Kind       Kind
+	Start, End sim.Time
+	// Arg is kind-specific: page number for faults and prefetch maps,
+	// bytes for fabric ops, pages for cleaner/reclaimer passes.
+	Arg uint64
+	// Stages hold per-stage durations (zero = stage absent). Only fault
+	// and prefetch-map spans populate them.
+	Stages [NumStages]sim.Time
+}
+
+// Dur returns the span's total duration.
+func (s Span) Dur() sim.Time { return s.End - s.Start }
+
+// track is one bounded ring of spans. The backing slice is allocated to
+// full capacity at registration; while the ring is filling, Emit appends
+// within capacity, and once full it overwrites the oldest entry — either
+// way, no allocation.
+type track struct {
+	name    string
+	spans   []Span
+	start   int   // index of the oldest span once the ring has wrapped
+	dropped int64 // spans overwritten
+}
+
+// Recorder is the flight recorder: a set of named tracks (one per core,
+// one per daemon, one per fabric link), each a bounded drop-oldest ring.
+// The simulation is single-threaded by construction (procs hand off via
+// the engine), so the recorder is unsynchronised, like the stats package.
+type Recorder struct {
+	perTrack int
+	tracks   []track
+	byName   map[string]int
+}
+
+// DefaultTrackCap is the per-track ring capacity when NewRecorder is
+// given a non-positive one: enough for the tail of any run at ~112 bytes
+// a span, small enough to preallocate for every track.
+const DefaultTrackCap = 1 << 14
+
+// NewRecorder creates a recorder whose tracks each hold perTrackCap
+// spans (DefaultTrackCap if perTrackCap <= 0).
+func NewRecorder(perTrackCap int) *Recorder {
+	if perTrackCap <= 0 {
+		perTrackCap = DefaultTrackCap
+	}
+	return &Recorder{perTrack: perTrackCap, byName: make(map[string]int)}
+}
+
+// Track registers (or finds) a track by name and returns its id. Call at
+// construction time: registration allocates the ring, so that Emit never
+// does. Track order is registration order and defines timeline order in
+// the export.
+func (r *Recorder) Track(name string) int {
+	if id, ok := r.byName[name]; ok {
+		return id
+	}
+	r.tracks = append(r.tracks, track{name: name, spans: make([]Span, 0, r.perTrack)})
+	id := len(r.tracks) - 1
+	r.byName[name] = id
+	return id
+}
+
+// Emit records a span on the given track, overwriting the oldest span if
+// the ring is full. Zero allocation, zero virtual time.
+func (r *Recorder) Emit(tr int, s Span) {
+	t := &r.tracks[tr]
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, s)
+		return
+	}
+	t.spans[t.start] = s
+	t.start++
+	if t.start == len(t.spans) {
+		t.start = 0
+	}
+	t.dropped++
+}
+
+// Tracks returns the track names in registration order (track id is the
+// index into this slice).
+func (r *Recorder) Tracks() []string {
+	names := make([]string, len(r.tracks))
+	for i := range r.tracks {
+		names[i] = r.tracks[i].name
+	}
+	return names
+}
+
+// TrackName returns the name of a track id.
+func (r *Recorder) TrackName(id int) string { return r.tracks[id].name }
+
+// Spans returns a copy of the track's spans in arrival order (oldest
+// surviving span first).
+func (r *Recorder) Spans(id int) []Span {
+	t := &r.tracks[id]
+	out := make([]Span, 0, len(t.spans))
+	out = append(out, t.spans[t.start:]...)
+	out = append(out, t.spans[:t.start]...)
+	return out
+}
+
+// Dropped returns how many spans the track overwrote.
+func (r *Recorder) Dropped(id int) int64 { return r.tracks[id].dropped }
+
+// DroppedTotal sums drops across all tracks.
+func (r *Recorder) DroppedTotal() int64 {
+	var n int64
+	for i := range r.tracks {
+		n += r.tracks[i].dropped
+	}
+	return n
+}
+
+// Len returns the total number of spans currently held.
+func (r *Recorder) Len() int {
+	n := 0
+	for i := range r.tracks {
+		n += len(r.tracks[i].spans)
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"testing"
+
+	"dilos/internal/sim"
+)
+
+func TestRingWraparound(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := rec.Track("core0")
+	for i := 0; i < 20; i++ {
+		rec.Emit(tr, Span{Kind: KindMajorFault, Start: sim.Time(i), End: sim.Time(i) + 1, Arg: uint64(i)})
+	}
+	spans := rec.Spans(tr)
+	if len(spans) != 8 {
+		t.Fatalf("ring holds %d spans, want 8", len(spans))
+	}
+	if got := rec.Dropped(tr); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	// Drop-oldest: the survivors are 12..19, in arrival order.
+	for i, sp := range spans {
+		if want := uint64(12 + i); sp.Arg != want {
+			t.Fatalf("span %d arg = %d, want %d (order broken after wrap)", i, sp.Arg, want)
+		}
+	}
+}
+
+func TestTrackRegistrationIdempotent(t *testing.T) {
+	rec := NewRecorder(4)
+	a := rec.Track("core0")
+	b := rec.Track("core1")
+	if a == b {
+		t.Fatal("distinct names share a track id")
+	}
+	if rec.Track("core0") != a {
+		t.Fatal("re-registering a name returned a new id")
+	}
+	if names := rec.Tracks(); len(names) != 2 || names[0] != "core0" || names[1] != "core1" {
+		t.Fatalf("tracks = %v", names)
+	}
+}
+
+// The hot-path guarantee: once a track exists, Emit allocates nothing —
+// neither while the ring fills (append within capacity) nor after it
+// wraps (overwrite in place).
+func TestEmitNoAlloc(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := rec.Track("core0")
+	var i sim.Time
+	filling := testing.AllocsPerRun(32, func() {
+		rec.Emit(tr, Span{Kind: KindRead, Start: i, End: i + 10})
+		i += 10
+	})
+	if filling != 0 {
+		t.Fatalf("Emit allocates %.1f while filling, want 0", filling)
+	}
+	for j := 0; j < 200; j++ { // force wrap
+		rec.Emit(tr, Span{Kind: KindRead, Start: i, End: i + 10})
+		i += 10
+	}
+	wrapped := testing.AllocsPerRun(32, func() {
+		rec.Emit(tr, Span{Kind: KindRead, Start: i, End: i + 10})
+		i += 10
+	})
+	if wrapped != 0 {
+		t.Fatalf("Emit allocates %.1f after wrap, want 0", wrapped)
+	}
+}
+
+func TestFaultAnatomy(t *testing.T) {
+	rec := NewRecorder(16)
+	tr := rec.Track("core0")
+	// Two faults: 1000 ns and 3000 ns, stages split lookup/wait.
+	mk := func(start, lookup, wait sim.Time) Span {
+		sp := Span{Kind: KindMajorFault, Start: start, End: start + lookup + wait}
+		sp.Stages[StageLookup] = lookup
+		sp.Stages[StageWait] = wait
+		return sp
+	}
+	rec.Emit(tr, mk(0, 400, 600))
+	rec.Emit(tr, mk(5000, 1000, 2000))
+	rec.Emit(tr, Span{Kind: KindMinorFault, Start: 100, End: 200}) // ignored
+	a := FaultAnatomy(rec)
+	if a.Faults != 2 {
+		t.Fatalf("faults = %d, want 2", a.Faults)
+	}
+	if a.MeanNs != 2000 {
+		t.Fatalf("total mean = %d, want 2000", a.MeanNs)
+	}
+	if got := a.Stage("lookup").MeanNs; got != 700 {
+		t.Fatalf("lookup mean = %d, want 700", got)
+	}
+	if got := a.Stage("wait").P99Ns; got != 2000 {
+		t.Fatalf("wait p99 = %d, want 2000", got)
+	}
+	// Stage means sum to the total mean (zero stages contribute zero).
+	var sum int64
+	for _, st := range a.Stages {
+		sum += st.MeanNs
+	}
+	if sum != a.MeanNs {
+		t.Fatalf("stage means sum to %d, total mean %d", sum, a.MeanNs)
+	}
+}
