@@ -14,12 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"dilos/internal/chaos"
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
+	"dilos/internal/migrate"
 	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/redis"
@@ -29,6 +34,45 @@ import (
 	"dilos/internal/telemetry"
 	"dilos/internal/workloads"
 )
+
+// writeMemProfile dumps a heap profile for -memprofile (after a GC, so the
+// profile reflects live simulator state rather than garbage).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// parseDrainSpec parses -migrate-drain: "NODE" or "NODE@WHEN", e.g. "2" or
+// "2@5ms". WHEN is virtual time from the start of the run; it defaults to
+// 1ms so the cache is warm before the evacuation starts.
+func parseDrainSpec(spec string) (node int, at sim.Time, err error) {
+	at = sim.Millisecond
+	nodePart := spec
+	if i := strings.IndexByte(spec, '@'); i >= 0 {
+		nodePart = spec[:i]
+		d, err := time.ParseDuration(spec[i+1:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("-migrate-drain %q: %v", spec, err)
+		}
+		at = sim.Time(d.Nanoseconds())
+	}
+	node, err = strconv.Atoi(nodePart)
+	if err != nil || node < 0 {
+		return 0, 0, fmt.Errorf("-migrate-drain %q: want NODE or NODE@WHEN (e.g. 2@5ms)", spec)
+	}
+	return node, at, nil
+}
 
 func main() {
 	workload := flag.String("workload", "seqread",
@@ -50,7 +94,29 @@ func main() {
 		"record a flight-recorder trace and write it as Perfetto/Chrome JSON to this file")
 	sampleInterval := flag.Duration("sample-interval", 50*time.Microsecond,
 		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
+	batch := flag.Bool("batch", false,
+		"doorbell-batched submission on the prefetch and cleaner paths (dilos only)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	drainSpec := flag.String("migrate-drain", "",
+		"live-drain a memory node mid-run: NODE or NODE@WHEN, e.g. 2@5ms (dilos only; arms the migration engine)")
+	watermark := flag.Float64("migrate-watermark", 0,
+		"imbalance watermark (0-1) for continuous auto-rebalancing, 0 = off (dilos only; arms the migration engine)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	policy, err := placement.ParsePolicy(*policyName)
 	if err != nil {
@@ -63,9 +129,31 @@ func main() {
 		os.Exit(2)
 	}
 	chaosOn := *chaosProfile != "" && *chaosProfile != "none"
-	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped" || chaosOn) {
-		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement/-chaos-profile require -system dilos\n")
+	migrateOn := *drainSpec != "" || *watermark > 0
+	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped" || chaosOn || migrateOn) {
+		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement/-chaos-profile/-migrate-* require -system dilos\n")
 		os.Exit(2)
+	}
+	if *watermark < 0 || *watermark > 1 {
+		fmt.Fprintf(os.Stderr, "-migrate-watermark must be in [0,1], got %g\n", *watermark)
+		os.Exit(2)
+	}
+	drainNode, drainAt := -1, sim.Time(0)
+	if *drainSpec != "" {
+		var err error
+		drainNode, drainAt, err = parseDrainSpec(*drainSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if drainNode >= *nodes {
+			fmt.Fprintf(os.Stderr, "-migrate-drain node %d out of range; raise -nodes (%d)\n", drainNode, *nodes)
+			os.Exit(2)
+		}
+		if *nodes < 2 {
+			fmt.Fprintln(os.Stderr, "-migrate-drain needs at least -nodes 2: the pages must have somewhere to go")
+			os.Exit(2)
+		}
 	}
 	if chaosOn {
 		for _, w := range chaosCfg.Crashes {
@@ -123,7 +211,8 @@ func main() {
 			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
 			Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
 			MemNodes: *nodes, Replicas: *replicas, Placement: policy,
-			Tel: rec, SampleEvery: sampleEvery,
+			Batch: *batch,
+			Tel:   rec, SampleEvery: sampleEvery,
 		}
 		if guide != nil {
 			cfg.Guide = guide
@@ -131,8 +220,34 @@ func main() {
 		if chaosOn {
 			cfg.Chaos = chaos.NewInjector(chaosCfg)
 		}
+		if migrateOn {
+			cfg.Migrate = &migrate.Tuning{Watermark: *watermark}
+		}
 		sys := core.New(eng, cfg)
 		sys.Start()
+		if drainNode >= 0 {
+			// A plain proc (not a daemon) so the engine stays alive until the
+			// evacuation finishes even if the workload completes first; the
+			// cutoff bounds the run if the drain can never converge.
+			eng.Go("drain-driver", func(p *sim.Proc) {
+				p.Sleep(drainAt)
+				if err := sys.Drain(drainNode); err != nil {
+					fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+					return
+				}
+				cutoff := drainAt + 500*sim.Millisecond
+				for p.Now() < cutoff {
+					if sys.Space().State(drainNode) == placement.Removed {
+						fmt.Printf("drain: node %d removed at %v (%d pages moved)\n",
+							drainNode, p.Now(), sys.Mig.PagesMoved.N)
+						return
+					}
+					p.Sleep(100 * sim.Microsecond)
+				}
+				fmt.Fprintf(os.Stderr, "drain: node %d not removed by %v (occupancy %d)\n",
+					drainNode, cutoff, sys.Space().Occupancy(drainNode))
+			})
+		}
 		registry = sys.Registry()
 		telOf = sys.Telemetry
 		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
@@ -145,6 +260,11 @@ func main() {
 				sys.Mgr.Cleaned.N, sys.Mgr.Evicted.N, sys.Mgr.SyncWrites.N)
 			fmt.Printf("network: rx=%d MB tx=%d MB\n",
 				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+			if sys.Mig != nil {
+				fmt.Printf("migration: moved=%d restarts=%d stranded=%d drains-done=%d rebalances=%d forwarded=%d\n",
+					sys.Mig.PagesMoved.N, sys.Mig.CopyRestarts.N, sys.Mig.Stranded.N,
+					sys.Mig.DrainsDone.N, sys.Mig.Rebalances.N, sys.Space().Forwarded())
+			}
 			if sys.Chaos != nil {
 				fmt.Printf("chaos: injected-fails=%d tails=%d stalls=%d node-down-ops=%d\n",
 					sys.Chaos.Fails.N, sys.Chaos.Tails.N, sys.Chaos.Stalls.N, sys.Chaos.Crashed.N)

@@ -77,13 +77,14 @@ var registry = map[string]struct {
 	"ext4":   {"extension: chaos — node crash, failover, recovery", runExt4},
 	"ext5":   {"extension: doorbell-batched vs per-op submission", runExt5},
 	"ext6":   {"extension: per-fault latency anatomy from the flight recorder", runExt6},
+	"ext7":   {"extension: elastic pool — live drain + migration under load", runExt7},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
 }
 
 // chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
@@ -106,7 +107,15 @@ func main() {
 		"record a flight-recorder trace and write it as Perfetto/Chrome JSON to this file (the last system run of the invocation wins)")
 	sampleInterval := flag.Duration("sample-interval", 50*time.Microsecond,
 		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
+	flag.IntVar(&experiments.MigrateDrainNode, "migrate-drain", 2,
+		"memory node ext7 drains out of its 3-node pool (0-2)")
+	flag.Float64Var(&experiments.MigrateWatermark, "migrate-watermark", 0,
+		"occupancy-imbalance fraction that arms continuous auto-rebalancing on ext7's migration engine (0 = drain/join only)")
 	flag.Parse()
+	if experiments.MigrateDrainNode < 0 || experiments.MigrateDrainNode > 2 {
+		fmt.Fprintf(os.Stderr, "-migrate-drain must be 0-2, got %d\n", experiments.MigrateDrainNode)
+		os.Exit(2)
+	}
 	switch *batch {
 	case "on":
 		experiments.Batch = true
@@ -565,6 +574,37 @@ func runExt6(sc experiments.Scale) {
 	}
 }
 
+func runExt7(sc experiments.Scale) {
+	fmt.Println("Extension — elastic pool: drain a memory node under load (ext7)")
+	fmt.Printf("  [3 nodes, Replicas: 2, 12.5%% local cache; node %d drains at 3ms;\n",
+		experiments.MigrateDrainNode)
+	fmt.Println("   chaos leg crashes the draining node mid-copy (seed -chaos-seed)]")
+	r := experiments.ExtElastic(sc, chaosSeed)
+	fmt.Printf("  %d pages over a %.0fms run\n", r.Pages, r.RunFor.Seconds()*1e3)
+	if r.DrainDoneAt == 0 {
+		fmt.Println("  drain did not complete in the run")
+	} else {
+		fmt.Printf("  drain completed in %.2fms: %d pages moved (%d copy restarts, %d stranded retries, %d forwarded)\n",
+			(r.DrainDoneAt-r.DrainAt).Seconds()*1e3, r.PagesMoved, r.CopyRestarts, r.Stranded, r.Forwarded)
+	}
+	fmt.Printf("  %-10s %12s %12s %10s\n", "phase", "fault p50", "fault p99", "GB/s")
+	fmt.Printf("  %-10s %12s %12s %10.2f\n", "baseline", us(r.BaselineP50), us(r.BaselineP99), r.BaselineGBs)
+	fmt.Printf("  %-10s %12s %12s %10.2f\n", "drain", us(r.DrainP50), us(r.DrainP99), r.DrainGBs)
+	fmt.Printf("  %-10s %12s %12s %10.2f\n", "after", "", us(r.AfterP99), r.AfterGBs)
+	fmt.Printf("  drain p99 = %.2fx baseline (target ≤ 2x); corruptions: %d (must be 0)\n",
+		r.P99Ratio, r.Corruptions)
+	if r.ChaosDrainDoneAt == 0 {
+		fmt.Printf("  chaos leg: drain pending at run end (node crashed mid-copy; %d breaker trips)\n",
+			r.ChaosNodeFails)
+	} else {
+		fmt.Printf("  chaos leg: crash mid-copy, drain still done at %.2fms (%d moved, %d stranded retries, %d breaker trips)\n",
+			r.ChaosDrainDoneAt.Seconds()*1e3, r.ChaosPagesMoved, r.ChaosStranded, r.ChaosNodeFails)
+	}
+	fmt.Printf("  chaos leg corruptions: %d (must be 0)\n", r.ChaosCorruptions)
+	fmt.Println("  throughput over time (1ms buckets):")
+	fmt.Printf("    %s\n", floatSparkline(r.Series))
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -630,6 +670,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext4":   func(sc experiments.Scale) any { return experiments.ExtChaos(sc, chaosSeed) },
 	"ext5":   func(sc experiments.Scale) any { return experiments.ExtBatch(sc) },
 	"ext6":   func(sc experiments.Scale) any { return experiments.ExtAnatomy(sc) },
+	"ext7":   func(sc experiments.Scale) any { return experiments.ExtElastic(sc, chaosSeed) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

@@ -23,6 +23,7 @@ const (
 	ModReclaim                // reclaimer traffic (sync write-back under pressure)
 	ModGuide                  // guide subpage queues (§4.5, separate from paging)
 	ModHealth                 // health-monitor probes and re-replication traffic
+	ModMigrate                // migration-engine page copies (drain/rebalance)
 	NumModules
 )
 
@@ -40,6 +41,8 @@ func (m Module) String() string {
 		return "guide"
 	case ModHealth:
 		return "health"
+	case ModMigrate:
+		return "migrate"
 	}
 	return fmt.Sprintf("module(%d)", int(m))
 }

@@ -7,6 +7,7 @@ import (
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
 	"dilos/internal/pagetable"
+	"dilos/internal/placement"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
 )
@@ -47,16 +48,24 @@ func DefaultHealthConfig() HealthConfig {
 // closed/open/half-open circuit breaker per node:
 //
 //	closed    → probe every Interval; FailAfter consecutive failures open
-//	            the breaker and fail the node over (placement.FailNode),
-//	            provided it is not the last live node.
+//	            the breaker and fail the node over (SetState→Failed),
+//	            provided it is not the last serving node.
 //	open      → wait Cooldown, then go half-open.
 //	half-open → probe; a failure re-opens, SuccessAfter consecutive
-//	            successes recover the node: BeginRecover (write-backs
+//	            successes recover the node: SetState→Syncing (write-backs
 //	            resume), re-replicate every page that lost its copy,
-//	            FinishRecover (reads resume).
+//	            SetState→Live (reads resume).
+//
+// A node the migration engine drains out of the pool (SetState→Removed)
+// retires its watcher; nodes attached mid-run (AddMemNode) get one via
+// Watch.
 type HealthMonitor struct {
 	sys *System
 	cfg HealthConfig
+
+	// watched[i] guards against double-spawning node i's daemon when a
+	// node attached before Start is watched again by Start.
+	watched []bool
 
 	Probes         stats.Counter // heartbeat probes issued
 	ProbeFails     stats.Counter // probes that completed with an error
@@ -110,11 +119,27 @@ func (h *HealthMonitor) Config() HealthConfig { return h.cfg }
 // Start launches one watch daemon per memory node.
 func (h *HealthMonitor) Start() {
 	for i := range h.sys.Links {
-		node := i
-		h.sys.Eng.GoDaemon(fmt.Sprintf("dilos.health%d", node), func(p *sim.Proc) {
-			h.watch(p, node)
-		})
+		h.Watch(i)
 	}
+}
+
+// Watch launches the watch daemon for one node — the join path for nodes
+// attached after construction (AddMemNode/AttachBacking). Idempotent.
+func (h *HealthMonitor) Watch(node int) {
+	for len(h.watched) <= node {
+		h.watched = append(h.watched, false)
+	}
+	for len(h.LastFailAt) <= node {
+		h.LastFailAt = append(h.LastFailAt, 0)
+		h.LastRecoverAt = append(h.LastRecoverAt, 0)
+	}
+	if h.watched[node] {
+		return
+	}
+	h.watched[node] = true
+	h.sys.Eng.GoDaemon(fmt.Sprintf("dilos.health%d", node), func(p *sim.Proc) {
+		h.watch(p, node)
+	})
 }
 
 // probe issues one 64-byte heartbeat read against the node's health queue
@@ -143,6 +168,10 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 	p.Sleep(h.cfg.Interval * sim.Time(node+1) / sim.Time(len(s.Links)+1))
 	fails := 0
 	for {
+		// A drained node left the pool; its watcher retires with it.
+		if s.space.State(node) == placement.Removed {
+			return
+		}
 		// Closed: probe at the configured interval.
 		if h.probe(p, node) {
 			fails = 0
@@ -154,16 +183,21 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 			p.Sleep(h.cfg.Interval)
 			continue
 		}
-		// Breaker trips. Fail the node over unless it is the last one left
-		// — then all we can do is keep probing and wait for it to return.
-		if !s.space.Failed(node) && s.space.LiveNodes() > 1 {
-			s.space.FailNode(node)
-			h.NodeFails.Inc()
-			h.LastFailAt[node] = p.Now()
+		// Breaker trips. Fail the node over — a draining node can crash
+		// too — unless it is the last serving node left, where all we can
+		// do is keep probing and wait for it to return.
+		if st := s.space.State(node); st == placement.Live || st == placement.Draining {
+			if err := s.space.SetState(node, placement.Failed); err == nil {
+				h.NodeFails.Inc()
+				h.LastFailAt[node] = p.Now()
+			}
 		}
 		// Open → half-open → (recover | re-open).
 		okRun := 0
 		for okRun < h.cfg.SuccessAfter {
+			if s.space.State(node) == placement.Removed {
+				return // evacuated off its replicas while down
+			}
 			p.Sleep(h.cfg.Cooldown)
 			if h.probe(p, node) {
 				okRun++
@@ -171,12 +205,19 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 				okRun = 0
 			}
 		}
-		if s.space.Failed(node) {
-			s.space.BeginRecover(node) // write-backs reach the node again
-			s.reReplicate(p, node)
-			s.space.FinishRecover(node) // reads resume
-			h.NodeRecoveries.Inc()
-			h.LastRecoverAt[node] = p.Now()
+		if s.space.State(node) == placement.Failed {
+			// SetState→Syncing: write-backs reach the node again while
+			// re-replication restores the copies it lost; SetState→Live
+			// resumes reads. If the migration engine wants this node
+			// drained, it re-asserts Draining right after.
+			if err := s.space.SetState(node, placement.Syncing); err == nil {
+				s.reReplicate(p, node)
+				if err := s.space.SetState(node, placement.Live); err != nil {
+					panic(fmt.Sprintf("core: health recovery of node %d: %v", node, err))
+				}
+				h.NodeRecoveries.Inc()
+				h.LastRecoverAt[node] = p.Now()
+			}
 		}
 		fails = 0
 		p.Sleep(h.cfg.Interval)

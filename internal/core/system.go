@@ -23,6 +23,7 @@ import (
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
 	"dilos/internal/memnode"
+	"dilos/internal/migrate"
 	"dilos/internal/mmu"
 	"dilos/internal/pagemgr"
 	"dilos/internal/pagetable"
@@ -179,6 +180,12 @@ type Config struct {
 	// write-backs (replicas included) the same way. Off by default so the
 	// per-op calibration numbers are unchanged; ext5 measures the win.
 	Batch bool
+	// Migrate, when set, starts the elastic-pool migration engine
+	// (internal/migrate): System.Drain evacuates a node for removal,
+	// AddMemNode grows the pool and rebalances toward the new node, and a
+	// positive Tuning.Watermark keeps per-node occupancy levelled
+	// continuously. Nil leaves the pool membership static after Start.
+	Migrate *migrate.Tuning
 }
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
@@ -223,10 +230,19 @@ type System struct {
 	registry *stats.Registry
 	heap     *heapArena
 
+	// Construction parameters kept for AddMemNode/AttachBacking: a node
+	// joining mid-run gets the same link calibration and hub shape.
+	remoteBytes uint64
+	fabricP     fabric.Params
+	cores       int
+	sharedQP    bool
+
 	// Chaos is the fault injector shared by every link (nil without chaos).
 	Chaos *chaos.Injector
 	// Health is the memory-node health monitor (nil without chaos/health).
 	Health *HealthMonitor
+	// Mig is the elastic-pool migration engine (nil without Config.Migrate).
+	Mig *migrate.Engine
 	// retryRng seeds retry jitter; deterministic per chaos seed.
 	retryRng chaos.Rand
 
@@ -315,14 +331,22 @@ type pfIssue struct {
 	gen  uint64
 }
 
-// New assembles a DiLOS node from the config.
+// New assembles a DiLOS node from the config, panicking on an invalid
+// one. NewSystem is the error-returning, functional-options variant;
+// both converge on the same normalized config (Config.Validate
+// documents the rules).
 func New(eng *sim.Engine, cfg Config) *System {
-	if cfg.CacheFrames <= 0 || cfg.Cores <= 0 || cfg.RemoteBytes == 0 {
-		panic("core: CacheFrames, Cores and RemoteBytes are required")
+	n, err := cfg.normalized()
+	if err != nil {
+		panic(err.Error())
 	}
-	if cfg.MemNodes <= 0 {
-		cfg.MemNodes = 1
-	}
+	return build(eng, n)
+}
+
+// build assembles the system from an already-normalized config:
+// MemNodes and Replicas are resolved, and every cross-field rule in
+// Config.Validate has passed.
+func build(eng *sim.Engine, cfg Config) *System {
 	var nodes []*memnode.Node
 	backings := cfg.Backings
 	if len(backings) == 0 {
@@ -332,14 +356,6 @@ func New(eng *sim.Engine, cfg Config) *System {
 			nodes[i] = memnode.New(cfg.RemoteBytes, 0xd170)
 			backings[i] = nodes[i]
 		}
-	} else {
-		cfg.MemNodes = len(backings)
-	}
-	if cfg.Replicas <= 0 {
-		cfg.Replicas = 1
-	}
-	if cfg.Replicas > cfg.MemNodes {
-		panic("core: Replicas must not exceed the memory node count")
 	}
 	links := make([]*fabric.Link, cfg.MemNodes)
 	for i := range links {
@@ -400,6 +416,10 @@ func New(eng *sim.Engine, cfg Config) *System {
 		}),
 		Chaos:          cfg.Chaos,
 		Batch:          cfg.Batch,
+		remoteBytes:    cfg.RemoteBytes,
+		fabricP:        cfg.Fabric,
+		cores:          cfg.Cores,
+		sharedQP:       cfg.SharedQP,
 		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
 		ReReplicated:   stats.Counter{Name: "dilos.rereplicated"},
 		PrefetchFails:  stats.Counter{Name: "dilos.prefetch_fails"},
@@ -476,8 +496,36 @@ func New(eng *sim.Engine, cfg Config) *System {
 		}
 		s.Health = NewHealthMonitor(s, *hc)
 	}
+	if cfg.Migrate != nil {
+		mc := migrate.Config{
+			Space:        s.space,
+			QP:           func(node int) *fabric.QP { return s.Hubs[node].QP(0, comm.ModMigrate) },
+			LocalContent: s.localContent,
+			AllocSlots: func(node int, slots uint64) (uint64, error) {
+				return s.backings[node].AllocRange(slots)
+			},
+			Tuning: *cfg.Migrate,
+		}
+		if cfg.Tel != nil {
+			mc.Tel = cfg.Tel
+			mc.TelTrack = cfg.Tel.Track("migrate")
+		}
+		s.Mig = migrate.New(eng, mc)
+	}
 	s.registry = s.buildRegistry()
 	return s
+}
+
+// localContent copies page v's resident frame into buf, reporting false
+// when the page is not Local. Never yields — the migration engine calls
+// it inside its no-yield flip window, where the frame is authoritative.
+func (s *System) localContent(v pagetable.VPN, buf []byte) bool {
+	pte := s.Table.Lookup(v)
+	if pte.Tag() != pagetable.TagLocal {
+		return false
+	}
+	copy(buf, s.Pool.Bytes(dram.FrameID(pte.Frame())))
+	return true
 }
 
 // buildRegistry registers every metric the system owns at construction —
@@ -505,41 +553,55 @@ func (s *System) buildRegistry() *stats.Registry {
 	if s.Health != nil {
 		s.Health.RegisterStats(r)
 	}
+	if s.Mig != nil {
+		s.Mig.RegisterStats(r)
+	}
 	for i, l := range s.Links {
-		// Links are born with identical generic names; qualify per node so
-		// the registry's uniqueness invariant holds.
-		prefix := fmt.Sprintf("link.node%d.", i)
-		l.RxBytes.Name = prefix + "rx.bytes"
-		l.TxBytes.Name = prefix + "tx.bytes"
-		l.RxOps.Name = prefix + "rx.ops"
-		l.TxOps.Name = prefix + "tx.ops"
-		l.FailedOps.Name = prefix + "failed.ops"
-		l.Batches.Name = prefix + "batch.doorbells"
-		l.BatchedOps.Name = prefix + "batch.ops"
-		l.CoalescedSegs.Name = prefix + "batch.coalesced_segs"
-		l.BatchSize.Name = prefix + "batch.size"
-		l.RxBacklog.Name = prefix + "rx.backlog_ns"
-		l.TxBacklog.Name = prefix + "tx.backlog_ns"
-		r.RegisterGauge(&l.RxBacklog)
-		r.RegisterGauge(&l.TxBacklog)
-		r.RegisterCounter(&l.RxBytes)
-		r.RegisterCounter(&l.TxBytes)
-		r.RegisterCounter(&l.RxOps)
-		r.RegisterCounter(&l.TxOps)
-		r.RegisterCounter(&l.FailedOps)
-		r.RegisterCounter(&l.Batches)
-		r.RegisterCounter(&l.BatchedOps)
-		r.RegisterCounter(&l.CoalescedSegs)
-		r.RegisterHistogram(l.BatchSize)
+		s.registerLink(r, i, l)
 	}
 	for i, n := range s.Nodes {
-		prefix := fmt.Sprintf("memnode.node%d.", i)
-		n.ReadsSrv.Name = prefix + "reads"
-		n.WritesSv.Name = prefix + "writes"
-		r.RegisterCounter(&n.ReadsSrv)
-		r.RegisterCounter(&n.WritesSv)
+		s.registerMemNode(r, i, n)
 	}
 	return r
+}
+
+// registerLink qualifies a link's generic metric names per node (the
+// registry's uniqueness invariant) and registers them. Also used when a
+// node joins mid-run (AddMemNode/AttachBacking).
+func (s *System) registerLink(r *stats.Registry, i int, l *fabric.Link) {
+	prefix := fmt.Sprintf("link.node%d.", i)
+	l.RxBytes.Name = prefix + "rx.bytes"
+	l.TxBytes.Name = prefix + "tx.bytes"
+	l.RxOps.Name = prefix + "rx.ops"
+	l.TxOps.Name = prefix + "tx.ops"
+	l.FailedOps.Name = prefix + "failed.ops"
+	l.Batches.Name = prefix + "batch.doorbells"
+	l.BatchedOps.Name = prefix + "batch.ops"
+	l.CoalescedSegs.Name = prefix + "batch.coalesced_segs"
+	l.BatchSize.Name = prefix + "batch.size"
+	l.RxBacklog.Name = prefix + "rx.backlog_ns"
+	l.TxBacklog.Name = prefix + "tx.backlog_ns"
+	r.RegisterGauge(&l.RxBacklog)
+	r.RegisterGauge(&l.TxBacklog)
+	r.RegisterCounter(&l.RxBytes)
+	r.RegisterCounter(&l.TxBytes)
+	r.RegisterCounter(&l.RxOps)
+	r.RegisterCounter(&l.TxOps)
+	r.RegisterCounter(&l.FailedOps)
+	r.RegisterCounter(&l.Batches)
+	r.RegisterCounter(&l.BatchedOps)
+	r.RegisterCounter(&l.CoalescedSegs)
+	r.RegisterHistogram(l.BatchSize)
+}
+
+// registerMemNode qualifies and registers an in-process memory node's
+// served-op counters.
+func (s *System) registerMemNode(r *stats.Registry, i int, n *memnode.Node) {
+	prefix := fmt.Sprintf("memnode.node%d.", i)
+	n.ReadsSrv.Name = prefix + "reads"
+	n.WritesSv.Name = prefix + "writes"
+	r.RegisterCounter(&n.ReadsSrv)
+	r.RegisterCounter(&n.WritesSv)
 }
 
 // Registry exposes every metric the system registered at construction.
@@ -552,12 +614,95 @@ func (s *System) Space() *placement.AddressSpace { return s.space }
 // FailNode marks a memory node as failed: fetches fail over to the next
 // live replica of each page; write-backs skip it. Panics if a page would
 // lose its last live replica.
+//
+// Deprecated: use Space().SetState(i, placement.Failed), which returns
+// the error instead of panicking.
 func (s *System) FailNode(i int) { s.space.FailNode(i) }
 
 // RecoverNode returns a failed node to service immediately, without
 // re-replicating lost pages (tests and manual operation; the health
 // monitor's recovery path re-replicates first).
+//
+// Deprecated: drive Space().SetState through Syncing and Live.
 func (s *System) RecoverNode(i int) { s.space.RecoverNode(i) }
+
+// Drain asks the migration engine to evacuate a memory node: it stops
+// joining new regions, every replica slot it hosts migrates to the other
+// live nodes, and once empty it leaves the pool (placement.Removed).
+// Requires Config.Migrate.
+func (s *System) Drain(node int) error {
+	if s.Mig == nil {
+		return fmt.Errorf("core: Drain requires the migration engine (set Config.Migrate)")
+	}
+	return s.Mig.Drain(node)
+}
+
+// AddMemNode grows the pool with a fresh in-process memory node sized
+// like the originals (RemoteBytes) and returns its id. The node joins
+// Live and empty; with the migration engine running, a rebalance pulls
+// pages toward it. Existing pages never remap implicitly — only
+// migration moves them. Errors in Backings mode, where the caller owns
+// node construction (use AttachBacking).
+func (s *System) AddMemNode() (int, error) {
+	if s.remoteBytes == 0 {
+		return 0, fmt.Errorf("core: AddMemNode needs in-process nodes; with external Backings use AttachBacking")
+	}
+	n := memnode.New(s.remoteBytes, 0xd170)
+	return s.attachNode(n, n), nil
+}
+
+// AttachBacking grows the pool with an externally supplied backing (a
+// transport.Backing for a real daemon, or any Backing implementation)
+// and returns its node id. Errors when the pool was built from
+// in-process nodes — mixing the two would desynchronise Nodes from the
+// node id space.
+func (s *System) AttachBacking(b Backing) (int, error) {
+	if s.Nodes != nil {
+		return 0, fmt.Errorf("core: AttachBacking mixes external backings into an in-process pool; use AddMemNode")
+	}
+	return s.attachNode(b, nil), nil
+}
+
+// attachNode wires a new memory node into every layer: link (same
+// calibration, chaos injector, and telemetry shape as the originals),
+// comm hub, registry metrics, placement membership, health watching, and
+// a migration rebalance toward the empty node.
+func (s *System) attachNode(b Backing, n *memnode.Node) int {
+	id := len(s.backings)
+	l := fabric.NewLinkOver(b, b.Key(), s.fabricP)
+	l.NodeID = id
+	l.Chaos = s.Chaos
+	if s.Tel != nil {
+		l.Tel = s.Tel
+		l.TelTrack = s.Tel.Track(fmt.Sprintf("fabric.node%d", id))
+	}
+	var h *comm.Hub
+	if s.sharedQP {
+		h = comm.NewSharedHub(l, s.cores, b.Key())
+	} else {
+		h = comm.NewHub(l, s.cores, b.Key())
+	}
+	s.backings = append(s.backings, b)
+	s.Links = append(s.Links, l)
+	s.Hubs = append(s.Hubs, h)
+	if n != nil {
+		s.Nodes = append(s.Nodes, n)
+	}
+	s.registerLink(s.registry, id, l)
+	if n != nil {
+		s.registerMemNode(s.registry, id, n)
+	}
+	if got := s.space.AddNode(); got != id {
+		panic("core: placement node id out of sync with the fabric")
+	}
+	if s.Health != nil {
+		s.Health.Watch(id)
+	}
+	if s.Mig != nil {
+		s.Mig.RequestRebalance()
+	}
+	return id
+}
 
 // Start launches the background daemons (page manager, per-core prefetch
 // mappers, the app-aware guide). Call once before running workloads.
@@ -576,6 +721,9 @@ func (s *System) Start() {
 	}
 	if s.Health != nil {
 		s.Health.Start()
+	}
+	if s.Mig != nil {
+		s.Mig.Start()
 	}
 	// The sampler daemon spawns last so the relative scheduling order of
 	// every pre-existing daemon is unchanged by enabling it.
@@ -606,6 +754,9 @@ func (s *System) SampleGauges(now sim.Time) {
 		s.PfWindowG.Set(int64(pf.Window()))
 	}
 	s.Mgr.SampleGauges()
+	if s.Mig != nil {
+		s.Mig.SampleGauges()
+	}
 	for _, l := range s.Links {
 		l.SampleBacklog(now)
 	}

@@ -1,0 +1,198 @@
+package migrate
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dilos/internal/fabric"
+	"dilos/internal/memnode"
+	"dilos/internal/pagetable"
+	"dilos/internal/placement"
+	"dilos/internal/sim"
+)
+
+// harness wires an engine over raw memnodes — no core system, so the
+// engine's protocol is exercised in isolation.
+type harness struct {
+	eng   *sim.Engine
+	space *placement.AddressSpace
+	nodes []*memnode.Node
+	links []*fabric.Link
+	qps   []*fabric.QP
+	e     *Engine
+}
+
+func newHarness(t *testing.T, nodeCount, replicas int, tun Tuning) *harness {
+	t.Helper()
+	h := &harness{eng: sim.New()}
+	h.space = placement.New(placement.Config{Nodes: nodeCount, Replicas: replicas})
+	for i := 0; i < nodeCount; i++ {
+		h.addBacking()
+	}
+	h.e = New(h.eng, Config{
+		Space:      h.space,
+		QP:         func(n int) *fabric.QP { return h.qps[n] },
+		AllocSlots: func(n int, slots uint64) (uint64, error) { return h.nodes[n].AllocRange(slots) },
+		Tuning:     tun,
+	})
+	h.e.Start()
+	return h
+}
+
+func (h *harness) addBacking() {
+	n := memnode.New(64<<20, 0xd170)
+	l := fabric.NewLinkOver(n, n.Key(), fabric.DefaultParams())
+	l.NodeID = len(h.nodes)
+	h.nodes = append(h.nodes, n)
+	h.links = append(h.links, l)
+	h.qps = append(h.qps, l.MustQP("migrate", n.Key()))
+}
+
+// mapAndFill maps pages and stamps every replica slot with its VPN so
+// content can be verified after moves.
+func (h *harness) mapAndFill(t *testing.T, pages uint64) placement.Region {
+	t.Helper()
+	reg, err := h.space.Map(pages, func(node int, slots uint64) (uint64, error) {
+		return h.nodes[node].AllocRange(slots)
+	})
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	var buf [PageSize]byte
+	for i := uint64(0); i < pages; i++ {
+		v := reg.BaseVPN + pagetable.VPN(i)
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		slots, _ := h.space.AllSlots(v)
+		for _, sl := range slots {
+			if err := h.nodes[sl.Node].WriteAt(sl.Off, buf[:]); err != nil {
+				t.Fatalf("fill: %v", err)
+			}
+		}
+	}
+	return reg
+}
+
+// verify checks every page resolves off `bannedNode` (-1 to skip) and
+// that each replica slot holds the page's stamp.
+func (h *harness) verify(t *testing.T, reg placement.Region, bannedNode int) {
+	t.Helper()
+	var buf [PageSize]byte
+	for i := uint64(0); i < reg.Pages; i++ {
+		v := reg.BaseVPN + pagetable.VPN(i)
+		slots, ok := h.space.AllSlots(v)
+		if !ok || len(slots) == 0 {
+			t.Fatalf("page %d lost its slots", i)
+		}
+		for _, sl := range slots {
+			if sl.Node == bannedNode {
+				t.Fatalf("page %d still resolves to node %d", i, bannedNode)
+			}
+			if err := h.nodes[sl.Node].ReadAt(sl.Off, buf[:]); err != nil {
+				t.Fatalf("read back page %d: %v", i, err)
+			}
+			if got := binary.LittleEndian.Uint64(buf[:]); got != uint64(v) {
+				t.Fatalf("page %d on node %d: stamp %#x, want %#x", i, sl.Node, got, uint64(v))
+			}
+		}
+	}
+}
+
+// run drives the simulation until cond holds or the virtual deadline
+// passes.
+func (h *harness) run(t *testing.T, deadline sim.Time, cond func() bool) {
+	t.Helper()
+	ok := false
+	h.eng.Go("driver", func(p *sim.Proc) {
+		for p.Now() < deadline {
+			if cond() {
+				ok = true
+				return
+			}
+			p.Sleep(50 * sim.Microsecond)
+		}
+	})
+	h.eng.Run()
+	if !ok {
+		t.Fatalf("condition not reached by %v", deadline)
+	}
+}
+
+func TestDrainEvacuatesNode(t *testing.T) {
+	h := newHarness(t, 3, 1, Tuning{})
+	reg := h.mapAndFill(t, 256)
+	occBefore := h.space.Occupancy(2)
+	if occBefore == 0 {
+		t.Fatal("node 2 hosts nothing before the drain")
+	}
+	if err := h.e.Drain(2); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	h.run(t, 100*sim.Millisecond, func() bool { return h.space.State(2) == placement.Removed })
+	if occ := h.space.Occupancy(2); occ != 0 {
+		t.Fatalf("drained node still hosts %d slots", occ)
+	}
+	if h.e.PagesMoved.N != occBefore {
+		t.Fatalf("moved %d pages, want %d", h.e.PagesMoved.N, occBefore)
+	}
+	h.verify(t, reg, 2)
+	// The evacuated slots spread across the survivors.
+	if h.space.Occupancy(0) == 0 || h.space.Occupancy(1) == 0 {
+		t.Fatalf("lopsided evacuation: occ0=%d occ1=%d", h.space.Occupancy(0), h.space.Occupancy(1))
+	}
+}
+
+func TestDrainReplicatedKeepsDistinctNodes(t *testing.T) {
+	h := newHarness(t, 3, 2, Tuning{})
+	reg := h.mapAndFill(t, 128)
+	if err := h.e.Drain(1); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	h.run(t, 100*sim.Millisecond, func() bool { return h.space.State(1) == placement.Removed })
+	h.verify(t, reg, 1)
+	for i := uint64(0); i < reg.Pages; i++ {
+		slots, _ := h.space.AllSlots(reg.BaseVPN + pagetable.VPN(i))
+		if len(slots) != 2 || slots[0].Node == slots[1].Node {
+			t.Fatalf("page %d replicas collapsed onto one node: %v", i, slots)
+		}
+	}
+}
+
+func TestNodeJoinRebalances(t *testing.T) {
+	h := newHarness(t, 2, 1, Tuning{})
+	reg := h.mapAndFill(t, 256)
+	h.addBacking()
+	if id := h.space.AddNode(); id != 2 {
+		t.Fatalf("new node id %d, want 2", id)
+	}
+	// The join flagged a rebalance; wait for it to settle.
+	h.run(t, 200*sim.Millisecond, func() bool {
+		return h.e.Idle() && h.space.Occupancy(2) > 0
+	})
+	h.verify(t, reg, -1)
+	// Within the default watermark of the live average.
+	total := h.space.Occupancy(0) + h.space.Occupancy(1) + h.space.Occupancy(2)
+	avg := float64(total) / 3
+	for n := 0; n < 3; n++ {
+		if f := float64(h.space.Occupancy(n)); f > avg*(1+DefaultWatermark)+1 {
+			t.Fatalf("node %d occupancy %v exceeds watermark around %v", n, f, avg)
+		}
+	}
+	if h.e.Rebalances.N == 0 {
+		t.Fatal("no rebalance batches recorded")
+	}
+}
+
+func TestDrainRejectsRemovedAndUnknown(t *testing.T) {
+	h := newHarness(t, 3, 1, Tuning{})
+	h.mapAndFill(t, 16)
+	if err := h.e.Drain(7); err == nil {
+		t.Fatal("drain of unknown node succeeded")
+	}
+	if err := h.e.Drain(2); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	h.run(t, 100*sim.Millisecond, func() bool { return h.space.State(2) == placement.Removed })
+	if err := h.e.Drain(2); err == nil {
+		t.Fatal("drain of removed node succeeded")
+	}
+}

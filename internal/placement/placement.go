@@ -1,26 +1,38 @@
 // Package placement is the shared placement substrate of every paging
 // system in this repository: it owns the DDC address-space layout —
 // virtual-address assignment, the page→(memory node, remote slot)
-// mapping, R-way replication, and node-failure failover — behind a
-// pluggable Policy. core (DiLOS), fastswap, and aifm all resolve remote
-// offsets through an AddressSpace instead of hand-rolling their own
-// region bookkeeping, so new placement schemes and failure-handling
-// changes are single-package edits.
+// mapping, R-way replication, node-failure failover, and live-migration
+// forwarding — behind a pluggable Policy. core (DiLOS), fastswap, and
+// aifm all resolve remote offsets through an AddressSpace instead of
+// hand-rolling their own region bookkeeping, so new placement schemes
+// and failure-handling changes are single-package edits.
 //
 // Layout invariants (property-tested, see DESIGN.md §6):
 //
 //   - every mapped VPN resolves to exactly one primary slot plus R−1
 //     replica slots on pairwise-distinct nodes;
 //   - no two pages of a region share a (node, segment, slot) triple;
-//   - Resolve never returns a slot on a failed or syncing node, and
-//     failing a node never strands a page (the last live node cannot be
-//     failed); when every replica of a page is unreachable Resolve
-//     reports it with an empty slot list, never a panic.
+//   - Resolve never returns a slot on a failed, syncing, or removed
+//     node, and failing a node never strands a page (the last serving
+//     node cannot be failed); when every replica of a page is
+//     unreachable Resolve reports it with an empty slot list, never a
+//     panic;
+//   - per-node occupancy always equals the number of replica slots the
+//     node currently hosts, forwarding entries included.
 //
-// Node health is three-state: live (serves reads and writes), failed
-// (serves nothing), and syncing (a recovering node that accepts
-// write-backs — WriteSlots — but serves no reads until re-replication
-// completes and FinishRecover promotes it back to live).
+// Node membership is an explicit five-state machine driven through
+// SetState (DESIGN.md §10):
+//
+//	live ──────→ failed ──→ syncing ──→ live
+//	  │            ↑  │
+//	  └→ draining ─┘  └───→ removed
+//	       │  ↑live (cancel)
+//	       └──────→ removed
+//
+// live serves reads and writes; draining still serves both but accepts
+// no new regions while the migration engine evacuates it; syncing (a
+// recovering node) accepts write-backs but serves no reads until
+// re-replication completes; failed serves nothing; removed is terminal.
 package placement
 
 import (
@@ -53,32 +65,96 @@ type Config struct {
 	BaseVA uint64
 }
 
-// nodeState is a memory node's health from the placement substrate's
-// point of view.
-type nodeState uint8
+// State is a memory node's membership state. The zero value is Live.
+type State uint8
 
 const (
-	nodeLive    nodeState = iota // serves reads and writes
-	nodeFailed                   // serves nothing
-	nodeSyncing                  // accepts write-backs; serves no reads yet
+	// Live nodes serve reads and writes and join new regions.
+	Live State = iota
+	// Failed nodes serve nothing (breaker tripped or declared dead).
+	Failed
+	// Syncing nodes are recovering: they accept write-backs so fresh
+	// data reaches them while re-replication backfills the old, but
+	// serve no reads until promoted back to Live.
+	Syncing
+	// Draining nodes still serve reads and writes but join no new
+	// regions; the migration engine is evacuating their slots so the
+	// node can be Removed.
+	Draining
+	// Removed nodes have left the pool for good. Terminal.
+	Removed
+
+	numStates
 )
+
+var stateNames = [numStates]string{"live", "failed", "syncing", "draining", "removed"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// validTransition is the membership state machine. Everything not listed
+// is rejected by SetState; same-state is a silent no-op.
+var validTransition = [numStates][numStates]bool{
+	Live:     {Failed: true, Draining: true},
+	Failed:   {Syncing: true, Removed: true},
+	Syncing:  {Live: true, Failed: true},
+	Draining: {Removed: true, Failed: true, Live: true},
+	Removed:  {},
+}
+
+// readable reports whether a node in state s serves reads.
+func readable(s State) bool { return s == Live || s == Draining }
+
+// writable reports whether a node in state s accepts write-backs.
+func writable(s State) bool { return s == Live || s == Draining || s == Syncing }
+
+// migEntry tracks one in-flight replica move: replica k of the page is
+// being copied to dst. wrote is set whenever WriteSlots hands the page
+// out as a write-back target during the copy — the migration engine must
+// then restart the copy (or take the frame's bytes) before flipping, so
+// dirty data written mid-copy is never lost.
+type migEntry struct {
+	k     int
+	dst   Slot
+	wrote bool
+}
 
 // AddressSpace owns the DDC regions of one computing node.
 type AddressSpace struct {
 	policy   Policy
 	nodes    int
 	replicas int
-	state    []nodeState
-	live     int
+	state    []State
+	occ      []int64 // replica slots hosted per node (forwarding-aware)
+	serving  int     // nodes currently readable (Live or Draining)
 	regions  []region
 	nextVA   uint64
+
+	// moved is the forwarding table: pages whose replica set no longer
+	// matches the policy layout because a migration flipped them. The
+	// stored list fully replaces the computed one (same length, primary
+	// first).
+	moved map[pagetable.VPN][]Slot
+	// migrating holds the in-flight moves (copy started, not flipped).
+	migrating map[pagetable.VPN]*migEntry
+
+	subs []func(node int, from, to State)
 }
 
+// region is one mapped range. members snapshots the node set the region
+// was laid out over (policy index → node id), so membership changes
+// after Map never remap existing pages — only migration does, through
+// the forwarding table.
 type region struct {
 	baseVPN     pagetable.VPN
 	pages       uint64
-	remoteBases []uint64 // one backing base per memory node
-	perNode     uint64   // slot capacity per node per replica segment
+	members     []int
+	remoteBases []uint64 // one backing base per member, parallel to members
+	perNode     uint64   // slot capacity per member per replica segment
 }
 
 // Region describes one mapped DDC range.
@@ -109,13 +185,15 @@ func New(cfg Config) *AddressSpace {
 		policy:   cfg.Policy,
 		nodes:    cfg.Nodes,
 		replicas: cfg.Replicas,
-		state:    make([]nodeState, cfg.Nodes),
-		live:     cfg.Nodes,
+		state:    make([]State, cfg.Nodes),
+		occ:      make([]int64, cfg.Nodes),
+		serving:  cfg.Nodes,
 		nextVA:   cfg.BaseVA,
 	}
 }
 
-// Nodes returns the memory-node count.
+// Nodes returns the memory-node count, removed nodes included (node ids
+// are never reused).
 func (a *AddressSpace) Nodes() int { return a.nodes }
 
 // Replicas returns the replication factor.
@@ -133,28 +211,121 @@ func (a *AddressSpace) Regions() []Region {
 	return out
 }
 
+// AddNode grows the pool by one empty Live node and returns its id. The
+// node joins regions mapped from now on and becomes a migration
+// destination immediately; existing pages move to it only through the
+// migration engine (Rebalance). Subscribers observe the join as a
+// Removed→Live transition.
+func (a *AddressSpace) AddNode() int {
+	id := a.nodes
+	a.nodes++
+	a.state = append(a.state, Live)
+	a.occ = append(a.occ, 0)
+	a.serving++
+	for _, fn := range a.subs {
+		fn(id, Removed, Live)
+	}
+	return id
+}
+
+// OnStateChange registers fn to run synchronously on every node state
+// transition (AddNode joins appear as Removed→Live). Callbacks fire in
+// registration order and must not call back into SetState.
+func (a *AddressSpace) OnStateChange(fn func(node int, from, to State)) {
+	a.subs = append(a.subs, fn)
+}
+
+// State returns node i's membership state.
+func (a *AddressSpace) State(i int) State {
+	a.checkNode(i)
+	return a.state[i]
+}
+
+// Occupancy returns the number of replica slots node i currently hosts,
+// counting forwarded (migrated-in) pages and discounting migrated-out
+// ones. A node is safe to remove exactly when this reaches zero.
+func (a *AddressSpace) Occupancy(i int) int64 {
+	a.checkNode(i)
+	return a.occ[i]
+}
+
+// SetState drives node i through the membership state machine,
+// validating the transition (see the package diagram) and firing the
+// subscriber hooks. Same-state calls are silent no-ops. It rejects:
+//
+//   - transitions outside the machine (e.g. live→syncing, removed→*);
+//   - taking the last serving (readable) node out of service — that
+//     would strand every singly-replicated page;
+//   - removing a node that still hosts slots (drain it first).
+func (a *AddressSpace) SetState(i int, to State) error {
+	a.checkNode(i)
+	if to >= numStates {
+		return fmt.Errorf("placement: no such state %d", int(to))
+	}
+	from := a.state[i]
+	if from == to {
+		return nil
+	}
+	if !validTransition[from][to] {
+		return fmt.Errorf("placement: node %d: invalid transition %s → %s", i, from, to)
+	}
+	if readable(from) && !readable(to) && a.serving == 1 {
+		return fmt.Errorf("placement: node %d: cannot go %s: it is the last serving node", i, to)
+	}
+	if to == Removed && a.occ[i] != 0 {
+		return fmt.Errorf("placement: node %d: cannot remove: still hosts %d slots (drain first)", i, a.occ[i])
+	}
+	if readable(from) && !readable(to) {
+		a.serving--
+	} else if !readable(from) && readable(to) {
+		a.serving++
+	}
+	a.state[i] = to
+	for _, fn := range a.subs {
+		fn(i, from, to)
+	}
+	return nil
+}
+
 // Map carves a fresh VA range of `pages` pages and provisions its remote
-// backing: alloc is called once per memory node with the slot count that
-// node must register (covering all replica segments) and returns the
-// node-local base offset of the range it reserved.
+// backing across the currently Live nodes: alloc is called once per
+// member node with the slot count that node must register (covering all
+// replica segments) and returns the node-local base offset of the range
+// it reserved. The member set is snapshotted into the region, so later
+// membership changes never remap existing pages.
 func (a *AddressSpace) Map(pages uint64, alloc func(node int, slots uint64) (uint64, error)) (Region, error) {
 	if pages == 0 {
 		return Region{}, fmt.Errorf("placement: zero-page region")
 	}
-	perNode := a.policy.SlotsPerNode(pages, a.nodes)
-	bases := make([]uint64, a.nodes)
-	for i := range bases {
-		base, err := alloc(i, perNode*uint64(a.replicas))
+	var members []int
+	for i, st := range a.state {
+		if st == Live {
+			members = append(members, i)
+		}
+	}
+	if len(members) < a.replicas {
+		return Region{}, fmt.Errorf("placement: %d live node(s) cannot host %d replicas", len(members), a.replicas)
+	}
+	perNode := a.policy.SlotsPerNode(pages, len(members))
+	bases := make([]uint64, len(members))
+	for mi, node := range members {
+		base, err := alloc(node, perNode*uint64(a.replicas))
 		if err != nil {
 			return Region{}, err
 		}
-		bases[i] = base
+		bases[mi] = base
 	}
 	base := a.nextVA
 	a.nextVA += pages * PageSize
-	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, remoteBases: bases, perNode: perNode}
+	r := region{baseVPN: pagetable.VPNOf(base), pages: pages, members: members, remoteBases: bases, perNode: perNode}
 	a.regions = append(a.regions, r)
 	sort.Slice(a.regions, func(i, j int) bool { return a.regions[i].baseVPN < a.regions[j].baseVPN })
+	for idx := uint64(0); idx < pages; idx++ {
+		primary, _ := a.policy.Place(idx, pages, len(members))
+		for k := 0; k < a.replicas; k++ {
+			a.occ[members[(primary+k)%len(members)]]++
+		}
+	}
 	return Region{Base: base, BaseVPN: r.baseVPN, Pages: pages}, nil
 }
 
@@ -172,30 +343,36 @@ func (a *AddressSpace) lookup(v pagetable.VPN) (*region, uint64, bool) {
 	return r, idx, true
 }
 
-// slotOf computes replica k's slot for page idx of region r: node
-// (primary+k) mod N, segment k, at the page's primary slot index.
+// slotOf computes replica k's slot for page idx of region r: member
+// position (primary+k) mod M, segment k, at the page's primary slot
+// index.
 func (a *AddressSpace) slotOf(r *region, idx uint64, primary int, slot uint64, k int) Slot {
-	node := (primary + k) % a.nodes
+	pos := (primary + k) % len(r.members)
 	return Slot{
-		Node: node,
-		Off:  r.remoteBases[node] + (uint64(k)*r.perNode+slot)*PageSize,
+		Node: r.members[pos],
+		Off:  r.remoteBases[pos] + (uint64(k)*r.perNode+slot)*PageSize,
 	}
 }
 
 // Primary returns the page's primary slot regardless of node health —
-// the stable identity used for initial PTE payloads. Use Resolve for
-// anything that touches the wire.
+// the stable identity used for initial PTE payloads, following the
+// forwarding table for migrated pages. Use Resolve for anything that
+// touches the wire.
 func (a *AddressSpace) Primary(v pagetable.VPN) (Slot, bool) {
 	r, idx, ok := a.lookup(v)
 	if !ok {
 		return Slot{}, false
 	}
-	node, slot := a.policy.Place(idx, r.pages, a.nodes)
-	return a.slotOf(r, idx, node, slot, 0), true
+	if ov := a.moved[v]; ov != nil {
+		return ov[0], true
+	}
+	primary, slot := a.policy.Place(idx, r.pages, len(r.members))
+	return a.slotOf(r, idx, primary, slot, 0), true
 }
 
 // Resolve returns every readable replica slot of a page, primary first
-// and skipping failed and syncing nodes. failover reports that the page's
+// and skipping failed, syncing, and removed nodes; migrated pages
+// resolve through the forwarding table. failover reports that the page's
 // primary node is not readable (the head slot, if any, is a non-primary
 // replica) — fault handlers use it to count genuine failover fetches.
 // ok means "mapped": a mapped page whose every replica is unreachable
@@ -207,10 +384,20 @@ func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool
 	if !ok {
 		return nil, false, false
 	}
-	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	ov := a.moved[v]
+	var primary int
+	var slot uint64
+	if ov == nil {
+		primary, slot = a.policy.Place(idx, r.pages, len(r.members))
+	}
 	for k := 0; k < a.replicas; k++ {
-		s := a.slotOf(r, idx, primary, slot, k)
-		if a.state[s.Node] != nodeLive {
+		var s Slot
+		if ov != nil {
+			s = ov[k]
+		} else {
+			s = a.slotOf(r, idx, primary, slot, k)
+		}
+		if !readable(a.state[s.Node]) {
 			if k == 0 {
 				failover = true
 			}
@@ -222,18 +409,35 @@ func (a *AddressSpace) Resolve(v pagetable.VPN) (slots []Slot, failover, ok bool
 }
 
 // WriteSlots returns every replica slot of a page that should receive
-// write-backs: slots on live nodes plus slots on syncing nodes (a
-// recovering node must see new writes while re-replication backfills the
-// old ones, or it would come back stale).
+// write-backs: slots on live and draining nodes plus slots on syncing
+// nodes (a recovering node must see new writes while re-replication
+// backfills the old ones, or it would come back stale). Migrated pages
+// follow the forwarding table. If the page has a copy in flight, the
+// call also flags the move as written-during-copy, forcing the migration
+// engine to restart from fresh bytes before it flips — write-backs keep
+// landing in the old slots and are never lost.
 func (a *AddressSpace) WriteSlots(v pagetable.VPN) (slots []Slot, ok bool) {
 	r, idx, ok := a.lookup(v)
 	if !ok {
 		return nil, false
 	}
-	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	if e := a.migrating[v]; e != nil {
+		e.wrote = true
+	}
+	ov := a.moved[v]
+	var primary int
+	var slot uint64
+	if ov == nil {
+		primary, slot = a.policy.Place(idx, r.pages, len(r.members))
+	}
 	for k := 0; k < a.replicas; k++ {
-		s := a.slotOf(r, idx, primary, slot, k)
-		if a.state[s.Node] == nodeFailed {
+		var s Slot
+		if ov != nil {
+			s = ov[k]
+		} else {
+			s = a.slotOf(r, idx, primary, slot, k)
+		}
+		if !writable(a.state[s.Node]) {
 			continue
 		}
 		slots = append(slots, s)
@@ -242,14 +446,17 @@ func (a *AddressSpace) WriteSlots(v pagetable.VPN) (slots []Slot, ok bool) {
 }
 
 // AllSlots returns every replica slot of a page regardless of node
-// health, primary first — the layout identity re-replication walks when
-// backfilling a recovered node.
+// health, primary first and forwarding-aware — the layout identity
+// re-replication and the migration engine walk.
 func (a *AddressSpace) AllSlots(v pagetable.VPN) (slots []Slot, ok bool) {
 	r, idx, ok := a.lookup(v)
 	if !ok {
 		return nil, false
 	}
-	primary, slot := a.policy.Place(idx, r.pages, a.nodes)
+	if ov := a.moved[v]; ov != nil {
+		return ov, true
+	}
+	primary, slot := a.policy.Place(idx, r.pages, len(r.members))
 	for k := 0; k < a.replicas; k++ {
 		slots = append(slots, a.slotOf(r, idx, primary, slot, k))
 	}
@@ -267,58 +474,171 @@ func (a *AddressSpace) First(v pagetable.VPN) (Slot, bool) {
 	return slots[0], true
 }
 
+// BeginMigrate starts moving replica k of page v to dst: reads keep
+// resolving to the old slot, write-backs keep landing there too (and
+// flag the move, see WriteSlots), and CompleteMigrate flips the page
+// atomically once the copy is done. The destination must be a Live node
+// that hosts no other replica of the page.
+func (a *AddressSpace) BeginMigrate(v pagetable.VPN, k int, dst Slot) error {
+	a.checkNode(dst.Node)
+	if a.state[dst.Node] != Live {
+		return fmt.Errorf("placement: migrate dst node %d is %s, want live", dst.Node, a.state[dst.Node])
+	}
+	if a.migrating[v] != nil {
+		return fmt.Errorf("placement: page %#x is already migrating", uint64(v))
+	}
+	slots, ok := a.AllSlots(v)
+	if !ok {
+		return fmt.Errorf("placement: page %#x is not mapped", uint64(v))
+	}
+	if k < 0 || k >= len(slots) {
+		return fmt.Errorf("placement: replica %d out of range (R=%d)", k, len(slots))
+	}
+	for j, s := range slots {
+		if s.Node == dst.Node {
+			if j == k {
+				return fmt.Errorf("placement: page %#x replica %d already lives on node %d", uint64(v), k, dst.Node)
+			}
+			return fmt.Errorf("placement: node %d already hosts replica %d of page %#x", dst.Node, j, uint64(v))
+		}
+	}
+	if a.migrating == nil {
+		a.migrating = make(map[pagetable.VPN]*migEntry)
+	}
+	a.migrating[v] = &migEntry{k: k, dst: dst}
+	return nil
+}
+
+// Migrating returns the in-flight destination of page v's pending move.
+func (a *AddressSpace) Migrating(v pagetable.VPN) (dst Slot, k int, ok bool) {
+	e := a.migrating[v]
+	if e == nil {
+		return Slot{}, 0, false
+	}
+	return e.dst, e.k, true
+}
+
+// MigrationWrote reports whether a write-back targeted page v since the
+// copy round last reset the flag — the copy the engine holds may be
+// stale and must be redone.
+func (a *AddressSpace) MigrationWrote(v pagetable.VPN) bool {
+	e := a.migrating[v]
+	return e != nil && e.wrote
+}
+
+// ResetMigrationWrote clears the written-during-copy flag; the engine
+// calls it right before (re)issuing the copy read.
+func (a *AddressSpace) ResetMigrationWrote(v pagetable.VPN) {
+	if e := a.migrating[v]; e != nil {
+		e.wrote = false
+	}
+}
+
+// CompleteMigrate flips page v's replica set to the migration
+// destination and returns the vacated slot (the engine recycles it).
+// The flip installs a forwarding entry, moves the occupancy count, and
+// is atomic from the simulation's point of view — the caller must not
+// have yielded since it validated the copy.
+func (a *AddressSpace) CompleteMigrate(v pagetable.VPN) (Slot, error) {
+	e := a.migrating[v]
+	if e == nil {
+		return Slot{}, fmt.Errorf("placement: page %#x is not migrating", uint64(v))
+	}
+	slots, ok := a.AllSlots(v)
+	if !ok {
+		return Slot{}, fmt.Errorf("placement: page %#x is not mapped", uint64(v))
+	}
+	old := slots[e.k]
+	ns := make([]Slot, len(slots))
+	copy(ns, slots)
+	ns[e.k] = e.dst
+	if a.moved == nil {
+		a.moved = make(map[pagetable.VPN][]Slot)
+	}
+	a.moved[v] = ns
+	a.occ[old.Node]--
+	a.occ[e.dst.Node]++
+	delete(a.migrating, v)
+	return old, nil
+}
+
+// AbortMigrate cancels page v's pending move, returning the reserved
+// destination slot so the engine can recycle it. ok is false when no
+// move was in flight.
+func (a *AddressSpace) AbortMigrate(v pagetable.VPN) (dst Slot, ok bool) {
+	e := a.migrating[v]
+	if e == nil {
+		return Slot{}, false
+	}
+	delete(a.migrating, v)
+	return e.dst, true
+}
+
+// MigrationsInFlight returns the number of pages mid-copy.
+func (a *AddressSpace) MigrationsInFlight() int { return len(a.migrating) }
+
+// Forwarded returns the number of pages resolving through the
+// forwarding table (flipped at least once).
+func (a *AddressSpace) Forwarded() int { return len(a.moved) }
+
 // FailNode marks a memory node as failed: Resolve skips it from then on,
 // so fetches fail over to the next live replica and write-backs stop
-// reaching it. Panics when i is the last live node — that would strand
-// every singly-replicated page.
+// reaching it. Panics when i is the last serving node — that would
+// strand every singly-replicated page.
+//
+// Deprecated: use SetState(i, Failed), which reports the guard as an
+// error instead of panicking.
 func (a *AddressSpace) FailNode(i int) {
 	a.checkNode(i)
-	if a.state[i] == nodeFailed {
+	if a.state[i] == Failed {
 		return
 	}
-	if a.live == 1 && a.state[i] == nodeLive {
-		panic("placement: cannot fail the last memory node")
+	if err := a.SetState(i, Failed); err != nil {
+		panic(err.Error())
 	}
-	if a.state[i] == nodeLive {
-		a.live--
-	}
-	a.state[i] = nodeFailed
 }
 
 // BeginRecover moves a failed node to the syncing state: write-backs
 // start reaching it again (WriteSlots), but reads still avoid it until
 // FinishRecover. No-op unless the node is failed.
+//
+// Deprecated: use SetState(i, Syncing).
 func (a *AddressSpace) BeginRecover(i int) {
 	a.checkNode(i)
-	if a.state[i] == nodeFailed {
-		a.state[i] = nodeSyncing
+	if a.state[i] == Failed {
+		_ = a.SetState(i, Syncing)
 	}
 }
 
 // FinishRecover promotes a syncing node back to live once its replicas
 // have been backfilled. No-op unless the node is syncing.
+//
+// Deprecated: use SetState(i, Live).
 func (a *AddressSpace) FinishRecover(i int) {
 	a.checkNode(i)
-	if a.state[i] == nodeSyncing {
-		a.state[i] = nodeLive
-		a.live++
+	if a.state[i] == Syncing {
+		_ = a.SetState(i, Live)
 	}
 }
 
 // RecoverNode restores a failed node straight to live — the shortcut for
 // callers (tests, manual operation) that have re-replicated out of band
 // or accept stale replicas.
+//
+// Deprecated: use SetState(i, Syncing) then SetState(i, Live).
 func (a *AddressSpace) RecoverNode(i int) {
 	a.BeginRecover(i)
 	a.FinishRecover(i)
 }
 
-// Failed reports whether node i is currently unreadable (failed or still
-// syncing).
-func (a *AddressSpace) Failed(i int) bool { return a.state[i] != nodeLive }
+// Failed reports whether node i is currently unreadable (failed,
+// syncing, or removed). Draining nodes still serve reads and are not
+// "failed".
+func (a *AddressSpace) Failed(i int) bool { return !readable(a.state[i]) }
 
-// LiveNodes returns the number of fully live nodes.
-func (a *AddressSpace) LiveNodes() int { return a.live }
+// LiveNodes returns the number of serving (readable) nodes: Live plus
+// Draining.
+func (a *AddressSpace) LiveNodes() int { return a.serving }
 
 func (a *AddressSpace) checkNode(i int) {
 	if i < 0 || i >= a.nodes {

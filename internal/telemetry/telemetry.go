@@ -38,13 +38,16 @@ const (
 	KindWrite
 	// KindRetry is one reliable-QP backoff sleep before a retransmit.
 	KindRetry
+	// KindMigrate is one migration-engine batch: copy a set of replica
+	// slots to their new nodes and flip them. Arg carries pages moved.
+	KindMigrate
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"major_fault", "minor_fault", "prefetch_map", "clean", "reclaim",
-	"read", "write", "retry",
+	"read", "write", "retry", "migrate",
 }
 
 func (k Kind) String() string {

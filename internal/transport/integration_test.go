@@ -42,10 +42,10 @@ func TestDiLOSOverRealTCPDaemon(t *testing.T) {
 	sys := core.New(eng, core.Config{
 		CacheFrames: 64,
 		Cores:       2,
-		RemoteBytes: 1, // ignored with Backings
-		Fabric:      fabric.DefaultParams(),
-		Prefetcher:  prefetch.NewReadahead(0),
-		Backings:    []core.Backing{backing},
+		// RemoteBytes stays 0: the Backings size the pool.
+		Fabric:     fabric.DefaultParams(),
+		Prefetcher: prefetch.NewReadahead(0),
+		Backings:   []core.Backing{backing},
 	})
 	sys.Start()
 
@@ -99,9 +99,9 @@ func TestDiLOSShardedAcrossTwoDaemons(t *testing.T) {
 	sys := core.New(eng, core.Config{
 		CacheFrames: 64,
 		Cores:       2,
-		RemoteBytes: 1,
-		Fabric:      fabric.DefaultParams(),
-		Backings:    []core.Backing{ba, bb},
+		// RemoteBytes stays 0: the Backings size the pool.
+		Fabric:   fabric.DefaultParams(),
+		Backings: []core.Backing{ba, bb},
 	})
 	sys.Start()
 	sys.Launch("app", 0, func(sp *core.DDCProc) {
@@ -136,9 +136,9 @@ func TestRedisOverRealTCPDaemon(t *testing.T) {
 	sys := core.New(eng, core.Config{
 		CacheFrames: 128,
 		Cores:       2,
-		RemoteBytes: 1,
-		Fabric:      fabric.DefaultParams(),
-		Backings:    []core.Backing{backing},
+		// RemoteBytes stays 0: the Backings size the pool.
+		Fabric:   fabric.DefaultParams(),
+		Backings: []core.Backing{backing},
 	})
 	sys.Start()
 	sys.Launch("redis", 0, func(sp *core.DDCProc) {
