@@ -78,13 +78,14 @@ var registry = map[string]struct {
 	"ext5":   {"extension: doorbell-batched vs per-op submission", runExt5},
 	"ext6":   {"extension: per-fault latency anatomy from the flight recorder", runExt6},
 	"ext7":   {"extension: elastic pool — live drain + migration under load", runExt7},
+	"ext8":   {"extension: multi-tenant pool — noisy neighbour vs QoS quotas", runExt8},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
 }
 
 // chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
@@ -111,6 +112,8 @@ func main() {
 		"memory node ext7 drains out of its 3-node pool (0-2)")
 	flag.Float64Var(&experiments.MigrateWatermark, "migrate-watermark", 0,
 		"occupancy-imbalance fraction that arms continuous auto-rebalancing on ext7's migration engine (0 = drain/join only)")
+	flag.Int64Var(&experiments.TenantAggressorRate, "tenant-rate", experiments.TenantAggressorRate,
+		"fabric token-bucket rate (bytes/s) capping ext8's aggressor tenant in the isolated leg")
 	flag.Parse()
 	if experiments.MigrateDrainNode < 0 || experiments.MigrateDrainNode > 2 {
 		fmt.Fprintf(os.Stderr, "-migrate-drain must be 0-2, got %d\n", experiments.MigrateDrainNode)
@@ -605,6 +608,32 @@ func runExt7(sc experiments.Scale) {
 	fmt.Printf("    %s\n", floatSparkline(r.Series))
 }
 
+func runExt8(sc experiments.Scale) {
+	fmt.Println("Extension — multi-tenant pool: noisy neighbour vs QoS quotas (ext8)")
+	fmt.Printf("  [victim hot set fits its quota; aggressor streams 8x its quota;\n")
+	fmt.Printf("   isolated leg caps the aggressor at %d MB/s of fabric]\n",
+		experiments.TenantAggressorRate>>20)
+	r := experiments.ExtTenant(sc)
+	fmt.Printf("  victim %d hot + %d cold pages on %d frames; aggressor %d pages on %d frames (+%d slack)\n",
+		r.VictimHotPages, r.VictimColdPages, r.VictimFrames,
+		r.AggressorPages, r.AggressorFrames, r.SlackFrames)
+	fmt.Printf("  %-12s %12s %12s %8s %8s\n", "leg", "victim p50", "victim p99", "faults", "ratio")
+	fmt.Printf("  %-12s %12s %12s %8d %8s\n", "solo", us(r.SoloP50), us(r.SoloP99), r.SoloFaults, "1.00")
+	fmt.Printf("  %-12s %12s %12s %8d %8.2f\n", "isolated", us(r.IsoP50), us(r.IsoP99), r.IsoFaults, r.IsoRatio)
+	fmt.Printf("  %-12s %12s %12s %8d %8.2f\n", "control", us(r.CtrlP50), us(r.CtrlP99), r.CtrlFaults, r.CtrlRatio)
+	verdict := func(ok bool) string {
+		if ok {
+			return "pass"
+		}
+		return "FAIL"
+	}
+	fmt.Printf("  gate: isolated <= %.1fx solo: %s; unpartitioned control > gate: %s\n",
+		r.Gate, verdict(r.IsoPass), verdict(r.CtrlExceeds))
+	fmt.Printf("  aggressor majors: %d capped vs %d uncapped; victim floor %d, reserved %d at end\n",
+		r.AggrFaultsIso, r.AggrFaultsCtrl, r.VictimFloor, r.VictimReservedEnd)
+	fmt.Printf("  repeat isolated leg byte-identical: %v\n", r.Deterministic)
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -671,6 +700,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext5":   func(sc experiments.Scale) any { return experiments.ExtBatch(sc) },
 	"ext6":   func(sc experiments.Scale) any { return experiments.ExtAnatomy(sc) },
 	"ext7":   func(sc experiments.Scale) any { return experiments.ExtElastic(sc, chaosSeed) },
+	"ext8":   func(sc experiments.Scale) any { return experiments.ExtTenant(sc) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

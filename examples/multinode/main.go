@@ -10,6 +10,7 @@ import (
 
 	"dilos/internal/core"
 	"dilos/internal/fabric"
+	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 )
@@ -43,7 +44,9 @@ func main() {
 		}
 
 		fmt.Println("\nkilling memory node 1 ...")
-		sys.FailNode(1)
+		if err := sys.Space().SetState(1, placement.Failed); err != nil {
+			panic(err)
+		}
 		bad := 0
 		for i := uint64(0); i < pages; i++ {
 			if sp.LoadU64(base+i*core.PageSize) != i*31 {

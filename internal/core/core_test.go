@@ -496,7 +496,10 @@ func TestReplicationSurvivesNodeFailure(t *testing.T) {
 			sp.LoadU8(base + i*PageSize)
 		}
 		// A node dies. Reads keep working off the other replicas.
-		sys.FailNode(1)
+		if err := sys.Space().SetState(1, placement.Failed); err != nil {
+			t.Errorf("failing node 1: %v", err)
+			return
+		}
 		for i := uint64(0); i < pages; i++ {
 			if got := sp.LoadU64(base + i*PageSize); got != i*0xdeadbeef {
 				t.Errorf("page %d lost after node failure: %#x", i, got)
@@ -535,14 +538,11 @@ func TestReplicasExceedNodesPanics(t *testing.T) {
 	})
 }
 
-func TestFailLastNodePanics(t *testing.T) {
+func TestFailLastNodeRejected(t *testing.T) {
 	sys, _ := newSys(t, 16, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	sys.FailNode(0)
+	if err := sys.Space().SetState(0, placement.Failed); err == nil {
+		t.Fatal("failed the last serving node")
+	}
 }
 
 func TestReplicatedWriteBackReachesAllNodes(t *testing.T) {
@@ -674,7 +674,10 @@ func TestReplicaFetchesCountedAtFetchSiteOnly(t *testing.T) {
 	const pages = 64
 	sys.Launch("app", 0, func(sp *DDCProc) {
 		base, _ := sys.MmapDDC(pages)
-		sys.FailNode(1)
+		if err := sys.Space().SetState(1, placement.Failed); err != nil {
+			t.Errorf("failing node 1: %v", err)
+			return
+		}
 
 		// Exercise every non-fetch resolution path the way the daemons do.
 		baseVPN := pagetable.VPNOf(base)

@@ -69,8 +69,8 @@ type HealthMonitor struct {
 
 	Probes         stats.Counter // heartbeat probes issued
 	ProbeFails     stats.Counter // probes that completed with an error
-	NodeFails      stats.Counter // breaker trips (FailNode invocations)
-	NodeRecoveries stats.Counter // completed recoveries (FinishRecover)
+	NodeFails      stats.Counter // breaker trips (SetState(Failed) transitions)
+	NodeRecoveries stats.Counter // completed recoveries (SetState(Live) after resync)
 
 	// LastFailAt and LastRecoverAt record, per node, the virtual time of
 	// the most recent breaker trip and completed recovery — the ext4
@@ -187,7 +187,7 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 		// too — unless it is the last serving node left, where all we can
 		// do is keep probing and wait for it to return.
 		if st := s.space.State(node); st == placement.Live || st == placement.Draining {
-			if err := s.space.SetState(node, placement.Failed); err == nil {
+			if err := s.setNodeState(node, placement.Failed); err == nil {
 				h.NodeFails.Inc()
 				h.LastFailAt[node] = p.Now()
 			}
@@ -210,9 +210,12 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 			// re-replication restores the copies it lost; SetState→Live
 			// resumes reads. If the migration engine wants this node
 			// drained, it re-asserts Draining right after.
-			if err := s.space.SetState(node, placement.Syncing); err == nil {
+			if err := s.setNodeState(node, placement.Syncing); err == nil {
 				s.reReplicate(p, node)
-				if err := s.space.SetState(node, placement.Live); err != nil {
+				for _, t := range s.tenants {
+					t.Sys.reReplicate(p, node)
+				}
+				if err := s.setNodeState(node, placement.Live); err != nil {
 					panic(fmt.Sprintf("core: health recovery of node %d: %v", node, err))
 				}
 				h.NodeRecoveries.Inc()
@@ -229,7 +232,7 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 // frame (if resident) or the first live replica, and writing it to the
 // node's slot over the health queue pair. The node must be in the syncing
 // state: write-backs already reach it (so pages cleaned mid-walk stay
-// fresh), but no fetch reads from it until FinishRecover.
+// fresh), but no fetch reads from it until it flips back to Live.
 func (s *System) reReplicate(p *sim.Proc, node int) {
 	var buf [PageSize]byte
 	dst := fabric.NewReliableQP(s.Hubs[node].QP(0, comm.ModHealth), s.FetchRetries, &s.retryRng)

@@ -56,7 +56,10 @@ func (c Config) normalized() (Config, error) {
 			c.MemNodes = 1
 		}
 	}
-	if c.Replicas <= 0 {
+	if c.Replicas < 0 {
+		return c, fmt.Errorf("core: Replicas (%d) is negative; use 0 for the single-copy default", c.Replicas)
+	}
+	if c.Replicas == 0 {
 		c.Replicas = 1
 	}
 	if c.Replicas > c.MemNodes {
@@ -71,6 +74,18 @@ func (c Config) normalized() (Config, error) {
 	if c.Migrate != nil {
 		if err := c.Migrate.Validate(); err != nil {
 			return c, fmt.Errorf("core: %w", err)
+		}
+	}
+	if c.Tenancy != nil {
+		t := c.Tenancy
+		if t.SlackFrames < 0 || t.SlackFrames >= c.CacheFrames {
+			return c, fmt.Errorf("core: Tenancy.SlackFrames (%d) must be in [0,CacheFrames)", t.SlackFrames)
+		}
+		if t.RebalanceEvery < 0 {
+			return c, fmt.Errorf("core: Tenancy.RebalanceEvery (%v) is negative", t.RebalanceEvery)
+		}
+		if t.RebalanceEvery > 0 && t.RebalanceStep <= 0 {
+			return c, fmt.Errorf("core: Tenancy.RebalanceEvery without a positive RebalanceStep moves nothing")
 		}
 	}
 	return c, nil
@@ -164,3 +179,7 @@ func WithBatch() Option { return func(c *Config) { c.Batch = true } }
 // tuning (zero values → defaults), enabling Drain, AddMemNode
 // rebalancing, and watermark auto-rebalance.
 func WithMigration(t migrate.Tuning) Option { return func(c *Config) { c.Migrate = &t } }
+
+// WithTenancy enables multi-tenant mode: admit tenants with
+// System.NewTenant before Start.
+func WithTenancy(t TenancyConfig) Option { return func(c *Config) { c.Tenancy = &t } }

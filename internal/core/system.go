@@ -151,8 +151,9 @@ type Config struct {
 	Backings []Backing
 	// Replicas keeps this many copies of every page across distinct
 	// memory nodes (the §5.1 fault-tolerance direction): write-backs reach
-	// every replica, fetches use the first live one, and FailNode switches
-	// reads over. Requires MemNodes (or Backings) ≥ Replicas. Default 1.
+	// every replica, fetches use the first live one, and failing a node
+	// (Space().SetState) switches reads over. Requires MemNodes (or
+	// Backings) ≥ Replicas. Default 1.
 	Replicas int
 	// Trace, when set, records every fault (major/minor) into the ring for
 	// offline analysis and replay (internal/trace).
@@ -186,6 +187,11 @@ type Config struct {
 	// positive Tuning.Watermark keeps per-node occupancy levelled
 	// continuously. Nil leaves the pool membership static after Start.
 	Migrate *migrate.Tuning
+	// Tenancy, when set, enables multi-tenant mode: NewTenant carves
+	// per-tenant Systems (own page table, placement space, prefetcher, and
+	// frame quota) out of this host, sharing the pool, fabric, and
+	// background services. See tenant.go.
+	Tenancy *TenancyConfig
 }
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
@@ -200,7 +206,7 @@ type System struct {
 	Links    []*fabric.Link
 	Hubs     []*comm.Hub
 	Table    *pagetable.Table
-	Pool     *dram.Pool
+	Pool     dram.Frames
 	Mgr      *pagemgr.Manager
 	Hub      *comm.Hub
 	Costs    Costs
@@ -229,6 +235,19 @@ type System struct {
 	space    *placement.AddressSpace
 	registry *stats.Registry
 	heap     *heapArena
+
+	// Multi-tenant state (see tenant.go). arena is the physical frame pool
+	// tenant views carve up; svc is the shared cleaner/reclaimer service.
+	// host is nil on the host system and points back to it on the per-tenant
+	// systems NewTenant assembles.
+	arena    *dram.Pool
+	svc      *pagemgr.Service
+	tenancy  *TenancyConfig
+	tenants  []*Tenant
+	slack    *dram.Slack
+	policy   placement.Policy
+	replicas int
+	host     *System
 
 	// Construction parameters kept for AddMemNode/AttachBacking: a node
 	// joining mid-run gets the same link calibration and hub shape.
@@ -400,6 +419,7 @@ func build(eng *sim.Engine, cfg Config) *System {
 		Hubs:     hubs,
 		Table:    tbl,
 		Pool:     pool,
+		arena:    pool,
 		Mgr:      mgr,
 		Hub:      hub,
 		Costs:    DefaultCosts(),
@@ -414,30 +434,23 @@ func build(eng *sim.Engine, cfg Config) *System {
 			Replicas: cfg.Replicas,
 			Policy:   cfg.Placement,
 		}),
-		Chaos:          cfg.Chaos,
-		Batch:          cfg.Batch,
-		remoteBytes:    cfg.RemoteBytes,
-		fabricP:        cfg.Fabric,
-		cores:          cfg.Cores,
-		sharedQP:       cfg.SharedQP,
-		ReplicaFetches: stats.Counter{Name: "dilos.replica_fetches"},
-		ReReplicated:   stats.Counter{Name: "dilos.rereplicated"},
-		PrefetchFails:  stats.Counter{Name: "dilos.prefetch_fails"},
-		FetchRetries:   fabric.NewRetryStats("fetch"),
-		pfQueue:        make([][]pfItem, cfg.Cores),
-		pfHeld:         make([]pfHeldItem, cfg.Cores),
-		pfWaiter:       make([]sim.Waiter, cfg.Cores),
-		pfScratch:      make([]pfScratch, cfg.Cores),
-		MajorFaults:    stats.Counter{Name: "dilos.major_faults"},
-		MinorFaults:    stats.Counter{Name: "dilos.minor_faults"},
-		LateMapHits:    stats.Counter{Name: "dilos.late_map_hits"},
-		GuidedFetches:  stats.Counter{Name: "dilos.guided_fetches"},
-		Prefetches:     stats.Counter{Name: "dilos.prefetches"},
-		FaultLat:       stats.NewHistogram("dilos.fault_latency"),
-		MinorFaultLat:  stats.NewHistogram("dilos.minor_fault_latency"),
-		CacheUsedG:     stats.Gauge{Name: "dilos.cache_used_frames"},
-		PfQueueG:       stats.Gauge{Name: "dilos.prefetch_queue_depth"},
-		PfWindowG:      stats.Gauge{Name: "dilos.prefetch_window"},
+		Chaos:       cfg.Chaos,
+		Batch:       cfg.Batch,
+		remoteBytes: cfg.RemoteBytes,
+		fabricP:     cfg.Fabric,
+		cores:       cfg.Cores,
+		sharedQP:    cfg.SharedQP,
+		tenancy:     cfg.Tenancy,
+		policy:      cfg.Placement,
+		replicas:    cfg.Replicas,
+		pfQueue:     make([][]pfItem, cfg.Cores),
+		pfHeld:      make([]pfHeldItem, cfg.Cores),
+		pfWaiter:    make([]sim.Waiter, cfg.Cores),
+		pfScratch:   make([]pfScratch, cfg.Cores),
+	}
+	initMetrics(s, "")
+	if cfg.Tenancy != nil && !cfg.Tenancy.NoIsolation {
+		s.slack = dram.NewSlack(cfg.Tenancy.SlackFrames)
 	}
 	if cfg.Tel != nil {
 		s.Tel = cfg.Tel
@@ -516,6 +529,27 @@ func build(eng *sim.Engine, cfg Config) *System {
 	return s
 }
 
+// initMetrics names the system's own metrics under pfx ("" for the host,
+// "tenant.<name>." for the per-tenant systems NewTenant assembles) and
+// allocates the histograms. Kept out of the construction literal so both
+// builders share one naming site.
+func initMetrics(s *System, pfx string) {
+	s.ReplicaFetches = stats.Counter{Name: pfx + "dilos.replica_fetches"}
+	s.ReReplicated = stats.Counter{Name: pfx + "dilos.rereplicated"}
+	s.PrefetchFails = stats.Counter{Name: pfx + "dilos.prefetch_fails"}
+	s.FetchRetries = fabric.NewRetryStats(pfx + "fetch")
+	s.MajorFaults = stats.Counter{Name: pfx + "dilos.major_faults"}
+	s.MinorFaults = stats.Counter{Name: pfx + "dilos.minor_faults"}
+	s.LateMapHits = stats.Counter{Name: pfx + "dilos.late_map_hits"}
+	s.GuidedFetches = stats.Counter{Name: pfx + "dilos.guided_fetches"}
+	s.Prefetches = stats.Counter{Name: pfx + "dilos.prefetches"}
+	s.FaultLat = stats.NewHistogram(pfx + "dilos.fault_latency")
+	s.MinorFaultLat = stats.NewHistogram(pfx + "dilos.minor_fault_latency")
+	s.CacheUsedG = stats.Gauge{Name: pfx + "dilos.cache_used_frames"}
+	s.PfQueueG = stats.Gauge{Name: pfx + "dilos.prefetch_queue_depth"}
+	s.PfWindowG = stats.Gauge{Name: pfx + "dilos.prefetch_window"}
+}
+
 // localContent copies page v's resident frame into buf, reporting false
 // when the page is not Local. Never yields — the migration engine calls
 // it inside its no-yield flip window, where the frame is authoritative.
@@ -547,20 +581,25 @@ func (s *System) buildRegistry() *stats.Registry {
 	r.RegisterGauge(&s.PfWindowG)
 	s.Mgr.RegisterStats(r)
 	s.FetchRetries.RegisterStats(r)
-	if s.Chaos != nil {
-		s.Chaos.RegisterStats(r)
-	}
-	if s.Health != nil {
-		s.Health.RegisterStats(r)
-	}
-	if s.Mig != nil {
-		s.Mig.RegisterStats(r)
-	}
-	for i, l := range s.Links {
-		s.registerLink(r, i, l)
-	}
-	for i, n := range s.Nodes {
-		s.registerMemNode(r, i, n)
+	// Shared infrastructure (links, memory nodes, chaos, health, migration)
+	// belongs to the host; per-tenant systems only register their own view
+	// of the fault path so Merge into the host registry never collides.
+	if s.host == nil {
+		if s.Chaos != nil {
+			s.Chaos.RegisterStats(r)
+		}
+		if s.Health != nil {
+			s.Health.RegisterStats(r)
+		}
+		if s.Mig != nil {
+			s.Mig.RegisterStats(r)
+		}
+		for i, l := range s.Links {
+			s.registerLink(r, i, l)
+		}
+		for i, n := range s.Nodes {
+			s.registerMemNode(r, i, n)
+		}
 	}
 	return r
 }
@@ -610,21 +649,6 @@ func (s *System) Registry() *stats.Registry { return s.registry }
 // Space exposes the placement substrate (tests and guides inspect layout
 // through it; all fetch paths already resolve through it internally).
 func (s *System) Space() *placement.AddressSpace { return s.space }
-
-// FailNode marks a memory node as failed: fetches fail over to the next
-// live replica of each page; write-backs skip it. Panics if a page would
-// lose its last live replica.
-//
-// Deprecated: use Space().SetState(i, placement.Failed), which returns
-// the error instead of panicking.
-func (s *System) FailNode(i int) { s.space.FailNode(i) }
-
-// RecoverNode returns a failed node to service immediately, without
-// re-replicating lost pages (tests and manual operation; the health
-// monitor's recovery path re-replicates first).
-//
-// Deprecated: drive Space().SetState through Syncing and Live.
-func (s *System) RecoverNode(i int) { s.space.RecoverNode(i) }
 
 // Drain asks the migration engine to evacuate a memory node: it stops
 // joining new regions, every replica slot it hosts migrates to the other
@@ -695,6 +719,30 @@ func (s *System) attachNode(b Backing, n *memnode.Node) int {
 	if got := s.space.AddNode(); got != id {
 		panic("core: placement node id out of sync with the fabric")
 	}
+	// Every tenant shares the new link but issues through its own hub (so
+	// its token bucket keeps gating all of its traffic), and its private
+	// address space grows in lockstep with the host's.
+	for _, t := range s.tenants {
+		ts := t.Sys
+		var th *comm.Hub
+		if s.sharedQP {
+			th = comm.NewSharedHub(l, s.cores, b.Key())
+		} else {
+			th = comm.NewHub(l, s.cores, b.Key())
+		}
+		if t.bucket != nil {
+			th.SetLimiter(t.bucket)
+		}
+		ts.backings = append(ts.backings, b)
+		ts.Links = append(ts.Links, l)
+		ts.Hubs = append(ts.Hubs, th)
+		if n != nil {
+			ts.Nodes = append(ts.Nodes, n)
+		}
+		if got := ts.space.AddNode(); got != id {
+			panic("core: tenant placement node id out of sync with the fabric")
+		}
+	}
 	if s.Health != nil {
 		s.Health.Watch(id)
 	}
@@ -711,7 +759,16 @@ func (s *System) Start() {
 		panic("core: Start called twice")
 	}
 	s.started = true
-	s.Mgr.Start(s.Eng)
+	// With tenants admitted, the shared pagemgr service already exists and
+	// holds only the tenant managers — the host manager has no frames of its
+	// own to clean (tenant views carve up the whole arena), so attaching it
+	// would spin the reclaimer. Without tenants the service degenerates to
+	// the classic single-manager daemons.
+	if s.svc == nil {
+		s.svc = pagemgr.NewService()
+		s.svc.Attach(s.Mgr)
+	}
+	s.svc.Start(s.Eng)
 	for c := 0; c < s.Hub.Cores(); c++ {
 		c := c
 		s.Eng.GoDaemon(fmt.Sprintf("dilos.pfmap%d", c), func(p *sim.Proc) { s.pfMapLoop(p, c) })
@@ -724,6 +781,9 @@ func (s *System) Start() {
 	}
 	if s.Mig != nil {
 		s.Mig.Start()
+	}
+	if s.tenancy != nil && !s.tenancy.NoIsolation && s.tenancy.RebalanceEvery > 0 && len(s.tenants) > 0 {
+		s.Eng.GoDaemon("dilos.rebalance", s.rebalanceLoop)
 	}
 	// The sampler daemon spawns last so the relative scheduling order of
 	// every pre-existing daemon is unchanged by enabling it.
@@ -757,8 +817,15 @@ func (s *System) SampleGauges(now sim.Time) {
 	if s.Mig != nil {
 		s.Mig.SampleGauges()
 	}
-	for _, l := range s.Links {
-		l.SampleBacklog(now)
+	// Links are host-owned; tenant systems alias them and must not sample
+	// twice per tick.
+	if s.host == nil {
+		for _, l := range s.Links {
+			l.SampleBacklog(now)
+		}
+	}
+	for _, t := range s.tenants {
+		t.Sys.SampleGauges(now)
 	}
 }
 

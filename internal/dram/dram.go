@@ -31,15 +31,21 @@ type Frame struct {
 	free   bool
 }
 
+// lruList is one intrusive LRU list over a pool's frames: front = coldest
+// (next clock victim), back = most recently inserted/rotated. The pool owns
+// one for its legacy single-owner API; each tenant View owns its own — a
+// frame's link fields live in Frame, and a frame is on at most one list.
+type lruList struct {
+	head, tail FrameID
+	n          int
+}
+
 // Pool is a frame allocator over a contiguous local-DRAM arena.
 type Pool struct {
 	mem    []byte
 	frames []Frame
 	free   []FrameID
-	// LRU list: front = coldest (next clock victim), back = most recently
-	// inserted/rotated.
-	head, tail FrameID
-	lruLen     int
+	lru    lruList
 }
 
 // NewPool creates a pool of `frames` page frames.
@@ -51,8 +57,7 @@ func NewPool(frames int) *Pool {
 		mem:    make([]byte, frames*pagetable.PageSize),
 		frames: make([]Frame, frames),
 		free:   make([]FrameID, 0, frames),
-		head:   NoFrame,
-		tail:   NoFrame,
+		lru:    lruList{head: NoFrame, tail: NoFrame},
 	}
 	for i := frames - 1; i >= 0; i-- {
 		p.frames[i] = Frame{VPN: NoVPN, next: NoFrame, prev: NoFrame, free: true}
@@ -119,12 +124,35 @@ func (p *Pool) frame(id FrameID) *Frame {
 }
 
 // LRULen returns the number of frames on the LRU list.
-func (p *Pool) LRULen() int { return p.lruLen }
+func (p *Pool) LRULen() int { return p.lru.n }
 
 // LRUPushBack appends a frame at the hot end of the LRU list. Newly
 // allocated pages enter here (§4.4: "The allocator inserts all newly
 // allocated pages into an LRU list").
-func (p *Pool) LRUPushBack(id FrameID) {
+func (p *Pool) LRUPushBack(id FrameID) { p.listPushBack(&p.lru, id) }
+
+// LRURemove unlinks a frame from the LRU list.
+func (p *Pool) LRURemove(id FrameID) { p.listRemove(&p.lru, id) }
+
+// LRUFront returns the coldest frame (clock hand position), or NoFrame.
+func (p *Pool) LRUFront() FrameID { return p.lru.head }
+
+// LRUNext returns the frame after id on the list, or NoFrame.
+func (p *Pool) LRUNext(id FrameID) FrameID { return p.frame(id).next }
+
+// LRURotate moves a frame to the hot end — the clock algorithm's "second
+// chance" for pages whose accessed bit was set.
+func (p *Pool) LRURotate(id FrameID) {
+	p.listRemove(&p.lru, id)
+	p.listPushBack(&p.lru, id)
+}
+
+// Walk calls fn for each LRU frame from cold to hot; returning false stops.
+// fn must not mutate the list; use the returned ids afterwards.
+func (p *Pool) Walk(fn func(id FrameID, f *Frame) bool) { p.listWalk(&p.lru, fn) }
+
+// listPushBack appends a frame at the hot end of one LRU list.
+func (p *Pool) listPushBack(l *lruList, id FrameID) {
 	f := p.frame(id)
 	if f.inLRU {
 		panic(fmt.Sprintf("dram: frame %d already on LRU", id))
@@ -133,19 +161,19 @@ func (p *Pool) LRUPushBack(id FrameID) {
 		panic(fmt.Sprintf("dram: free frame %d pushed to LRU", id))
 	}
 	f.inLRU = true
-	f.prev = p.tail
+	f.prev = l.tail
 	f.next = NoFrame
-	if p.tail != NoFrame {
-		p.frames[p.tail].next = id
+	if l.tail != NoFrame {
+		p.frames[l.tail].next = id
 	} else {
-		p.head = id
+		l.head = id
 	}
-	p.tail = id
-	p.lruLen++
+	l.tail = id
+	l.n++
 }
 
-// LRURemove unlinks a frame from the LRU list.
-func (p *Pool) LRURemove(id FrameID) {
+// listRemove unlinks a frame from one LRU list.
+func (p *Pool) listRemove(l *lruList, id FrameID) {
 	f := p.frame(id)
 	if !f.inLRU {
 		panic(fmt.Sprintf("dram: frame %d not on LRU", id))
@@ -153,35 +181,21 @@ func (p *Pool) LRURemove(id FrameID) {
 	if f.prev != NoFrame {
 		p.frames[f.prev].next = f.next
 	} else {
-		p.head = f.next
+		l.head = f.next
 	}
 	if f.next != NoFrame {
 		p.frames[f.next].prev = f.prev
 	} else {
-		p.tail = f.prev
+		l.tail = f.prev
 	}
 	f.inLRU = false
 	f.next, f.prev = NoFrame, NoFrame
-	p.lruLen--
+	l.n--
 }
 
-// LRUFront returns the coldest frame (clock hand position), or NoFrame.
-func (p *Pool) LRUFront() FrameID { return p.head }
-
-// LRUNext returns the frame after id on the list, or NoFrame.
-func (p *Pool) LRUNext(id FrameID) FrameID { return p.frame(id).next }
-
-// LRURotate moves a frame to the hot end — the clock algorithm's "second
-// chance" for pages whose accessed bit was set.
-func (p *Pool) LRURotate(id FrameID) {
-	p.LRURemove(id)
-	p.LRUPushBack(id)
-}
-
-// Walk calls fn for each LRU frame from cold to hot; returning false stops.
-// fn must not mutate the list; use the returned ids afterwards.
-func (p *Pool) Walk(fn func(id FrameID, f *Frame) bool) {
-	for id := p.head; id != NoFrame; id = p.frames[id].next {
+// listWalk calls fn for each frame of one list from cold to hot.
+func (p *Pool) listWalk(l *lruList, fn func(id FrameID, f *Frame) bool) {
+	for id := l.head; id != NoFrame; id = p.frames[id].next {
 		if !fn(id, &p.frames[id]) {
 			return
 		}

@@ -1,0 +1,234 @@
+package dram
+
+import "fmt"
+
+// Frames is the allocator surface the page manager and fault path need:
+// either the whole Pool (single-owner mode, the pre-tenant behaviour) or a
+// tenant View carving a quota out of a shared Pool. Methods mirror Pool's
+// exported API exactly so the swap is type-only — no call site changes, no
+// timing changes.
+type Frames interface {
+	// Allocation.
+	Alloc() (FrameID, bool)
+	Free(id FrameID)
+	Capacity() int
+	FreeCount() int
+	Used() int
+
+	// Frame access.
+	Bytes(id FrameID) []byte
+	Meta(id FrameID) *Frame
+
+	// Clock / LRU list (per-owner: each View keeps its own list so one
+	// tenant's eviction clock never scans another tenant's frames).
+	LRULen() int
+	LRUPushBack(id FrameID)
+	LRURemove(id FrameID)
+	LRUFront() FrameID
+	LRUNext(id FrameID) FrameID
+	LRURotate(id FrameID)
+	Walk(fn func(id FrameID, f *Frame) bool)
+}
+
+var (
+	_ Frames = (*Pool)(nil)
+	_ Frames = (*View)(nil)
+)
+
+// Slack is the borrowable remainder of a shared pool: frames not reserved
+// by any tenant, which views may allocate beyond their reservation on a
+// first-come basis. The planner guarantees Σ reserved + slack ≤ pool
+// capacity, so a view's reserved frames are always satisfiable even when
+// the slack is fully borrowed.
+type Slack struct {
+	total int
+	used  int
+}
+
+// NewSlack creates a slack pool of `frames` borrowable frames.
+func NewSlack(frames int) *Slack {
+	if frames < 0 {
+		panic("dram: negative slack")
+	}
+	return &Slack{total: frames}
+}
+
+// Total returns the slack pool's size.
+func (s *Slack) Total() int { return s.total }
+
+// Free returns how many slack frames are currently unborrowed.
+func (s *Slack) Free() int { return s.total - s.used }
+
+// View is one tenant's partition of a shared Pool: a hard reservation of
+// `reserved` frames (never stealable by other tenants), an optional shared
+// Slack pool it may borrow from when over its reservation, and its own LRU
+// list so its clock hand only ever touches its own frames. A View never
+// holds frames itself — every Alloc/Free goes to the underlying Pool; the
+// View only does the accounting that enforces the quota.
+type View struct {
+	pool     *Pool
+	lru      lruList
+	reserved int    // hard quota: frames guaranteed to this view
+	floor    int    // admission floor: SetReserved never goes below this
+	used     int    // frames currently allocated through this view
+	borrowed int    // frames of `used` charged to the slack pool
+	slack    *Slack // shared borrow pool; nil = borrowing disabled
+}
+
+// NewView carves a view of `reserved` frames (with an admission floor of
+// `floor`) out of pool, borrowing from slack when over-reserved. slack may
+// be nil to disable borrowing.
+func NewView(pool *Pool, reserved, floor int, slack *Slack) *View {
+	if reserved <= 0 {
+		panic("dram: view needs at least one reserved frame")
+	}
+	if floor < 0 || floor > reserved {
+		panic(fmt.Sprintf("dram: view floor %d outside [0,%d]", floor, reserved))
+	}
+	return &View{
+		pool:     pool,
+		lru:      lruList{head: NoFrame, tail: NoFrame},
+		reserved: reserved,
+		floor:    floor,
+		slack:    slack,
+	}
+}
+
+// Reserved returns the view's current hard quota.
+func (v *View) Reserved() int { return v.reserved }
+
+// Floor returns the admission floor below which SetReserved will not go.
+func (v *View) Floor() int { return v.floor }
+
+// Borrowed returns how many of the view's frames are charged to the slack
+// pool.
+func (v *View) Borrowed() int { return v.borrowed }
+
+// Capacity reports the view's quota — what this tenant may rely on. Slack
+// is deliberately excluded: watermarks and experiment sizing derive from
+// Capacity, and slack frames can vanish when a neighbour claims them.
+func (v *View) Capacity() int { return v.reserved }
+
+// Used returns the number of frames allocated through this view.
+func (v *View) Used() int { return v.used }
+
+// FreeCount returns how many more frames the view could allocate right
+// now: headroom under its reservation plus unborrowed slack, capped by
+// what the underlying pool actually has free.
+func (v *View) FreeCount() int {
+	n := v.reserved - v.used
+	if n < 0 {
+		n = 0
+	}
+	if v.slack != nil {
+		n += v.slack.Free()
+	}
+	if pf := v.pool.FreeCount(); pf < n {
+		n = pf
+	}
+	return n
+}
+
+// Alloc takes a frame from the underlying pool, charging it to this
+// view's reservation first and to the slack pool once over-reserved.
+func (v *View) Alloc() (FrameID, bool) {
+	if v.used >= v.reserved {
+		if v.slack == nil || v.slack.Free() == 0 {
+			return NoFrame, false
+		}
+		id, ok := v.pool.Alloc()
+		if !ok {
+			return NoFrame, false
+		}
+		v.used++
+		v.borrowed++
+		v.slack.used++
+		return id, true
+	}
+	id, ok := v.pool.Alloc()
+	if !ok {
+		// Σ reserved + slack ≤ capacity makes this unreachable, but a
+		// misconfigured pool shouldn't silently deadlock the reclaimer.
+		return NoFrame, false
+	}
+	v.used++
+	return id, true
+}
+
+// Free returns a frame to the underlying pool, releasing slack borrows
+// first so the borrowable pool refills as soon as the view shrinks back
+// toward its reservation.
+func (v *View) Free(id FrameID) {
+	v.pool.Free(id)
+	v.used--
+	if v.slack == nil {
+		return
+	}
+	if over := v.used - v.reserved; v.borrowed > over {
+		release := v.borrowed
+		if over > 0 {
+			release = v.borrowed - over
+		}
+		v.borrowed -= release
+		v.slack.used -= release
+	}
+}
+
+// SetReserved moves the view's quota to r, clamped to the admission floor
+// and to what the view's current usage allows (usage beyond the new quota
+// must be coverable by slack borrows). Returns the quota actually applied.
+// The rebalancer calls this; it never forces eviction — a shrunk view just
+// borrows until its reclaimer drains it back under quota.
+func (v *View) SetReserved(r int) int {
+	if r < v.floor {
+		r = v.floor
+	}
+	if v.slack == nil {
+		if r < v.used {
+			r = v.used
+		}
+	} else if min := v.used - v.borrowed - v.slack.Free(); r < min {
+		r = min
+	}
+	v.reserved = r
+	// Re-derive the slack charge for the new quota.
+	over := v.used - v.reserved
+	if over < 0 {
+		over = 0
+	}
+	if v.slack != nil {
+		v.slack.used += over - v.borrowed
+		v.borrowed = over
+	}
+	return r
+}
+
+// Bytes returns the frame's backing memory.
+func (v *View) Bytes(id FrameID) []byte { return v.pool.Bytes(id) }
+
+// Meta returns the frame's metadata for reading and mutation.
+func (v *View) Meta(id FrameID) *Frame { return v.pool.Meta(id) }
+
+// LRULen returns the number of frames on this view's LRU list.
+func (v *View) LRULen() int { return v.lru.n }
+
+// LRUPushBack appends a frame at the hot end of this view's LRU list.
+func (v *View) LRUPushBack(id FrameID) { v.pool.listPushBack(&v.lru, id) }
+
+// LRURemove unlinks a frame from this view's LRU list.
+func (v *View) LRURemove(id FrameID) { v.pool.listRemove(&v.lru, id) }
+
+// LRUFront returns the view's coldest frame, or NoFrame.
+func (v *View) LRUFront() FrameID { return v.lru.head }
+
+// LRUNext returns the frame after id on the view's list, or NoFrame.
+func (v *View) LRUNext(id FrameID) FrameID { return v.pool.frame(id).next }
+
+// LRURotate moves a frame to the hot end of the view's list.
+func (v *View) LRURotate(id FrameID) {
+	v.pool.listRemove(&v.lru, id)
+	v.pool.listPushBack(&v.lru, id)
+}
+
+// Walk calls fn for each of the view's LRU frames from cold to hot.
+func (v *View) Walk(fn func(id FrameID, f *Frame) bool) { v.pool.listWalk(&v.lru, fn) }

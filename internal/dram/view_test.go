@@ -1,0 +1,169 @@
+package dram
+
+import "testing"
+
+func TestViewReservedAlloc(t *testing.T) {
+	p := NewPool(10)
+	v := NewView(p, 4, 2, nil)
+	if v.Capacity() != 4 {
+		t.Fatalf("Capacity = %d, want 4", v.Capacity())
+	}
+	var ids []FrameID
+	for i := 0; i < 4; i++ {
+		id, ok := v.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed under reservation", i)
+		}
+		ids = append(ids, id)
+	}
+	if _, ok := v.Alloc(); ok {
+		t.Fatal("alloc beyond reservation with nil slack should fail")
+	}
+	if v.Used() != 4 || v.FreeCount() != 0 {
+		t.Fatalf("Used=%d FreeCount=%d, want 4,0", v.Used(), v.FreeCount())
+	}
+	v.Free(ids[0])
+	if v.Used() != 3 || v.FreeCount() != 1 {
+		t.Fatalf("after free: Used=%d FreeCount=%d, want 3,1", v.Used(), v.FreeCount())
+	}
+}
+
+func TestViewBorrowsFromSlack(t *testing.T) {
+	p := NewPool(10)
+	slack := NewSlack(3)
+	a := NewView(p, 4, 1, slack)
+	b := NewView(p, 3, 1, slack)
+	// a fills its reservation then borrows all 3 slack frames.
+	var ids []FrameID
+	for i := 0; i < 7; i++ {
+		id, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		ids = append(ids, id)
+	}
+	if a.Borrowed() != 3 || slack.Free() != 0 {
+		t.Fatalf("Borrowed=%d slack.Free=%d, want 3,0", a.Borrowed(), slack.Free())
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc with slack exhausted should fail")
+	}
+	// b's reservation is still guaranteed despite a's borrowing.
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Alloc(); !ok {
+			t.Fatalf("b alloc %d failed: reservation not protected", i)
+		}
+	}
+	if _, ok := b.Alloc(); ok {
+		t.Fatal("b alloc beyond reservation with no slack left should fail")
+	}
+	// Freeing a's frames releases borrows first.
+	a.Free(ids[6])
+	a.Free(ids[5])
+	if a.Borrowed() != 1 || slack.Free() != 2 {
+		t.Fatalf("after frees: Borrowed=%d slack.Free=%d, want 1,2", a.Borrowed(), slack.Free())
+	}
+}
+
+func TestViewSetReserved(t *testing.T) {
+	p := NewPool(10)
+	slack := NewSlack(2)
+	v := NewView(p, 5, 2, slack)
+	for i := 0; i < 5; i++ {
+		v.Alloc()
+	}
+	// Shrinking below use converts the overage into slack borrows.
+	if got := v.SetReserved(3); got != 3 {
+		t.Fatalf("SetReserved(3) = %d, want 3", got)
+	}
+	if v.Borrowed() != 2 || slack.Free() != 0 {
+		t.Fatalf("Borrowed=%d slack.Free=%d, want 2,0", v.Borrowed(), slack.Free())
+	}
+	// Can't shrink further: use minus borrowable headroom is the limit.
+	if got := v.SetReserved(0); got != 3 {
+		t.Fatalf("SetReserved(0) = %d, want clamp to 3", got)
+	}
+	// Growing back releases the borrows.
+	if got := v.SetReserved(6); got != 6 {
+		t.Fatalf("SetReserved(6) = %d, want 6", got)
+	}
+	if v.Borrowed() != 0 || slack.Free() != 2 {
+		t.Fatalf("after grow: Borrowed=%d slack.Free=%d, want 0,2", v.Borrowed(), slack.Free())
+	}
+}
+
+func TestViewSetReservedFloor(t *testing.T) {
+	p := NewPool(10)
+	v := NewView(p, 5, 3, nil)
+	if got := v.SetReserved(1); got != 3 {
+		t.Fatalf("SetReserved(1) = %d, want floor 3", got)
+	}
+}
+
+func TestViewLRUIsolated(t *testing.T) {
+	p := NewPool(10)
+	slack := NewSlack(0)
+	a := NewView(p, 3, 0, slack)
+	b := NewView(p, 3, 0, slack)
+	ida, _ := a.Alloc()
+	idb, _ := b.Alloc()
+	a.LRUPushBack(ida)
+	b.LRUPushBack(idb)
+	if a.LRULen() != 1 || b.LRULen() != 1 {
+		t.Fatalf("LRULen = %d,%d, want 1,1", a.LRULen(), b.LRULen())
+	}
+	if a.LRUFront() != ida || b.LRUFront() != idb {
+		t.Fatal("views see each other's LRU frames")
+	}
+	count := 0
+	a.Walk(func(id FrameID, f *Frame) bool {
+		if id != ida {
+			t.Fatalf("a.Walk visited foreign frame %d", id)
+		}
+		count++
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("a.Walk visited %d frames, want 1", count)
+	}
+	a.LRURotate(ida)
+	if a.LRUFront() != ida || a.LRULen() != 1 {
+		t.Fatal("rotate broke single-frame list")
+	}
+	a.LRURemove(ida)
+	if a.LRULen() != 0 || b.LRULen() != 1 {
+		t.Fatalf("remove leaked across views: %d,%d", a.LRULen(), b.LRULen())
+	}
+}
+
+func TestViewFreeCountCappedByPool(t *testing.T) {
+	p := NewPool(4)
+	v := NewView(p, 4, 0, nil)
+	// Drain the pool directly (as another owner would).
+	p.Alloc()
+	p.Alloc()
+	p.Alloc()
+	if v.FreeCount() != 1 {
+		t.Fatalf("FreeCount = %d, want 1 (pool-capped)", v.FreeCount())
+	}
+}
+
+// TestViewHotPathDoesNotAllocate: the tenant-charged fault path runs
+// Alloc/Free and the LRU ops on every fault; none of them may allocate.
+func TestViewHotPathDoesNotAllocate(t *testing.T) {
+	pool := NewPool(8)
+	slack := NewSlack(2)
+	v := NewView(pool, 4, 1, slack)
+	if n := testing.AllocsPerRun(200, func() {
+		id, ok := v.Alloc()
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		v.LRUPushBack(id)
+		v.LRURotate(id)
+		v.LRURemove(id)
+		v.Free(id)
+	}); n != 0 {
+		t.Fatalf("view hot path allocates %v times per op", n)
+	}
+}

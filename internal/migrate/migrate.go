@@ -93,8 +93,8 @@ func (t Tuning) Validate() error {
 	if t.Interval < 0 {
 		return fmt.Errorf("migrate: Interval must be >= 0, got %d", t.Interval)
 	}
-	if t.Watermark < 0 || t.Watermark > 10 {
-		return fmt.Errorf("migrate: Watermark must be in [0,10], got %g", t.Watermark)
+	if t.Watermark != 0 && (t.Watermark <= 0 || t.Watermark > 1) {
+		return fmt.Errorf("migrate: Watermark must be 0 (disabled) or in (0,1], got %g", t.Watermark)
 	}
 	if t.MaxRounds < 0 {
 		return fmt.Errorf("migrate: MaxRounds must be >= 0, got %d", t.MaxRounds)
@@ -123,8 +123,11 @@ type Config struct {
 	Tuning Tuning
 }
 
-// job is one pending replica move.
+// job is one pending replica move. ref indexes the engine's attached
+// address spaces: every page belongs to exactly one space (the host's, or
+// one tenant's), and all its placement operations go through that space.
 type job struct {
+	ref  int
 	vpn  pagetable.VPN
 	k    int
 	src  placement.Slot
@@ -135,12 +138,20 @@ type job struct {
 	dead bool
 }
 
+// spaceRef is one address space the engine migrates pages for, with its
+// owner's resident-frame probe.
+type spaceRef struct {
+	sp    *placement.AddressSpace
+	local func(v pagetable.VPN, buf []byte) bool
+}
+
 // Engine is the migration daemon. All its methods run on the simulation
 // thread; Drain and RequestRebalance only enqueue work — the daemon
 // performs it.
 type Engine struct {
 	eng   *sim.Engine
-	space *placement.AddressSpace
+	space *placement.AddressSpace // primary space: drives the node state machine
+	refs  []spaceRef              // all spaces (primary first, tenants after)
 	cfg   Config
 	t     Tuning
 
@@ -202,6 +213,7 @@ func New(eng *sim.Engine, cfg Config) *Engine {
 		MoveLat:      stats.NewHistogram("migrate.batch_latency"),
 		InFlightG:    stats.Gauge{Name: "migrate.inflight"},
 	}
+	e.refs = []spaceRef{{sp: cfg.Space, local: cfg.LocalContent}}
 	e.bufs = make([][]byte, t.BatchPages)
 	for i := range e.bufs {
 		e.bufs[i] = make([]byte, PageSize)
@@ -209,6 +221,28 @@ func New(eng *sim.Engine, cfg Config) *Engine {
 	e.ensureNodes()
 	cfg.Space.OnStateChange(e.onState)
 	return e
+}
+
+// AttachSpace adds a tenant's address space to the engine: drains and
+// rebalances then also move that space's pages, keeping its placement in
+// step with the shared pool's membership. The space must span the same
+// memory nodes as the primary space, and its resident-frame probe (may be
+// nil) must not yield. The host mirrors node states into tenant spaces, so
+// the engine only drives the primary space's state machine.
+func (e *Engine) AttachSpace(sp *placement.AddressSpace, local func(v pagetable.VPN, buf []byte) bool) {
+	if sp.Nodes() != e.space.Nodes() {
+		panic(fmt.Sprintf("migrate: attached space spans %d nodes, engine has %d", sp.Nodes(), e.space.Nodes()))
+	}
+	e.refs = append(e.refs, spaceRef{sp: sp, local: local})
+}
+
+// occupancy sums node n's replica slots across every attached space.
+func (e *Engine) occupancy(n int) int64 {
+	var o int64
+	for _, r := range e.refs {
+		o += r.sp.Occupancy(n)
+	}
+	return o
 }
 
 // RegisterStats folds the engine's metrics into a registry, including a
@@ -253,6 +287,9 @@ func (e *Engine) Drain(node int) error {
 		if err := e.space.SetState(node, placement.Draining); err != nil {
 			return err
 		}
+		for _, r := range e.refs[1:] {
+			_ = r.sp.SetState(node, placement.Draining)
+		}
 	case placement.Draining, placement.Failed, placement.Syncing:
 		// Draining: re-queue is a no-op below. Failed/Syncing: evacuate
 		// from surviving replicas; the state flips to Removed at the end.
@@ -273,14 +310,26 @@ func (e *Engine) RequestRebalance() { e.rebalance = true }
 
 // Idle reports that the engine has no queued or in-flight work.
 func (e *Engine) Idle() bool {
-	return len(e.draining) == 0 && !e.rebalance && e.space.MigrationsInFlight() == 0
+	if len(e.draining) != 0 || e.rebalance {
+		return false
+	}
+	for _, r := range e.refs {
+		if r.sp.MigrationsInFlight() != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // SampleGauges refreshes the sampler-visible gauges from live state.
 func (e *Engine) SampleGauges() {
-	e.InFlightG.Set(int64(e.space.MigrationsInFlight()))
+	inflight := 0
+	for _, r := range e.refs {
+		inflight += r.sp.MigrationsInFlight()
+	}
+	e.InFlightG.Set(int64(inflight))
 	for i := range e.occG {
-		e.occG[i].Set(e.space.Occupancy(i))
+		e.occG[i].Set(e.occupancy(i))
 	}
 }
 
@@ -327,6 +376,9 @@ func (e *Engine) step(p *sim.Proc) bool {
 	for node, want := range e.wantDrained {
 		if want && e.space.State(node) == placement.Live {
 			_ = e.space.SetState(node, placement.Draining)
+			for _, r := range e.refs[1:] {
+				_ = r.sp.SetState(node, placement.Draining)
+			}
 		}
 	}
 	keep := e.draining[:0]
@@ -343,12 +395,20 @@ func (e *Engine) step(p *sim.Proc) bool {
 			e.runBatch(p, jobs)
 			return true
 		}
-		if e.space.Occupancy(node) == 0 {
+		if e.occupancy(node) == 0 {
 			// Draining→Removed, or Failed→Removed for a node that died
 			// mid-drain and was evacuated from its replicas. A node caught
 			// mid-recovery (Syncing) cannot be removed yet — keep the drain
 			// queued; step re-asserts Draining once it lands back on Live.
 			if err := e.space.SetState(node, placement.Removed); err == nil {
+				for _, r := range e.refs[1:] {
+					if err := r.sp.SetState(node, placement.Removed); err != nil {
+						// The occupancy sum above covered every space, so a
+						// tenant refusing removal means its state diverged
+						// from the primary's — a wiring bug, not a race.
+						panic(fmt.Sprintf("migrate: tenant space stuck on node %d: %v", node, err))
+					}
+				}
 				e.DrainsDone.Inc()
 				e.wantDrained[node] = false
 				e.draining = e.draining[1:]
@@ -390,7 +450,7 @@ func (e *Engine) chooseDest(slots []placement.Slot) int {
 		if hosts {
 			continue
 		}
-		load := e.space.Occupancy(n) + e.pend[n]
+		load := e.occupancy(n) + e.pend[n]
 		if best == -1 || load < bestLoad {
 			best, bestLoad = n, load
 		}
@@ -399,36 +459,42 @@ func (e *Engine) chooseDest(slots []placement.Slot) int {
 }
 
 // collectDrain gathers up to max replica slots hosted on node, each with
-// an eligible destination.
+// an eligible destination, sweeping every attached space in attach order.
 func (e *Engine) collectDrain(node, max int) []job {
 	e.ensureNodes()
 	for i := range e.pend {
 		e.pend[i] = 0
 	}
 	jobs := e.jobs[:0]
-	for _, reg := range e.space.Regions() {
-		for i := uint64(0); i < reg.Pages && len(jobs) < max; i++ {
-			v := reg.BaseVPN + pagetable.VPN(i)
-			slots, ok := e.space.AllSlots(v)
-			if !ok {
-				continue
-			}
-			k := -1
-			for ki, s := range slots {
-				if s.Node == node {
-					k = ki
-					break
+	for ri := range e.refs {
+		sp := e.refs[ri].sp
+		for _, reg := range sp.Regions() {
+			for i := uint64(0); i < reg.Pages && len(jobs) < max; i++ {
+				v := reg.BaseVPN + pagetable.VPN(i)
+				slots, ok := sp.AllSlots(v)
+				if !ok {
+					continue
 				}
+				k := -1
+				for ki, s := range slots {
+					if s.Node == node {
+						k = ki
+						break
+					}
+				}
+				if k < 0 {
+					continue
+				}
+				dst := e.chooseDest(slots)
+				if dst < 0 {
+					continue
+				}
+				e.pend[dst]++
+				jobs = append(jobs, job{ref: ri, vpn: v, k: k, dst: placement.Slot{Node: dst}})
 			}
-			if k < 0 {
-				continue
+			if len(jobs) >= max {
+				break
 			}
-			dst := e.chooseDest(slots)
-			if dst < 0 {
-				continue
-			}
-			e.pend[dst]++
-			jobs = append(jobs, job{vpn: v, k: k, dst: placement.Slot{Node: dst}})
 		}
 		if len(jobs) >= max {
 			break
@@ -445,28 +511,28 @@ func (e *Engine) collectRebalance(max int) []job {
 	if w <= 0 {
 		w = DefaultWatermark
 	}
-	var total int64
+	var total, srcO, dstO int64
 	liveN, src, dst := 0, -1, -1
 	for n := 0; n < e.space.Nodes(); n++ {
 		if e.space.State(n) != placement.Live {
 			continue
 		}
-		o := e.space.Occupancy(n)
+		o := e.occupancy(n)
 		total += o
 		liveN++
-		if src < 0 || o > e.space.Occupancy(src) {
-			src = n
+		if src < 0 || o > srcO {
+			src, srcO = n, o
 		}
-		if dst < 0 || o < e.space.Occupancy(dst) {
-			dst = n
+		if dst < 0 || o < dstO {
+			dst, dstO = n, o
 		}
 	}
 	if liveN < 2 || src == dst {
 		return nil
 	}
-	gap := e.space.Occupancy(src) - e.space.Occupancy(dst)
+	gap := srcO - dstO
 	avg := float64(total) / float64(liveN)
-	if gap < 2 || float64(e.space.Occupancy(src)) <= avg*(1+w) {
+	if gap < 2 || float64(srcO) <= avg*(1+w) {
 		return nil
 	}
 	budget := int(gap / 2)
@@ -474,26 +540,32 @@ func (e *Engine) collectRebalance(max int) []job {
 		budget = max
 	}
 	jobs := e.jobs[:0]
-	for _, reg := range e.space.Regions() {
-		for i := uint64(0); i < reg.Pages && len(jobs) < budget; i++ {
-			v := reg.BaseVPN + pagetable.VPN(i)
-			slots, ok := e.space.AllSlots(v)
-			if !ok {
-				continue
-			}
-			k, onDst := -1, false
-			for ki, s := range slots {
-				if s.Node == src {
-					k = ki
+	for ri := range e.refs {
+		sp := e.refs[ri].sp
+		for _, reg := range sp.Regions() {
+			for i := uint64(0); i < reg.Pages && len(jobs) < budget; i++ {
+				v := reg.BaseVPN + pagetable.VPN(i)
+				slots, ok := sp.AllSlots(v)
+				if !ok {
+					continue
 				}
-				if s.Node == dst {
-					onDst = true
+				k, onDst := -1, false
+				for ki, s := range slots {
+					if s.Node == src {
+						k = ki
+					}
+					if s.Node == dst {
+						onDst = true
+					}
 				}
+				if k < 0 || onDst {
+					continue
+				}
+				jobs = append(jobs, job{ref: ri, vpn: v, k: k, dst: placement.Slot{Node: dst}})
 			}
-			if k < 0 || onDst {
-				continue
+			if len(jobs) >= budget {
+				break
 			}
-			jobs = append(jobs, job{vpn: v, k: k, dst: placement.Slot{Node: dst}})
 		}
 		if len(jobs) >= budget {
 			break
@@ -542,7 +614,7 @@ func (e *Engine) runBatch(p *sim.Proc, jobs []job) int {
 			continue
 		}
 		j.dst.Off = off
-		if err := e.space.BeginMigrate(j.vpn, j.k, j.dst); err != nil {
+		if err := e.refs[j.ref].sp.BeginMigrate(j.vpn, j.k, j.dst); err != nil {
 			e.pushFree(j.dst)
 			j.dead = true
 			e.MoveFails.Inc()
@@ -562,10 +634,11 @@ func (e *Engine) runBatch(p *sim.Proc, jobs []job) int {
 			if j.done || j.dead {
 				continue
 			}
-			e.space.ResetMigrationWrote(j.vpn)
+			sp := e.refs[j.ref].sp
+			sp.ResetMigrationWrote(j.vpn)
 			j.op = nil
 			j.src.Node = -1
-			if slots, _, ok := e.space.Resolve(j.vpn); ok && len(slots) > 0 {
+			if slots, _, ok := sp.Resolve(j.vpn); ok && len(slots) > 0 {
 				j.src = slots[0]
 			}
 		}
@@ -610,12 +683,12 @@ func (e *Engine) runBatch(p *sim.Proc, jobs []job) int {
 				if j.done || j.dead || j.dst.Node != n {
 					continue
 				}
-				if e.cfg.LocalContent != nil && e.cfg.LocalContent(j.vpn, j.buf) {
+				if local := e.refs[j.ref].local; local != nil && local(j.vpn, j.buf) {
 					// Resident frame is authoritative — fresher than any
 					// remote copy, racing write-backs included.
 				} else if j.src.Node < 0 || j.op == nil || j.op.Err != nil {
 					continue // no readable source this round; retry
-				} else if e.space.MigrationWrote(j.vpn) {
+				} else if e.refs[j.ref].sp.MigrationWrote(j.vpn) {
 					e.CopyRestarts.Inc()
 					continue // a write-back raced the copy; re-read
 				}
@@ -637,7 +710,7 @@ func (e *Engine) runBatch(p *sim.Proc, jobs []job) int {
 						e.MoveFails.Inc()
 						continue // destination unreachable; retry round
 					}
-					old, err := e.space.CompleteMigrate(j.vpn)
+					old, err := e.refs[j.ref].sp.CompleteMigrate(j.vpn)
 					if err != nil {
 						j.dead = true
 						alive--
@@ -662,7 +735,7 @@ func (e *Engine) runBatch(p *sim.Proc, jobs []job) int {
 		if j.done || j.dead {
 			continue
 		}
-		if dst, ok := e.space.AbortMigrate(j.vpn); ok {
+		if dst, ok := e.refs[j.ref].sp.AbortMigrate(j.vpn); ok {
 			e.pushFree(dst)
 		}
 		e.Stranded.Inc()

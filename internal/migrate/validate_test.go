@@ -1,0 +1,38 @@
+package migrate
+
+import (
+	"strings"
+	"testing"
+
+	"dilos/internal/sim"
+)
+
+func TestTuningValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		tun  Tuning
+		want string // error substring, "" = valid
+	}{
+		{"zero value", Tuning{}, ""},
+		{"watermark disabled", Tuning{Watermark: 0}, ""},
+		{"watermark at one", Tuning{Watermark: 1}, ""},
+		{"watermark typical", Tuning{Watermark: 0.1}, ""},
+		{"watermark negative", Tuning{Watermark: -0.5}, "Watermark"},
+		{"watermark above one", Tuning{Watermark: 1.01}, "Watermark"},
+		{"negative batch", Tuning{BatchPages: -1}, "BatchPages"},
+		{"negative interval", Tuning{Interval: -sim.Millisecond}, "Interval"},
+		{"negative rounds", Tuning{MaxRounds: -1}, "MaxRounds"},
+	}
+	for _, tc := range cases {
+		err := tc.tun.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -85,14 +85,25 @@ type Target struct {
 	Replicas  []Target
 }
 
-// Manager is the page manager instance of one computing node.
+// Manager is the page manager instance of one owner — the whole computing
+// node in single-owner mode, or one tenant's partition (a dram.View) in
+// multi-tenant mode. Each manager keeps its own clock/dirty state; the
+// cleaner and reclaimer daemons live in a Service shared across managers.
 type Manager struct {
-	Pool  *dram.Pool
+	Pool  dram.Frames
 	Table *pagetable.Table
 	Cfg   Config
 
 	// RemoteOf maps a virtual page to its remote slot.
 	RemoteOf func(pagetable.VPN) (Target, bool)
+
+	// Throttled, when set, reports whether this owner's fabric share is
+	// currently backlogged (its token bucket is over budget). The shared
+	// cleaner and reclaimer consult it before doing write-back work on the
+	// owner's behalf and skip to the next manager instead of waiting out
+	// the backlog — a throttled tenant's dirty pages drain at that tenant's
+	// own rate, and its allocators (not its neighbours') absorb the stall.
+	Throttled func(now sim.Time) bool
 
 	// Guide, when non-nil, enables guided paging.
 	Guide EvictionGuide
@@ -106,8 +117,8 @@ type Manager struct {
 	// calibrated baseline.
 	Batch bool
 
-	needReclaim sim.Waiter // reclaimer parks here when free >= high water
-	freed       sim.Waiter // allocators park here when the pool is empty
+	svc   *Service   // the shared cleaner/reclaimer service, set by Attach
+	freed sim.Waiter // allocators park here when the pool is empty
 
 	// Per-daemon scratch arenas for batched write-backs (the cleaner and
 	// the reclaimer can interleave across yields, so they must not share).
@@ -178,8 +189,8 @@ func qpOf(t *Target, reclaimPath bool) *fabric.QP {
 	return t.CleanQP
 }
 
-// New creates a page manager over the pool and table.
-func New(pool *dram.Pool, tbl *pagetable.Table, cfg Config) *Manager {
+// New creates a page manager over the pool (or tenant view) and table.
+func New(pool dram.Frames, tbl *pagetable.Table, cfg Config) *Manager {
 	m := &Manager{
 		Pool:        pool,
 		Table:       tbl,
@@ -220,13 +231,35 @@ func (m *Manager) SampleGauges() {
 	m.FreeG.Set(int64(m.Pool.FreeCount()))
 }
 
-// Start launches the cleaner and reclaimer daemons.
-func (m *Manager) Start(eng *sim.Engine) {
-	if m.RemoteOf == nil {
-		panic("pagemgr: Start before wiring RemoteOf")
+// PrefixStats renames every metric with a prefix (e.g. "tenant.a.") so
+// multiple managers can register into one registry without name clashes.
+// Must run before RegisterStats.
+func (m *Manager) PrefixStats(prefix string) {
+	for _, c := range []*stats.Counter{&m.Cleaned, &m.Evicted, &m.SyncWrites,
+		&m.AllocWaits, &m.VectorSaves, &m.WriteFails} {
+		c.Name = prefix + c.Name
 	}
-	eng.GoDaemon("pagemgr.cleaner", m.cleanerLoop)
-	eng.GoDaemon("pagemgr.reclaimer", m.reclaimerLoop)
+	for _, g := range []*stats.Gauge{&m.FreeG, &m.DirtyG, &m.LowWaterG, &m.HighWaterG} {
+		g.Name = prefix + g.Name
+	}
+}
+
+// SetWatermarks retunes the reclamation watermarks at runtime — the quota
+// rebalancer calls this when it resizes a tenant's reservation, so a shrunk
+// tenant starts evicting toward its new quota and a grown one stops early.
+func (m *Manager) SetWatermarks(low, high int) {
+	m.Cfg.LowWater, m.Cfg.HighWater = low, high
+	m.LowWaterG.Set(int64(low))
+	m.HighWaterG.Set(int64(high))
+}
+
+// Start launches a private cleaner/reclaimer service for this manager —
+// the single-owner configuration. Multi-tenant systems instead Attach
+// several managers to one Service and Start that.
+func (m *Manager) Start(eng *sim.Engine) {
+	svc := NewService()
+	svc.Attach(m)
+	svc.Start(eng)
 }
 
 // AllocFrame returns a free frame for the fault handler, waking the
@@ -235,8 +268,8 @@ func (m *Manager) Start(eng *sim.Engine) {
 // whole point).
 func (m *Manager) AllocFrame(p *sim.Proc) dram.FrameID {
 	for {
-		if m.Pool.FreeCount() <= m.Cfg.LowWater {
-			m.needReclaim.Wake(p.Now())
+		if m.Pool.FreeCount() <= m.Cfg.LowWater && m.svc != nil {
+			m.svc.needReclaim.Wake(p.Now())
 		}
 		if id, ok := m.Pool.Alloc(); ok {
 			return id
@@ -251,7 +284,9 @@ func (m *Manager) AllocFrame(p *sim.Proc) dram.FrameID {
 // reclamation pressure on the demand path.
 func (m *Manager) TryAllocFrame(p *sim.Proc) (dram.FrameID, bool) {
 	if m.Pool.FreeCount() <= m.Cfg.LowWater {
-		m.needReclaim.Wake(p.Now())
+		if m.svc != nil {
+			m.svc.needReclaim.Wake(p.Now())
+		}
 		return dram.NoFrame, false
 	}
 	return m.Pool.Alloc()
@@ -291,12 +326,92 @@ func (m *Manager) storeVector(chunks []Chunk) uint64 {
 	return uint64(len(m.vectors) - 1)
 }
 
+// Service owns the cleaner and reclaimer daemons: one pair of background
+// processes serving every attached Manager. In single-owner mode exactly
+// one manager is attached and the loops reduce to the original per-manager
+// daemons; in multi-tenant mode the shared daemons sweep each tenant's own
+// LRU/dirty state in attach order — the work stays per-tenant (and is
+// charged to the tenant's queue pairs and counters), only the scheduling
+// vehicle is shared.
+type Service struct {
+	mgrs        []*Manager
+	needReclaim sim.Waiter // reclaimer parks here when all pools are above high water
+}
+
+// NewService creates an empty cleaner/reclaimer service.
+func NewService() *Service { return &Service{} }
+
+// Attach registers a manager with the service. Must run before Start; the
+// manager's RemoteOf must already be wired.
+func (s *Service) Attach(m *Manager) {
+	if m.RemoteOf == nil {
+		panic("pagemgr: Attach before wiring RemoteOf")
+	}
+	m.svc = s
+	s.mgrs = append(s.mgrs, m)
+}
+
+// Start launches the cleaner and reclaimer daemons.
+func (s *Service) Start(eng *sim.Engine) {
+	if len(s.mgrs) == 0 {
+		panic("pagemgr: Start with no managers attached")
+	}
+	eng.GoDaemon("pagemgr.cleaner", s.cleanerLoop)
+	eng.GoDaemon("pagemgr.reclaimer", s.reclaimerLoop)
+}
+
 // cleanerLoop periodically writes dirty pages back to the memory node and
 // clears their dirty bits, so the reclaimer always finds clean victims.
-func (m *Manager) cleanerLoop(p *sim.Proc) {
+// The period comes from the first attached manager (all managers of one
+// system share a Config template).
+func (s *Service) cleanerLoop(p *sim.Proc) {
 	for {
-		p.Sleep(m.Cfg.CleanerPeriod)
-		m.cleanPass(p)
+		p.Sleep(s.mgrs[0].Cfg.CleanerPeriod)
+		for _, m := range s.mgrs {
+			if m.Throttled != nil && m.Throttled(p.Now()) {
+				continue // this owner's dirty set drains at its own rate
+			}
+			m.cleanPass(p)
+		}
+	}
+}
+
+// reclaimerLoop keeps every attached pool's free list above its high
+// watermark by evicting the least-recently-used clean pages with the clock
+// algorithm. It parks only when every pool is above water.
+func (s *Service) reclaimerLoop(p *sim.Proc) {
+	for {
+		idle, evicted := true, false
+		for _, m := range s.mgrs {
+			if m.Pool.FreeCount() >= m.Cfg.HighWater {
+				continue
+			}
+			idle = false
+			if m.Throttled != nil && m.Throttled(p.Now()) {
+				// Below water but over its fabric budget: retry on the sleep
+				// path below rather than stalling the shared daemon inside
+				// this owner's gated write-backs.
+				continue
+			}
+			t0 := p.Now()
+			if m.reclaimStep(p) {
+				evicted = true
+				if m.Tel != nil {
+					m.Tel.Emit(m.ReclaimTrack, telemetry.Span{
+						Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: 1,
+					})
+				}
+			}
+		}
+		if idle {
+			s.needReclaim.Wait(p)
+			continue
+		}
+		if !evicted {
+			// Nothing evictable this instant (all pinned/accessed just
+			// cleared); yield briefly and retry.
+			p.Sleep(5 * sim.Microsecond)
+		}
 	}
 }
 
@@ -593,29 +708,6 @@ func usable(chunks []Chunk) bool {
 		total += int(c.Len)
 	}
 	return total < pagetable.PageSize
-}
-
-// reclaimerLoop keeps the free list above the high watermark by evicting
-// the least-frequently-used clean pages with the clock algorithm.
-func (m *Manager) reclaimerLoop(p *sim.Proc) {
-	for {
-		if m.Pool.FreeCount() >= m.Cfg.HighWater {
-			m.needReclaim.Wait(p)
-			continue
-		}
-		t0 := p.Now()
-		if m.reclaimStep(p) {
-			if m.Tel != nil {
-				m.Tel.Emit(m.ReclaimTrack, telemetry.Span{
-					Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: 1,
-				})
-			}
-		} else {
-			// Nothing evictable this instant (all pinned/accessed just
-			// cleared); yield briefly and retry.
-			p.Sleep(5 * sim.Microsecond)
-		}
-	}
 }
 
 // reclaimStep runs the clock hand until one page is evicted or the list is

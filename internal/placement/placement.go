@@ -581,56 +581,6 @@ func (a *AddressSpace) MigrationsInFlight() int { return len(a.migrating) }
 // forwarding table (flipped at least once).
 func (a *AddressSpace) Forwarded() int { return len(a.moved) }
 
-// FailNode marks a memory node as failed: Resolve skips it from then on,
-// so fetches fail over to the next live replica and write-backs stop
-// reaching it. Panics when i is the last serving node — that would
-// strand every singly-replicated page.
-//
-// Deprecated: use SetState(i, Failed), which reports the guard as an
-// error instead of panicking.
-func (a *AddressSpace) FailNode(i int) {
-	a.checkNode(i)
-	if a.state[i] == Failed {
-		return
-	}
-	if err := a.SetState(i, Failed); err != nil {
-		panic(err.Error())
-	}
-}
-
-// BeginRecover moves a failed node to the syncing state: write-backs
-// start reaching it again (WriteSlots), but reads still avoid it until
-// FinishRecover. No-op unless the node is failed.
-//
-// Deprecated: use SetState(i, Syncing).
-func (a *AddressSpace) BeginRecover(i int) {
-	a.checkNode(i)
-	if a.state[i] == Failed {
-		_ = a.SetState(i, Syncing)
-	}
-}
-
-// FinishRecover promotes a syncing node back to live once its replicas
-// have been backfilled. No-op unless the node is syncing.
-//
-// Deprecated: use SetState(i, Live).
-func (a *AddressSpace) FinishRecover(i int) {
-	a.checkNode(i)
-	if a.state[i] == Syncing {
-		_ = a.SetState(i, Live)
-	}
-}
-
-// RecoverNode restores a failed node straight to live — the shortcut for
-// callers (tests, manual operation) that have re-replicated out of band
-// or accept stale replicas.
-//
-// Deprecated: use SetState(i, Syncing) then SetState(i, Live).
-func (a *AddressSpace) RecoverNode(i int) {
-	a.BeginRecover(i)
-	a.FinishRecover(i)
-}
-
 // Failed reports whether node i is currently unreadable (failed,
 // syncing, or removed). Draining nodes still serve reads and are not
 // "failed".

@@ -213,9 +213,11 @@ func TestFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.FailNode(1)
+	if err := a.SetState(1, Failed); err != nil {
+		t.Fatal(err)
+	}
 	if !a.Failed(1) {
-		t.Fatal("Failed(1) = false after FailNode(1)")
+		t.Fatal("Failed(1) = false after SetState(1, Failed)")
 	}
 	failovers := 0
 	for i := uint64(0); i < reg.Pages; i++ {
@@ -245,15 +247,17 @@ func TestFailover(t *testing.T) {
 		t.Fatalf("failovers = %d, want %d", failovers, want)
 	}
 
-	// FailNode is idempotent and refuses to strand pages.
-	a.FailNode(1)
-	a.FailNode(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("failing the last live node did not panic")
-		}
-	}()
-	a.FailNode(2)
+	// Failing an already-failed node is a no-op, and the last serving
+	// node cannot be failed — SetState reports the guard as an error.
+	if err := a.SetState(1, Failed); err != nil {
+		t.Fatalf("re-failing node 1: %v", err)
+	}
+	if err := a.SetState(0, Failed); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetState(2, Failed); err == nil {
+		t.Fatal("failing the last serving node did not error")
+	}
 }
 
 // TestMapVAAssignment checks regions get disjoint, ascending VA ranges
@@ -316,8 +320,12 @@ func TestAllReplicasDownDegrades(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.FailNode(0)
-	a.FailNode(1)
+	if err := a.SetState(0, Failed); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetState(1, Failed); err != nil {
+		t.Fatal(err)
+	}
 	stranded := 0
 	for i := uint64(0); i < reg.Pages; i++ {
 		v := reg.BaseVPN + pagetable.VPN(i)
@@ -355,7 +363,7 @@ func TestAllReplicasDownDegrades(t *testing.T) {
 
 // TestRecoveryStates walks a node through failed → syncing → live and
 // checks what each state serves: a syncing node receives write-backs but
-// no reads, and only FinishRecover makes it readable again.
+// no reads, and only the transition to Live makes it readable again.
 func TestRecoveryStates(t *testing.T) {
 	a := New(Config{Nodes: 2, Replicas: 2})
 	b := newBump(2)
@@ -368,7 +376,9 @@ func TestRecoveryStates(t *testing.T) {
 		t.Fatalf("LiveNodes = %d", a.LiveNodes())
 	}
 
-	a.FailNode(1)
+	if err := a.SetState(1, Failed); err != nil {
+		t.Fatal(err)
+	}
 	if a.LiveNodes() != 1 || !a.Failed(1) {
 		t.Fatalf("after fail: live=%d failed=%v", a.LiveNodes(), a.Failed(1))
 	}
@@ -376,7 +386,9 @@ func TestRecoveryStates(t *testing.T) {
 		t.Fatalf("failed node still receives writes: %v", ws)
 	}
 
-	a.BeginRecover(1)
+	if err := a.SetState(1, Syncing); err != nil {
+		t.Fatal(err)
+	}
 	if a.LiveNodes() != 1 {
 		t.Fatalf("syncing node counted live")
 	}
@@ -391,7 +403,9 @@ func TestRecoveryStates(t *testing.T) {
 		t.Fatalf("syncing node missing from WriteSlots: %v", ws)
 	}
 
-	a.FinishRecover(1)
+	if err := a.SetState(1, Live); err != nil {
+		t.Fatal(err)
+	}
 	if a.LiveNodes() != 2 || a.Failed(1) {
 		t.Fatalf("after recover: live=%d failed=%v", a.LiveNodes(), a.Failed(1))
 	}
@@ -400,16 +414,24 @@ func TestRecoveryStates(t *testing.T) {
 		t.Fatalf("recovered node not serving reads: %v", slots)
 	}
 
-	// FinishRecover without BeginRecover is a no-op; RecoverNode is the
-	// two-step shortcut and is idempotent.
-	a.FailNode(0)
-	a.FinishRecover(0)
-	if !a.Failed(0) {
-		t.Fatal("FinishRecover skipped the syncing state")
+	// Failed → Live must pass through Syncing: the direct transition is
+	// outside the machine and rejected.
+	if err := a.SetState(0, Failed); err != nil {
+		t.Fatal(err)
 	}
-	a.RecoverNode(0)
-	a.RecoverNode(0)
+	if err := a.SetState(0, Live); err == nil {
+		t.Fatal("Failed → Live skipped the syncing state")
+	}
+	if !a.Failed(0) {
+		t.Fatal("rejected transition mutated state")
+	}
+	if err := a.SetState(0, Syncing); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SetState(0, Live); err != nil {
+		t.Fatal(err)
+	}
 	if a.Failed(0) || a.LiveNodes() != 2 {
-		t.Fatalf("RecoverNode: live=%d failed=%v", a.LiveNodes(), a.Failed(0))
+		t.Fatalf("after recover: live=%d failed=%v", a.LiveNodes(), a.Failed(0))
 	}
 }

@@ -135,24 +135,25 @@ func TestStateChangeEvents(t *testing.T) {
 	}
 }
 
-func TestDeprecatedWrappersStillDrive(t *testing.T) {
+func TestFailRecoverCycle(t *testing.T) {
 	a := New(Config{Nodes: 2})
-	a.FailNode(1)
-	if a.State(1) != Failed {
-		t.Fatalf("FailNode: %s", a.State(1))
-	}
-	a.BeginRecover(1)
-	if a.State(1) != Syncing {
-		t.Fatalf("BeginRecover: %s", a.State(1))
-	}
-	a.FinishRecover(1)
-	if a.State(1) != Live {
-		t.Fatalf("FinishRecover: %s", a.State(1))
-	}
-	a.FailNode(1)
-	a.RecoverNode(1)
-	if a.State(1) != Live {
-		t.Fatalf("RecoverNode: %s", a.State(1))
+	for _, step := range []struct {
+		to   State
+		want State
+	}{
+		{Failed, Failed},
+		{Syncing, Syncing},
+		{Live, Live},
+		{Failed, Failed},
+		{Syncing, Syncing},
+		{Live, Live},
+	} {
+		if err := a.SetState(1, step.to); err != nil {
+			t.Fatalf("SetState(1, %s): %v", step.to, err)
+		}
+		if a.State(1) != step.want {
+			t.Fatalf("State(1) = %s, want %s", a.State(1), step.want)
+		}
 	}
 }
 

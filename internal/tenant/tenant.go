@@ -1,0 +1,198 @@
+// Package tenant holds the pure-policy pieces of multi-tenant sharing:
+// quota planning (splitting a frame pool by weight over hard floors), the
+// fabric-bandwidth token bucket, and the pressure-driven quota rebalancer.
+// Everything here is deterministic arithmetic with no simulator or I/O
+// dependencies, so policy can be unit-tested exhaustively; the wiring that
+// applies these decisions lives in internal/core.
+package tenant
+
+import (
+	"fmt"
+
+	"dilos/internal/sim"
+)
+
+// Quota describes one tenant's resource entitlement.
+type Quota struct {
+	// Weight is the tenant's share of the partitionable frame pool
+	// relative to the other tenants' weights.
+	Weight int
+	// FloorFrames is the hard minimum reservation: rebalancing and
+	// planning never push the tenant's quota below it.
+	FloorFrames int
+	// FabricBytesPerSec caps the tenant's fabric bandwidth (token-bucket
+	// rate). 0 = unlimited.
+	FabricBytesPerSec int64
+	// FabricBurstBytes is the token bucket's burst allowance: how many
+	// bytes ahead of the fluid-rate schedule the tenant may run after an
+	// idle period. 0 = strictly paced at the rate.
+	FabricBurstBytes int64
+}
+
+// Validate rejects quotas the planner cannot honour.
+func (q Quota) Validate() error {
+	if q.Weight <= 0 {
+		return fmt.Errorf("tenant: weight %d must be positive", q.Weight)
+	}
+	if q.FloorFrames < 0 {
+		return fmt.Errorf("tenant: floor %d must be non-negative", q.FloorFrames)
+	}
+	if q.FabricBytesPerSec < 0 {
+		return fmt.Errorf("tenant: fabric rate %d must be non-negative", q.FabricBytesPerSec)
+	}
+	if q.FabricBurstBytes < 0 {
+		return fmt.Errorf("tenant: fabric burst %d must be non-negative", q.FabricBurstBytes)
+	}
+	return nil
+}
+
+// Plan splits `frames` partitionable frames across quotas: every tenant
+// gets its floor, the remainder is divided proportionally to weight, and
+// leftover frames from integer division go to the lowest indices (stable,
+// deterministic). Errors if the floors alone exceed the pool.
+func Plan(frames int, quotas []Quota) ([]int, error) {
+	if len(quotas) == 0 {
+		return nil, fmt.Errorf("tenant: no quotas to plan")
+	}
+	floors, weights := 0, 0
+	for i, q := range quotas {
+		if err := q.Validate(); err != nil {
+			return nil, fmt.Errorf("tenant: quota %d: %w", i, err)
+		}
+		floors += q.FloorFrames
+		weights += q.Weight
+	}
+	if floors > frames {
+		return nil, fmt.Errorf("tenant: floors total %d frames but only %d partitionable", floors, frames)
+	}
+	spare := frames - floors
+	out := make([]int, len(quotas))
+	given := 0
+	for i, q := range quotas {
+		share := spare * q.Weight / weights
+		out[i] = q.FloorFrames + share
+		given += share
+	}
+	for i := 0; given < spare; i++ {
+		out[i%len(out)]++
+		given++
+	}
+	return out, nil
+}
+
+// Bucket is a GCRA-style token bucket in virtual time: Gate returns the
+// earliest virtual instant an op of `bytes` may start so that long-run
+// throughput never exceeds Rate, with up to Burst bytes of credit for
+// idle periods. All arithmetic is integral — same seed, same schedule.
+type Bucket struct {
+	Rate  int64 // bytes per (virtual) second; must be > 0
+	Burst int64 // bytes of burst credit
+	tat   sim.Time
+}
+
+// NewBucket creates a bucket enforcing rate bytes/s with burst credit.
+func NewBucket(rate, burst int64) *Bucket {
+	if rate <= 0 {
+		panic("tenant: bucket rate must be positive")
+	}
+	if burst < 0 {
+		panic("tenant: bucket burst must be non-negative")
+	}
+	return &Bucket{Rate: rate, Burst: burst}
+}
+
+// Gate charges `bytes` to the bucket and returns the earliest time the op
+// may start. It never returns less than now.
+func (b *Bucket) Gate(now sim.Time, bytes int) sim.Time {
+	if bytes <= 0 {
+		return now
+	}
+	burstNs := sim.Time(b.Burst * int64(sim.Second) / b.Rate)
+	start := b.tat - burstNs
+	if start < now {
+		start = now
+	}
+	base := b.tat
+	if base < start {
+		base = start
+	}
+	b.tat = base + sim.Time(int64(bytes)*int64(sim.Second)/b.Rate)
+	return start
+}
+
+// Backlogged reports whether the bucket has exhausted its burst credit at
+// `now` — a new op would be deferred into the future. Shared services
+// (cleaner/reclaimer) poll this before doing fabric work on a tenant's
+// behalf, so one throttled tenant's backlog never head-of-line blocks the
+// daemons for everyone else; the throttled tenant simply waits for its own
+// bandwidth share.
+func (b *Bucket) Backlogged(now sim.Time) bool {
+	burstNs := sim.Time(b.Burst * int64(sim.Second) / b.Rate)
+	return b.tat-burstNs > now
+}
+
+// Signal is one tenant's pressure reading for the rebalancer: its current
+// quota position plus the memory pressure it accumulated since the last
+// rebalance tick — allocation waits (the fault path blocked on a free
+// frame) and reclaimer evictions (the tenant is cycling its quota). Both
+// are deltas; an idle or fitting tenant reads 0.
+type Signal struct {
+	Reserved int
+	Floor    int
+	Used     int
+	Pressure int64 // alloc waits + evictions since last tick
+}
+
+// Rebalance computes new reservations from pressure signals: tenants with
+// Pressure gain up to `step` frames each, funded by pressure-free tenants
+// with headroom (reserved above both floor and current use). The result
+// conserves the total (Σ out == Σ reserved in), moves at most `step`
+// frames into any one tenant per call, and is deterministic: both donors
+// and takers are visited in index order.
+func Rebalance(sig []Signal, step int) []int {
+	out := make([]int, len(sig))
+	for i, s := range sig {
+		out[i] = s.Reserved
+	}
+	if step <= 0 {
+		return out
+	}
+	// Donor capacity: frames a pressure-free tenant can give up without
+	// dropping below its floor or its current footprint.
+	spare := func(i int) int {
+		s := sig[i]
+		if s.Pressure > 0 {
+			return 0
+		}
+		min := s.Floor
+		if s.Used > min {
+			min = s.Used
+		}
+		if d := out[i] - min; d > 0 {
+			return d
+		}
+		return 0
+	}
+	for i, s := range sig {
+		if s.Pressure == 0 {
+			continue
+		}
+		need := step
+		for j := range sig {
+			if need == 0 {
+				break
+			}
+			if j == i {
+				continue
+			}
+			give := spare(j)
+			if give > need {
+				give = need
+			}
+			out[j] -= give
+			out[i] += give
+			need -= give
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package tenant
+
+import (
+	"testing"
+
+	"dilos/internal/sim"
+)
+
+func TestQuotaValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Quota
+		ok   bool
+	}{
+		{"valid", Quota{Weight: 1}, true},
+		{"valid full", Quota{Weight: 3, FloorFrames: 10, FabricBytesPerSec: 1 << 30, FabricBurstBytes: 1 << 20}, true},
+		{"zero weight", Quota{Weight: 0}, false},
+		{"negative weight", Quota{Weight: -1}, false},
+		{"negative floor", Quota{Weight: 1, FloorFrames: -1}, false},
+		{"negative rate", Quota{Weight: 1, FabricBytesPerSec: -1}, false},
+		{"negative burst", Quota{Weight: 1, FabricBurstBytes: -1}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.q.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestPlanWeightsAndFloors(t *testing.T) {
+	got, err := Plan(100, []Quota{
+		{Weight: 3, FloorFrames: 10},
+		{Weight: 1, FloorFrames: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 80 spare: 60/20 by weight, on top of the 10-frame floors.
+	if got[0] != 70 || got[1] != 30 {
+		t.Fatalf("Plan = %v, want [70 30]", got)
+	}
+}
+
+func TestPlanRemainderDeterministic(t *testing.T) {
+	// 10 spare over 3 equal weights: 3 each, remainder 1 goes to index 0.
+	got, err := Plan(10, []Quota{{Weight: 1}, {Weight: 1}, {Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 || got[1] != 3 || got[2] != 3 {
+		t.Fatalf("Plan = %v, want [4 3 3]", got)
+	}
+	sum := got[0] + got[1] + got[2]
+	if sum != 10 {
+		t.Fatalf("Plan not conserving: sum %d", sum)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(10, nil); err == nil {
+		t.Fatal("Plan with no quotas should error")
+	}
+	if _, err := Plan(10, []Quota{{Weight: 1, FloorFrames: 6}, {Weight: 1, FloorFrames: 6}}); err == nil {
+		t.Fatal("Plan with floors over capacity should error")
+	}
+	if _, err := Plan(10, []Quota{{Weight: 0}}); err == nil {
+		t.Fatal("Plan with invalid quota should error")
+	}
+}
+
+func TestBucketRate(t *testing.T) {
+	// 1000 bytes/s, no burst: each 100-byte op is spaced 100ms apart.
+	b := NewBucket(1000, 0)
+	if got := b.Gate(0, 100); got != 0 {
+		t.Fatalf("first op start = %v, want 0", got)
+	}
+	if got := b.Gate(0, 100); got != 100*sim.Millisecond {
+		t.Fatalf("second op start = %v, want 100ms", got)
+	}
+	if got := b.Gate(0, 100); got != 200*sim.Millisecond {
+		t.Fatalf("third op start = %v, want 200ms", got)
+	}
+}
+
+func TestBucketBurst(t *testing.T) {
+	// 1000 bytes/s with 200 bytes burst: an op may start while it is up to
+	// 200 bytes ahead of the fluid-rate schedule, so ops 2 and 3 (100 and
+	// 200 bytes ahead) go immediately and op 4 waits.
+	b := NewBucket(1000, 200)
+	if got := b.Gate(0, 100); got != 0 {
+		t.Fatalf("op1 start = %v, want 0", got)
+	}
+	if got := b.Gate(0, 100); got != 0 {
+		t.Fatalf("op2 start = %v, want 0 (burst)", got)
+	}
+	if got := b.Gate(0, 100); got != 0 {
+		t.Fatalf("op3 start = %v, want 0 (burst)", got)
+	}
+	if got := b.Gate(0, 100); got != 100*sim.Millisecond {
+		t.Fatalf("op4 start = %v, want 100ms", got)
+	}
+}
+
+func TestBucketIdleRefill(t *testing.T) {
+	b := NewBucket(1000, 0)
+	b.Gate(0, 100)
+	// After a long idle period the bucket never owes the past: the next op
+	// starts at now.
+	if got := b.Gate(sim.Second, 100); got != sim.Second {
+		t.Fatalf("post-idle start = %v, want 1s", got)
+	}
+}
+
+func TestBucketZeroBytes(t *testing.T) {
+	b := NewBucket(1000, 0)
+	if got := b.Gate(5, 0); got != 5 {
+		t.Fatalf("zero-byte op start = %v, want now", got)
+	}
+}
+
+func TestBucketBacklogged(t *testing.T) {
+	// 1000 bytes/s, 200 bytes burst. Fresh bucket: not backlogged.
+	b := NewBucket(1000, 200)
+	if b.Backlogged(0) {
+		t.Fatal("fresh bucket reports a backlog")
+	}
+	// Charging exactly the burst keeps the next op admissible at now.
+	b.Gate(0, 200)
+	if b.Backlogged(0) {
+		t.Fatal("burst-level charge reports a backlog")
+	}
+	// One more byte over the burst defers the next op: backlogged until the
+	// schedule catches up (1 byte = 1ms at 1000 B/s).
+	b.Gate(0, 1)
+	if !b.Backlogged(0) {
+		t.Fatal("over-burst bucket not backlogged")
+	}
+	if b.Backlogged(sim.Millisecond) {
+		t.Fatal("backlog did not drain with time")
+	}
+}
+
+func TestRebalanceMovesPressureward(t *testing.T) {
+	sig := []Signal{
+		{Reserved: 100, Floor: 50, Used: 60, Pressure: 0},  // donor: 40 spare over use
+		{Reserved: 100, Floor: 50, Used: 100, Pressure: 7}, // starved
+	}
+	got := Rebalance(sig, 16)
+	if got[0] != 84 || got[1] != 116 {
+		t.Fatalf("Rebalance = %v, want [84 116]", got)
+	}
+}
+
+func TestRebalanceRespectsFloorAndUse(t *testing.T) {
+	sig := []Signal{
+		{Reserved: 60, Floor: 50, Used: 55, Pressure: 0}, // only 5 above use
+		{Reserved: 60, Floor: 60, Used: 10, Pressure: 0}, // at floor: gives nothing
+		{Reserved: 60, Floor: 10, Used: 60, Pressure: 3},
+	}
+	got := Rebalance(sig, 16)
+	if got[0] != 55 || got[1] != 60 || got[2] != 65 {
+		t.Fatalf("Rebalance = %v, want [55 60 65]", got)
+	}
+	if got[0]+got[1]+got[2] != 180 {
+		t.Fatalf("Rebalance not conserving: %v", got)
+	}
+}
+
+func TestRebalanceNoPressureNoMove(t *testing.T) {
+	sig := []Signal{
+		{Reserved: 100, Floor: 10, Used: 20},
+		{Reserved: 100, Floor: 10, Used: 90},
+	}
+	got := Rebalance(sig, 16)
+	if got[0] != 100 || got[1] != 100 {
+		t.Fatalf("Rebalance moved frames without pressure: %v", got)
+	}
+}
+
+// TestBucketGateDoesNotAllocate: Gate sits on QP.Submit — the per-op hot
+// path — and must stay allocation-free.
+func TestBucketGateDoesNotAllocate(t *testing.T) {
+	b := NewBucket(1<<30, 1<<20)
+	now := sim.Time(0)
+	if n := testing.AllocsPerRun(200, func() {
+		now = b.Gate(now, 4096)
+	}); n != 0 {
+		t.Fatalf("Gate allocates %v times per op", n)
+	}
+}
