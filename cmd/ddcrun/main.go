@@ -107,7 +107,28 @@ func main() {
 		"multi-tenant mode (dilos only): split the pool across N equal-weight tenants, run the workload in tenant 0 and a streaming-store neighbour in each other tenant")
 	tenantRate := flag.Int64("tenant-rate", 0,
 		"fabric token-bucket rate (bytes/s) capping each neighbour tenant, 0 = uncapped (needs -tenants >= 2)")
+	realNodes := flag.Int("real-nodes", 0,
+		"ext9 real-process mode: spawn N memnoded daemons, kill -9 one mid-run, verify against a host shadow (0 = off; ignores the simulator flags)")
+	realReplicas := flag.Int("real-replicas", 2, "replicas per page in -real-nodes mode")
+	realPages := flag.Int("real-pages", 512, "working-set pages in -real-nodes mode")
+	realWorkers := flag.Int("real-workers", 4, "driver workers in -real-nodes mode")
+	realDeadline := flag.Duration("real-deadline", 500*time.Millisecond,
+		"per-request budget in -real-nodes mode (the stall bound)")
+	realBaseline := flag.Duration("real-baseline", time.Second, "healthy phase before the kill")
+	realOutage := flag.Duration("real-outage", 1200*time.Millisecond, "kill -9 .. restart window")
+	realRecovery := flag.Duration("real-recovery", time.Second, "post-restart observation phase")
+	realMemnoded := flag.String("real-memnoded", "",
+		"path to a built memnoded binary (default: go build it into a temp dir)")
 	flag.Parse()
+
+	if *realNodes > 0 {
+		os.Exit(runRealChaos(realChaosFlags{
+			nodes: *realNodes, replicas: *realReplicas, pages: *realPages,
+			workers: *realWorkers, deadline: *realDeadline,
+			baseline: *realBaseline, outage: *realOutage, recovery: *realRecovery,
+			memnoded: *realMemnoded, dumpStats: *dumpStats,
+		}))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

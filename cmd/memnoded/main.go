@@ -1,7 +1,7 @@
 // Command memnoded is the memory node daemon: it registers a memory region
 // and serves one-sided READ/WRITE/vectored requests over the TCP transport
-// (internal/transport) — the role the paper's memory node plays (§5
-// "Memory node"), runnable on any host.
+// (internal/transport, protocol v2 with a legacy v1 fallback) — the role
+// the paper's memory node plays (§5 "Memory node"), runnable on any host.
 //
 // Usage:
 //
@@ -14,6 +14,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"dilos/internal/memnode"
@@ -25,6 +26,8 @@ func main() {
 	sizeMB := flag.Uint64("size", 1024, "registered region size (MiB)")
 	pkey := flag.Uint("pkey", 0xd170, "protection key clients must present")
 	statsEvery := flag.Duration("stats", 0, "periodically log usage (e.g. 30s; 0 disables)")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second,
+		"how long a graceful shutdown waits for clients to hang up")
 	flag.Parse()
 
 	node := memnode.New(*sizeMB<<20, uint32(*pkey))
@@ -39,21 +42,33 @@ func main() {
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
-				log.Printf("memnoded: %d pages in use, %d reads, %d writes served",
-					node.PagesInUse(), node.ReadsSrv.N, node.WritesSv.N)
+				log.Printf("memnoded: %d pages in use, %d reads, %d writes, %d batches, %d rejects served",
+					node.PagesInUse(), srv.Reads.Load(), srv.Writes.Load(),
+					srv.Batches.Load(), srv.Rejects.Load())
 			}
 		}()
 	}
-	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, report, exit.
+	// Graceful shutdown on SIGINT/SIGTERM (both — orchestrators send
+	// SIGTERM): enter the drain phase so in-flight requests finish and new
+	// ones are answered StatusDraining, then exit once the connections are
+	// gone or the grace runs out.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
 	go func() {
-		<-sig
-		log.Printf("memnoded: shutting down (%d pages were in use)", node.PagesInUse())
-		srv.Close()
+		s := <-sig
+		log.Printf("memnoded: %v: draining (%d pages in use, %d reads, %d writes served)",
+			s, node.PagesInUse(), srv.Reads.Load(), srv.Writes.Load())
+		srv.Drain(*drainGrace)
+		close(done)
 	}()
 
 	if err := srv.Serve(); err != nil {
 		log.Printf("memnoded: listener closed: %v", err)
+	}
+	select {
+	case <-done: // drained
+	case <-time.After(100 * time.Millisecond):
+		// Serve returned without a signal (listener closed some other way).
 	}
 }

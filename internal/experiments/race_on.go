@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// comparisons skip under it (they would measure the instrumentation).
+const raceEnabled = true

@@ -12,6 +12,7 @@ package memnode
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"dilos/internal/stats"
 )
@@ -28,8 +29,8 @@ type Node struct {
 	free     []uint64 // free page offsets, LIFO
 	next     uint64   // bump pointer for never-allocated pages
 	allocs   int64
-	inUse    int64
-	ProtKey  uint32 // RDMA protection key for the region (checked by the fabric)
+	inUse    atomic.Int64 // atomic: the transport server reads it while serving
+	ProtKey  uint32       // RDMA protection key for the region (checked by the fabric)
 	ReadsSrv stats.Counter
 	WritesSv stats.Counter
 }
@@ -59,14 +60,14 @@ func (n *Node) Key() uint32 { return n.ProtKey }
 func (n *Node) HugePages() int { return len(n.mem) / HugePageSize }
 
 // PagesInUse returns the number of currently allocated 4 KiB pages.
-func (n *Node) PagesInUse() int64 { return n.inUse }
+func (n *Node) PagesInUse() int64 { return n.inUse.Load() }
 
 // AllocPage reserves one 4 KiB page and returns its region offset.
 // Pages come back zeroed (freshly registered memory is zero; recycled
 // pages are scrubbed on free).
 func (n *Node) AllocPage() (uint64, error) {
 	n.allocs++
-	n.inUse++
+	n.inUse.Add(1)
 	if k := len(n.free); k > 0 {
 		off := n.free[k-1]
 		n.free = n.free[:k-1]
@@ -74,7 +75,7 @@ func (n *Node) AllocPage() (uint64, error) {
 	}
 	if n.next+PageSize > uint64(len(n.mem)) {
 		n.allocs--
-		n.inUse--
+		n.inUse.Add(-1)
 		return 0, fmt.Errorf("memnode: out of memory (%d bytes registered)", len(n.mem))
 	}
 	off := n.next
@@ -94,7 +95,7 @@ func (n *Node) AllocRange(pages uint64) (uint64, error) {
 	off := n.next
 	n.next += size
 	n.allocs += int64(pages)
-	n.inUse += int64(pages)
+	n.inUse.Add(int64(pages))
 	return off, nil
 }
 
@@ -106,7 +107,7 @@ func (n *Node) FreePage(off uint64) {
 	}
 	clear(n.mem[off : off+PageSize])
 	n.free = append(n.free, off)
-	n.inUse--
+	n.inUse.Add(-1)
 }
 
 // ReadAt copies region bytes [off, off+len(p)) into p. This is the
@@ -129,6 +130,28 @@ func (n *Node) WriteAt(off uint64, p []byte) error {
 	}
 	copy(n.mem[off:], p)
 	n.WritesSv.Inc()
+	return nil
+}
+
+// CopyOut copies region bytes [off, off+len(p)) into p without touching
+// the served-op counters. This is the concurrent data path: the transport
+// server calls it from many connections at once under its own region
+// sharding and counts served ops with its own atomics; the stats.Counter
+// fields above stay single-writer (the simulator's).
+func (n *Node) CopyOut(off uint64, p []byte) error {
+	if err := n.CheckRange(off, uint64(len(p))); err != nil {
+		return err
+	}
+	copy(p, n.mem[off:])
+	return nil
+}
+
+// CopyIn copies p into the region at off — CopyOut's write twin.
+func (n *Node) CopyIn(off uint64, p []byte) error {
+	if err := n.CheckRange(off, uint64(len(p))); err != nil {
+		return err
+	}
+	copy(n.mem[off:], p)
 	return nil
 }
 

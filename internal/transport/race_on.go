@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it (they would measure the instrumentation).
+const raceEnabled = true

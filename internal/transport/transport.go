@@ -6,489 +6,13 @@
 // end-to-end outside the simulator — including the protection-key check
 // the paper's driver enforces in the RNIC.
 //
-// Wire format (little-endian), one request/response pair per message:
-//
-//	request:  [op u8][pkey u32][nsegs u16] then per segment
-//	          [off u64][len u32]; for WRITE/WRITEV the payloads follow
-//	          in segment order.
-//	response: [status u8] then for READ/READV the payloads in segment
-//	          order; for ALLOC a [off u64].
-//
-// Ops: 1 READ, 2 WRITE, 3 READV, 4 WRITEV, 5 ALLOC (pages), 6 INFO.
+// Protocol v2 (see wire.go for the framing) is pipelined: one connection
+// carries many tagged in-flight requests with out-of-order completions,
+// doorbell batch frames, a PING health op and a DRAINING handshake for
+// graceful shutdown. Client is the pipelined v2 endpoint; V1Client keeps
+// the legacy one-request-at-a-time protocol, which Server still accepts
+// (it sniffs the version per connection).
 package transport
-
-import (
-	"bufio"
-	"encoding/binary"
-	"errors"
-	"fmt"
-	"io"
-	"net"
-	"sync"
-	"time"
-
-	"dilos/internal/memnode"
-)
-
-// Op codes.
-const (
-	OpRead   = 1
-	OpWrite  = 2
-	OpReadV  = 3
-	OpWriteV = 4
-	OpAlloc  = 5
-	OpInfo   = 6
-)
-
-// Status codes.
-const (
-	StatusOK      = 0
-	StatusBadKey  = 1
-	StatusBadOp   = 2
-	StatusBounds  = 3
-	StatusNoSpace = 4
-)
-
-// MaxSegs bounds vectored requests (mirrors the fabric's practical cap).
-const MaxSegs = 64
-
-// Seg is one segment of a vectored request.
-type Seg struct {
-	Off uint64
-	Len uint32
-}
-
-// Server serves a memory node over TCP.
-type Server struct {
-	node *memnode.Node
-	mu   sync.Mutex // the node structure is not concurrent-safe
-	ln   net.Listener
-}
-
-// NewServer wraps a memory node.
-func NewServer(node *memnode.Node) *Server { return &Server{node: node} }
-
-// Listen binds the server; addr like ":7479". Returns the bound address.
-func (s *Server) Listen(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	s.ln = ln
-	return ln.Addr().String(), nil
-}
-
-// Serve accepts connections until the listener closes.
-func (s *Server) Serve() error {
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return err
-		}
-		go s.handle(conn)
-	}
-}
-
-// Close stops the listener.
-func (s *Server) Close() error {
-	if s.ln == nil {
-		return nil
-	}
-	return s.ln.Close()
-}
-
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
-	var hdr [7]byte
-	for {
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return
-		}
-		op := hdr[0]
-		pkey := binary.LittleEndian.Uint32(hdr[1:5])
-		nsegs := binary.LittleEndian.Uint16(hdr[5:7])
-		if err := s.serveOne(r, w, op, pkey, int(nsegs)); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
-		}
-	}
-}
-
-func (s *Server) serveOne(r *bufio.Reader, w *bufio.Writer, op byte, pkey uint32, nsegs int) error {
-	if nsegs > MaxSegs {
-		w.WriteByte(StatusBadOp)
-		return fmt.Errorf("too many segments")
-	}
-	segs := make([]Seg, nsegs)
-	var segHdr [12]byte
-	for i := range segs {
-		if _, err := io.ReadFull(r, segHdr[:]); err != nil {
-			return err
-		}
-		segs[i].Off = binary.LittleEndian.Uint64(segHdr[:8])
-		segs[i].Len = binary.LittleEndian.Uint32(segHdr[8:12])
-	}
-	// Drain write payloads before any early status return, to keep the
-	// stream in sync.
-	var payload []byte
-	if op == OpWrite || op == OpWriteV {
-		total := 0
-		for _, sg := range segs {
-			total += int(sg.Len)
-		}
-		payload = make([]byte, total)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return err
-		}
-	}
-	if pkey != s.node.ProtKey {
-		w.WriteByte(StatusBadKey)
-		return nil
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch op {
-	case OpRead, OpReadV:
-		// Overflow-safe bounds check up front: a malformed request gets a
-		// status byte back, never a daemon crash.
-		for _, sg := range segs {
-			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
-				w.WriteByte(StatusBounds)
-				return nil
-			}
-		}
-		w.WriteByte(StatusOK)
-		buf := make([]byte, 0, 4096)
-		for _, sg := range segs {
-			if cap(buf) < int(sg.Len) {
-				buf = make([]byte, sg.Len)
-			}
-			b := buf[:sg.Len]
-			if err := s.node.ReadAt(sg.Off, b); err != nil {
-				return err // unreachable after the pre-check
-			}
-			if _, err := w.Write(b); err != nil {
-				return err
-			}
-		}
-	case OpWrite, OpWriteV:
-		off := 0
-		for _, sg := range segs {
-			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
-				w.WriteByte(StatusBounds)
-				return nil
-			}
-			off += int(sg.Len)
-		}
-		off = 0
-		for _, sg := range segs {
-			if err := s.node.WriteAt(sg.Off, payload[off:off+int(sg.Len)]); err != nil {
-				return err // unreachable after the pre-check
-			}
-			off += int(sg.Len)
-		}
-		w.WriteByte(StatusOK)
-	case OpAlloc:
-		// segs[0].Len carries the page count.
-		if nsegs != 1 {
-			w.WriteByte(StatusBadOp)
-			return nil
-		}
-		base, err := s.node.AllocRange(uint64(segs[0].Len))
-		if err != nil {
-			w.WriteByte(StatusNoSpace)
-			return nil
-		}
-		w.WriteByte(StatusOK)
-		var out [8]byte
-		binary.LittleEndian.PutUint64(out[:], base)
-		w.Write(out[:])
-	case OpInfo:
-		w.WriteByte(StatusOK)
-		var out [16]byte
-		binary.LittleEndian.PutUint64(out[:8], s.node.Size())
-		binary.LittleEndian.PutUint64(out[8:], uint64(s.node.PagesInUse()))
-		w.Write(out[:])
-	default:
-		w.WriteByte(StatusBadOp)
-	}
-	return nil
-}
-
-// Client dial/IO defaults. They are generous for a LAN; tests and
-// latency-sensitive callers tighten them with SetTimeouts.
-const (
-	DefaultDialTimeout = 2 * time.Second
-	DefaultIOTimeout   = 2 * time.Second
-	DefaultRedials     = 3
-	redialBackoffBase  = 25 * time.Millisecond
-	redialBackoffCap   = 500 * time.Millisecond
-)
-
-// StatusError is a non-OK response from the daemon: the request was
-// received, parsed, and rejected. The connection stays usable, so the
-// client does not retry these.
-type StatusError struct {
-	Op     string
-	Status byte
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("transport: %s failed with status %d", e.Op, e.Status)
-}
-
-func statusErr(op string, status byte) error {
-	if status == StatusOK {
-		return nil
-	}
-	return &StatusError{Op: op, Status: status}
-}
-
-// Client is a computing-node-side connection to a memory node daemon.
-// Every request runs under an I/O deadline; a timed-out or broken
-// connection is torn down and redialed with exponential backoff, and the
-// whole request is resent on the fresh connection (safe because the
-// protocol is stateless per message). A dead server therefore surfaces as
-// an error after a bounded delay instead of blocking forever.
-type Client struct {
-	addr        string
-	pkey        uint32
-	dialTimeout time.Duration
-	ioTimeout   time.Duration
-	redials     int
-
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-// Dial connects to a memory node daemon with the default timeouts.
-func Dial(addr string, pkey uint32) (*Client, error) {
-	c := &Client{
-		addr:        addr,
-		pkey:        pkey,
-		dialTimeout: DefaultDialTimeout,
-		ioTimeout:   DefaultIOTimeout,
-		redials:     DefaultRedials,
-	}
-	c.mu.Lock()
-	err := c.ensure()
-	c.mu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	return c, nil
-}
-
-// SetTimeouts adjusts the deadline and reconnection policy: zero durations
-// keep the current values, a negative redials disables reconnection
-// entirely, redials >= 0 sets the redial attempt count.
-func (c *Client) SetTimeouts(dial, io time.Duration, redials int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if dial > 0 {
-		c.dialTimeout = dial
-	}
-	if io > 0 {
-		c.ioTimeout = io
-	}
-	if redials < 0 {
-		c.redials = 0
-	} else {
-		c.redials = redials
-	}
-}
-
-// Close tears the connection down.
-func (c *Client) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
-		return nil
-	}
-	err := c.conn.Close()
-	c.conn, c.r, c.w = nil, nil, nil
-	return err
-}
-
-// ensure dials if the client has no live connection. Caller holds c.mu.
-func (c *Client) ensure() error {
-	if c.conn != nil {
-		return nil
-	}
-	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
-	if err != nil {
-		return err
-	}
-	c.conn = conn
-	c.r = bufio.NewReaderSize(conn, 64<<10)
-	c.w = bufio.NewWriterSize(conn, 64<<10)
-	return nil
-}
-
-// teardown drops a connection in an unknown state. Caller holds c.mu.
-func (c *Client) teardown() {
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn, c.r, c.w = nil, nil, nil
-	}
-}
-
-// transact runs one request/response exchange under the deadline and
-// reconnection policy. recv consumes the response (status byte already
-// read) through c.r.
-func (c *Client) transact(opName string, op byte, segs []Seg, payload []byte, recv func(status byte) error) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	backoff := redialBackoffBase
-	var lastErr error
-	for attempt := 0; attempt <= c.redials; attempt++ {
-		if attempt > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if backoff > redialBackoffCap {
-				backoff = redialBackoffCap
-			}
-		}
-		if err := c.ensure(); err != nil {
-			lastErr = err
-			continue
-		}
-		if c.ioTimeout > 0 {
-			c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
-		}
-		status, err := c.request(op, segs, payload)
-		if err == nil {
-			if err = recv(status); err == nil {
-				return nil
-			}
-			var se *StatusError
-			if errors.As(err, &se) {
-				return err // daemon answered; the stream is in sync
-			}
-		}
-		// Timeout or broken pipe mid-exchange: the stream position is
-		// unknown, so drop the connection and resend the whole request on
-		// a fresh one.
-		lastErr = err
-		c.teardown()
-	}
-	return fmt.Errorf("transport: %s %s: %w", opName, c.addr, lastErr)
-}
-
-func (c *Client) request(op byte, segs []Seg, payload []byte) (byte, error) {
-	var hdr [7]byte
-	hdr[0] = op
-	binary.LittleEndian.PutUint32(hdr[1:5], c.pkey)
-	binary.LittleEndian.PutUint16(hdr[5:7], uint16(len(segs)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	var segHdr [12]byte
-	for _, sg := range segs {
-		binary.LittleEndian.PutUint64(segHdr[:8], sg.Off)
-		binary.LittleEndian.PutUint32(segHdr[8:12], sg.Len)
-		if _, err := c.w.Write(segHdr[:]); err != nil {
-			return 0, err
-		}
-	}
-	if payload != nil {
-		if _, err := c.w.Write(payload); err != nil {
-			return 0, err
-		}
-	}
-	if err := c.w.Flush(); err != nil {
-		return 0, err
-	}
-	status, err := c.r.ReadByte()
-	if err != nil {
-		return 0, err
-	}
-	return status, nil
-}
-
-// Read performs a one-sided READ into p.
-func (c *Client) Read(off uint64, p []byte) error {
-	return c.transact("read", OpRead, []Seg{{off, uint32(len(p))}}, nil, func(status byte) error {
-		if status != StatusOK {
-			return statusErr("read", status)
-		}
-		_, err := io.ReadFull(c.r, p)
-		return err
-	})
-}
-
-// Write performs a one-sided WRITE of p.
-func (c *Client) Write(off uint64, p []byte) error {
-	return c.transact("write", OpWrite, []Seg{{off, uint32(len(p))}}, p, func(status byte) error {
-		return statusErr("write", status)
-	})
-}
-
-// ReadV performs a vectored READ; bufs[i] receives segs[i].
-func (c *Client) ReadV(segs []Seg, bufs [][]byte) error {
-	return c.transact("readv", OpReadV, segs, nil, func(status byte) error {
-		if status != StatusOK {
-			return statusErr("readv", status)
-		}
-		for _, b := range bufs {
-			if _, err := io.ReadFull(c.r, b); err != nil {
-				return err
-			}
-		}
-		return nil
-	})
-}
-
-// WriteV performs a vectored WRITE of bufs to segs.
-func (c *Client) WriteV(segs []Seg, bufs [][]byte) error {
-	var payload []byte
-	for _, b := range bufs {
-		payload = append(payload, b...)
-	}
-	return c.transact("writev", OpWriteV, segs, payload, func(status byte) error {
-		return statusErr("writev", status)
-	})
-}
-
-// Alloc reserves a contiguous range of pages, returning the base offset.
-func (c *Client) Alloc(pages uint32) (uint64, error) {
-	var base uint64
-	err := c.transact("alloc", OpAlloc, []Seg{{0, pages}}, nil, func(status byte) error {
-		if status != StatusOK {
-			return statusErr("alloc", status)
-		}
-		var out [8]byte
-		if _, err := io.ReadFull(c.r, out[:]); err != nil {
-			return err
-		}
-		base = binary.LittleEndian.Uint64(out[:])
-		return nil
-	})
-	return base, err
-}
-
-// Info returns the region size and pages in use.
-func (c *Client) Info() (size uint64, inUse uint64, err error) {
-	err = c.transact("info", OpInfo, nil, nil, func(status byte) error {
-		if status != StatusOK {
-			return statusErr("info", status)
-		}
-		var out [16]byte
-		if _, err := io.ReadFull(c.r, out[:]); err != nil {
-			return err
-		}
-		size = binary.LittleEndian.Uint64(out[:8])
-		inUse = binary.LittleEndian.Uint64(out[8:])
-		return nil
-	})
-	return size, inUse, err
-}
 
 // Backing adapts a Client into the backing interface a DiLOS computing
 // node expects (fabric.Store + page-range allocation): with it, a
@@ -502,8 +26,8 @@ type Backing struct {
 }
 
 // NewBacking dials a memnoded daemon and wraps it as a Backing.
-func NewBacking(addr string, pkey uint32) (*Backing, error) {
-	c, err := Dial(addr, pkey)
+func NewBacking(addr string, pkey uint32, opts ...Option) (*Backing, error) {
+	c, err := Dial(addr, pkey, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -188,12 +188,12 @@ func TestDeadServerSurfacesError(t *testing.T) {
 			defer conn.Close() // hold the connection open, never answer
 		}
 	}()
-	c, err := Dial(ln.Addr().String(), 0xbeef)
+	c, err := Dial(ln.Addr().String(), 0xbeef,
+		WithDialTimeout(200*time.Millisecond), WithDeadline(200*time.Millisecond), WithRedials(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.SetTimeouts(200*time.Millisecond, 200*time.Millisecond, 1)
 	done := make(chan error, 1)
 	go func() { done <- c.Read(0, make([]byte, 8)) }()
 	select {
@@ -232,12 +232,12 @@ func TestReconnectAfterConnectionDrop(t *testing.T) {
 			go srv.handle(conn)
 		}
 	}()
-	c, err := Dial(ln.Addr().String(), 0xbeef)
+	c, err := Dial(ln.Addr().String(), 0xbeef,
+		WithDialTimeout(time.Second), WithDeadline(time.Second), WithRedials(3))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	c.SetTimeouts(time.Second, time.Second, 3)
 	want := []byte{1, 2, 3, 4}
 	if err := c.Write(0, want); err != nil {
 		t.Fatalf("write after connection drop: %v", err)

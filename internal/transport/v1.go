@@ -1,0 +1,275 @@
+// Legacy protocol v1: one connection, one outstanding request. A v1
+// request carries no tag — [op u8][pkey u32][nsegs u16], segments, write
+// payloads — and the response is a bare status byte plus payload. Server
+// still speaks it (per-connection version sniffing), and V1Client is kept
+// as the baseline the pipelined v2 Client is measured against in ext9.
+
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// V1Client is a computing-node-side connection speaking protocol v1.
+// Every request runs under an I/O deadline; a timed-out or broken
+// connection is torn down and redialed with exponential backoff, and the
+// whole request is resent on the fresh connection (safe because the
+// protocol is stateless per message). A dead server therefore surfaces as
+// an error after a bounded delay instead of blocking forever.
+type V1Client struct {
+	addr        string
+	pkey        uint32
+	dialTimeout time.Duration
+	ioTimeout   time.Duration
+	redials     int
+
+	mu      sync.Mutex
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	scratch []byte // reused WriteV payload assembly buffer
+}
+
+// DialV1 connects to a memory node daemon with the default timeouts.
+func DialV1(addr string, pkey uint32) (*V1Client, error) {
+	c := &V1Client{
+		addr:        addr,
+		pkey:        pkey,
+		dialTimeout: DefaultDialTimeout,
+		ioTimeout:   DefaultIOTimeout,
+		redials:     DefaultRedials,
+	}
+	c.mu.Lock()
+	err := c.ensure()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// SetTimeouts adjusts the deadline and reconnection policy: zero durations
+// keep the current values, a negative redials disables reconnection
+// entirely, redials >= 0 sets the redial attempt count.
+func (c *V1Client) SetTimeouts(dial, io time.Duration, redials int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dial > 0 {
+		c.dialTimeout = dial
+	}
+	if io > 0 {
+		c.ioTimeout = io
+	}
+	if redials < 0 {
+		c.redials = 0
+	} else {
+		c.redials = redials
+	}
+}
+
+// Close tears the connection down.
+func (c *V1Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn, c.r, c.w = nil, nil, nil
+	return err
+}
+
+// ensure dials if the client has no live connection. Caller holds c.mu.
+func (c *V1Client) ensure() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReaderSize(conn, 64<<10)
+	c.w = bufio.NewWriterSize(conn, 64<<10)
+	return nil
+}
+
+// teardown drops a connection in an unknown state. Caller holds c.mu.
+func (c *V1Client) teardown() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn, c.r, c.w = nil, nil, nil
+	}
+}
+
+// transact runs one request/response exchange under the deadline and
+// reconnection policy. recv consumes the response (status byte already
+// read) through c.r.
+func (c *V1Client) transact(opName string, op byte, segs []Seg, payload []byte, recv func(status byte) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.transactLocked(opName, op, segs, payload, recv)
+}
+
+// transactLocked is transact with c.mu already held.
+func (c *V1Client) transactLocked(opName string, op byte, segs []Seg, payload []byte, recv func(status byte) error) error {
+	backoff := redialBackoffBase
+	var lastErr error
+	for attempt := 0; attempt <= c.redials; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > redialBackoffCap {
+				backoff = redialBackoffCap
+			}
+		}
+		if err := c.ensure(); err != nil {
+			lastErr = err
+			continue
+		}
+		if c.ioTimeout > 0 {
+			c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+		}
+		status, err := c.request(op, segs, payload)
+		if err == nil {
+			if err = recv(status); err == nil {
+				return nil
+			}
+			var se *StatusError
+			if errors.As(err, &se) {
+				return err // daemon answered; the stream is in sync
+			}
+		}
+		// Timeout or broken pipe mid-exchange: the stream position is
+		// unknown, so drop the connection and resend the whole request on
+		// a fresh one.
+		lastErr = err
+		c.teardown()
+	}
+	return fmt.Errorf("transport: %s %s: %w", opName, c.addr, lastErr)
+}
+
+func (c *V1Client) request(op byte, segs []Seg, payload []byte) (byte, error) {
+	var hdr [7]byte
+	hdr[0] = op
+	binary.LittleEndian.PutUint32(hdr[1:5], c.pkey)
+	binary.LittleEndian.PutUint16(hdr[5:7], uint16(len(segs)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	var segHdr [segHdrLen]byte
+	for _, sg := range segs {
+		binary.LittleEndian.PutUint64(segHdr[:8], sg.Off)
+		binary.LittleEndian.PutUint32(segHdr[8:12], sg.Len)
+		if _, err := c.w.Write(segHdr[:]); err != nil {
+			return 0, err
+		}
+	}
+	if payload != nil {
+		if _, err := c.w.Write(payload); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	status, err := c.r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return status, nil
+}
+
+// Read performs a one-sided READ into p.
+func (c *V1Client) Read(off uint64, p []byte) error {
+	return c.transact("read", OpRead, []Seg{{off, uint32(len(p))}}, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("read", status)
+		}
+		_, err := io.ReadFull(c.r, p)
+		return err
+	})
+}
+
+// Write performs a one-sided WRITE of p.
+func (c *V1Client) Write(off uint64, p []byte) error {
+	return c.transact("write", OpWrite, []Seg{{off, uint32(len(p))}}, p, func(status byte) error {
+		return statusErr("write", status)
+	})
+}
+
+// ReadV performs a vectored READ; bufs[i] receives segs[i].
+func (c *V1Client) ReadV(segs []Seg, bufs [][]byte) error {
+	return c.transact("readv", OpReadV, segs, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("readv", status)
+		}
+		for _, b := range bufs {
+			if _, err := io.ReadFull(c.r, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteV performs a vectored WRITE of bufs to segs. The payload is
+// assembled into a scratch buffer that survives across calls (grown, never
+// re-allocated per request — the resend path needs a stable copy).
+func (c *V1Client) WriteV(segs []Seg, bufs [][]byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, b := range bufs {
+		total += len(b)
+	}
+	c.scratch = growTo(c.scratch, total)
+	n := 0
+	for _, b := range bufs {
+		n += copy(c.scratch[n:], b)
+	}
+	return c.transactLocked("writev", OpWriteV, segs, c.scratch[:total], func(status byte) error {
+		return statusErr("writev", status)
+	})
+}
+
+// Alloc reserves a contiguous range of pages, returning the base offset.
+func (c *V1Client) Alloc(pages uint32) (uint64, error) {
+	var base uint64
+	err := c.transact("alloc", OpAlloc, []Seg{{0, pages}}, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("alloc", status)
+		}
+		var out [8]byte
+		if _, err := io.ReadFull(c.r, out[:]); err != nil {
+			return err
+		}
+		base = binary.LittleEndian.Uint64(out[:])
+		return nil
+	})
+	return base, err
+}
+
+// Info returns the region size and pages in use.
+func (c *V1Client) Info() (size uint64, inUse uint64, err error) {
+	err = c.transact("info", OpInfo, nil, nil, func(status byte) error {
+		if status != StatusOK {
+			return statusErr("info", status)
+		}
+		var out [16]byte
+		if _, err := io.ReadFull(c.r, out[:]); err != nil {
+			return err
+		}
+		size = binary.LittleEndian.Uint64(out[:8])
+		inUse = binary.LittleEndian.Uint64(out[8:])
+		return nil
+	})
+	return size, inUse, err
+}
