@@ -38,6 +38,7 @@ type ClientStats struct {
 	BreakerFast  atomic.Int64 // submissions failed fast on an open breaker
 	BreakerProbe atomic.Int64 // half-open trial requests admitted
 	Recoveries   atomic.Int64 // breaker closed again after a probe succeeded
+	LateDrained  atomic.Int64 // late responses for budget-expired tags drained off a live connection
 	Inflight     atomic.Int64 // current in-flight requests
 	InflightPeak atomic.Int64 // high-water mark of Inflight
 }
@@ -56,6 +57,7 @@ func (st *ClientStats) Snapshot() map[string]int64 {
 		"transport.breaker.fast":     st.BreakerFast.Load(),
 		"transport.breaker.probes":   st.BreakerProbe.Load(),
 		"transport.breaker.recovers": st.Recoveries.Load(),
+		"transport.late_drained":     st.LateDrained.Load(),
 		"transport.inflight":         st.Inflight.Load(),
 		"transport.inflight.peak":    st.InflightPeak.Load(),
 	}
@@ -215,8 +217,10 @@ type lane struct {
 	w       *bufio.Writer
 	gen     uint64
 	pending map[uint64]*call
+	expired map[uint64]int // budget-expired tags → OK-payload bytes still owed on this conn
 	nextTag uint64
 	dialing bool
+	readers sync.WaitGroup // live reader goroutines (at most one per generation)
 
 	slots    chan struct{} // depth tokens; a token per in-flight call
 	submitMu sync.Mutex    // fairness: batch slot acquisition is atomic
@@ -244,6 +248,7 @@ func Dial(addr string, pkey uint32, opts ...Option) (*Client, error) {
 		l := &lane{
 			c:       c,
 			pending: make(map[uint64]*call),
+			expired: make(map[uint64]int),
 			slots:   make(chan struct{}, c.depth),
 			wake:    make(chan struct{}, 1),
 		}
@@ -258,7 +263,11 @@ func Dial(addr string, pkey uint32, opts ...Option) (*Client, error) {
 	return c, nil
 }
 
-// Close tears every lane down and fails all pending requests.
+// Close tears every lane down and fails all pending requests. Pending
+// calls are failed only after the lane's reader has exited: the reader
+// copies response payloads straight into caller buffers, so completing a
+// call while it is still copying would return a buffer to the caller
+// that is being concurrently written.
 func (c *Client) Close() error {
 	c.closed.Store(true)
 	c.closeOnce.Do(func() { close(c.closedCh) })
@@ -269,6 +278,9 @@ func (c *Client) Close() error {
 			l.conn, l.w = nil, nil
 			l.gen++
 		}
+		l.mu.Unlock()
+		l.readers.Wait() // reader exits promptly: its conn is closed
+		l.mu.Lock()
 		for tag, cl := range l.pending {
 			delete(l.pending, tag)
 			l.finish(cl, 0, ErrClosed)
@@ -298,6 +310,8 @@ func (l *lane) dial() error {
 	gen := l.gen
 	l.conn = conn
 	l.w = bufio.NewWriterSize(conn, 64<<10)
+	clear(l.expired) // late responses can only arrive on the conn that saw the request
+	l.readers.Add(1)
 	l.mu.Unlock()
 	go l.reader(conn, br, gen)
 	return nil
@@ -512,6 +526,7 @@ var errMute = errors.New("no response within budget")
 // the stream position is unknown, so the connection is torn down and the
 // survivors resent.
 func (l *lane) reader(conn net.Conn, br *bufio.Reader, gen uint64) {
+	defer l.readers.Done()
 	var hdr [respHdrLen]byte
 	for {
 		l.mu.Lock()
@@ -553,8 +568,28 @@ func (l *lane) reader(conn net.Conn, br *bufio.Reader, gen uint64) {
 		cl := l.pending[tag]
 		l.mu.Unlock()
 		if cl == nil {
-			l.ioError(conn, gen, fmt.Errorf("transport: response for unknown tag %d", tag))
-			return
+			// Not pending: either a tag whose budget already expired (the
+			// server answered late) or a genuine protocol error. Draining
+			// the late response keeps the connection alive, so one slow
+			// request cannot trigger a teardown that resends everything
+			// else in flight.
+			l.mu.Lock()
+			owed, late := l.expired[tag]
+			delete(l.expired, tag)
+			l.mu.Unlock()
+			if !late {
+				l.ioError(conn, gen, fmt.Errorf("transport: response for unknown tag %d", tag))
+				return
+			}
+			l.c.Stats.LateDrained.Add(1)
+			if status == StatusOK && owed > 0 {
+				conn.SetReadDeadline(time.Now().Add(l.c.deadline + readQuantum))
+				if _, err := io.CopyN(io.Discard, br, int64(owed)); err != nil {
+					l.ioError(conn, gen, err)
+					return
+				}
+			}
+			continue
 		}
 		if status == StatusOK {
 			// The payload follows immediately; give it the full budget (a
@@ -614,12 +649,30 @@ func (l *lane) ioError(conn net.Conn, gen uint64, err error) {
 	}
 }
 
-// expireLocked fails every call whose budget has run out.
+// expiredTagCap bounds the expired-tag table. Tags are monotonic and
+// never reused, so evicting an arbitrary entry can only cause a spurious
+// teardown if a response arrives later than expiredTagCap successors —
+// a black-holing server, which teardown handles anyway.
+const expiredTagCap = 1024
+
+// expireLocked fails every call whose budget has run out. While the
+// connection is still up, the expired tag is remembered (with the
+// payload length an OK response would carry) so the reader can drain a
+// late answer instead of treating it as an unknown tag.
 func (l *lane) expireLocked(cause error) {
 	now := time.Now()
 	for tag, cl := range l.pending {
 		if now.After(cl.deadline) {
 			delete(l.pending, tag)
+			if l.conn != nil {
+				if len(l.expired) >= expiredTagCap {
+					for t := range l.expired {
+						delete(l.expired, t)
+						break
+					}
+				}
+				l.expired[tag] = respPayloadLen(cl.op, cl.segs)
+			}
 			l.c.Stats.Timeouts.Add(1)
 			l.finish(cl, 0, fmt.Errorf("transport: %s %s: budget exhausted (%v): %w",
 				opName(cl.op), l.c.addr, cause, ErrDeadline))
@@ -698,6 +751,7 @@ func (l *lane) redial() {
 		gen := l.gen
 		l.conn = conn
 		l.w = bufio.NewWriterSize(conn, 64<<10)
+		clear(l.expired) // stale: they belonged to the previous connection
 		resendErr := error(nil)
 		for _, cl := range l.pending {
 			if resendErr = l.writeCallLocked(cl); resendErr != nil {
@@ -716,6 +770,7 @@ func (l *lane) redial() {
 			continue
 		}
 		l.dialing = false
+		l.readers.Add(1)
 		l.mu.Unlock()
 		go l.reader(conn, br, gen)
 		return

@@ -113,10 +113,18 @@ func (s *Server) Serve() error {
 // Draining reports whether the server has entered its drain phase.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Drain performs a graceful shutdown: stop accepting, answer every new
-// request with StatusDraining (in-flight ones complete normally), wait up
-// to grace for clients to hang up on their own, then close the stragglers
-// and wait for every handler goroutine to exit.
+// Drain performs a graceful shutdown: stop accepting, answer every
+// request parsed after this point with StatusDraining (requests already
+// parsed off a stream complete normally — the flag is snapshot at parse
+// time), wait up to grace for clients to hang up on their own, then close
+// the stragglers and wait for every handler goroutine to exit.
+//
+// Connections that keep probing a draining server are answered, not hung
+// up on — PING deliberately reports "alive but shutting down" so health
+// monitors can distinguish a drain from a crash. Grace therefore bounds
+// how long such lingering connections can hold the daemon open; clients
+// that re-route on ErrDraining and close their end let Drain return
+// early.
 func (s *Server) Drain(grace time.Duration) {
 	s.draining.Store(true)
 	if s.ln != nil {
@@ -187,13 +195,14 @@ func (s *Server) handle(conn net.Conn) {
 // request is one parsed request plus its response frame, recycled through
 // a per-connection free list so the hot path allocates nothing.
 type request struct {
-	tag    uint64
-	op     byte
-	pkey   uint32
-	status byte // statusExec, or a parse-time rejection
-	segs   []Seg
-	buf    []byte // write payload (reused)
-	out    []byte // response frame [tag][status][payload] (reused)
+	tag      uint64
+	op       byte
+	pkey     uint32
+	status   byte // statusExec, or a parse-time rejection
+	draining bool // drain flag snapshot at parse time (see Drain)
+	segs     []Seg
+	buf      []byte // write payload (reused)
+	out      []byte // response frame [tag][status][payload] (reused)
 }
 
 // growTo returns b resized to n bytes, reusing its capacity when possible.
@@ -283,31 +292,52 @@ func (s *Server) readLoopV2(br *bufio.Reader, free, reqs chan *request) {
 				if _, err := io.ReadFull(br, sub[:]); err != nil {
 					return
 				}
-				if sub[0] == OpBatch { // no nesting
+				if sub[0] == OpBatch { // no nesting: the body shape is unknowable
 					return
 				}
+				// Sub-ops are restricted to READ/WRITE/READV/WRITEV/PING
+				// (wire.go): a smuggled ALLOC would leak its range on every
+				// resend. The body still parses generically, so answer
+				// StatusBadOp per-op and keep the stream usable.
+				force := byte(statusExec)
+				if !batchSubOpOK(sub[0]) {
+					force = StatusBadOp
+				}
 				ok = s.readOne(br, free, reqs, sub[0], pkey, tag+uint64(k),
-					int(binary.LittleEndian.Uint16(sub[1:3])))
+					int(binary.LittleEndian.Uint16(sub[1:3])), force)
 			}
 			if !ok {
 				return
 			}
 			continue
 		}
-		if !s.readOne(br, free, reqs, op, pkey, tag, nsegs) {
+		if !s.readOne(br, free, reqs, op, pkey, tag, nsegs, statusExec) {
 			return
 		}
 	}
+}
+
+// batchSubOpOK reports whether op may ride inside a doorbell frame: the
+// wire contract restricts sub-ops to the idempotent data-path set.
+func batchSubOpOK(op byte) bool {
+	switch op {
+	case OpRead, OpWrite, OpReadV, OpWriteV, OpPing:
+		return true
+	}
+	return false
 }
 
 // readOne parses one request body off the stream into a pooled request and
 // queues it for execution. Malformed requests (too many segments, segments
 // or payloads beyond the caps) are fully consumed — discarded, never
 // buffered — and answered with a status byte so the stream stays usable.
+// status is statusExec for a request that should execute, or a parse-time
+// rejection decided by the caller (still consumes the declared body).
 // Only a broken stream returns false.
-func (s *Server) readOne(br *bufio.Reader, free, reqs chan *request, op byte, pkey uint32, tag uint64, nsegs int) bool {
+func (s *Server) readOne(br *bufio.Reader, free, reqs chan *request, op byte, pkey uint32, tag uint64, nsegs int, status byte) bool {
 	rq := <-free
-	rq.tag, rq.op, rq.pkey, rq.status = tag, op, pkey, statusExec
+	rq.tag, rq.op, rq.pkey, rq.status = tag, op, pkey, status
+	rq.draining = s.draining.Load()
 	rq.segs = rq.segs[:0]
 	if err := s.readBody(br, rq, nsegs); err != nil {
 		free <- rq
@@ -407,7 +437,10 @@ func (s *Server) shardSpan(segs []Seg) (lo, hi int) {
 // rq.out past the header. Region access happens under the shard locks
 // covering the request's span, taken in ascending order.
 func (s *Server) run(rq *request) byte {
-	if s.draining.Load() {
+	// The drain decision was taken when the request was parsed, so a
+	// request already queued when Drain flipped the flag completes
+	// normally, as the Drain contract promises.
+	if rq.draining {
 		s.DrainedReqs.Add(1)
 		return StatusDraining
 	}
@@ -419,6 +452,9 @@ func (s *Server) run(rq *request) byte {
 		s.Pings.Add(1)
 		return StatusOK
 	case OpRead, OpReadV:
+		if len(rq.segs) == 0 {
+			return StatusOK // zero-seg vectored op: nothing to copy, nothing to lock
+		}
 		for _, sg := range rq.segs {
 			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
 				return StatusBounds
@@ -440,6 +476,9 @@ func (s *Server) run(rq *request) byte {
 		s.Reads.Add(int64(len(rq.segs)))
 		return StatusOK
 	case OpWrite, OpWriteV:
+		if len(rq.segs) == 0 {
+			return StatusOK
+		}
 		for _, sg := range rq.segs {
 			if s.node.CheckRange(sg.Off, uint64(sg.Len)) != nil {
 				return StatusBounds
@@ -501,6 +540,7 @@ func (s *Server) serveV1(conn net.Conn, br *bufio.Reader) {
 		rq.pkey = binary.LittleEndian.Uint32(hdr[1:5])
 		rq.tag = 0
 		rq.status = statusExec
+		rq.draining = s.draining.Load()
 		rq.segs = rq.segs[:0]
 		if rq.op == OpBatch { // v2-only frame on a v1 stream: protocol error
 			return

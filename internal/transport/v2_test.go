@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -672,6 +673,258 @@ func TestWireCompat(t *testing.T) {
 	}
 	if resp[8] != StatusOK {
 		t.Fatalf("status %d", resp[8])
+	}
+}
+
+// --- review regressions ---------------------------------------------------
+
+// TestZeroSegRequestsAnswerOK: a vectored op with zero segments is a
+// no-op, not a panic — the seed server answered these StatusOK and a
+// client must not be able to crash the daemon with an empty READV.
+func TestZeroSegRequestsAnswerOK(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr, 0xbeef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.ReadV(nil, nil); err != nil {
+		t.Fatalf("zero-seg READV: %v", err)
+	}
+	if err := c.WriteV(nil, nil); err != nil {
+		t.Fatalf("zero-seg WRITEV: %v", err)
+	}
+	// The daemon must still be alive with the stream usable.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("server unusable after zero-seg requests: %v", err)
+	}
+	if c.Stats.Redials.Load() != 0 {
+		t.Fatal("zero-seg requests caused a redial")
+	}
+}
+
+// readV2Req consumes one v2 request frame (header + segment headers) and
+// returns its tag and total declared payload/response length.
+func readV2Req(br *bufio.Reader) (tag uint64, n int, ok bool) {
+	var hdr [reqHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, 0, false
+	}
+	tag = binary.LittleEndian.Uint64(hdr[5:13])
+	nsegs := int(binary.LittleEndian.Uint16(hdr[13:15]))
+	for i := 0; i < nsegs; i++ {
+		var sh [segHdrLen]byte
+		if _, err := io.ReadFull(br, sh[:]); err != nil {
+			return 0, 0, false
+		}
+		n += int(binary.LittleEndian.Uint32(sh[8:12]))
+	}
+	return tag, n, true
+}
+
+// TestLateResponseKeepsConnection: a response arriving after its
+// request's budget expired must be drained by tag, not treated as an
+// unknown-tag protocol error that tears the connection down and resends
+// every other in-flight request.
+func TestLateResponseKeepsConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		var hello [4]byte
+		if _, err := io.ReadFull(br, hello[:]); err != nil {
+			return
+		}
+		reply := func(tag uint64, n int) {
+			resp := make([]byte, respHdrLen+n)
+			binary.LittleEndian.PutUint64(resp[:8], tag)
+			resp[8] = StatusOK
+			conn.Write(resp)
+		}
+		// Withhold the first answer until the second request arrives — by
+		// then the first call's budget has expired client-side — then
+		// answer both, late one first, and keep serving promptly.
+		tag0, n0, ok := readV2Req(br)
+		if !ok {
+			return
+		}
+		tag1, n1, ok := readV2Req(br)
+		if !ok {
+			return
+		}
+		reply(tag0, n0)
+		reply(tag1, n1)
+		for {
+			tag, n, ok := readV2Req(br)
+			if !ok {
+				return
+			}
+			reply(tag, n)
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), 0xbeef,
+		WithDeadline(200*time.Millisecond), WithRedials(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	p, err := c.AsyncRead(0, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Wait(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("withheld response: want ErrDeadline, got %v", err)
+	}
+	// The second request flushes both answers; the late one carries an
+	// expired tag plus 64 payload bytes the reader must drain for this
+	// one to complete on the same connection.
+	if err := c.Read(0, make([]byte, 64)); err != nil {
+		t.Fatalf("request after a late response: %v", err)
+	}
+	if got := c.Stats.Redials.Load(); got != 0 {
+		t.Fatalf("late response caused %d redials; the connection must survive", got)
+	}
+	if got := c.Stats.LateDrained.Load(); got != 1 {
+		t.Fatalf("LateDrained = %d, want 1", got)
+	}
+}
+
+// TestCloseWaitsForReader: Close must not complete a pending call while
+// the lane reader may still be copying a payload into the caller's
+// buffer — once Wait returns, the buffer belongs to the caller again.
+// Under -race this pins the Close/readPayload window.
+func TestCloseWaitsForReader(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	partialSent := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		var hello [4]byte
+		if _, err := io.ReadFull(br, hello[:]); err != nil {
+			return
+		}
+		tag, n, ok := readV2Req(br)
+		if !ok {
+			return
+		}
+		// Answer with the header and half the payload, then stall with
+		// the connection held open: the client reader is left blocked
+		// mid-readPayload, the exact window the old Close raced.
+		resp := make([]byte, respHdrLen+n/2)
+		binary.LittleEndian.PutUint64(resp[:8], tag)
+		resp[8] = StatusOK
+		conn.Write(resp)
+		close(partialSent)
+		<-release
+	}()
+	c, err := Dial(ln.Addr().String(), 0xbeef,
+		WithDeadline(5*time.Second), WithRedials(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Read(0, buf) }()
+	<-partialSent
+	time.Sleep(20 * time.Millisecond) // let the reader enter readPayload
+	c.Close()
+	if err := <-errCh; !errors.Is(err, ErrClosed) {
+		t.Fatalf("read interrupted by Close = %v, want ErrClosed", err)
+	}
+	// Wait returned, so the buffer is the caller's again; writing it must
+	// not race a reader goroutine.
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+}
+
+// TestBatchRejectsRestrictedSubOps: wire.go restricts doorbell sub-ops
+// to READ/WRITE/READV/WRITEV/PING. A smuggled ALLOC must come back
+// StatusBadOp — without allocating anything a resend could leak — on a
+// stream that stays usable for its batch neighbours.
+func TestBatchRejectsRestrictedSubOps(t *testing.T) {
+	_, addr, node := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(helloMagic[:]); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, reqHdrLen)
+	frame[0] = OpBatch
+	binary.LittleEndian.PutUint32(frame[1:5], 0xbeef)
+	binary.LittleEndian.PutUint64(frame[5:13], 100) // tag0
+	binary.LittleEndian.PutUint16(frame[13:15], 2)  // two sub-ops
+	// Sub-op 0: ALLOC of 4 pages (1 seg whose Len carries the count).
+	frame = append(frame, OpAlloc, 1, 0)
+	seg := make([]byte, segHdrLen)
+	binary.LittleEndian.PutUint32(seg[8:12], 4)
+	frame = append(frame, seg...)
+	// Sub-op 1: PING.
+	frame = append(frame, OpPing, 0, 0)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	statuses := map[uint64]byte{} // completions may arrive out of order
+	var resp [respHdrLen]byte
+	for i := 0; i < 2; i++ {
+		if _, err := io.ReadFull(conn, resp[:]); err != nil {
+			t.Fatal(err)
+		}
+		statuses[binary.LittleEndian.Uint64(resp[:8])] = resp[8]
+	}
+	if statuses[100] != StatusBadOp {
+		t.Fatalf("smuggled ALLOC sub-op: status %d, want StatusBadOp", statuses[100])
+	}
+	if statuses[101] != StatusOK {
+		t.Fatalf("PING sub-op beside rejected ALLOC: status %d, want StatusOK", statuses[101])
+	}
+	if got := node.PagesInUse(); got != 0 {
+		t.Fatalf("rejected ALLOC still allocated %d pages", got)
+	}
+}
+
+// TestDrainSnapshotAtParseTime: the drain decision is taken when a
+// request is parsed off the stream, not when it executes, so a request
+// already queued when Drain flips the flag completes normally — exactly
+// what the Drain contract promises.
+func TestDrainSnapshotAtParseTime(t *testing.T) {
+	node := memnode.New(16<<20, 0xbeef)
+	srv := NewServer(node)
+	srv.draining.Store(true)
+	// Parsed before the flip: executes despite the live drain flag.
+	rq := &request{op: OpPing, pkey: 0xbeef, status: statusExec}
+	if got := srv.run(rq); got != StatusOK {
+		t.Fatalf("request parsed before drain = status %d, want StatusOK", got)
+	}
+	// Parsed after the flip: refused.
+	rq = &request{op: OpPing, pkey: 0xbeef, status: statusExec, draining: true}
+	if got := srv.run(rq); got != StatusDraining {
+		t.Fatalf("request parsed during drain = status %d, want StatusDraining", got)
+	}
+	if got := srv.DrainedReqs.Load(); got != 1 {
+		t.Fatalf("DrainedReqs = %d, want 1", got)
 	}
 }
 
