@@ -11,7 +11,10 @@ import (
 	"fmt"
 	"testing"
 
+	"dilos/internal/core"
 	"dilos/internal/experiments"
+	"dilos/internal/fabric"
+	"dilos/internal/sim"
 )
 
 // benchScale keeps every benchmark iteration under a couple of seconds
@@ -312,5 +315,45 @@ func BenchmarkExtMultiNode(b *testing.B) {
 		for _, r := range rows {
 			b.ReportMetric(r.ReadGBs, fmt.Sprintf("nodes%d-read-GBs", r.Nodes))
 		}
+	}
+}
+
+// BenchmarkFaultPath measures the host-side (real CPU) cost of one major
+// fault through the sharded manager — simulator overhead, not simulated
+// latency. The working set is 8× the cache, so every touch in the cycle
+// is a major fault with eviction pressure behind it. Guarded by the CI
+// bench-baseline check: ns/op regressions past 10% fail the shard-smoke
+// job.
+func BenchmarkFaultPath(b *testing.B) {
+	const pages = 8192
+	eng := sim.New()
+	sys := core.New(eng, core.Config{
+		CacheFrames: pages / 8,
+		Cores:       2,
+		Shards:      2,
+		RemoteBytes: pages*core.PageSize + (64 << 20),
+		Fabric:      fabric.DefaultParams(),
+		Batch:       true,
+	})
+	sys.Start()
+	sys.Launch("bench", 0, func(sp *core.DDCProc) {
+		base, err := sys.MmapDDC(pages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Warm up: size the slot table and scratch arenas.
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*core.PageSize, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp.LoadU64(base + uint64(i)%pages*core.PageSize)
+		}
+		b.StopTimer()
+	})
+	eng.Run()
+	if sys.MajorFaults.N < int64(b.N) {
+		b.Fatalf("only %d major faults for %d iterations — not exercising the fault path", sys.MajorFaults.N, b.N)
 	}
 }

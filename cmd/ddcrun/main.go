@@ -97,6 +97,10 @@ func main() {
 		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
 	batch := flag.Bool("batch", false,
 		"doorbell-batched submission on the prefetch and cleaner paths (dilos only)")
+	coresSpec := flag.String("cores", "",
+		"comma list of core counts (e.g. 1,2,4): repeat the run once per setting with the sharded page manager at that core count, one report/stats block per setting (dilos boots Shards=N; empty = 4 cores, legacy manager)")
+	wideLocks := flag.Bool("wide-locks", false,
+		"with -cores: boot the shared-structure wide-lock baseline instead of the sharded manager (dilos only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	drainSpec := flag.String("migrate-drain", "",
@@ -202,281 +206,327 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-replicas must be between 1 and -nodes (%d)\n", *nodes)
 		os.Exit(2)
 	}
-
-	var prefetcher prefetch.Prefetcher
-	switch *pf {
-	case "none", "app-aware":
-	case "readahead":
-		prefetcher = prefetch.NewReadahead(0)
-	case "trend":
-		prefetcher = prefetch.NewTrend()
-	case "leap":
-		prefetcher = prefetch.NewLeap()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pf)
-		os.Exit(2)
-	}
-
-	eng := sim.New()
-	frames := int(float64(*pages) * *cache)
-	if frames < 96 {
-		frames = 96
-	}
-	remote := *pages*4096 + (128 << 20)
-
-	var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
-	var report func()
-	var registry *stats.Registry
-	var rec *telemetry.Recorder
-	var sampleEvery sim.Time
-	var telOf func() (*telemetry.Recorder, *telemetry.Sampler)
-	if *traceOut != "" {
-		rec = telemetry.NewRecorder(0)
-		sampleEvery = sim.Time((*sampleInterval).Nanoseconds())
-	}
-
-	var guide *redis.AppGuide
-	if *pf == "app-aware" {
-		guide = redis.NewAppGuide()
-	}
-	switch *system {
-	case "dilos":
-		cfg := core.Config{
-			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
-			Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
-			MemNodes: *nodes, Replicas: *replicas, Placement: policy,
-			Batch: *batch,
-			Tel:   rec, SampleEvery: sampleEvery,
-		}
-		if guide != nil {
-			cfg.Guide = guide
-		}
-		if chaosOn {
-			cfg.Chaos = chaos.NewInjector(chaosCfg)
-		}
-		if migrateOn {
-			cfg.Migrate = &migrate.Tuning{Watermark: *watermark}
-		}
-		if *tenants > 0 {
-			cfg.RemoteBytes = uint64(*tenants)*(*pages)*4096 + (128 << 20)
-			cfg.Tenancy = &core.TenancyConfig{
-				SlackFrames:    frames / 8,
-				RebalanceEvery: 500 * sim.Microsecond,
-				RebalanceStep:  8,
-			}
-		}
-		sys := core.New(eng, cfg)
-		var tens []*core.Tenant
-		for i := 0; i < *tenants; i++ {
-			q := tenant.Quota{Weight: 1, FloorFrames: 48}
-			if i > 0 && *tenantRate > 0 {
-				q.FabricBytesPerSec = *tenantRate
-				q.FabricBurstBytes = 16 << 10
-			}
-			spec := core.TenantSpec{Name: fmt.Sprintf("t%d", i), Quota: q}
-			if i == 0 {
-				spec.Prefetcher = prefetcher
-			} else {
-				spec.Prefetcher = prefetch.NewReadahead(0)
-			}
-			tn, err := sys.NewTenant(spec)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+	coresList := []int{0} // 0 = the 4-core default with the legacy manager
+	if *coresSpec != "" {
+		coresList = coresList[:0]
+		for _, f := range strings.Split(*coresSpec, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "-cores wants a comma list of positive core counts, got %q\n", *coresSpec)
 				os.Exit(2)
 			}
-			tens = append(tens, tn)
+			coresList = append(coresList, n)
 		}
-		sys.Start()
-		// Neighbour tenants stream stores over a working set the size of the
-		// workload's — thrashing their shares so tenant 0's numbers show what
-		// the quotas (and -tenant-rate) do and don't protect.
-		for i := 1; i < *tenants; i++ {
-			tn := tens[i]
-			cpu := 1 + (i-1)%3
-			tn.Launch("neighbour", cpu, func(sp *core.DDCProc) {
-				base, err := tn.MmapDDC(*pages)
-				if err != nil {
-					panic(err)
-				}
-				for round := 0; round < 2; round++ {
-					for p := uint64(0); p < *pages; p++ {
-						sp.StoreU64(base+p*4096, p)
-					}
-				}
-			})
+		if *tenants > 0 {
+			fmt.Fprintln(os.Stderr, "-cores boots the sharded manager, which does not compose with -tenants")
+			os.Exit(2)
 		}
-		if drainNode >= 0 {
-			// A plain proc (not a daemon) so the engine stays alive until the
-			// evacuation finishes even if the workload completes first; the
-			// cutoff bounds the run if the drain can never converge.
-			eng.Go("drain-driver", func(p *sim.Proc) {
-				p.Sleep(drainAt)
-				if err := sys.Drain(drainNode); err != nil {
-					fmt.Fprintf(os.Stderr, "drain: %v\n", err)
-					return
-				}
-				cutoff := drainAt + 500*sim.Millisecond
-				for p.Now() < cutoff {
-					if sys.Space().State(drainNode) == placement.Removed {
-						fmt.Printf("drain: node %d removed at %v (%d pages moved)\n",
-							drainNode, p.Now(), sys.Mig.PagesMoved.N)
-						return
-					}
-					p.Sleep(100 * sim.Microsecond)
-				}
-				fmt.Fprintf(os.Stderr, "drain: node %d not removed by %v (occupancy %d)\n",
-					drainNode, cutoff, sys.Space().Occupancy(drainNode))
-			})
-		}
-		registry = sys.Registry()
-		telOf = sys.Telemetry
-		app := sys
-		if len(tens) > 0 {
-			app = tens[0].Sys
-		}
-		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
-			app.Launch("app", 0, func(sp *core.DDCProc) { fn(sp, app.MmapDDC) })
-		}
-		report = func() {
-			fmt.Printf("faults: major=%d minor=%d late-map=%d prefetches=%d\n",
-				app.MajorFaults.N, app.MinorFaults.N, app.LateMapHits.N, app.Prefetches.N)
-			fmt.Printf("page manager: cleaned=%d evicted=%d sync-writes=%d\n",
-				app.Mgr.Cleaned.N, app.Mgr.Evicted.N, app.Mgr.SyncWrites.N)
-			for _, tn := range tens {
-				fmt.Printf("tenant %s: reserved=%d used=%d borrowed=%d major=%d evicted=%d alloc-waits=%d\n",
-					tn.Name, tn.View().Reserved(), tn.View().Used(), tn.View().Borrowed(),
-					tn.Sys.MajorFaults.N, tn.Sys.Mgr.Evicted.N, tn.Sys.Mgr.AllocWaits.N)
-			}
-			fmt.Printf("network: rx=%d MB tx=%d MB\n",
-				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
-			if sys.Mig != nil {
-				fmt.Printf("migration: moved=%d restarts=%d stranded=%d drains-done=%d rebalances=%d forwarded=%d\n",
-					sys.Mig.PagesMoved.N, sys.Mig.CopyRestarts.N, sys.Mig.Stranded.N,
-					sys.Mig.DrainsDone.N, sys.Mig.Rebalances.N, sys.Space().Forwarded())
-			}
-			if sys.Chaos != nil {
-				fmt.Printf("chaos: injected-fails=%d tails=%d stalls=%d node-down-ops=%d\n",
-					sys.Chaos.Fails.N, sys.Chaos.Tails.N, sys.Chaos.Stalls.N, sys.Chaos.Crashed.N)
-				fmt.Printf("recovery: retries=%d gave-up=%d replica-fetches=%d write-fails=%d "+
-					"prefetch-fails=%d rereplicated=%d breaker-trips=%d recoveries=%d\n",
-					sys.FetchRetries.Retries.N, sys.FetchRetries.GaveUp.N, sys.ReplicaFetches.N,
-					sys.Mgr.WriteFails.N, sys.PrefetchFails.N, sys.ReReplicated.N,
-					sys.Health.NodeFails.N, sys.Health.NodeRecoveries.N)
-			}
-		}
-	case "fastswap":
-		sys := fastswap.New(eng, fastswap.Config{
-			CacheFrames: frames, Cores: 4, RemoteBytes: remote,
-			Fabric: fabric.DefaultParams(),
-			Tel:    rec, SampleEvery: sampleEvery,
-		})
-		sys.Start()
-		registry = sys.Registry()
-		telOf = sys.Telemetry
-		launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
-			sys.Launch("app", 0, func(sp *fastswap.FSProc) { fn(sp, sys.MmapDDC) })
-		}
-		report = func() {
-			fmt.Printf("faults: major=%d minor=%d direct-reclaims=%d sync-writes=%d\n",
-				sys.MajorFaults.N, sys.MinorFaults.N, sys.DirectRecl.N, sys.SyncWrites.N)
-			fmt.Printf("network: rx=%d MB tx=%d MB\n",
-				sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+	}
+	if *wideLocks && *coresSpec == "" {
+		fmt.Fprintln(os.Stderr, "-wide-locks needs -cores")
 		os.Exit(2)
 	}
 
-	var elapsed sim.Time
-	var summary string
-	launch(func(sp space.Space, mmap func(uint64) (uint64, error)) {
-		switch *workload {
-		case "seqread":
-			base, _ := mmap(*pages)
-			elapsed = workloads.SeqRead(sp, base, *pages)
-			summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
-		case "seqwrite":
-			base, _ := mmap(*pages)
-			elapsed = workloads.SeqWrite(sp, base, *pages)
-			summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
-		case "quicksort":
-			n := *pages * 4096 / 8
-			base, _ := mmap(*pages + 1)
-			workloads.FillRandomU64(sp, base, n, 1)
-			elapsed = workloads.Quicksort(sp, base, n)
-			if !workloads.IsSorted(sp, base, n) {
-				summary = "SORT FAILED"
-			} else {
-				summary = fmt.Sprintf("sorted %d elements", n)
-			}
-		case "kmeans":
-			cfg := workloads.DefaultKMeans(*pages * 4096 / (15 * 8 * 4))
-			pb, ab, db := workloads.KMeansLayout(cfg)
-			base, _ := mmap((pb+ab+db)/4096 + 2)
-			workloads.KMeansInit(sp, base, cfg)
-			var inertia uint64
-			elapsed, inertia = workloads.KMeans(sp, base, base+pb, base+pb+ab, cfg)
-			summary = fmt.Sprintf("inertia=%d", inertia)
-		case "redis-get":
-			srv := redis.NewServer(sp)
-			if guide != nil {
-				guide.Install(srv, procOf(sp))
-			}
-			keys := int(*pages) / 2
-			redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
-			res := redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
-			elapsed = res.Elapsed
-			summary = fmt.Sprintf("%.0f ops/s, p99=%v, bad=%d",
-				res.ThroughputOps(), res.Latency.P99(), res.BadValues)
-		case "redis-lrange":
-			srv := redis.NewServer(sp)
-			if guide != nil {
-				guide.Install(srv, procOf(sp))
-			}
-			redis.PopulateLRANGE(srv, 64, int(*pages)*4, 100, 2)
-			res := redis.RunLRANGE(sp, srv, 64, 500, 3)
-			elapsed = res.Elapsed
-			summary = fmt.Sprintf("%.0f ops/s, p99=%v", res.ThroughputOps(), res.Latency.P99())
+	runOnce := func(coreN int) {
+		var prefetcher prefetch.Prefetcher
+		switch *pf {
+		case "none", "app-aware":
+		case "readahead":
+			prefetcher = prefetch.NewReadahead(0)
+		case "trend":
+			prefetcher = prefetch.NewTrend()
+		case "leap":
+			prefetcher = prefetch.NewLeap()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+			fmt.Fprintf(os.Stderr, "unknown prefetcher %q\n", *pf)
 			os.Exit(2)
 		}
-	})
-	eng.Run()
 
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		eng := sim.New()
+		frames := int(float64(*pages) * *cache)
+		if frames < 96 {
+			frames = 96
 		}
-		r, sam := telOf()
-		if err := telemetry.WritePerfetto(f, r, sam); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("trace: wrote %s (%d spans, %d dropped)\n",
-			*traceOut, r.Len(), r.DroppedTotal())
-	}
+		remote := *pages*4096 + (128 << 20)
 
-	fmt.Printf("%s on %s (%s, %.1f%% local): %v — %s\n",
-		*workload, *system, *pf, *cache*100, elapsed, summary)
-	if *nodes > 1 || *replicas > 1 {
-		fmt.Printf("placement: %s across %d nodes, %d replica(s) per page\n",
-			policy.Name(), *nodes, *replicas)
-	}
-	report()
-	if *dumpStats {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(registry.Snapshot()); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
+		var report func()
+		var registry *stats.Registry
+		var rec *telemetry.Recorder
+		var sampleEvery sim.Time
+		var telOf func() (*telemetry.Recorder, *telemetry.Sampler)
+		if *traceOut != "" {
+			rec = telemetry.NewRecorder(0)
+			sampleEvery = sim.Time((*sampleInterval).Nanoseconds())
 		}
+
+		var guide *redis.AppGuide
+		if *pf == "app-aware" {
+			guide = redis.NewAppGuide()
+		}
+		switch *system {
+		case "dilos":
+			coreCount := 4
+			if coreN > 0 {
+				coreCount = coreN
+			}
+			cfg := core.Config{
+				CacheFrames: frames, Cores: coreCount, RemoteBytes: remote,
+				Fabric: fabric.DefaultParams(), Prefetcher: prefetcher,
+				MemNodes: *nodes, Replicas: *replicas, Placement: policy,
+				Batch: *batch,
+				Tel:   rec, SampleEvery: sampleEvery,
+			}
+			if coreN > 0 {
+				if *wideLocks {
+					cfg.Shards, cfg.WideLocks = 1, true
+				} else {
+					cfg.Shards = coreN
+				}
+			}
+			if guide != nil {
+				cfg.Guide = guide
+			}
+			if chaosOn {
+				cfg.Chaos = chaos.NewInjector(chaosCfg)
+			}
+			if migrateOn {
+				cfg.Migrate = &migrate.Tuning{Watermark: *watermark}
+			}
+			if *tenants > 0 {
+				cfg.RemoteBytes = uint64(*tenants)*(*pages)*4096 + (128 << 20)
+				cfg.Tenancy = &core.TenancyConfig{
+					SlackFrames:    frames / 8,
+					RebalanceEvery: 500 * sim.Microsecond,
+					RebalanceStep:  8,
+				}
+			}
+			sys := core.New(eng, cfg)
+			var tens []*core.Tenant
+			for i := 0; i < *tenants; i++ {
+				q := tenant.Quota{Weight: 1, FloorFrames: 48}
+				if i > 0 && *tenantRate > 0 {
+					q.FabricBytesPerSec = *tenantRate
+					q.FabricBurstBytes = 16 << 10
+				}
+				spec := core.TenantSpec{Name: fmt.Sprintf("t%d", i), Quota: q}
+				if i == 0 {
+					spec.Prefetcher = prefetcher
+				} else {
+					spec.Prefetcher = prefetch.NewReadahead(0)
+				}
+				tn, err := sys.NewTenant(spec)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(2)
+				}
+				tens = append(tens, tn)
+			}
+			sys.Start()
+			// Neighbour tenants stream stores over a working set the size of the
+			// workload's — thrashing their shares so tenant 0's numbers show what
+			// the quotas (and -tenant-rate) do and don't protect.
+			for i := 1; i < *tenants; i++ {
+				tn := tens[i]
+				cpu := 1 + (i-1)%3
+				tn.Launch("neighbour", cpu, func(sp *core.DDCProc) {
+					base, err := tn.MmapDDC(*pages)
+					if err != nil {
+						panic(err)
+					}
+					for round := 0; round < 2; round++ {
+						for p := uint64(0); p < *pages; p++ {
+							sp.StoreU64(base+p*4096, p)
+						}
+					}
+				})
+			}
+			if drainNode >= 0 {
+				// A plain proc (not a daemon) so the engine stays alive until the
+				// evacuation finishes even if the workload completes first; the
+				// cutoff bounds the run if the drain can never converge.
+				eng.Go("drain-driver", func(p *sim.Proc) {
+					p.Sleep(drainAt)
+					if err := sys.Drain(drainNode); err != nil {
+						fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+						return
+					}
+					cutoff := drainAt + 500*sim.Millisecond
+					for p.Now() < cutoff {
+						if sys.Space().State(drainNode) == placement.Removed {
+							fmt.Printf("drain: node %d removed at %v (%d pages moved)\n",
+								drainNode, p.Now(), sys.Mig.PagesMoved.N)
+							return
+						}
+						p.Sleep(100 * sim.Microsecond)
+					}
+					fmt.Fprintf(os.Stderr, "drain: node %d not removed by %v (occupancy %d)\n",
+						drainNode, cutoff, sys.Space().Occupancy(drainNode))
+				})
+			}
+			registry = sys.Registry()
+			telOf = sys.Telemetry
+			app := sys
+			if len(tens) > 0 {
+				app = tens[0].Sys
+			}
+			launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
+				app.Launch("app", 0, func(sp *core.DDCProc) { fn(sp, app.MmapDDC) })
+			}
+			report = func() {
+				fmt.Printf("faults: major=%d minor=%d late-map=%d prefetches=%d\n",
+					app.MajorFaults.N, app.MinorFaults.N, app.LateMapHits.N, app.Prefetches.N)
+				fmt.Printf("page manager: cleaned=%d evicted=%d sync-writes=%d\n",
+					app.Mgr.Cleaned.N, app.Mgr.Evicted.N, app.Mgr.SyncWrites.N)
+				for _, tn := range tens {
+					fmt.Printf("tenant %s: reserved=%d used=%d borrowed=%d major=%d evicted=%d alloc-waits=%d\n",
+						tn.Name, tn.View().Reserved(), tn.View().Used(), tn.View().Borrowed(),
+						tn.Sys.MajorFaults.N, tn.Sys.Mgr.Evicted.N, tn.Sys.Mgr.AllocWaits.N)
+				}
+				fmt.Printf("network: rx=%d MB tx=%d MB\n",
+					sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+				if sys.Mig != nil {
+					fmt.Printf("migration: moved=%d restarts=%d stranded=%d drains-done=%d rebalances=%d forwarded=%d\n",
+						sys.Mig.PagesMoved.N, sys.Mig.CopyRestarts.N, sys.Mig.Stranded.N,
+						sys.Mig.DrainsDone.N, sys.Mig.Rebalances.N, sys.Space().Forwarded())
+				}
+				if sys.Chaos != nil {
+					fmt.Printf("chaos: injected-fails=%d tails=%d stalls=%d node-down-ops=%d\n",
+						sys.Chaos.Fails.N, sys.Chaos.Tails.N, sys.Chaos.Stalls.N, sys.Chaos.Crashed.N)
+					fmt.Printf("recovery: retries=%d gave-up=%d replica-fetches=%d write-fails=%d "+
+						"prefetch-fails=%d rereplicated=%d breaker-trips=%d recoveries=%d\n",
+						sys.FetchRetries.Retries.N, sys.FetchRetries.GaveUp.N, sys.ReplicaFetches.N,
+						sys.Mgr.WriteFails.N, sys.PrefetchFails.N, sys.ReReplicated.N,
+						sys.Health.NodeFails.N, sys.Health.NodeRecoveries.N)
+				}
+			}
+		case "fastswap":
+			coreCount := 4
+			if coreN > 0 {
+				coreCount = coreN
+			}
+			sys := fastswap.New(eng, fastswap.Config{
+				CacheFrames: frames, Cores: coreCount, RemoteBytes: remote,
+				Fabric: fabric.DefaultParams(),
+				Tel:    rec, SampleEvery: sampleEvery,
+			})
+			sys.Start()
+			registry = sys.Registry()
+			telOf = sys.Telemetry
+			launch = func(fn func(space.Space, func(uint64) (uint64, error))) {
+				sys.Launch("app", 0, func(sp *fastswap.FSProc) { fn(sp, sys.MmapDDC) })
+			}
+			report = func() {
+				fmt.Printf("faults: major=%d minor=%d direct-reclaims=%d sync-writes=%d\n",
+					sys.MajorFaults.N, sys.MinorFaults.N, sys.DirectRecl.N, sys.SyncWrites.N)
+				fmt.Printf("network: rx=%d MB tx=%d MB\n",
+					sys.Link.RxBytes.N>>20, sys.Link.TxBytes.N>>20)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+			os.Exit(2)
+		}
+
+		var elapsed sim.Time
+		var summary string
+		launch(func(sp space.Space, mmap func(uint64) (uint64, error)) {
+			switch *workload {
+			case "seqread":
+				base, _ := mmap(*pages)
+				elapsed = workloads.SeqRead(sp, base, *pages)
+				summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
+			case "seqwrite":
+				base, _ := mmap(*pages)
+				elapsed = workloads.SeqWrite(sp, base, *pages)
+				summary = fmt.Sprintf("%.2f GB/s", stats.GBps(float64(*pages*4096)/elapsed.Seconds()))
+			case "quicksort":
+				n := *pages * 4096 / 8
+				base, _ := mmap(*pages + 1)
+				workloads.FillRandomU64(sp, base, n, 1)
+				elapsed = workloads.Quicksort(sp, base, n)
+				if !workloads.IsSorted(sp, base, n) {
+					summary = "SORT FAILED"
+				} else {
+					summary = fmt.Sprintf("sorted %d elements", n)
+				}
+			case "kmeans":
+				cfg := workloads.DefaultKMeans(*pages * 4096 / (15 * 8 * 4))
+				pb, ab, db := workloads.KMeansLayout(cfg)
+				base, _ := mmap((pb+ab+db)/4096 + 2)
+				workloads.KMeansInit(sp, base, cfg)
+				var inertia uint64
+				elapsed, inertia = workloads.KMeans(sp, base, base+pb, base+pb+ab, cfg)
+				summary = fmt.Sprintf("inertia=%d", inertia)
+			case "redis-get":
+				srv := redis.NewServer(sp)
+				if guide != nil {
+					guide.Install(srv, procOf(sp))
+				}
+				keys := int(*pages) / 2
+				redis.PopulateGET(srv, keys, redis.SizeFixed(4096))
+				res := redis.RunGET(sp, srv, keys, keys*2, redis.SizeFixed(4096), 1)
+				elapsed = res.Elapsed
+				summary = fmt.Sprintf("%.0f ops/s, p99=%v, bad=%d",
+					res.ThroughputOps(), res.Latency.P99(), res.BadValues)
+			case "redis-lrange":
+				srv := redis.NewServer(sp)
+				if guide != nil {
+					guide.Install(srv, procOf(sp))
+				}
+				redis.PopulateLRANGE(srv, 64, int(*pages)*4, 100, 2)
+				res := redis.RunLRANGE(sp, srv, 64, 500, 3)
+				elapsed = res.Elapsed
+				summary = fmt.Sprintf("%.0f ops/s, p99=%v", res.ThroughputOps(), res.Latency.P99())
+			default:
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+				os.Exit(2)
+			}
+		})
+		eng.Run()
+
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			r, sam := telOf()
+			if err := telemetry.WritePerfetto(f, r, sam); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("trace: wrote %s (%d spans, %d dropped)\n",
+				*traceOut, r.Len(), r.DroppedTotal())
+		}
+
+		fmt.Printf("%s on %s (%s, %.1f%% local): %v — %s\n",
+			*workload, *system, *pf, *cache*100, elapsed, summary)
+		if *nodes > 1 || *replicas > 1 {
+			fmt.Printf("placement: %s across %d nodes, %d replica(s) per page\n",
+				policy.Name(), *nodes, *replicas)
+		}
+		report()
+		if *dumpStats {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(registry.Snapshot()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	for i, coreN := range coresList {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *coresSpec != "" {
+			fmt.Printf("=== cores=%d ===\n", coreN)
+		}
+		runOnce(coreN)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 
 	"time"
@@ -79,13 +80,53 @@ var registry = map[string]struct {
 	"ext6":   {"extension: per-fault latency anatomy from the flight recorder", runExt6},
 	"ext7":   {"extension: elastic pool — live drain + migration under load", runExt7},
 	"ext8":   {"extension: multi-tenant pool — noisy neighbour vs QoS quotas", runExt8},
+	"ext10":  {"extension: per-core fault-path scaling — sharded vs shared manager", runExt10},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext10",
+}
+
+// coresList is the parsed -cores sweep (empty = defaults, no sweep).
+var coresList []int
+
+// parseCores parses a -cores comma list like "1,2,4,8".
+func parseCores(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cores wants a comma list of positive core counts, got %q", spec)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runExp runs one experiment, once per -cores setting when a sweep is
+// active. ext10 sweeps core counts internally, so it consumes the list
+// directly instead of being looped.
+func runExp(id string, sc experiments.Scale) {
+	e := registry[id]
+	if len(coresList) == 0 || id == "ext10" {
+		e.run(sc)
+		return
+	}
+	for i, n := range coresList {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("=== cores=%d ===\n", n)
+		experiments.CoreCount = n
+		e.run(sc)
+	}
+	experiments.CoreCount = 0
 }
 
 // chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
@@ -114,7 +155,23 @@ func main() {
 		"occupancy-imbalance fraction that arms continuous auto-rebalancing on ext7's migration engine (0 = drain/join only)")
 	flag.Int64Var(&experiments.TenantAggressorRate, "tenant-rate", experiments.TenantAggressorRate,
 		"fabric token-bucket rate (bytes/s) capping ext8's aggressor tenant in the isolated leg")
+	coresSpec := flag.String("cores", "",
+		"comma list of core counts (e.g. 1,2,4,8): run each experiment once per setting with the sharded manager at that core count (one stats block per setting); ext10 sweeps exactly this list")
+	flag.BoolVar(&experiments.WideLocks, "wide-locks", false,
+		"with -cores: boot DiLOS with the shared-structure wide-lock baseline instead of the sharded manager (ext10's ablation arm, for ad-hoc runs)")
 	flag.Parse()
+	var err error
+	if coresList, err = parseCores(*coresSpec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(coresList) > 0 {
+		experiments.ScalingCores = coresList
+	}
+	if experiments.WideLocks && len(coresList) == 0 {
+		fmt.Fprintln(os.Stderr, "-wide-locks needs -cores")
+		os.Exit(2)
+	}
 	if experiments.MigrateDrainNode < 0 || experiments.MigrateDrainNode > 2 {
 		fmt.Fprintf(os.Stderr, "-migrate-drain must be 0-2, got %d\n", experiments.MigrateDrainNode)
 		os.Exit(2)
@@ -184,19 +241,18 @@ func main() {
 	}
 	if *exp == "all" {
 		for _, id := range order {
-			registry[id].run(sc)
+			runExp(id, sc)
 			fmt.Println()
 		}
 		dumpStats()
 		return
 	}
 	for _, id := range strings.Split(*exp, ",") {
-		e, ok := registry[id]
-		if !ok {
+		if _, ok := registry[id]; !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
-		e.run(sc)
+		runExp(id, sc)
 		fmt.Println()
 	}
 	dumpStats()
@@ -634,6 +690,22 @@ func runExt8(sc experiments.Scale) {
 	fmt.Printf("  repeat isolated leg byte-identical: %v\n", r.Deterministic)
 }
 
+func runExt10(sc experiments.Scale) {
+	fmt.Println("Extension — per-core fault-path scaling: sharded vs shared manager (ext10)")
+	fmt.Println("  [weak scaling: each core random-writes its own partition at 25% local")
+	fmt.Println("   cache, re-dirtying a hot window every iteration; shared = one wide lock")
+	fmt.Println("   across every daemon sweep and fault transition, sharded = Shards=cores]")
+	r := experiments.ExtScaling(sc)
+	fmt.Printf("  %-6s %14s %12s | %14s %12s\n",
+		"cores", "shared flt/s", "shared p99", "sharded flt/s", "sharded p99")
+	for _, row := range r.Rows {
+		fmt.Printf("  %-6d %14.0f %12v | %14.0f %12v\n",
+			row.Cores, row.SharedRate, row.SharedP99, row.ShardedRate, row.ShardedP99)
+	}
+	fmt.Printf("  1->4 core fault-throughput speedup: shared %.2fx, sharded %.2fx\n",
+		r.SharedSpeedup, r.ShardedSpeedup)
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -701,6 +773,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext6":   func(sc experiments.Scale) any { return experiments.ExtAnatomy(sc) },
 	"ext7":   func(sc experiments.Scale) any { return experiments.ExtElastic(sc, chaosSeed) },
 	"ext8":   func(sc experiments.Scale) any { return experiments.ExtTenant(sc) },
+	"ext10":  func(sc experiments.Scale) any { return experiments.ExtScaling(sc) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

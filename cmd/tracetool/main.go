@@ -138,7 +138,7 @@ func analyze(args []string) {
 	events := loadFile(args[0])
 	rec := trace.NewRecorder(len(events) + 1)
 	for _, e := range events {
-		rec.Record(e.At, e.VPN, e.Kind)
+		rec.RecordOn(e.At, e.VPN, e.Kind, e.Core)
 	}
 	fmt.Printf("%s: %d events over %d pages\n", args[0], len(events), trace.Span(events))
 	printStats(rec.Analyze())
@@ -201,15 +201,21 @@ func replay(args []string) {
 		sys.MajorFaults.N, sys.MinorFaults.N, sys.LateMapHits.N, sys.Prefetches.N)
 }
 
-// statsCmd ranks the hottest pages of a recorded access trace.
+// statsCmd ranks the hottest pages of a recorded access trace, and with
+// -by-core breaks the event mix down per faulting core.
 func statsCmd(args []string) {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	top := fs.Int("top", 10, "how many hottest pages to list")
+	byCore := fs.Bool("by-core", false, "break events down per faulting core")
 	fs.Parse(args)
 	if fs.NArg() < 1 {
 		usage()
 	}
 	events := loadFile(fs.Arg(0))
+	if *byCore {
+		statsByCore(fs.Arg(0), events)
+		return
+	}
 	type pageCount struct {
 		vpn          pagetable.VPN
 		total        int
@@ -249,6 +255,52 @@ func statsCmd(args []string) {
 	for i, pc := range ranked {
 		fmt.Printf("  %4d %10d %8d %8d %8d %6.2f%%\n",
 			i+1, pc.vpn, pc.total, pc.major, pc.minor, 100*float64(pc.total)/float64(len(events)))
+	}
+}
+
+// statsByCore prints the per-core event breakdown of a trace: how many
+// events each faulting core produced by kind, how many distinct pages it
+// touched, and its share of the whole — the per-core view that shows
+// whether fault load is balanced across the sharded handlers.
+func statsByCore(path string, events []trace.Event) {
+	type coreCount struct {
+		core                     int
+		total                    int
+		major, minor, hit, write int
+		pages                    map[pagetable.VPN]bool
+	}
+	byCore := map[int]*coreCount{}
+	for _, e := range events {
+		cc := byCore[e.Core]
+		if cc == nil {
+			cc = &coreCount{core: e.Core, pages: map[pagetable.VPN]bool{}}
+			byCore[e.Core] = cc
+		}
+		cc.total++
+		cc.pages[e.VPN] = true
+		switch e.Kind {
+		case trace.Major:
+			cc.major++
+		case trace.Minor:
+			cc.minor++
+		case trace.Hit:
+			cc.hit++
+		case trace.Write:
+			cc.write++
+		}
+	}
+	ranked := make([]*coreCount, 0, len(byCore))
+	for _, cc := range byCore {
+		ranked = append(ranked, cc)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].core < ranked[j].core })
+	fmt.Printf("%s: %d events across %d cores\n", path, len(events), len(ranked))
+	fmt.Printf("  %6s %8s %8s %8s %8s %8s %8s %7s\n",
+		"core", "events", "major", "minor", "hit", "write", "pages", "share")
+	for _, cc := range ranked {
+		fmt.Printf("  %6d %8d %8d %8d %8d %8d %8d %6.2f%%\n",
+			cc.core, cc.total, cc.major, cc.minor, cc.hit, cc.write,
+			len(cc.pages), 100*float64(cc.total)/float64(len(events)))
 	}
 }
 

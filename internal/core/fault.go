@@ -48,7 +48,10 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		s.BD.Exception += c.Costs.Exception
 		s.MajorFaults.Inc()
 		if s.Trace != nil {
-			s.Trace.Record(p.Now(), vpn, trace.Major)
+			s.Trace.RecordOn(p.Now(), vpn, trace.Major, h.coreID)
+		}
+		if s.hugeFault(p, h.coreID, vpn) {
+			return
 		}
 		// The fetch offset comes from the (failover-aware) slot mapping,
 		// not the PTE payload, so a page whose primary node died reads
@@ -100,9 +103,9 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 			// install the mapping without charging the app anything.
 			s.LateMapHits.Inc()
 			if s.Trace != nil {
-				s.Trace.Record(p.Now(), vpn, trace.Hit)
+				s.Trace.RecordOn(p.Now(), vpn, trace.Hit, h.coreID)
 			}
-			s.mapFetched(p, slot, gen, false)
+			s.mapFetched(p, h.coreID, slot, gen, false)
 			// Keep the readahead window moving: like Linux's PG_readahead
 			// marker, a hit on a freshly prefetched page still triggers the
 			// next async window (at its normal CPU cost) — otherwise the
@@ -115,14 +118,14 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 		p.Advance(c.Costs.Exception)
 		s.MinorFaults.Inc()
 		if s.Trace != nil {
-			s.Trace.Record(p.Now(), vpn, trace.Minor)
+			s.Trace.RecordOn(p.Now(), vpn, trace.Minor, h.coreID)
 		}
 		// §4.3: the prefetcher and hit tracker run in the fault handler —
 		// minor faults included — overlapping whatever wait remains.
 		p.Advance(s.Costs.HandlerCheck)
 		guideDur, issueDur := s.runPrefetch(p, h.coreID, vpn, false)
 		tWait := p.Now()
-		wake, mapped := s.awaitInflight(p, slot, gen)
+		wake, mapped := s.awaitInflight(p, h.coreID, slot, gen)
 		s.MinorFaultLat.Record(p.Now() - t0)
 		if s.Tel != nil {
 			var span telemetry.Span
@@ -156,7 +159,7 @@ func (h *coreHandler) HandleFault(c *mmu.Core, vpn pagetable.VPN, write bool) {
 // The returned durations feed the caller's telemetry span: how long after
 // the op's completion this process resumed (wake) and how long the map
 // took (mapped) — both zero when someone else mapped the page first.
-func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) (wake, mapped sim.Time) {
+func (s *System) awaitInflight(p *sim.Proc, coreID int, slot uint64, gen uint64) (wake, mapped sim.Time) {
 	for {
 		sl := &s.slots[slot]
 		if sl.gen != gen || !sl.active {
@@ -186,7 +189,7 @@ func (s *System) awaitInflight(p *sim.Proc, slot uint64, gen uint64) (wake, mapp
 			wake = w
 		}
 		tMap := p.Now()
-		s.finishFetch(p, slot, gen)
+		s.finishFetch(p, coreID, slot, gen)
 		mapped = p.Now() - tMap
 		return
 	}
@@ -226,12 +229,32 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	p.Advance(s.Costs.HandlerCheck)
 
 	expected := pte.Tag()
+	var old pagetable.PTE
+	if s.shards > 0 {
+		// Sharded mode snapshots the full entry: the publish below is a
+		// full-value CAS (pagetable.TryTransition), so a migration that
+		// re-homed the page — same tag, new payload — fails the swap too.
+		old = *pte
+	}
 	frame := s.Mgr.AllocFrame(p)
-	if pte.Tag() != expected {
-		// AllocFrame can yield (pool empty → wait for the reclaimer), and
-		// another core may have started fetching — or finished mapping —
-		// this page meanwhile. Back off; the retried translation takes
-		// the minor/local path against the winner's PTE.
+	if s.wideLocks {
+		// The shared-structure baseline serializes every transition behind
+		// the manager-wide lock. Acquired only after AllocFrame: the frame
+		// wait can block on the reclaimer, which sweeps holding this lock.
+		s.Mgr.Wide.Acquire(p)
+	}
+	stale := pte.Tag() != expected
+	if s.shards > 0 {
+		stale = *pte != old
+	}
+	if stale {
+		// AllocFrame (and the wide-lock wait) can yield, and another core
+		// may have started fetching — or finished mapping — this page
+		// meanwhile. Back off; the retried translation takes the
+		// minor/local path against the winner's PTE.
+		if s.wideLocks {
+			s.Mgr.Wide.Release(p)
+		}
 		s.Pool.Free(frame)
 		return
 	}
@@ -244,7 +267,18 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	}
 	slot := s.newSlot(vpn, frame)
 	s.slots[slot].demand = true
-	*pte = pagetable.Fetching(slot)
+	if s.shards > 0 {
+		p.Advance(s.Costs.TagCAS)
+		if !s.Table.TryTransition(vpn, old, pagetable.Fetching(slot)) {
+			// Nothing yields between the staleness check and here.
+			panic("core: Fetching publish lost a race without a yield")
+		}
+	} else {
+		*pte = pagetable.Fetching(slot)
+	}
+	if s.wideLocks {
+		s.Mgr.Wide.Release(p)
+	}
 	s.BD.Handler += p.Now() - t0
 	if rec {
 		span.Stages[telemetry.StageLookup] = p.Now() - t0
@@ -290,7 +324,7 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 		span.Stages[telemetry.StageGuide] = guideDur
 		span.Stages[telemetry.StageWait] = tMap - tWait
 	}
-	s.finishFetch(p, slot, gen)
+	s.finishFetch(p, coreID, slot, gen)
 	s.BD.Map += p.Now() - tMap
 	s.BD.N++
 	s.FaultLat.Record(p.Now() - t0 + s.MMUC.Exception)
@@ -350,14 +384,15 @@ func (s *System) recoverFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, slot u
 // original faulter, a minor faulter, or the prefetch mapper performs the
 // mapping. A slot whose op failed is never mapped — its owner (or the
 // prefetch revert) is responsible for it.
-func (s *System) finishFetch(p *sim.Proc, slot uint64, gen uint64) {
-	s.mapFetched(p, slot, gen, true)
+func (s *System) finishFetch(p *sim.Proc, coreID int, slot uint64, gen uint64) {
+	s.mapFetched(p, coreID, slot, gen, true)
 }
 
 // mapFetched installs a completed fetch. charge=false is the late-map-hit
 // path, where the map cost belongs to the (parallel) mapper core, not the
-// process that happened to notice the completed op.
-func (s *System) mapFetched(p *sim.Proc, slot uint64, gen uint64, charge bool) {
+// process that happened to notice the completed op. coreID homes the frame:
+// in sharded mode the page enters the mapping core's LRU shard.
+func (s *System) mapFetched(p *sim.Proc, coreID int, slot uint64, gen uint64, charge bool) {
 	sl := &s.slots[slot]
 	if sl.gen != gen || !sl.active {
 		return // already mapped (or slot recycled after mapping)
@@ -365,13 +400,31 @@ func (s *System) mapFetched(p *sim.Proc, slot uint64, gen uint64, charge bool) {
 	if sl.op != nil && sl.op.Err != nil {
 		return
 	}
+	if s.wideLocks {
+		// The shared baseline serializes the Local publish behind the
+		// manager-wide lock like every other transition. The wait can
+		// yield, so the claim below must come after it — and the slot must
+		// be re-validated on the other side: someone else may have mapped
+		// (or the owner re-issued) while this process queued.
+		s.Mgr.Wide.Acquire(p)
+		if sl.gen != gen || !sl.active || (sl.op != nil && sl.op.Err != nil) {
+			s.Mgr.Wide.Release(p)
+			return
+		}
+	}
 	sl.active = false
 	if charge {
 		p.Advance(s.Costs.Map)
+		if s.shards > 0 {
+			p.Advance(s.Costs.TagCAS)
+		}
 	}
 	s.Table.Set(sl.vpn, pagetable.Local(uint64(sl.frame), true))
+	if s.wideLocks {
+		s.Mgr.Wide.Release(p)
+	}
 	s.Pool.Meta(sl.frame).Pinned = false
-	s.Mgr.InsertLRU(sl.frame, sl.vpn)
+	s.Mgr.InsertLRUFor(coreID, sl.frame, sl.vpn)
 	s.releaseSlot(slot)
 }
 
@@ -612,7 +665,7 @@ func (s *System) catchUpMapper(p *sim.Proc, coreID int) {
 	if held := &s.pfHeld[coreID]; held.valid {
 		if sl := &s.slots[held.item.slot]; sl.gen == held.item.gen && sl.active {
 			if op := sl.op; op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
-				s.mapFetched(p, held.item.slot, held.item.gen, false)
+				s.mapFetched(p, coreID, held.item.slot, held.item.gen, false)
 			}
 		}
 	}
@@ -625,7 +678,7 @@ func (s *System) catchUpMapper(p *sim.Proc, coreID int) {
 		}
 		op := sl.op
 		if op != nil && op.Err == nil && op.CompleteAt+s.Costs.Map <= p.Now() {
-			s.mapFetched(p, it.slot, it.gen, false)
+			s.mapFetched(p, coreID, it.slot, it.gen, false)
 			continue
 		}
 		keep = append(keep, it)
@@ -666,7 +719,7 @@ func (s *System) pfMapLoop(p *sim.Proc, coreID int) {
 		}
 		vpn := sl.vpn // captured before finishFetch recycles the slot
 		tMap := p.Now()
-		s.finishFetch(p, item.slot, item.gen)
+		s.finishFetch(p, coreID, item.slot, item.gen)
 		if s.Tel != nil {
 			var span telemetry.Span
 			span.Kind = telemetry.KindPrefetchMap

@@ -88,6 +88,15 @@ func (c Config) normalized() (Config, error) {
 			return c, fmt.Errorf("core: Tenancy.RebalanceEvery without a positive RebalanceStep moves nothing")
 		}
 	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("core: Shards (%d) is negative; use 0 for the legacy unsharded path", c.Shards)
+	}
+	if c.Shards > 0 && c.Tenancy != nil {
+		return c, fmt.Errorf("core: Shards and Tenancy partition frames along different axes and do not compose; drop one")
+	}
+	if c.WideLocks && c.Shards < 1 {
+		return c, fmt.Errorf("core: WideLocks is the shared-structure ablation of the sharded path; it requires Shards >= 1")
+	}
 	return c, nil
 }
 
@@ -183,3 +192,12 @@ func WithMigration(t migrate.Tuning) Option { return func(c *Config) { c.Migrate
 // WithTenancy enables multi-tenant mode: admit tenants with
 // System.NewTenant before Start.
 func WithTenancy(t TenancyConfig) Option { return func(c *Config) { c.Tenancy = &t } }
+
+// WithShards shards the paging hot path into n per-core shards
+// (shared-nothing LRU lists, per-shard cleaner/reclaimer pairs, CAS page
+// transitions). Typically n = Cores.
+func WithShards(n int) Option { return func(c *Config) { c.Shards = n } }
+
+// WithWideLocks enables the coarse shared-lock baseline over the sharded
+// machinery (requires WithShards) — ext10's ablation arm.
+func WithWideLocks() Option { return func(c *Config) { c.WideLocks = true } }

@@ -53,6 +53,12 @@ type Costs struct {
 	// (Config.Batch): the first request of a batch pays the full
 	// PrefetchIssue (doorbell write included), the rest only this.
 	PrefetchWQE sim.Time
+	// TagCAS is the cost of one narrow PTE tag transition
+	// (pagetable.TryTransition) — the compare-and-swap the sharded fault
+	// path performs instead of a read-modify-write under a wide critical
+	// section. Charged only when Config.Shards > 0; legacy runs are
+	// untouched.
+	TagCAS sim.Time
 }
 
 // DefaultCosts returns the calibrated DiLOS handler costs (the entire
@@ -66,6 +72,7 @@ func DefaultCosts() Costs {
 		PrefetchFilter: 40 * sim.Nanosecond,
 		ZeroFill:       200 * sim.Nanosecond,
 		PrefetchWQE:    40 * sim.Nanosecond,
+		TagCAS:         20 * sim.Nanosecond,
 	}
 }
 
@@ -192,6 +199,21 @@ type Config struct {
 	// frame quota) out of this host, sharing the pool, fabric, and
 	// background services. See tenant.go.
 	Tenancy *TenancyConfig
+	// Shards shards the paging hot path per core: the frame pool keeps
+	// one LRU/clock list per shard (frames home to the faulting core), the
+	// page manager runs one cleaner/reclaimer pair per shard over
+	// per-shard scratch, and PTE transitions become narrow full-value
+	// CASes charged at Costs.TagCAS. 0 (default) keeps the legacy
+	// single-list layout byte-identical; typically set to Cores.
+	// Incompatible with Tenancy (the two partition frames along
+	// different axes).
+	Shards int
+	// WideLocks, with Shards ≥ 1, models the coarse shared-structure
+	// baseline the sharding replaces: one virtual-time lock held by the
+	// cleaner/reclaimer across entire sweeps (pacing waits included) and
+	// acquired by every fault handler around its PTE transitions. Ablation
+	// only — ext10's "shared" arm.
+	WideLocks bool
 }
 
 // System is a DiLOS computing node plus its memory node(s). Node, Link,
@@ -255,6 +277,12 @@ type System struct {
 	fabricP     fabric.Params
 	cores       int
 	sharedQP    bool
+
+	// Sharded fault path (Config.Shards / Config.WideLocks). huge holds the
+	// 2 MB regions MmapDDCHuge registered, sorted by base VPN.
+	shards    int
+	wideLocks bool
+	huge      []hugeSpan
 
 	// Chaos is the fault injector shared by every link (nil without chaos).
 	Chaos *chaos.Injector
@@ -389,13 +417,23 @@ func build(eng *sim.Engine, cfg Config) *System {
 	link := links[0]
 	tbl := pagetable.New()
 	pool := dram.NewPool(cfg.CacheFrames)
+	if cfg.Shards > 1 {
+		pool.SetShards(cfg.Shards)
+	}
 	mcfg := pagemgr.DefaultConfig(cfg.CacheFrames)
 	if cfg.Mgr != nil {
 		mcfg = *cfg.Mgr
 	}
+	if cfg.Shards > 0 && mcfg.TagCAS == 0 {
+		mcfg.TagCAS = DefaultCosts().TagCAS
+	}
 	mgr := pagemgr.New(pool, tbl, mcfg)
 	mgr.Guide = cfg.EvictionGuide
 	mgr.Batch = cfg.Batch
+	mgr.Shards = cfg.Shards
+	if cfg.WideLocks {
+		mgr.Wide = &sim.Lock{}
+	}
 	hubs := make([]*comm.Hub, cfg.MemNodes)
 	for i := range hubs {
 		if cfg.SharedQP {
@@ -440,6 +478,8 @@ func build(eng *sim.Engine, cfg Config) *System {
 		fabricP:     cfg.Fabric,
 		cores:       cfg.Cores,
 		sharedQP:    cfg.SharedQP,
+		shards:      cfg.Shards,
+		wideLocks:   cfg.WideLocks,
 		tenancy:     cfg.Tenancy,
 		policy:      cfg.Placement,
 		replicas:    cfg.Replicas,
@@ -460,14 +500,23 @@ func build(eng *sim.Engine, cfg Config) *System {
 		// Track registration order fixes timeline row order: cores first,
 		// then the prefetch mappers, daemons, and fabric links.
 		for c := 0; c < cfg.Cores; c++ {
-			s.telCore[c] = cfg.Tel.Track(fmt.Sprintf("core%d", c))
+			s.telCore[c] = cfg.Tel.Track(fmt.Sprintf("fault/core%d", c))
 		}
 		for c := 0; c < cfg.Cores; c++ {
 			s.telPf[c] = cfg.Tel.Track(fmt.Sprintf("pfmap%d", c))
 		}
 		mgr.Tel = cfg.Tel
-		mgr.CleanTrack = cfg.Tel.Track("cleaner")
-		mgr.ReclaimTrack = cfg.Tel.Track("reclaimer")
+		if cfg.Shards > 1 {
+			mgr.CleanTracks = make([]int, cfg.Shards)
+			mgr.ReclaimTracks = make([]int, cfg.Shards)
+			for sh := 0; sh < cfg.Shards; sh++ {
+				mgr.CleanTracks[sh] = cfg.Tel.Track(fmt.Sprintf("clean/shard%d", sh))
+				mgr.ReclaimTracks[sh] = cfg.Tel.Track(fmt.Sprintf("reclaim/shard%d", sh))
+			}
+		} else {
+			mgr.CleanTrack = cfg.Tel.Track("cleaner")
+			mgr.ReclaimTrack = cfg.Tel.Track("reclaimer")
+		}
 		for i, l := range links {
 			l.Tel = cfg.Tel
 			l.TelTrack = cfg.Tel.Track(fmt.Sprintf("fabric.node%d", i))
@@ -768,6 +817,7 @@ func (s *System) Start() {
 		s.svc = pagemgr.NewService()
 		s.svc.Attach(s.Mgr)
 	}
+	s.svc.Shards = s.shards
 	s.svc.Start(s.Eng)
 	for c := 0; c < s.Hub.Cores(); c++ {
 		c := c

@@ -224,7 +224,7 @@ func (s *System) NewTenant(spec TenantSpec) (*Tenant, error) {
 		ts.telCore = make([]int, s.cores)
 		ts.telPf = make([]int, s.cores)
 		for c := 0; c < s.cores; c++ {
-			ts.telCore[c] = s.Tel.Track(fmt.Sprintf("%score%d", pfx, c))
+			ts.telCore[c] = s.Tel.Track(fmt.Sprintf("%sfault/core%d", pfx, c))
 		}
 		for c := 0; c < s.cores; c++ {
 			ts.telPf[c] = s.Tel.Track(fmt.Sprintf("%spfmap%d", pfx, c))

@@ -21,15 +21,24 @@ const NoFrame FrameID = -1
 // NoVPN marks a frame with no owner.
 const NoVPN pagetable.VPN = ^pagetable.VPN(0)
 
+// NoVec marks a frame with no clean-vector log entry.
+const NoVec int32 = -1
+
 // Frame is per-frame metadata.
 type Frame struct {
 	VPN    pagetable.VPN // owning virtual page, NoVPN when unowned
 	Pinned bool          // excluded from reclamation (in-flight IO)
+	VecIdx int32         // page manager's clean-vector log index, NoVec when none
 	next   FrameID
 	prev   FrameID
+	shard  int16 // which LRU shard the frame is (or was last) on
 	inLRU  bool
 	free   bool
 }
+
+// Shard returns the LRU shard the frame is homed to (meaningful while the
+// frame is on a list).
+func (f *Frame) Shard() int { return int(f.shard) }
 
 // lruList is one intrusive LRU list over a pool's frames: front = coldest
 // (next clock victim), back = most recently inserted/rotated. The pool owns
@@ -40,15 +49,18 @@ type lruList struct {
 	n          int
 }
 
-// Pool is a frame allocator over a contiguous local-DRAM arena.
+// Pool is a frame allocator over a contiguous local-DRAM arena. Its LRU
+// state is an array of per-shard clock lists (one by default); sharded
+// callers home each frame to the faulting core's list so the cleaner and
+// reclaimer sweep shared-nothing queues.
 type Pool struct {
 	mem    []byte
 	frames []Frame
 	free   []FrameID
-	lru    lruList
+	lists  []lruList
 }
 
-// NewPool creates a pool of `frames` page frames.
+// NewPool creates a pool of `frames` page frames with a single LRU shard.
 func NewPool(frames int) *Pool {
 	if frames <= 0 {
 		panic("dram: pool needs at least one frame")
@@ -57,14 +69,34 @@ func NewPool(frames int) *Pool {
 		mem:    make([]byte, frames*pagetable.PageSize),
 		frames: make([]Frame, frames),
 		free:   make([]FrameID, 0, frames),
-		lru:    lruList{head: NoFrame, tail: NoFrame},
+		lists:  []lruList{{head: NoFrame, tail: NoFrame}},
 	}
 	for i := frames - 1; i >= 0; i-- {
-		p.frames[i] = Frame{VPN: NoVPN, next: NoFrame, prev: NoFrame, free: true}
+		p.frames[i] = Frame{VPN: NoVPN, VecIdx: NoVec, next: NoFrame, prev: NoFrame, free: true}
 		p.free = append(p.free, FrameID(i))
 	}
 	return p
 }
+
+// SetShards resizes the pool to n per-core LRU shards. Must be called
+// before any frame is on a list (boot time).
+func (p *Pool) SetShards(n int) {
+	if n <= 0 {
+		panic("dram: SetShards needs n >= 1")
+	}
+	for i := range p.lists {
+		if p.lists[i].n != 0 {
+			panic("dram: SetShards with frames on the LRU")
+		}
+	}
+	p.lists = make([]lruList, n)
+	for i := range p.lists {
+		p.lists[i] = lruList{head: NoFrame, tail: NoFrame}
+	}
+}
+
+// Shards returns the number of LRU shards.
+func (p *Pool) Shards() int { return len(p.lists) }
 
 // Capacity returns the total number of frames.
 func (p *Pool) Capacity() int { return len(p.frames) }
@@ -88,6 +120,8 @@ func (p *Pool) Alloc() (FrameID, bool) {
 	f.free = false
 	f.VPN = NoVPN
 	f.Pinned = false
+	f.VecIdx = NoVec
+	f.shard = 0
 	return id, true
 }
 
@@ -103,6 +137,7 @@ func (p *Pool) Free(id FrameID) {
 	f.free = true
 	f.VPN = NoVPN
 	f.Pinned = false
+	f.VecIdx = NoVec
 	p.free = append(p.free, id)
 }
 
@@ -123,33 +158,80 @@ func (p *Pool) frame(id FrameID) *Frame {
 	return &p.frames[id]
 }
 
-// LRULen returns the number of frames on the LRU list.
-func (p *Pool) LRULen() int { return p.lru.n }
-
-// LRUPushBack appends a frame at the hot end of the LRU list. Newly
-// allocated pages enter here (§4.4: "The allocator inserts all newly
-// allocated pages into an LRU list").
-func (p *Pool) LRUPushBack(id FrameID) { p.listPushBack(&p.lru, id) }
-
-// LRURemove unlinks a frame from the LRU list.
-func (p *Pool) LRURemove(id FrameID) { p.listRemove(&p.lru, id) }
-
-// LRUFront returns the coldest frame (clock hand position), or NoFrame.
-func (p *Pool) LRUFront() FrameID { return p.lru.head }
-
-// LRUNext returns the frame after id on the list, or NoFrame.
-func (p *Pool) LRUNext(id FrameID) FrameID { return p.frame(id).next }
-
-// LRURotate moves a frame to the hot end — the clock algorithm's "second
-// chance" for pages whose accessed bit was set.
-func (p *Pool) LRURotate(id FrameID) {
-	p.listRemove(&p.lru, id)
-	p.listPushBack(&p.lru, id)
+// LRULen returns the number of frames across all LRU shards.
+func (p *Pool) LRULen() int {
+	n := 0
+	for i := range p.lists {
+		n += p.lists[i].n
+	}
+	return n
 }
 
-// Walk calls fn for each LRU frame from cold to hot; returning false stops.
-// fn must not mutate the list; use the returned ids afterwards.
-func (p *Pool) Walk(fn func(id FrameID, f *Frame) bool) { p.listWalk(&p.lru, fn) }
+// LRULenOf returns the number of frames on one shard's list.
+func (p *Pool) LRULenOf(shard int) int { return p.lists[shard].n }
+
+// LRUPushBack appends a frame at the hot end of shard 0's LRU list. Newly
+// allocated pages enter here (§4.4: "The allocator inserts all newly
+// allocated pages into an LRU list").
+func (p *Pool) LRUPushBack(id FrameID) { p.LRUPushBackOn(0, id) }
+
+// LRUPushBackOn appends a frame at the hot end of one shard's list and
+// homes the frame there; later LRURotate/LRURemove calls touch only that
+// shard.
+func (p *Pool) LRUPushBackOn(shard int, id FrameID) {
+	f := p.frame(id)
+	f.shard = int16(shard)
+	p.listPushBack(&p.lists[shard], id)
+}
+
+// LRURemove unlinks a frame from its home shard's LRU list.
+func (p *Pool) LRURemove(id FrameID) {
+	f := p.frame(id)
+	p.listRemove(&p.lists[f.shard], id)
+}
+
+// LRUFront returns the coldest frame of shard 0 (clock hand position), or
+// NoFrame.
+func (p *Pool) LRUFront() FrameID { return p.lists[0].head }
+
+// LRUFrontOf returns the coldest frame of one shard, or NoFrame.
+func (p *Pool) LRUFrontOf(shard int) FrameID { return p.lists[shard].head }
+
+// LRUNext returns the frame after id on its shard's list, or NoFrame.
+func (p *Pool) LRUNext(id FrameID) FrameID { return p.frame(id).next }
+
+// LRURotate moves a frame to the hot end of its home shard — the clock
+// algorithm's "second chance" for pages whose accessed bit was set.
+func (p *Pool) LRURotate(id FrameID) {
+	f := p.frame(id)
+	l := &p.lists[f.shard]
+	p.listRemove(l, id)
+	p.listPushBack(l, id)
+}
+
+// Walk calls fn for each LRU frame from cold to hot, shard 0 first;
+// returning false stops. fn must not mutate the list; use the returned ids
+// afterwards.
+func (p *Pool) Walk(fn func(id FrameID, f *Frame) bool) {
+	for i := range p.lists {
+		stopped := false
+		p.listWalk(&p.lists[i], func(id FrameID, f *Frame) bool {
+			if !fn(id, f) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if stopped {
+			return
+		}
+	}
+}
+
+// WalkShard calls fn for each frame of one shard's list from cold to hot.
+func (p *Pool) WalkShard(shard int, fn func(id FrameID, f *Frame) bool) {
+	p.listWalk(&p.lists[shard], fn)
+}
 
 // listPushBack appends a frame at the hot end of one LRU list.
 func (p *Pool) listPushBack(l *lruList, id FrameID) {

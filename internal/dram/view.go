@@ -28,6 +28,16 @@ type Frames interface {
 	LRUNext(id FrameID) FrameID
 	LRURotate(id FrameID)
 	Walk(fn func(id FrameID, f *Frame) bool)
+
+	// Per-core shards (sharded fault path). A Pool supports n shards; a
+	// View is always single-sharded — tenancy and per-core sharding
+	// partition the same frames along different axes and do not compose.
+	SetShards(n int)
+	Shards() int
+	LRULenOf(shard int) int
+	LRUPushBackOn(shard int, id FrameID)
+	LRUFrontOf(shard int) FrameID
+	WalkShard(shard int, fn func(id FrameID, f *Frame) bool)
 }
 
 var (
@@ -232,3 +242,44 @@ func (v *View) LRURotate(id FrameID) {
 
 // Walk calls fn for each of the view's LRU frames from cold to hot.
 func (v *View) Walk(fn func(id FrameID, f *Frame) bool) { v.pool.listWalk(&v.lru, fn) }
+
+// SetShards is a no-op for n == 1; a View cannot be sharded (tenancy and
+// per-core sharding do not compose — Config.Validate rejects the pair).
+func (v *View) SetShards(n int) {
+	if n != 1 {
+		panic("dram: a tenant View cannot be sharded")
+	}
+}
+
+// Shards returns 1: a view is always a single shard.
+func (v *View) Shards() int { return 1 }
+
+// LRULenOf returns the view's list length (shard must be 0).
+func (v *View) LRULenOf(shard int) int {
+	v.mustShard0(shard)
+	return v.lru.n
+}
+
+// LRUPushBackOn appends on the view's single list (shard must be 0).
+func (v *View) LRUPushBackOn(shard int, id FrameID) {
+	v.mustShard0(shard)
+	v.LRUPushBack(id)
+}
+
+// LRUFrontOf returns the view's coldest frame (shard must be 0).
+func (v *View) LRUFrontOf(shard int) FrameID {
+	v.mustShard0(shard)
+	return v.lru.head
+}
+
+// WalkShard walks the view's single list (shard must be 0).
+func (v *View) WalkShard(shard int, fn func(id FrameID, f *Frame) bool) {
+	v.mustShard0(shard)
+	v.pool.listWalk(&v.lru, fn)
+}
+
+func (v *View) mustShard0(shard int) {
+	if shard != 0 {
+		panic(fmt.Sprintf("dram: view has one shard, got shard %d", shard))
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
@@ -52,34 +54,68 @@ func ExtAnatomy(sc Scale) []Ext6Row {
 
 // runAnatomy boots one system with a recorder sized to hold every fault of
 // the run (write sweep + read sweep + readahead-induced minors) and
-// returns the recording's fault anatomy.
+// returns the recording's fault anatomy. A -cores override (CoreCount > 1)
+// splits the sweep into one worker per core over disjoint slices, so the
+// anatomy reflects concurrent fault handlers — the regime where the
+// sharded manager and the wide-lock baseline diverge.
 func runAnatomy(kind SystemKind, pages uint64, frac float64) telemetry.Anatomy {
 	rec := telemetry.NewRecorder(int(3*pages) + 1024)
 	eng := sim.New()
-	app := func(mmap func(uint64) (uint64, error), sp space.Space) {
-		base, err := mmap(pages)
-		if err != nil {
-			panic(err)
+	workers := 1
+	if CoreCount > 1 {
+		workers = CoreCount
+	}
+	slice := func(c int) (lo, n uint64) {
+		per := pages / uint64(workers)
+		lo = uint64(c) * per
+		hi := lo + per
+		if c == workers-1 {
+			hi = pages
 		}
-		workloads.SeqWrite(sp, base, pages)
-		workloads.SeqRead(sp, base, pages)
+		return lo, hi - lo
+	}
+	sweep := func(sp space.Space, base uint64, c int) {
+		lo, n := slice(c)
+		workloads.SeqWrite(sp, base+lo*core.PageSize, n)
+		workloads.SeqRead(sp, base+lo*core.PageSize, n)
 	}
 	switch kind {
 	case SysFastswap:
+		cores := 4
+		if CoreCount > 0 {
+			cores = CoreCount
+		}
 		sys := fastswap.New(eng, fastswap.Config{
 			CacheFrames: frames(pages, frac),
-			Cores:       4,
+			Cores:       cores,
 			RemoteBytes: pages*fastswap.PageSize + (64 << 20),
 			Fabric:      fabric.DefaultParams(),
 			Tel:         rec,
 			SampleEvery: SampleEvery,
 		})
 		sys.Start()
-		sys.Launch("seq", 0, func(sp *fastswap.FSProc) { app(sys.MmapDDC, sp) })
+		if workers == 1 {
+			sys.Launch("seq", 0, func(sp *fastswap.FSProc) {
+				base, err := sys.MmapDDC(pages)
+				if err != nil {
+					panic(err)
+				}
+				sweep(sp, base, 0)
+			})
+		} else {
+			base, err := sys.MmapDDC(pages)
+			if err != nil {
+				panic(err)
+			}
+			for c := 0; c < workers; c++ {
+				c := c
+				sys.Launch(fmt.Sprintf("seq%d", c), c, func(sp *fastswap.FSProc) { sweep(sp, base, c) })
+			}
+		}
 		eng.Run()
 		collect("ext6/"+string(kind)+"/"+FracLabel(frac), sys)
 	default:
-		sys := core.New(eng, core.Config{
+		cfg := core.Config{
 			CacheFrames: frames(pages, frac),
 			Cores:       4,
 			RemoteBytes: pages*core.PageSize + (64 << 20),
@@ -88,9 +124,28 @@ func runAnatomy(kind SystemKind, pages uint64, frac float64) telemetry.Anatomy {
 			Batch:       Batch,
 			Tel:         rec,
 			SampleEvery: SampleEvery,
-		})
+		}
+		applyCores(&cfg)
+		sys := core.New(eng, cfg)
 		sys.Start()
-		sys.Launch("seq", 0, func(sp *core.DDCProc) { app(sys.MmapDDC, sp) })
+		if workers == 1 {
+			sys.Launch("seq", 0, func(sp *core.DDCProc) {
+				base, err := sys.MmapDDC(pages)
+				if err != nil {
+					panic(err)
+				}
+				sweep(sp, base, 0)
+			})
+		} else {
+			base, err := sys.MmapDDC(pages)
+			if err != nil {
+				panic(err)
+			}
+			for c := 0; c < workers; c++ {
+				c := c
+				sys.Launch(fmt.Sprintf("seq%d", c), c, func(sp *core.DDCProc) { sweep(sp, base, c) })
+			}
+		}
 		eng.Run()
 		collect("ext6/"+string(kind)+"/"+FracLabel(frac), sys)
 	}

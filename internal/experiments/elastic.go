@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"sort"
+	"strings"
 
 	"dilos/internal/chaos"
 	"dilos/internal/core"
@@ -176,7 +177,7 @@ func runElasticLeg(pages uint64, node int, inj *chaos.Injector) elasticLeg {
 func faultQuantiles(rec *telemetry.Recorder, from, to sim.Time) (p50, p99 sim.Time) {
 	var durs []sim.Time
 	for id, name := range rec.Tracks() {
-		if len(name) < 4 || name[:4] != "core" {
+		if !strings.HasPrefix(name, "fault/core") {
 			continue
 		}
 		for _, s := range rec.Spans(id) {

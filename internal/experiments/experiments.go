@@ -11,6 +11,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
@@ -31,6 +33,32 @@ var Collect func(label string, snap stats.Snapshot)
 // doorbell-batched submission (core.Config.Batch) — cmd/dilosbench wires
 // it to -batch. Ext5 toggles it per leg to measure the win directly.
 var Batch bool
+
+// CoreCount, when positive, overrides the 4-core default of the systems
+// the figure/table experiments boot and switches DiLOS to the per-core
+// sharded page manager (Shards = CoreCount) — cmd/dilosbench wires it to
+// -cores. Zero keeps every experiment's committed default configuration
+// (legacy unsharded manager), so the published numbers are untouched.
+var CoreCount int
+
+// WideLocks, when set alongside CoreCount, boots DiLOS systems with the
+// shared-structure wide-lock baseline instead of the sharded manager —
+// the ablation arm ext10 measures, exposed for ad-hoc -cores runs.
+var WideLocks bool
+
+// applyCores applies the -cores override to one DiLOS config.
+func applyCores(cfg *core.Config) {
+	if CoreCount <= 0 {
+		return
+	}
+	cfg.Cores = CoreCount
+	if WideLocks {
+		cfg.Shards = 1
+		cfg.WideLocks = true
+	} else {
+		cfg.Shards = CoreCount
+	}
+}
 
 // Telemetry, when set, boots every system the experiments construct with a
 // flight recorder and gauge sampler — cmd/dilosbench wires it to
@@ -56,6 +84,11 @@ type telemetrySource interface {
 // collect feeds sys's snapshot to the Collect hook, if one is installed,
 // and its flight recording to the TelemetrySink.
 func collect(label string, sys statsSource) {
+	if CoreCount > 0 {
+		// One stats block per -cores setting: the label carries the sweep
+		// point so blocks from different settings never alias.
+		label = fmt.Sprintf("cores%d/%s", CoreCount, label)
+	}
 	if Collect != nil {
 		Collect(label, sys.Registry().Snapshot())
 	}
@@ -159,7 +192,7 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 	if tcp {
 		params = fabric.TCPParams()
 	}
-	sys := core.New(eng, core.Config{
+	cfg := core.Config{
 		CacheFrames:   frames(wsPages, frac),
 		Cores:         4,
 		RemoteBytes:   wsPages*core.PageSize + (64 << 20),
@@ -170,16 +203,22 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 		Batch:         Batch,
 		Tel:           recorderFor(),
 		SampleEvery:   SampleEvery,
-	})
+	}
+	applyCores(&cfg)
+	sys := core.New(eng, cfg)
 	sys.Start()
 	return sys
 }
 
 // fswap boots a Fastswap node for a working set.
 func fswap(eng *sim.Engine, wsPages uint64, frac float64) *fastswap.System {
+	cores := 4
+	if CoreCount > 0 {
+		cores = CoreCount
+	}
 	sys := fastswap.New(eng, fastswap.Config{
 		CacheFrames: frames(wsPages, frac),
-		Cores:       4,
+		Cores:       cores,
 		RemoteBytes: wsPages*fastswap.PageSize + (64 << 20),
 		Fabric:      fabric.DefaultParams(),
 		Tel:         recorderFor(),

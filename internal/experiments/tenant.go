@@ -247,7 +247,7 @@ func tenantQuota(floor int, rate int64) tenant.Quota {
 }
 
 // tenantFaultQuantiles pulls the major-fault spans that started inside
-// [from, to) off tracks with the given prefix ("tenant.<name>.core") and
+// [from, to) off tracks with the given prefix ("tenant.<name>.fault/core") and
 // returns p50/p99 plus the sample count.
 func tenantFaultQuantiles(rec *telemetry.Recorder, prefix string, from, to sim.Time) (p50, p99 sim.Time, n int) {
 	var durs []sim.Time
@@ -297,7 +297,7 @@ func ExtTenant(sc Scale) TenantResult {
 		AggrRate:        TenantAggressorRate,
 		Deterministic:   string(iso.snap) == string(rerun.snap),
 	}
-	const victimTracks = "tenant.victim.core"
+	const victimTracks = "tenant.victim.fault/core"
 	res.SoloP50, res.SoloP99, res.SoloFaults = tenantFaultQuantiles(solo.rec, victimTracks, tenantWarmup, tenantRunFor)
 	res.IsoP50, res.IsoP99, res.IsoFaults = tenantFaultQuantiles(iso.rec, victimTracks, tenantWarmup, tenantRunFor)
 	res.CtrlP50, res.CtrlP99, res.CtrlFaults = tenantFaultQuantiles(ctrl.rec, victimTracks, tenantWarmup, tenantRunFor)

@@ -18,7 +18,7 @@ func TestCleanPassBatchedCoalescesAndCleans(t *testing.T) {
 	for v := pagetable.VPN(0); v < n; v++ {
 		f.mapPage(v, true, byte(0xa0+v))
 	}
-	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p) })
+	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p, 0) })
 	if f.mgr.Cleaned.N != n {
 		t.Fatalf("cleaned = %d, want %d", f.mgr.Cleaned.N, n)
 	}
@@ -59,12 +59,12 @@ func TestCleanerSweepAllocs(t *testing.T) {
 		ptes[v] = f.tbl.Lookup(v)
 	}
 	f.run(func(p *sim.Proc) {
-		f.mgr.cleanPass(p) // warm up: size the scratch arenas
+		f.mgr.cleanPass(p, 0) // warm up: size the scratch arenas
 		avg := testing.AllocsPerRun(8, func() {
 			for v := pagetable.VPN(0); v < n; v++ {
 				f.tbl.Set(v, ptes[v]) // re-dirty
 			}
-			f.mgr.cleanPass(p)
+			f.mgr.cleanPass(p, 0)
 		})
 		// ceil(32/3) = 11 vectored ops; each op allocates itself plus its
 		// wait timer. Anything per-page would blow well past this.
@@ -72,4 +72,38 @@ func TestCleanerSweepAllocs(t *testing.T) {
 			t.Errorf("cleaner sweep allocates %.1f per pass, want ≤ 30", avg)
 		}
 	})
+}
+
+// The guided sweep must be as allocation-disciplined as the plain one: the
+// vector log recycles slots through freeVecs, so re-cleaning the same dirty
+// set — store vector, release on re-clean, store again — must not grow
+// allocations per pass. This is the guard for the map-free VecIdx scheme:
+// the old per-page map rebuilt its entries every sweep.
+func TestCleanerSweepAllocsGuided(t *testing.T) {
+	const n = 32
+	f := newFixture(t, 64, 64, DefaultConfig(64))
+	f.mgr.Batch = true
+	f.mgr.Guide = staticGuide{chunks: []Chunk{{Off: 0, Len: 512}, {Off: 2048, Len: 1024}}}
+	var ptes [n]pagetable.PTE
+	for v := pagetable.VPN(0); v < n; v++ {
+		f.mapPage(v, true, byte(v))
+		ptes[v] = f.tbl.Lookup(v)
+	}
+	f.run(func(p *sim.Proc) {
+		f.mgr.cleanPass(p, 0) // warm up: size scratch arenas and the vector log
+		avg := testing.AllocsPerRun(8, func() {
+			for v := pagetable.VPN(0); v < n; v++ {
+				f.tbl.Set(v, ptes[v]) // re-dirty
+			}
+			f.mgr.cleanPass(p, 0)
+		})
+		// Guided writes carry 2 segments per page, so pages don't share ops:
+		// 32 ops plus wait timers — still O(ops), never O(pages) map churn.
+		if avg > 80 {
+			t.Errorf("guided cleaner sweep allocates %.1f per pass, want ≤ 80", avg)
+		}
+	})
+	if f.mgr.VectorSaves.N == 0 {
+		t.Fatal("guide never engaged — the guard did not cover the guided path")
+	}
 }

@@ -46,6 +46,16 @@ type EvictionGuide interface {
 // beyond it (§6.3).
 const MaxVectorSegs = 3
 
+// HugeRegions maps pages that live inside a 2 MB huge region to their
+// write-back sub-page (the 32 KiB dirty-tracking granule). The batched
+// cleaner expands a dirty page it finds into the whole sub-span — the
+// contiguous pages coalesce into one vectored write — instead of writing
+// pages back one at a time. Implemented by core.System for regions mapped
+// with MmapDDCHuge; ok=false means the page is ordinarily mapped.
+type HugeRegions interface {
+	SubSpan(vpn pagetable.VPN) (start pagetable.VPN, pages int, ok bool)
+}
+
 // Config tunes the page manager.
 type Config struct {
 	LowWater      int      // wake the reclaimer below this many free frames
@@ -54,6 +64,7 @@ type Config struct {
 	CleanerBatch  int      // max pages written back per cleaner pass
 	ScanCost      sim.Time // CPU cost per frame examined by a daemon
 	UnmapCost     sim.Time // CPU cost of one unmap + shootdown
+	TagCAS        sim.Time // CPU cost of one narrow PTE tag transition (sharded mode only; 0 = uncharged)
 }
 
 // DefaultConfig sizes watermarks for a pool of `frames` frames.
@@ -108,6 +119,11 @@ type Manager struct {
 	// Guide, when non-nil, enables guided paging.
 	Guide EvictionGuide
 
+	// Huge, when non-nil, resolves 2 MB huge-page regions: the batched
+	// cleaner writes such pages back a 32 KiB sub-span at a time (see
+	// HugeRegions). Wired by core.System on the first MmapDDCHuge call.
+	Huge HugeRegions
+
 	// Batch enables doorbell-batched write-backs: the cleaner sweeps its
 	// dirty set first, groups targets by queue pair (one per memory node,
 	// replicas included), coalesces contiguous remote offsets into vectored
@@ -117,18 +133,32 @@ type Manager struct {
 	// calibrated baseline.
 	Batch bool
 
+	// Shards is the number of per-core LRU/clock shards this manager
+	// sweeps (0 or 1 = the legacy single-list layout; must match
+	// Pool.Shards()). With n > 1 the service runs one cleaner/reclaimer
+	// pair per shard and each pair touches only its own list and scratch.
+	Shards int
+
+	// Wide, when set, is the modeled coarse page-manager lock: daemons
+	// hold it across a whole sweep (including the pacing wait) and the
+	// fault handler acquires it around every PTE transition. It exists so
+	// the scaling experiments can measure what the shared-structure
+	// baseline costs; production mode leaves it nil.
+	Wide *sim.Lock
+
 	svc   *Service   // the shared cleaner/reclaimer service, set by Attach
 	freed sim.Waiter // allocators park here when the pool is empty
 
-	// Per-daemon scratch arenas for batched write-backs (the cleaner and
-	// the reclaimer can interleave across yields, so they must not share).
-	cleanSc   wbScratch
-	reclaimSc wbScratch
+	// Per-shard, per-daemon scratch arenas for batched write-backs (the
+	// cleaner and the reclaimer can interleave across yields — and shards
+	// across each other — so none may share). Index 0 serves legacy mode.
+	cleanScs   []wbScratch
+	reclaimScs []wbScratch
 
-	// cleanVec remembers, per page, the vector the cleaner last wrote back
-	// (guided paging); the reclaimer turns it into an Action PTE.
-	cleanVec map[pagetable.VPN][]Chunk
-	// vectors is the action-PTE payload log.
+	// vectors is the action-PTE payload log (guided paging). A frame's
+	// last-cleaned vector index lives on the frame itself
+	// (dram.Frame.VecIdx); eviction transfers the slot into an Action PTE
+	// payload and the fault handler's Vector call releases it.
 	vectors  []vecEntry
 	freeVecs []uint64
 
@@ -148,10 +178,44 @@ type Manager struct {
 
 	// Tel, when set, records one span per cleaner pass that wrote pages
 	// back (on CleanTrack, Arg = pages cleaned) and one per reclaimer
-	// eviction step (on ReclaimTrack). Wired by the owning system.
-	Tel          *telemetry.Recorder
-	CleanTrack   int
-	ReclaimTrack int
+	// eviction step (on ReclaimTrack). Wired by the owning system. In
+	// sharded mode CleanTracks/ReclaimTracks carry one track per shard
+	// (clean/shard0, reclaim/shard1, ...) instead.
+	Tel           *telemetry.Recorder
+	CleanTrack    int
+	ReclaimTrack  int
+	CleanTracks   []int
+	ReclaimTracks []int
+}
+
+func (m *Manager) cleanTrackFor(shard int) int {
+	if shard < len(m.CleanTracks) {
+		return m.CleanTracks[shard]
+	}
+	return m.CleanTrack
+}
+
+func (m *Manager) reclaimTrackFor(shard int) int {
+	if shard < len(m.ReclaimTracks) {
+		return m.ReclaimTracks[shard]
+	}
+	return m.ReclaimTrack
+}
+
+// cleanScFor returns the cleaner's scratch arena for one shard, growing
+// the arena table on first use.
+func (m *Manager) cleanScFor(shard int) *wbScratch {
+	for len(m.cleanScs) <= shard {
+		m.cleanScs = append(m.cleanScs, wbScratch{})
+	}
+	return &m.cleanScs[shard]
+}
+
+func (m *Manager) reclaimScFor(shard int) *wbScratch {
+	for len(m.reclaimScs) <= shard {
+		m.reclaimScs = append(m.reclaimScs, wbScratch{})
+	}
+	return &m.reclaimScs[shard]
 }
 
 type vecEntry struct {
@@ -167,6 +231,7 @@ type wbScratch struct {
 	owner []int // parallel to segs: index into items
 	reqs  []fabric.Req
 	ops   []*fabric.Op
+	spans []pagetable.VPN // huge sub-span starts already collected this pass
 }
 
 // wbItem is one dirty page picked up by a batched sweep, with everything
@@ -195,7 +260,6 @@ func New(pool dram.Frames, tbl *pagetable.Table, cfg Config) *Manager {
 		Pool:        pool,
 		Table:       tbl,
 		Cfg:         cfg,
-		cleanVec:    map[pagetable.VPN][]Chunk{},
 		Cleaned:     stats.Counter{Name: "pagemgr.cleaned"},
 		Evicted:     stats.Counter{Name: "pagemgr.evicted"},
 		SyncWrites:  stats.Counter{Name: "pagemgr.sync_writes"},
@@ -292,16 +356,24 @@ func (m *Manager) TryAllocFrame(p *sim.Proc) (dram.FrameID, bool) {
 	return m.Pool.Alloc()
 }
 
-// InsertLRU registers a freshly mapped frame with the LRU list.
+// InsertLRU registers a freshly mapped frame with the LRU list (shard 0 —
+// the legacy single-list entry point).
 func (m *Manager) InsertLRU(id dram.FrameID, vpn pagetable.VPN) {
-	meta := m.Pool.Meta(id)
-	meta.VPN = vpn
-	m.Pool.LRUPushBack(id)
+	m.InsertLRUFor(0, id, vpn)
 }
 
-// DropVector removes any logged clean-vector for a page (called when the
-// page's content is re-fetched or the page is freed).
-func (m *Manager) DropVector(vpn pagetable.VPN) { delete(m.cleanVec, vpn) }
+// InsertLRUFor registers a freshly mapped frame with the faulting core's
+// home shard. With sharding off every core folds to shard 0, so the call
+// is byte-identical to InsertLRU.
+func (m *Manager) InsertLRUFor(core int, id dram.FrameID, vpn pagetable.VPN) {
+	meta := m.Pool.Meta(id)
+	meta.VPN = vpn
+	shard := 0
+	if m.Shards > 1 {
+		shard = core % m.Shards
+	}
+	m.Pool.LRUPushBackOn(shard, id)
+}
 
 // Vector returns the chunks stored under an action payload and releases
 // the log slot. The fault handler calls this to build the vectored fetch.
@@ -313,6 +385,30 @@ func (m *Manager) Vector(idx uint64) []Chunk {
 	e.used = false
 	m.freeVecs = append(m.freeVecs, idx)
 	return e.chunks
+}
+
+// releaseVector frees one vector-log slot without consuming its chunks
+// (the page was re-cleaned or its content superseded before eviction).
+func (m *Manager) releaseVector(idx uint64) {
+	e := &m.vectors[idx]
+	if !e.used {
+		panic(fmt.Sprintf("pagemgr: vector slot %d double release", idx))
+	}
+	e.used = false
+	m.freeVecs = append(m.freeVecs, idx)
+}
+
+// setFrameVector records `chunks` as the frame's last-cleaned vector in
+// the log, releasing any vector the frame already held. guided=false
+// clears instead.
+func (m *Manager) setFrameVector(f *dram.Frame, chunks []Chunk, guided bool) {
+	if f.VecIdx != dram.NoVec {
+		m.releaseVector(uint64(f.VecIdx))
+		f.VecIdx = dram.NoVec
+	}
+	if guided {
+		f.VecIdx = int32(m.storeVector(chunks))
+	}
 }
 
 func (m *Manager) storeVector(chunks []Chunk) uint64 {
@@ -334,7 +430,12 @@ func (m *Manager) storeVector(chunks []Chunk) uint64 {
 // charged to the tenant's queue pairs and counters), only the scheduling
 // vehicle is shared.
 type Service struct {
-	mgrs        []*Manager
+	mgrs []*Manager
+	// Shards, when > 1, runs one cleaner/reclaimer daemon pair per shard
+	// (pagemgr.cleaner0, pagemgr.reclaimer0, ...); each pair sweeps only
+	// its shard of every attached sharded manager. 0 or 1 keeps the
+	// legacy two daemons with the legacy names — byte-identical runs.
+	Shards      int
 	needReclaim sim.Waiter // reclaimer parks here when all pools are above high water
 }
 
@@ -351,38 +452,81 @@ func (s *Service) Attach(m *Manager) {
 	s.mgrs = append(s.mgrs, m)
 }
 
-// Start launches the cleaner and reclaimer daemons.
+// Start launches the cleaner and reclaimer daemons: the legacy pair for
+// an unsharded service, or one pair per shard when Shards > 1.
 func (s *Service) Start(eng *sim.Engine) {
 	if len(s.mgrs) == 0 {
 		panic("pagemgr: Start with no managers attached")
 	}
-	eng.GoDaemon("pagemgr.cleaner", s.cleanerLoop)
-	eng.GoDaemon("pagemgr.reclaimer", s.reclaimerLoop)
+	if s.Shards <= 1 {
+		eng.GoDaemon("pagemgr.cleaner", func(p *sim.Proc) { s.cleanerLoop(p, 0) })
+		eng.GoDaemon("pagemgr.reclaimer", func(p *sim.Proc) { s.reclaimerLoop(p, 0) })
+		return
+	}
+	for i := 0; i < s.Shards; i++ {
+		shard := i
+		eng.GoDaemon(fmt.Sprintf("pagemgr.cleaner%d", shard), func(p *sim.Proc) { s.cleanerLoop(p, shard) })
+		eng.GoDaemon(fmt.Sprintf("pagemgr.reclaimer%d", shard), func(p *sim.Proc) { s.reclaimerLoop(p, shard) })
+	}
+}
+
+// shardOf maps a service daemon's shard index onto one manager: a sharded
+// manager is swept shard-for-shard; a single-list manager (legacy or a
+// tenant view) is swept only by daemon 0 so its list is never scanned
+// twice per period.
+func shardOf(m *Manager, shard int) (int, bool) {
+	if m.Shards > 1 {
+		if shard < m.Shards {
+			return shard, true
+		}
+		return 0, false
+	}
+	return 0, shard == 0
 }
 
 // cleanerLoop periodically writes dirty pages back to the memory node and
 // clears their dirty bits, so the reclaimer always finds clean victims.
 // The period comes from the first attached manager (all managers of one
 // system share a Config template).
-func (s *Service) cleanerLoop(p *sim.Proc) {
+func (s *Service) cleanerLoop(p *sim.Proc, shard int) {
 	for {
 		p.Sleep(s.mgrs[0].Cfg.CleanerPeriod)
 		for _, m := range s.mgrs {
+			sh, ok := shardOf(m, shard)
+			if !ok {
+				continue
+			}
 			if m.Throttled != nil && m.Throttled(p.Now()) {
 				continue // this owner's dirty set drains at its own rate
 			}
-			m.cleanPass(p)
+			if m.Wide != nil {
+				// The shared-structure baseline: the whole sweep — pacing
+				// wait included — sits inside the coarse lock, so every
+				// fault handler transition queues behind it.
+				m.Wide.Acquire(p)
+				m.cleanPass(p, sh)
+				m.Wide.Release(p)
+				continue
+			}
+			m.cleanPass(p, sh)
 		}
 	}
 }
 
 // reclaimerLoop keeps every attached pool's free list above its high
 // watermark by evicting the least-recently-used clean pages with the clock
-// algorithm. It parks only when every pool is above water.
-func (s *Service) reclaimerLoop(p *sim.Proc) {
+// algorithm. It parks only when every pool is above water. A sharded
+// reclaimer prefers its own shard and steals a victim from a neighbour's
+// list when its own is empty of evictable pages, so no core starves the
+// pool.
+func (s *Service) reclaimerLoop(p *sim.Proc, shard int) {
 	for {
 		idle, evicted := true, false
 		for _, m := range s.mgrs {
+			sh, ok := shardOf(m, shard)
+			if !ok {
+				continue
+			}
 			if m.Pool.FreeCount() >= m.Cfg.HighWater {
 				continue
 			}
@@ -394,10 +538,10 @@ func (s *Service) reclaimerLoop(p *sim.Proc) {
 				continue
 			}
 			t0 := p.Now()
-			if m.reclaimStep(p) {
+			if m.reclaimStepSteal(p, sh) {
 				evicted = true
 				if m.Tel != nil {
-					m.Tel.Emit(m.ReclaimTrack, telemetry.Span{
+					m.Tel.Emit(m.reclaimTrackFor(sh), telemetry.Span{
 						Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: 1,
 					})
 				}
@@ -415,16 +559,41 @@ func (s *Service) reclaimerLoop(p *sim.Proc) {
 	}
 }
 
-// cleanPass performs one cleaner scan; exposed for tests.
-func (m *Manager) cleanPass(p *sim.Proc) {
+// reclaimStepSteal tries the daemon's own shard first and then steals
+// round-robin from the other shards. Rotation and removal always use a
+// frame's *home* shard, so stealing never reorders a neighbour's clock
+// beyond the normal second-chance rotation.
+func (m *Manager) reclaimStepSteal(p *sim.Proc, shard int) bool {
+	if m.Wide != nil {
+		m.Wide.Acquire(p)
+		defer m.Wide.Release(p)
+	}
+	if m.reclaimStep(p, shard) {
+		return true
+	}
+	n := 1
+	if m.Shards > 1 {
+		n = m.Shards
+	}
+	for k := 1; k < n; k++ {
+		if m.reclaimStep(p, (shard+k)%n) {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanPass performs one cleaner scan over one shard's list; exposed for
+// tests (shard 0 is the whole list in legacy mode).
+func (m *Manager) cleanPass(p *sim.Proc, shard int) {
 	if m.Batch {
-		m.cleanPassBatched(p)
+		m.cleanPassBatched(p, shard)
 		return
 	}
 	t0 := p.Now()
 	var lastOp *fabric.Op
 	batch, dirty := 0, 0
-	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+	m.Pool.WalkShard(shard, func(id dram.FrameID, f *dram.Frame) bool {
 		p.Advance(m.Cfg.ScanCost)
 		if batch >= m.Cfg.CleanerBatch {
 			return false
@@ -447,6 +616,7 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 			return true
 		}
 		lastOp = op
+		p.Advance(m.Cfg.TagCAS)
 		m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
 		m.Cleaned.Inc()
 		batch++
@@ -460,7 +630,7 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 	}
 	m.DirtyG.Set(int64(dirty))
 	if m.Tel != nil && batch > 0 {
-		m.Tel.Emit(m.CleanTrack, telemetry.Span{
+		m.Tel.Emit(m.cleanTrackFor(shard), telemetry.Span{
 			Kind: telemetry.KindClean, Start: t0, End: p.Now(), Arg: uint64(batch),
 		})
 	}
@@ -471,11 +641,12 @@ func (m *Manager) cleanPass(p *sim.Proc) {
 // clearing the dirty bit only for pages whose every replica write landed.
 // Sweep, flush, and retire run without a yield, so the page snapshots
 // taken by the sweep stay valid until the bits are cleared.
-func (m *Manager) cleanPassBatched(p *sim.Proc) {
+func (m *Manager) cleanPassBatched(p *sim.Proc, shard int) {
 	t0 := p.Now()
-	sc := &m.cleanSc
+	sc := m.cleanScFor(shard)
 	sc.items = sc.items[:0]
-	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+	sc.spans = sc.spans[:0]
+	m.Pool.WalkShard(shard, func(id dram.FrameID, f *dram.Frame) bool {
 		p.Advance(m.Cfg.ScanCost)
 		if len(sc.items) >= m.Cfg.CleanerBatch {
 			return false
@@ -491,7 +662,7 @@ func (m *Manager) cleanPassBatched(p *sim.Proc) {
 		return true
 	})
 	lastOp := m.flushBatch(p, sc, false)
-	cleaned := m.retireBatch(sc, true)
+	cleaned := m.retireBatch(p, sc, true)
 	if cleaned > 0 {
 		m.Table.BumpGen() // one shootdown per pass covers all cleared bits
 	}
@@ -500,7 +671,7 @@ func (m *Manager) cleanPassBatched(p *sim.Proc) {
 	}
 	m.DirtyG.Set(int64(len(sc.items)))
 	if m.Tel != nil && cleaned > 0 {
-		m.Tel.Emit(m.CleanTrack, telemetry.Span{
+		m.Tel.Emit(m.cleanTrackFor(shard), telemetry.Span{
 			Kind: telemetry.KindClean, Start: t0, End: p.Now(), Arg: uint64(cleaned),
 		})
 	}
@@ -511,6 +682,12 @@ func (m *Manager) cleanPassBatched(p *sim.Proc) {
 // page with no reachable write target is counted failed immediately and
 // stays dirty.
 func (m *Manager) collectItem(sc *wbScratch, id dram.FrameID, vpn pagetable.VPN, pte pagetable.PTE) {
+	if m.Huge != nil {
+		if start, pages, ok := m.Huge.SubSpan(vpn); ok {
+			m.collectSpan(sc, start, pages)
+			return
+		}
+	}
 	tgt, ok := m.RemoteOf(vpn)
 	if !ok {
 		m.WriteFails.Inc()
@@ -523,6 +700,42 @@ func (m *Manager) collectItem(sc *wbScratch, id dram.FrameID, vpn pagetable.VPN,
 		}
 	}
 	sc.items = append(sc.items, it)
+}
+
+// collectSpan collects a huge region's whole 32 KiB write-back sub-span:
+// every resident, unpinned page of it — clean neighbours included, so the
+// span's remote offsets stay contiguous and Coalesce folds them into one
+// vectored write (a clean page's rewrite is idempotent; the contiguity is
+// the win). Sub-page dirty granularity is exactly this routine: one dirty
+// bit anywhere in the 32 KiB granule moves the granule, never the whole
+// 2 MB region. Spans dedup within the pass so a sweep that sees several
+// dirty pages of one granule writes it back once.
+func (m *Manager) collectSpan(sc *wbScratch, start pagetable.VPN, pages int) {
+	for _, s := range sc.spans {
+		if s == start {
+			return
+		}
+	}
+	sc.spans = append(sc.spans, start)
+	for i := 0; i < pages; i++ {
+		vpn := start + pagetable.VPN(i)
+		pte := m.Table.Lookup(vpn)
+		if pte.Tag() != pagetable.TagLocal {
+			continue
+		}
+		id := dram.FrameID(pte.Frame())
+		if m.Pool.Meta(id).Pinned {
+			continue
+		}
+		tgt, ok := m.RemoteOf(vpn)
+		if !ok {
+			if pte.Dirty() {
+				m.WriteFails.Inc()
+			}
+			continue
+		}
+		sc.items = append(sc.items, wbItem{id: id, vpn: vpn, pte: pte, tgt: tgt})
+	}
 }
 
 // flushBatch posts every collected page to every one of its replica
@@ -607,7 +820,7 @@ func (m *Manager) gatherSegs(sc *wbScratch, i int, t *Target, qp *fabric.QP, rec
 // (recording its clean vector under guided paging) and counts the rest as
 // write failures — they stay dirty so the next pass retries and the
 // reclaimer never evicts the only good copy.
-func (m *Manager) retireBatch(sc *wbScratch, countCleaned bool) int {
+func (m *Manager) retireBatch(p *sim.Proc, sc *wbScratch, countCleaned bool) int {
 	cleaned := 0
 	for i := range sc.items {
 		it := &sc.items[i]
@@ -615,12 +828,9 @@ func (m *Manager) retireBatch(sc *wbScratch, countCleaned bool) int {
 			m.WriteFails.Inc()
 			continue
 		}
+		p.Advance(m.Cfg.TagCAS)
 		m.Table.Set(it.vpn, it.pte&^pagetable.BitDirty)
-		if it.guided {
-			m.cleanVec[it.vpn] = it.chunks
-		} else {
-			delete(m.cleanVec, it.vpn)
-		}
+		m.setFrameVector(m.Pool.Meta(it.id), it.chunks, it.guided)
 		if countCleaned {
 			m.Cleaned.Inc()
 		}
@@ -686,11 +896,7 @@ func (m *Manager) writeBack(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN, rec
 	if !ok {
 		return last, false
 	}
-	if guided {
-		m.cleanVec[vpn] = chunks
-	} else {
-		delete(m.cleanVec, vpn)
-	}
+	m.setFrameVector(m.Pool.Meta(id), chunks, guided)
 	return last, true
 }
 
@@ -710,13 +916,13 @@ func usable(chunks []Chunk) bool {
 	return total < pagetable.PageSize
 }
 
-// reclaimStep runs the clock hand until one page is evicted or the list is
-// exhausted. Returns whether it evicted a page.
-func (m *Manager) reclaimStep(p *sim.Proc) bool {
-	n := m.Pool.LRULen()
+// reclaimStep runs the clock hand over one shard's list until one page is
+// evicted or the list is exhausted. Returns whether it evicted a page.
+func (m *Manager) reclaimStep(p *sim.Proc, shard int) bool {
+	n := m.Pool.LRULenOf(shard)
 	var firstDirty dram.FrameID = dram.NoFrame
 	for i := 0; i < n; i++ {
-		id := m.Pool.LRUFront()
+		id := m.Pool.LRUFrontOf(shard)
 		if id == dram.NoFrame {
 			return false
 		}
@@ -757,13 +963,13 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 	// is the design's invariant), then evict the first of them.
 	if firstDirty != dram.NoFrame {
 		if m.Batch {
-			return m.reclaimCleanBatched(p)
+			return m.reclaimCleanBatched(p, shard)
 		}
 		var lastOp *fabric.Op
 		cleaned := 0
 		var victim dram.FrameID = dram.NoFrame
 		var victimVPN pagetable.VPN
-		m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+		m.Pool.WalkShard(shard, func(id dram.FrameID, f *dram.Frame) bool {
 			if cleaned >= 32 {
 				return false
 			}
@@ -781,6 +987,7 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 				return true
 			}
 			lastOp = op
+			p.Advance(m.Cfg.TagCAS)
 			m.Table.Set(f.VPN, pte&^pagetable.BitDirty)
 			cleaned++
 			if victim == dram.NoFrame && !pte.Accessed() {
@@ -815,10 +1022,11 @@ func (m *Manager) reclaimStep(p *sim.Proc) bool {
 // sweep a batch of cold dirty pages, flush them through the reclaim queue
 // pairs with one doorbell per node, retire the survivors, then wait once
 // and evict a victim — still entirely off the fault handler.
-func (m *Manager) reclaimCleanBatched(p *sim.Proc) bool {
-	sc := &m.reclaimSc
+func (m *Manager) reclaimCleanBatched(p *sim.Proc, shard int) bool {
+	sc := m.reclaimScFor(shard)
 	sc.items = sc.items[:0]
-	m.Pool.Walk(func(id dram.FrameID, f *dram.Frame) bool {
+	sc.spans = sc.spans[:0]
+	m.Pool.WalkShard(shard, func(id dram.FrameID, f *dram.Frame) bool {
 		if len(sc.items) >= 32 {
 			return false
 		}
@@ -834,7 +1042,7 @@ func (m *Manager) reclaimCleanBatched(p *sim.Proc) bool {
 		return true
 	})
 	lastOp := m.flushBatch(p, sc, true)
-	cleaned := m.retireBatch(sc, false)
+	cleaned := m.retireBatch(p, sc, false)
 	// Pick the victim before waiting: the wait yields, and the scratch
 	// snapshot is only valid until then.
 	var victim dram.FrameID = dram.NoFrame
@@ -877,9 +1085,13 @@ func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) bool {
 		return false
 	}
 	p.Advance(m.Cfg.UnmapCost)
-	if chunks, ok := m.cleanVec[vpn]; ok {
-		delete(m.cleanVec, vpn)
-		m.Table.Set(vpn, pagetable.Action(m.storeVector(chunks)))
+	p.Advance(m.Cfg.TagCAS)
+	f := m.Pool.Meta(id)
+	if f.VecIdx != dram.NoVec {
+		// The cleaner's logged vector becomes the Action payload; the slot
+		// is released when the fault handler consumes it via Vector.
+		m.Table.Set(vpn, pagetable.Action(uint64(f.VecIdx)))
+		f.VecIdx = dram.NoVec
 	} else {
 		m.Table.Set(vpn, pagetable.Remote(tgt.Off/pagetable.PageSize))
 	}

@@ -79,7 +79,7 @@ func TestCleanerWritesBackAndClearsDirty(t *testing.T) {
 	f := newFixture(t, 8, 8, DefaultConfig(8))
 	f.mapPage(3, true, 0xcd)
 	f.run(func(p *sim.Proc) {
-		f.mgr.cleanPass(p)
+		f.mgr.cleanPass(p, 0)
 	})
 	if f.mgr.Cleaned.N != 1 {
 		t.Fatalf("cleaned = %d", f.mgr.Cleaned.N)
@@ -102,7 +102,7 @@ func TestCleanerSkipsCleanAndPinned(t *testing.T) {
 	f.mapPage(0, false, 1)
 	id := f.mapPage(1, true, 2)
 	f.pool.Meta(id).Pinned = true
-	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p) })
+	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p, 0) })
 	if f.mgr.Cleaned.N != 0 {
 		t.Fatalf("cleaned = %d, want 0", f.mgr.Cleaned.N)
 	}
@@ -112,7 +112,7 @@ func TestCleanerBumpsGeneration(t *testing.T) {
 	f := newFixture(t, 8, 8, DefaultConfig(8))
 	f.mapPage(0, true, 1)
 	g := f.tbl.Gen()
-	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p) })
+	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p, 0) })
 	if f.tbl.Gen() == g {
 		t.Fatal("no TLB shootdown after clearing dirty bits")
 	}
@@ -130,7 +130,7 @@ func TestReclaimerEvictsColdCleanPage(t *testing.T) {
 		// The first pass may only strip accessed bits (second chance);
 		// subsequent passes evict.
 		for i := 0; f.pool.FreeCount() < cfg.HighWater && i < 100; i++ {
-			f.mgr.reclaimStep(p)
+			f.mgr.reclaimStep(p, 0)
 		}
 	})
 	if f.pool.FreeCount() != cfg.HighWater {
@@ -157,7 +157,7 @@ func TestClockGivesSecondChance(t *testing.T) {
 	// though it is younger.
 	f.tbl.Set(1, f.tbl.Lookup(1)&^pagetable.BitAccessed)
 	f.run(func(p *sim.Proc) {
-		if !f.mgr.reclaimStep(p) {
+		if !f.mgr.reclaimStep(p, 0) {
 			t.Error("no eviction")
 		}
 	})
@@ -180,7 +180,7 @@ func TestReclaimerSyncWritebackWhenAllDirty(t *testing.T) {
 		f.tbl.Set(v, f.tbl.Lookup(v)&^pagetable.BitAccessed)
 	}
 	f.run(func(p *sim.Proc) {
-		if !f.mgr.reclaimStep(p) {
+		if !f.mgr.reclaimStep(p, 0) {
 			t.Error("reclaimer failed with all-dirty pool")
 		}
 	})
@@ -201,9 +201,9 @@ func TestEvictionPreservesData(t *testing.T) {
 	id := f.mapPage(2, true, 0x77)
 	_ = id
 	f.run(func(p *sim.Proc) {
-		f.mgr.cleanPass(p) // write back
+		f.mgr.cleanPass(p, 0) // write back
 		f.tbl.Set(2, f.tbl.Lookup(2)&^pagetable.BitAccessed)
-		if !f.mgr.reclaimStep(p) {
+		if !f.mgr.reclaimStep(p, 0) {
 			t.Error("no eviction")
 		}
 	})
@@ -229,7 +229,7 @@ func TestGuidedCleaningWritesOnlyLiveChunks(t *testing.T) {
 	f := newFixture(t, 4, 8, cfg)
 	f.mgr.Guide = staticGuide{chunks: []Chunk{{Off: 0, Len: 128}, {Off: 1024, Len: 256}}}
 	f.mapPage(0, true, 0xee)
-	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p) })
+	f.run(func(p *sim.Proc) { f.mgr.cleanPass(p, 0) })
 	if f.link.TxBytes.N != 128+256 {
 		t.Fatalf("tx bytes = %d, want 384 (live chunks only)", f.link.TxBytes.N)
 	}
@@ -244,9 +244,9 @@ func TestGuidedEvictionProducesActionPTE(t *testing.T) {
 	f.mgr.Guide = staticGuide{chunks: []Chunk{{Off: 64, Len: 64}}}
 	f.mapPage(5, true, 0xaa)
 	f.run(func(p *sim.Proc) {
-		f.mgr.cleanPass(p)
+		f.mgr.cleanPass(p, 0)
 		f.tbl.Set(5, f.tbl.Lookup(5)&^pagetable.BitAccessed)
-		if !f.mgr.reclaimStep(p) {
+		if !f.mgr.reclaimStep(p, 0) {
 			t.Error("no eviction")
 		}
 	})

@@ -1,0 +1,55 @@
+package pagetable
+
+// Tag-transition helpers for the sharded fault path.
+//
+// Under the DES contract (state mutated between yields is atomic) a
+// compare-and-swap on a PTE is exactly one comparison plus one store —
+// there is no interleaving to defend against *within* a call. What CAS
+// buys the fault handler, prefetch mapper, cleaner, and reclaimer is
+// safety *across* their own yields: snapshot the entry, sleep on a frame
+// allocation or a fabric op, then publish the new state only if nobody
+// else moved the page meanwhile. That replaces the wide
+// read-modify-write critical sections the shared-manager baseline models
+// with one narrow transition per page (`Costs.TagCAS` in core).
+
+// LegalTransition reports whether a page may move from tag `from` to tag
+// `to` in one step. The edges are the page lifecycle:
+//
+//	Remote   → Fetching   demand fault or prefetch wins the page
+//	Action   → Fetching   guided fault consumes the vector and fetches
+//	Fetching → Local      fetch completed, page mapped
+//	Fetching → Remote     fetch failed / prefetch reverted
+//	Local    → Local      bit maintenance (dirty/accessed clears)
+//	Local    → Remote     clean eviction
+//	Local    → Action     eviction that left a write-back vector behind
+func LegalTransition(from, to Tag) bool {
+	switch from {
+	case TagRemote:
+		return to == TagFetching
+	case TagAction:
+		return to == TagFetching
+	case TagFetching:
+		return to == TagLocal || to == TagRemote
+	case TagLocal:
+		return to == TagLocal || to == TagRemote || to == TagAction
+	}
+	return false
+}
+
+// TryTransition installs `to` at v iff the entry still holds exactly
+// `from` (full-value compare, not just the tag — a concurrent migration
+// that re-homed a Remote page changes the payload and must fail the
+// swap). Returns false without side effects if the entry moved. Panics if
+// the requested edge is not in the lifecycle table: that is a logic bug
+// in the caller, not a race.
+func (t *Table) TryTransition(v VPN, from, to PTE) bool {
+	if !LegalTransition(from.Tag(), to.Tag()) {
+		panic("pagetable: illegal transition " + from.Tag().String() + " -> " + to.Tag().String())
+	}
+	pte := t.Entry(v)
+	if *pte != from {
+		return false
+	}
+	*pte = to
+	return true
+}

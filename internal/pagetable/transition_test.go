@@ -1,0 +1,78 @@
+package pagetable
+
+import "testing"
+
+// pteFor builds a representative PTE of each tag with a distinguishable
+// payload, so full-value CAS mismatches are detectable.
+func pteFor(tag Tag, payload uint64) PTE {
+	switch tag {
+	case TagLocal:
+		return Local(payload, true)
+	case TagRemote:
+		return Remote(payload)
+	case TagFetching:
+		return Fetching(payload)
+	case TagAction:
+		return Action(payload)
+	}
+	return 0
+}
+
+// TestTransitionTable drives TryTransition over every (from, to) tag pair:
+// the seven lifecycle edges must swap (and fail cleanly on a full-value
+// mismatch); every other edge must panic — an illegal edge is a logic bug,
+// never a race to absorb.
+func TestTransitionTable(t *testing.T) {
+	tags := []Tag{TagInvalid, TagLocal, TagRemote, TagFetching, TagAction}
+	legal := map[[2]Tag]bool{
+		{TagRemote, TagFetching}: true,
+		{TagAction, TagFetching}: true,
+		{TagFetching, TagLocal}:  true,
+		{TagFetching, TagRemote}: true,
+		{TagLocal, TagLocal}:     true,
+		{TagLocal, TagRemote}:    true,
+		{TagLocal, TagAction}:    true,
+	}
+	for _, from := range tags {
+		for _, to := range tags {
+			edge := [2]Tag{from, to}
+			if LegalTransition(from, to) != legal[edge] {
+				t.Errorf("LegalTransition(%v, %v) = %v, want %v",
+					from, to, !legal[edge], legal[edge])
+			}
+			fromPTE := pteFor(from, 7)
+			toPTE := pteFor(to, 9)
+			if !legal[edge] {
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Errorf("TryTransition(%v -> %v) did not panic", from, to)
+						}
+					}()
+					New().TryTransition(1, fromPTE, toPTE)
+				}()
+				continue
+			}
+			// Matching entry: the swap must land.
+			tbl := New()
+			tbl.Set(1, fromPTE)
+			if !tbl.TryTransition(1, fromPTE, toPTE) {
+				t.Errorf("TryTransition(%v -> %v) failed on matching entry", from, to)
+			}
+			if got := tbl.Lookup(1); got != toPTE {
+				t.Errorf("after %v -> %v: entry = %v, want %v", from, to, got, toPTE)
+			}
+			// Same tag, different payload: full-value compare must refuse —
+			// a migration that re-homed the page invalidates the snapshot.
+			moved := pteFor(from, 21)
+			tbl2 := New()
+			tbl2.Set(1, moved)
+			if tbl2.TryTransition(1, fromPTE, toPTE) {
+				t.Errorf("TryTransition(%v -> %v) swapped despite payload mismatch", from, to)
+			}
+			if got := tbl2.Lookup(1); got != moved {
+				t.Errorf("failed CAS mutated entry: %v", got)
+			}
+		}
+	}
+}

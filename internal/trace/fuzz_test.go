@@ -23,7 +23,7 @@ func FuzzLoad(f *testing.F) {
 		// Whatever loads must save/load identically.
 		r := NewRecorder(len(events) + 1)
 		for _, e := range events {
-			r.Record(e.At, e.VPN, e.Kind)
+			r.RecordOn(e.At, e.VPN, e.Kind, e.Core)
 		}
 		var buf bytes.Buffer
 		if err := r.Save(&buf); err != nil {

@@ -42,11 +42,14 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one recorded page access.
+// Event is one recorded page access. Core is the ID of the core whose
+// fault handler observed the access (0 when the producer predates core
+// attribution or the trace was saved in the v1 format).
 type Event struct {
 	At   sim.Time
 	VPN  pagetable.VPN
 	Kind Kind
+	Core int
 }
 
 // Recorder accumulates events in a bounded ring (oldest dropped first).
@@ -65,13 +68,19 @@ func NewRecorder(cap int) *Recorder {
 	return &Recorder{Cap: cap}
 }
 
-// Record appends an event.
+// Record appends an event attributed to core 0.
 func (r *Recorder) Record(at sim.Time, vpn pagetable.VPN, kind Kind) {
+	r.RecordOn(at, vpn, kind, 0)
+}
+
+// RecordOn appends an event attributed to the given core.
+func (r *Recorder) RecordOn(at sim.Time, vpn pagetable.VPN, kind Kind, core int) {
+	e := Event{At: at, VPN: vpn, Kind: kind, Core: core}
 	if len(r.events) < r.Cap {
-		r.events = append(r.events, Event{at, vpn, kind})
+		r.events = append(r.events, e)
 		return
 	}
-	r.events[r.start] = Event{at, vpn, kind}
+	r.events[r.start] = e
 	r.start = (r.start + 1) % r.Cap
 	r.dropped++
 }
@@ -136,10 +145,11 @@ func (r *Recorder) Analyze() Stats {
 }
 
 // Save writes the trace in a compact binary format:
-// "DTRC" u32-count, then per event varint(dt) varint(zigzag dvpn) u8 kind.
+// "DTR2" u32-count, then per event varint(dt) varint(zigzag dvpn) u8 kind
+// uvarint(core). The v1 format ("DTRC", no core byte) is still loadable.
 func (r *Recorder) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString("DTRC"); err != nil {
+	if _, err := bw.WriteString("DTR2"); err != nil {
 		return err
 	}
 	ev := r.Events()
@@ -157,19 +167,27 @@ func (r *Recorder) Save(w io.Writer) error {
 		n = binary.PutVarint(buf[:], int64(e.VPN)-int64(prevV))
 		bw.Write(buf[:n])
 		bw.WriteByte(byte(e.Kind))
+		n = binary.PutUvarint(buf[:], uint64(e.Core))
+		bw.Write(buf[:n])
 		prevT, prevV = e.At, e.VPN
 	}
 	return bw.Flush()
 }
 
-// Load reads a trace written by Save.
+// Load reads a trace written by Save — either the current "DTR2" format
+// or the pre-core "DTRC" layout (every event then reports Core 0).
 func Load(rd io.Reader) ([]Event, error) {
 	br := bufio.NewReader(rd)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, err
 	}
-	if string(magic) != "DTRC" {
+	var hasCore bool
+	switch string(magic) {
+	case "DTRC":
+	case "DTR2":
+		hasCore = true
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", magic)
 	}
 	var hdr [4]byte
@@ -202,9 +220,19 @@ func Load(rd io.Reader) ([]Event, error) {
 		if Kind(k) > Write {
 			return nil, fmt.Errorf("trace: invalid event kind %d", k)
 		}
+		var core uint64
+		if hasCore {
+			core, err = binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if core > 1<<16 {
+				return nil, fmt.Errorf("trace: implausible core ID %d", core)
+			}
+		}
 		prevT += sim.Time(dt)
 		prevV = pagetable.VPN(int64(prevV) + dv)
-		events = append(events, Event{At: prevT, VPN: prevV, Kind: Kind(k)})
+		events = append(events, Event{At: prevT, VPN: prevV, Kind: Kind(k), Core: int(core)})
 	}
 	return events, nil
 }

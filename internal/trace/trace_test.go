@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -59,8 +60,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	at := sim.Time(0)
 	for i := 0; i < 500; i++ {
 		at += sim.Time(rng.Intn(10000))
-		e := Event{At: at, VPN: pagetable.VPN(rng.Intn(1 << 20)), Kind: Kind(rng.Intn(4))}
-		r.Record(e.At, e.VPN, e.Kind)
+		e := Event{At: at, VPN: pagetable.VPN(rng.Intn(1 << 20)), Kind: Kind(rng.Intn(4)), Core: rng.Intn(8)}
+		r.RecordOn(e.At, e.VPN, e.Kind, e.Core)
 		want = append(want, e)
 	}
 	var buf bytes.Buffer
@@ -81,6 +82,42 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadV1Compat hand-builds a pre-core "DTRC" file and checks it still
+// loads, with every event attributed to core 0.
+func TestLoadV1Compat(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("DTRC")
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 2)
+	buf.Write(hdr[:])
+	var vb [binary.MaxVarintLen64]byte
+	put := func(dt uint64, dv int64, k Kind) {
+		n := binary.PutUvarint(vb[:], dt)
+		buf.Write(vb[:n])
+		n = binary.PutVarint(vb[:], dv)
+		buf.Write(vb[:n])
+		buf.WriteByte(byte(k))
+	}
+	put(100, 7, Major)
+	put(50, -3, Write)
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 100, VPN: 7, Kind: Major, Core: 0},
+		{At: 150, VPN: 4, Kind: Write, Core: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("NOPE1234"))); err == nil {
 		t.Fatal("bad magic accepted")
@@ -93,12 +130,13 @@ func TestQuickSaveLoad(t *testing.T) {
 		Dt   uint16
 		VPN  uint32
 		Kind uint8
+		Core uint8
 	}) bool {
 		r := NewRecorder(0)
 		at := sim.Time(0)
 		for _, x := range raw {
 			at += sim.Time(x.Dt)
-			r.Record(at, pagetable.VPN(x.VPN), Kind(x.Kind%4))
+			r.RecordOn(at, pagetable.VPN(x.VPN), Kind(x.Kind%4), int(x.Core))
 		}
 		var buf bytes.Buffer
 		if err := r.Save(&buf); err != nil {

@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# benchcheck.sh — benchstat-style regression gate for the host-side
+# hot-path benchmarks. Runs BenchmarkFaultPath (root) and BenchmarkSubmit
+# (internal/fabric) several times, takes the best (minimum) ns/op per
+# benchmark — the benchstat idea: noise only ever slows a run down — and
+# fails if either regresses more than 10% over the committed baseline in
+# bench_baseline.txt.
+#
+#   scripts/benchcheck.sh          # check against the baseline
+#   scripts/benchcheck.sh -update  # re-measure and rewrite the baseline
+#
+# Plain sh + awk on purpose: the CI image needs no extra tooling.
+set -eu
+
+cd "$(dirname "$0")/.."
+BASELINE=bench_baseline.txt
+RUNS=3
+TOLERANCE=1.10
+
+# best_ns <bench-regexp> <package> <benchtime> → minimum ns/op over $RUNS runs
+best_ns() {
+    best=""
+    for _ in $(seq "$RUNS"); do
+        ns=$(go test -bench "$1" -benchtime "$3" -run 'XXX' "$2" |
+            awk -v b="${1#^}" '$1 ~ b {print $3; exit}')
+        [ -n "$ns" ] || { echo "benchcheck: no ns/op from $1 in $2" >&2; exit 1; }
+        if [ -z "$best" ] || awk -v n="$ns" -v b="$best" 'BEGIN{exit !(n<b)}'; then
+            best=$ns
+        fi
+    done
+    echo "$best"
+}
+
+faultpath=$(best_ns '^BenchmarkFaultPath$' '.' 20000x)
+submit=$(best_ns '^BenchmarkSubmit$' './internal/fabric/' 50000x)
+
+if [ "${1:-}" = "-update" ]; then
+    {
+        echo "# Host-side ns/op baselines for scripts/benchcheck.sh (best of $RUNS runs)."
+        echo "# Refresh on the reference machine with: scripts/benchcheck.sh -update"
+        echo "BenchmarkFaultPath $faultpath"
+        echo "BenchmarkSubmit $submit"
+    } >"$BASELINE"
+    echo "benchcheck: baseline updated — FaultPath ${faultpath} ns/op, Submit ${submit} ns/op"
+    exit 0
+fi
+
+[ -f "$BASELINE" ] || { echo "benchcheck: missing $BASELINE (run with -update)" >&2; exit 1; }
+
+fail=0
+for pair in "BenchmarkFaultPath $faultpath" "BenchmarkSubmit $submit"; do
+    name=${pair% *}
+    got=${pair#* }
+    want=$(awk -v n="$name" '$1 == n {print $2}' "$BASELINE")
+    [ -n "$want" ] || { echo "benchcheck: $name missing from $BASELINE" >&2; exit 1; }
+    if awk -v g="$got" -v w="$want" -v t="$TOLERANCE" 'BEGIN{exit !(g > w*t)}'; then
+        echo "FAIL $name: $got ns/op vs baseline $want (>${TOLERANCE}x)"
+        fail=1
+    else
+        echo "ok   $name: $got ns/op vs baseline $want"
+    fi
+done
+exit $fail
