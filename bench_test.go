@@ -14,7 +14,9 @@ import (
 	"dilos/internal/core"
 	"dilos/internal/experiments"
 	"dilos/internal/fabric"
+	"dilos/internal/obs"
 	"dilos/internal/sim"
+	"dilos/internal/telemetry"
 )
 
 // benchScale keeps every benchmark iteration under a couple of seconds
@@ -342,6 +344,56 @@ func BenchmarkFaultPath(b *testing.B) {
 			b.Fatal(err)
 		}
 		// Warm up: size the slot table and scratch arenas.
+		for i := uint64(0); i < pages; i++ {
+			sp.StoreU64(base+i*core.PageSize, i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp.LoadU64(base + uint64(i)%pages*core.PageSize)
+		}
+		b.StopTimer()
+	})
+	eng.Run()
+	if sys.MajorFaults.N < int64(b.N) {
+		b.Fatalf("only %d major faults for %d iterations — not exercising the fault path", sys.MajorFaults.N, b.N)
+	}
+}
+
+// BenchmarkFaultPathObs is BenchmarkFaultPath with the full always-on
+// observability plane attached: SLO burn-rate monitor, event journal, and
+// a tail-sampled flight recorder (keep every over-budget span, 1 in 16 of
+// the rest). The delta against BenchmarkFaultPath is the host-side cost of
+// the plane per fault; scripts/benchcheck.sh gates both so the plane can
+// never silently grow past the committed baseline.
+func BenchmarkFaultPathObs(b *testing.B) {
+	const pages = 8192
+	eng := sim.New()
+	pl := obs.NewPlane()
+	pl.Objective = obs.Objective{
+		Budget: 25 * sim.Microsecond,
+		Target: 0.99,
+		Rules:  []obs.BurnRule{{Long: 500 * sim.Microsecond, Short: 100 * sim.Microsecond, MaxBurn: 8}},
+	}
+	pl.EvalEvery = 50 * sim.Microsecond
+	tel := telemetry.NewRecorder(0)
+	tel.SetPolicy(telemetry.SamplePolicy{Threshold: 25 * sim.Microsecond, KeepEvery: 16})
+	sys := core.New(eng, core.Config{
+		CacheFrames: pages / 8,
+		Cores:       2,
+		Shards:      2,
+		RemoteBytes: pages*core.PageSize + (64 << 20),
+		Fabric:      fabric.DefaultParams(),
+		Batch:       true,
+		Obs:         pl,
+		Tel:         tel,
+	})
+	sys.Start()
+	sys.Launch("bench", 0, func(sp *core.DDCProc) {
+		base, err := sys.MmapDDC(pages)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for i := uint64(0); i < pages; i++ {
 			sp.StoreU64(base+i*core.PageSize, i)
 		}

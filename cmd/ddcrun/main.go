@@ -25,6 +25,7 @@ import (
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
 	"dilos/internal/migrate"
+	"dilos/internal/obs"
 	"dilos/internal/placement"
 	"dilos/internal/prefetch"
 	"dilos/internal/redis"
@@ -93,6 +94,10 @@ func main() {
 		"seed for deterministic fault injection (same seed ⇒ identical faults)")
 	traceOut := flag.String("trace-out", "",
 		"record a flight-recorder trace and write it as Perfetto/Chrome JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /statusz, /journalz, /healthz on this address while the run executes (dilos only; pages refresh every 1ms of virtual time and hold the final state after the run)")
+	journalOut := flag.String("journal-out", "",
+		"write the control-plane event journal (drains, breaker trips, steals, SLO alerts) as JSON lines to this file (dilos only; feed it to tracetool events)")
 	sampleInterval := flag.Duration("sample-interval", 50*time.Microsecond,
 		"virtual-time gauge sampling interval for -trace-out counter tracks (0 disables them)")
 	batch := flag.Bool("batch", false,
@@ -160,9 +165,22 @@ func main() {
 	}
 	chaosOn := *chaosProfile != "" && *chaosProfile != "none"
 	migrateOn := *drainSpec != "" || *watermark > 0
-	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped" || chaosOn || migrateOn || *tenants > 0) {
-		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement/-chaos-profile/-migrate-*/-tenants require -system dilos\n")
+	obsOn := *metricsAddr != "" || *journalOut != ""
+	if *system != "dilos" && (*nodes != 1 || *replicas != 1 || *policyName != "striped" || chaosOn || migrateOn || *tenants > 0 || obsOn) {
+		fmt.Fprintf(os.Stderr, "-nodes/-replicas/-placement/-chaos-profile/-migrate-*/-tenants/-metrics-addr/-journal-out require -system dilos\n")
 		os.Exit(2)
+	}
+	// The HTTP sink binds once and survives the -cores sweep; each run
+	// re-publishes into it.
+	var obsSink *obs.Server
+	if *metricsAddr != "" {
+		obsSink = obs.NewServer()
+		addr, err := obsSink.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs: serving /metrics on http://%s/\n", addr)
 	}
 	if *tenants < 0 || *tenants == 1 {
 		fmt.Fprintf(os.Stderr, "-tenants wants 0 (off) or >= 2, got %d\n", *tenants)
@@ -251,6 +269,7 @@ func main() {
 
 		var launch func(fn func(sp space.Space, mmap func(uint64) (uint64, error)))
 		var report func()
+		var obsFinish func()
 		var registry *stats.Registry
 		var rec *telemetry.Recorder
 		var sampleEvery sim.Time
@@ -300,6 +319,20 @@ func main() {
 					RebalanceEvery: 500 * sim.Microsecond,
 					RebalanceStep:  8,
 				}
+			}
+			var pl *obs.Plane
+			if obsOn {
+				pl = obs.NewPlane()
+				// µs-scale objective so short interactive runs (and the tail
+				// chaos profile) exercise the burn-rate alerts: 99% of faults
+				// within 25µs, one 500µs/100µs ×8 rule.
+				pl.Objective = obs.Objective{
+					Budget: 25 * sim.Microsecond,
+					Target: 0.99,
+					Rules:  []obs.BurnRule{{Long: 500 * sim.Microsecond, Short: 100 * sim.Microsecond, MaxBurn: 8}},
+				}
+				pl.Sink = obsSink
+				cfg.Obs = pl
 			}
 			sys := core.New(eng, cfg)
 			var tens []*core.Tenant
@@ -366,6 +399,25 @@ func main() {
 			}
 			registry = sys.Registry()
 			telOf = sys.Telemetry
+			if pl != nil {
+				obsFinish = func() {
+					if pl.Sink != nil {
+						// Final render so scrapes after the run see end state.
+						pl.Sink.PublishMetrics(obs.AppendMetrics(nil, sys.Registry().Snapshot(), sys.Tel))
+						pl.Sink.PublishStatus(sys.AppendStatus(nil, eng.Now()))
+						pl.Sink.PublishJournal(pl.Journal.AppendJSONL(nil))
+					}
+					if *journalOut != "" {
+						if err := os.WriteFile(*journalOut, pl.Journal.AppendJSONL(nil), 0o644); err != nil {
+							fmt.Fprintln(os.Stderr, err)
+							os.Exit(1)
+						}
+						fmt.Printf("journal: wrote %s (%d events)\n", *journalOut, len(pl.Journal.Events()))
+					}
+					fmt.Printf("slo: %d bad events, %d alerts raised, %d cleared\n",
+						pl.Monitor.Bad.N, pl.Monitor.Raised.N, pl.Monitor.Cleared.N)
+				}
+			}
 			app := sys
 			if len(tens) > 0 {
 				app = tens[0].Sys
@@ -510,6 +562,9 @@ func main() {
 				policy.Name(), *nodes, *replicas)
 		}
 		report()
+		if obsFinish != nil {
+			obsFinish()
+		}
 		if *dumpStats {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")

@@ -14,6 +14,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -debug-addr; no handlers registered unless it serves
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"dilos/internal/experiments"
+	"dilos/internal/obs"
 	"dilos/internal/sim"
 	"dilos/internal/stats"
 	"dilos/internal/telemetry"
@@ -81,13 +84,14 @@ var registry = map[string]struct {
 	"ext7":   {"extension: elastic pool — live drain + migration under load", runExt7},
 	"ext8":   {"extension: multi-tenant pool — noisy neighbour vs QoS quotas", runExt8},
 	"ext10":  {"extension: per-core fault-path scaling — sharded vs shared manager", runExt10},
+	"ext11":  {"extension: always-on observability plane — overhead + burn-rate detection", runExt11},
 }
 
 var order = []string{
 	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
 	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
 	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext10",
+	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext10", "ext11",
 }
 
 // coresList is the parsed -cores sweep (empty = defaults, no sweep).
@@ -155,6 +159,10 @@ func main() {
 		"occupancy-imbalance fraction that arms continuous auto-rebalancing on ext7's migration engine (0 = drain/join only)")
 	flag.Int64Var(&experiments.TenantAggressorRate, "tenant-rate", experiments.TenantAggressorRate,
 		"fabric token-bucket rate (bytes/s) capping ext8's aggressor tenant in the isolated leg")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /statusz, /journalz, /healthz on this address for the duration of the invocation (pages refresh after every system run)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof on this address (off by default; see DESIGN.md §14 for the profiling workflow)")
 	coresSpec := flag.String("cores", "",
 		"comma list of core counts (e.g. 1,2,4,8): run each experiment once per setting with the sharded manager at that core count (one stats block per setting); ext10 sweeps exactly this list")
 	flag.BoolVar(&experiments.WideLocks, "wide-locks", false,
@@ -220,6 +228,34 @@ func main() {
 	if statsOut {
 		experiments.Collect = func(label string, snap stats.Snapshot) {
 			statsDump = append(statsDump, labeledSnapshot{Label: label, Stats: snap})
+		}
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", *debugAddr)
+	}
+	if *metricsAddr != "" {
+		srv := obs.NewServer()
+		addr, err := srv.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics on http://%s/\n", addr)
+		// Each finished system run re-publishes the exporter pages; the
+		// scrape target stays live across the whole batch.
+		prev := experiments.Collect
+		experiments.Collect = func(label string, snap stats.Snapshot) {
+			if prev != nil {
+				prev(label, snap)
+			}
+			srv.PublishMetrics(obs.AppendMetrics(nil, snap, nil))
+			srv.PublishStatus([]byte("dilosbench last run: " + label + "\n"))
 		}
 	}
 
@@ -706,6 +742,26 @@ func runExt10(sc experiments.Scale) {
 		r.SharedSpeedup, r.ShardedSpeedup)
 }
 
+func runExt11(sc experiments.Scale) {
+	fmt.Println("Extension — always-on observability plane: overhead + detection (ext11)")
+	fmt.Printf("  [tail storm ×30 on 60%% of ops from %.1fms; SLO budget 25µs, target 99%%,\n",
+		experiments.Ext11TailAt().Seconds()*1e3)
+	fmt.Printf("   burn-rate rule 500µs/100µs ×8; detection budget %.0fµs]\n",
+		experiments.Ext11DetectBudget().Micros())
+	r := experiments.ExtObs(sc, chaosSeed)
+	fmt.Printf("  seq read 12.5%%: plane off %.2f GB/s, plane on %.2f GB/s (virtual-time delta %+d ns)\n",
+		r.OffGBs, r.OnGBs, int64(r.OnElapsed-r.OffElapsed))
+	fmt.Printf("  same-seed pages byte-identical: %v (%d bytes rendered, %d journal events, %d spans sampled out)\n",
+		r.Deterministic, r.PageBytes, r.JournalEvents, r.SampledOut)
+	if r.Detected {
+		fmt.Printf("  storm: %d tails injected; alert raised %.0fµs after onset (%d raise edges)\n",
+			r.TailsInjected, r.DetectLatency.Micros(), r.StormRaised)
+	} else {
+		fmt.Println("  storm: alert never fired (FAIL)")
+	}
+	fmt.Printf("  clean legs raised %d alerts (must be 0)\n", r.CleanAlerts)
+}
+
 // floatSparkline renders a plain float series as unicode blocks.
 func floatSparkline(vals []float64) string {
 	if len(vals) == 0 {
@@ -774,6 +830,7 @@ var jsonRunners = map[string]func(experiments.Scale) any{
 	"ext7":   func(sc experiments.Scale) any { return experiments.ExtElastic(sc, chaosSeed) },
 	"ext8":   func(sc experiments.Scale) any { return experiments.ExtTenant(sc) },
 	"ext10":  func(sc experiments.Scale) any { return experiments.ExtScaling(sc) },
+	"ext11":  func(sc experiments.Scale) any { return experiments.ExtObs(sc, chaosSeed) },
 }
 
 func runJSON(sc experiments.Scale, exp string) {

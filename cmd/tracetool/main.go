@@ -8,13 +8,18 @@
 //	tracetool replay   qs.trace -prefetch trend -cache 0.25
 //	tracetool timeline -workload seqread -out timeline.json
 //	tracetool timeline -check timeline.json
+//	tracetool events   journal.jsonl -type slo_alert,breaker_trip
+//	tracetool events   journal.jsonl -merge timeline.json -out merged.json
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"dilos/internal/core"
@@ -43,13 +48,15 @@ func main() {
 		replay(os.Args[2:])
 	case "timeline":
 		timeline(os.Args[2:])
+	case "events":
+		eventsCmd(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: tracetool record|analyze|stats|replay|timeline [flags]")
+	fmt.Fprintln(os.Stderr, "usage: tracetool record|analyze|stats|replay|timeline|events [flags]")
 	os.Exit(2)
 }
 
@@ -301,6 +308,164 @@ func statsByCore(path string, events []trace.Event) {
 		fmt.Printf("  %6d %8d %8d %8d %8d %8d %8d %6.2f%%\n",
 			cc.core, cc.total, cc.major, cc.minor, cc.hit, cc.write,
 			len(cc.pages), 100*float64(cc.total)/float64(len(events)))
+	}
+}
+
+// journalEvent is one parsed line of a control-plane event journal
+// (internal/obs JSONL — ddcrun -journal-out, or a scraped /journalz page).
+type journalEvent struct {
+	At    int64
+	Type  string
+	Attrs map[string]json.RawMessage // everything but at_ns/type
+}
+
+// loadJournal parses a JSONL journal file.
+func loadJournal(path string) []journalEvent {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var events []journalEvent
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var raw map[string]json.RawMessage
+		if err := json.Unmarshal([]byte(text), &raw); err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%d: %v\n", path, line, err)
+			os.Exit(1)
+		}
+		var e journalEvent
+		if err := json.Unmarshal(raw["at_ns"], &e.At); err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%d: bad at_ns: %v\n", path, line, err)
+			os.Exit(1)
+		}
+		if err := json.Unmarshal(raw["type"], &e.Type); err != nil {
+			fmt.Fprintf(os.Stderr, "%s:%d: bad type: %v\n", path, line, err)
+			os.Exit(1)
+		}
+		delete(raw, "at_ns")
+		delete(raw, "type")
+		e.Attrs = raw
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return events
+}
+
+// eventsCmd filters a control-plane event journal and either prints it or
+// merges it into an existing Perfetto timeline as instant markers, so the
+// "what happened" (breaker trips, drains, steals, SLO alert edges) lines
+// up against the "what it cost" (the span tracks).
+func eventsCmd(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	typeFilter := fs.String("type", "", "comma list of event types to keep (empty = all)")
+	from := fs.Duration("from", 0, "drop events before this virtual time")
+	to := fs.Duration("to", 0, "drop events at or after this virtual time (0 = no bound)")
+	merge := fs.String("merge", "", "existing Perfetto/Chrome trace JSON to merge the filtered events into")
+	out := fs.String("out", "", "output file for -merge (default: <merge file> in place)")
+	if len(args) < 1 {
+		usage()
+	}
+	file := args[0]
+	fs.Parse(args[1:])
+	events := loadJournal(file)
+
+	keep := map[string]bool{}
+	for _, t := range strings.Split(*typeFilter, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			keep[t] = true
+		}
+	}
+	filtered := events[:0]
+	for _, e := range events {
+		if len(keep) > 0 && !keep[e.Type] {
+			continue
+		}
+		if e.At < from.Nanoseconds() {
+			continue
+		}
+		if *to > 0 && e.At >= to.Nanoseconds() {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+
+	if *merge != "" {
+		dst := *out
+		if dst == "" {
+			dst = *merge
+		}
+		mergeEvents(*merge, dst, filtered)
+		fmt.Printf("events: merged %d of %d journal events into %s\n",
+			len(filtered), len(events), dst)
+		return
+	}
+	for _, e := range filtered {
+		fmt.Printf("%12s  %-16s %s\n", sim.Time(e.At), e.Type, attrString(e.Attrs))
+	}
+	fmt.Printf("%d of %d events\n", len(filtered), len(events))
+}
+
+// attrString renders an event's attributes as sorted key=value pairs.
+func attrString(attrs map[string]json.RawMessage) string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+string(attrs[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// mergeEvents appends the journal events to a Chrome trace as global
+// instant markers ("ph":"i") on the process track, preserving everything
+// already in the file.
+func mergeEvents(tracePath, outPath string, events []journalEvent) {
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tracePath, err)
+		os.Exit(1)
+	}
+	for _, e := range events {
+		args, err := json.Marshal(e.Attrs) // map keys marshal sorted
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ev := fmt.Sprintf(`{"ph":"i","pid":0,"tid":0,"ts":%d.%03d,"s":"g","name":%q,"args":%s}`,
+			e.At/1000, e.At%1000, e.Type, args)
+		doc.TraceEvents = append(doc.TraceEvents, json.RawMessage(ev))
+	}
+	merged, err := json.Marshal(doc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(outPath, merged, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -58,6 +58,13 @@ type Config struct {
 	// an amplified op's latency is multiplied by TailFactor.
 	TailProb   float64
 	TailFactor float64
+	// TailAt/TailUntil gate tail amplification to a virtual-time window —
+	// the knob the detection-latency experiments use to switch a tail storm
+	// on mid-run. Both zero means always on; TailUntil == 0 with TailAt set
+	// means "from TailAt onward". The window test is PRNG-free, so gating
+	// never shifts the draw sequence.
+	TailAt    sim.Time
+	TailUntil sim.Time
 	// StallProb is the per-op probability of a queue-pair stall of
 	// StallTime (the op and everything FIFO-behind it slips).
 	StallProb float64
@@ -159,7 +166,7 @@ func (in *Injector) Decide(now sim.Time, node int, write bool, bytes int, lat si
 		in.Fails.Inc()
 		return Decision{Fail: true, Err: ErrInjected, FailAfter: in.cfg.DetectLatency}
 	}
-	if pTail < in.cfg.TailProb && in.cfg.TailFactor > 1 {
+	if pTail < in.cfg.TailProb && in.cfg.TailFactor > 1 && in.tailActive(now) {
 		d.Extra = sim.Time(float64(lat) * (in.cfg.TailFactor - 1))
 		in.Tails.Inc()
 	}
@@ -168,6 +175,18 @@ func (in *Injector) Decide(now sim.Time, node int, write bool, bytes int, lat si
 		in.Stalls.Inc()
 	}
 	return d
+}
+
+// tailActive reports whether now falls inside the tail-amplification
+// window (always when no window is configured).
+func (in *Injector) tailActive(now sim.Time) bool {
+	if in.cfg.TailAt == 0 && in.cfg.TailUntil == 0 {
+		return true
+	}
+	if now < in.cfg.TailAt {
+		return false
+	}
+	return in.cfg.TailUntil == 0 || now < in.cfg.TailUntil
 }
 
 // Profiles name canned configurations for the CLI tools (-chaos-profile).

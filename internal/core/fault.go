@@ -327,7 +327,12 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	s.finishFetch(p, coreID, slot, gen)
 	s.BD.Map += p.Now() - tMap
 	s.BD.N++
-	s.FaultLat.Record(p.Now() - t0 + s.MMUC.Exception)
+	lat := p.Now() - t0 + s.MMUC.Exception
+	s.FaultLat.Record(lat)
+	if s.sloMon != nil {
+		// One ring-bucket increment — the plane's entire fault-path cost.
+		s.sloMon.Observe(s.sloID, p.Now(), lat)
+	}
 	if rec {
 		span.Stages[telemetry.StageMap] = p.Now() - tMap
 		span.End = p.Now()

@@ -6,6 +6,7 @@ import (
 	"dilos/internal/comm"
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
+	"dilos/internal/obs"
 	"dilos/internal/pagetable"
 	"dilos/internal/placement"
 	"dilos/internal/sim"
@@ -190,6 +191,8 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 			if err := s.setNodeState(node, placement.Failed); err == nil {
 				h.NodeFails.Inc()
 				h.LastFailAt[node] = p.Now()
+				s.emitEvent(p.Now(), "breaker_trip",
+					obs.I("node", int64(node)), obs.I("consecutive_fails", int64(fails)))
 			}
 		}
 		// Open → half-open → (recover | re-open).
@@ -220,6 +223,9 @@ func (h *HealthMonitor) watch(p *sim.Proc, node int) {
 				}
 				h.NodeRecoveries.Inc()
 				h.LastRecoverAt[node] = p.Now()
+				s.emitEvent(p.Now(), "breaker_recover",
+					obs.I("node", int64(node)),
+					obs.I("downtime_ns", int64(p.Now()-h.LastFailAt[node])))
 			}
 		}
 		fails = 0

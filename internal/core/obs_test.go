@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dilos/internal/fabric"
+	"dilos/internal/migrate"
+	"dilos/internal/obs"
+	"dilos/internal/sim"
+)
+
+// obsSys builds a small system with the full plane attached.
+func obsSys(t *testing.T, tun *migrate.Tuning) (*System, *sim.Engine, *obs.Plane) {
+	t.Helper()
+	eng := sim.New()
+	pl := obs.NewPlane()
+	pl.Objective = obs.Objective{
+		Budget: 25 * sim.Microsecond,
+		Target: 0.99,
+		Rules:  []obs.BurnRule{{Long: 500 * sim.Microsecond, Short: 100 * sim.Microsecond, MaxBurn: 8}},
+	}
+	cfg := Config{
+		CacheFrames: 32,
+		Cores:       2,
+		RemoteBytes: 32 << 20,
+		Fabric:      fabric.DefaultParams(),
+		Obs:         pl,
+	}
+	if tun != nil {
+		cfg.MemNodes = 3
+		cfg.Migrate = tun
+	}
+	sys := New(eng, cfg)
+	sys.Start()
+	return sys, eng, pl
+}
+
+// seqApp cycles a working set 8x the cache so every pass majors.
+func seqApp(sys *System, pages uint64, until sim.Time) {
+	sys.Launch("app", 0, func(sp *DDCProc) {
+		base, err := sys.MmapDDC(pages)
+		if err != nil {
+			panic(err)
+		}
+		i := uint64(0)
+		for sp.Proc().Now() < until {
+			sp.LoadU64(base + i*PageSize)
+			i = (i + 1) % pages
+		}
+	})
+}
+
+// TestObsStatuszDeterministic pins the /statusz contract: the rendered
+// page is byte-identical across same-seed runs and carries the
+// membership, shard, cache, and SLO sections.
+func TestObsStatuszDeterministic(t *testing.T) {
+	run := func() ([]byte, []byte) {
+		sys, eng, pl := obsSys(t, nil)
+		seqApp(sys, 256, 2*sim.Millisecond)
+		eng.Run()
+		status := sys.AppendStatus(nil, eng.Now())
+		return status, pl.Journal.AppendJSONL(nil)
+	}
+	statusA, journalA := run()
+	statusB, journalB := run()
+	if !bytes.Equal(statusA, statusB) {
+		t.Errorf("statusz differs across same-seed runs:\n--- A\n%s\n--- B\n%s", statusA, statusB)
+	}
+	if !bytes.Equal(journalA, journalB) {
+		t.Errorf("journal differs across same-seed runs:\n--- A\n%s\n--- B\n%s", journalA, journalB)
+	}
+	for _, want := range []string{"dilos status at ", "node 0 state=", "shard 0 lru_frames=", "cache used=", "slo "} {
+		if !bytes.Contains(statusA, []byte(want)) {
+			t.Errorf("statusz missing %q:\n%s", want, statusA)
+		}
+	}
+}
+
+// TestObsJournalDrainEvent pins the control-plane journal wiring: a
+// Drain call lands in the journal as a drain_requested event carrying
+// the node id, timestamped when the drain was asked for.
+func TestObsJournalDrainEvent(t *testing.T) {
+	sys, eng, pl := obsSys(t, &migrate.Tuning{})
+	seqApp(sys, 256, 4*sim.Millisecond)
+	const drainAt = 500 * sim.Microsecond
+	eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(drainAt)
+		if err := sys.Drain(2); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	eng.Run()
+	found := false
+	for _, e := range pl.Journal.Events() {
+		if e.Type != "drain_requested" {
+			continue
+		}
+		found = true
+		if e.At != drainAt {
+			t.Errorf("drain_requested at %v, want %v", e.At, drainAt)
+		}
+	}
+	if !found {
+		t.Fatalf("no drain_requested event in journal (%d events)", pl.Journal.Len())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"dilos/internal/memnode"
 	"dilos/internal/migrate"
 	"dilos/internal/mmu"
+	"dilos/internal/obs"
 	"dilos/internal/pagemgr"
 	"dilos/internal/pagetable"
 	"dilos/internal/placement"
@@ -173,6 +174,14 @@ type Config struct {
 	// SampleEvery, with Tel set, starts the periodic gauge sampler at
 	// this interval (0 disables sampling; spans are still recorded).
 	SampleEvery sim.Time
+	// Obs, when set, attaches the live observability plane (internal/obs):
+	// the publisher daemon evaluates per-tenant SLO burn rates every
+	// EvalEvery, control-plane events (breaker trips, drains, rebalances,
+	// steals, alert edges) land in the plane's journal, and — when a Sink
+	// is attached — rendered /metrics, /statusz, and /journalz pages are
+	// published every PublishEvery. Nil is the plane-off configuration;
+	// every emission site is guarded, so a disabled run is untouched.
+	Obs *obs.Plane
 	// Chaos, when set, injects deterministic faults into every link (see
 	// internal/chaos) and enables the failure-handling stack: the health
 	// monitor daemons, fetch retry/failover, and re-replication. Without it
@@ -283,6 +292,14 @@ type System struct {
 	shards    int
 	wideLocks bool
 	huge      []hugeSpan
+
+	// Obs is the live observability plane (nil when disabled). Tenant
+	// systems alias the host's plane; only the host runs the publisher
+	// daemon. sloMon/sloID are this system's objective registration — the
+	// fault path observes into them directly so the nil check stays cheap.
+	Obs    *obs.Plane
+	sloMon *obs.Monitor
+	sloID  int
 
 	// Chaos is the fault injector shared by every link (nil without chaos).
 	Chaos *chaos.Injector
@@ -489,6 +506,22 @@ func build(eng *sim.Engine, cfg Config) *System {
 		pfScratch:   make([]pfScratch, cfg.Cores),
 	}
 	initMetrics(s, "")
+	s.sloID = -1
+	if cfg.Obs != nil {
+		s.Obs = cfg.Obs
+		if cfg.Obs.Monitor != nil {
+			o := cfg.Obs.Objective
+			o.Name = "pool"
+			s.sloMon = cfg.Obs.Monitor
+			s.sloID = cfg.Obs.Monitor.Register(o)
+		}
+		if j := cfg.Obs.Journal; j != nil {
+			mgr.OnSteal = func(now sim.Time, thief, victim int) {
+				j.Emit(now, "shard_steal",
+					obs.I("thief_shard", int64(thief)), obs.I("victim_shard", int64(victim)))
+			}
+		}
+	}
 	if cfg.Tenancy != nil && !cfg.Tenancy.NoIsolation {
 		s.slack = dram.NewSlack(cfg.Tenancy.SlackFrames)
 	}
@@ -634,6 +667,9 @@ func (s *System) buildRegistry() *stats.Registry {
 	// belongs to the host; per-tenant systems only register their own view
 	// of the fault path so Merge into the host registry never collides.
 	if s.host == nil {
+		if s.Obs != nil && s.Obs.Monitor != nil {
+			s.Obs.Monitor.RegisterStats(r)
+		}
 		if s.Chaos != nil {
 			s.Chaos.RegisterStats(r)
 		}
@@ -707,6 +743,7 @@ func (s *System) Drain(node int) error {
 	if s.Mig == nil {
 		return fmt.Errorf("core: Drain requires the migration engine (set Config.Migrate)")
 	}
+	s.emitEvent(s.Eng.Now(), "drain_requested", obs.I("node", int64(node)))
 	return s.Mig.Drain(node)
 }
 
@@ -844,6 +881,11 @@ func (s *System) Start() {
 			Collect:  s.SampleGauges,
 		}
 		s.Sam.Start(s.Eng)
+	}
+	// The observability publisher likewise spawns after every pre-existing
+	// daemon: enabling the plane never reorders the rest of the system.
+	if s.Obs != nil && (s.Obs.Monitor != nil || s.Obs.Sink != nil) {
+		s.Eng.GoDaemon("dilos.obs", s.obsLoop)
 	}
 }
 

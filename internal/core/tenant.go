@@ -24,6 +24,7 @@ import (
 	"dilos/internal/chaos"
 	"dilos/internal/comm"
 	"dilos/internal/dram"
+	"dilos/internal/obs"
 	"dilos/internal/pagemgr"
 	"dilos/internal/pagetable"
 	"dilos/internal/placement"
@@ -219,6 +220,19 @@ func (s *System) NewTenant(spec TenantSpec) (*Tenant, error) {
 		started:     true, // never Start()ed itself; the host drives it
 	}
 	initMetrics(ts, pfx)
+	ts.sloID = -1
+	if s.Obs != nil {
+		// The tenant aliases the host's plane (events land in one journal)
+		// and registers its own fault-latency objective, so burn rates and
+		// alerts attribute per tenant.
+		ts.Obs = s.Obs
+		if s.Obs.Monitor != nil {
+			o := s.Obs.Objective
+			o.Name = "tenant." + spec.Name
+			ts.sloMon = s.Obs.Monitor
+			ts.sloID = s.Obs.Monitor.Register(o)
+		}
+	}
 	if s.Tel != nil {
 		ts.Tel = s.Tel
 		ts.telCore = make([]int, s.cores)
@@ -291,6 +305,8 @@ func (s *System) setNodeState(node int, st placement.State) error {
 	if err := s.space.SetState(node, st); err != nil {
 		return err
 	}
+	s.emitEvent(s.Eng.Now(), "node_state",
+		obs.I("node", int64(node)), obs.S("state", st.String()))
 	for _, t := range s.tenants {
 		if err := t.Sys.space.SetState(node, st); err != nil {
 			panic(fmt.Sprintf("core: tenant %s space desynced on node %d → %s: %v", t.Name, node, st, err))
@@ -328,6 +344,11 @@ func (s *System) rebalanceLoop(p *sim.Proc) {
 			applied := t.view.SetReserved(next[i])
 			mc := pagemgr.DefaultConfig(applied)
 			t.Sys.Mgr.SetWatermarks(mc.LowWater, mc.HighWater)
+			s.emitEvent(p.Now(), "tenant_rebalance",
+				obs.S("tenant", t.Name),
+				obs.I("from_frames", int64(sig[i].Reserved)),
+				obs.I("to_frames", int64(applied)),
+				obs.I("pressure", sig[i].Pressure))
 		}
 	}
 }

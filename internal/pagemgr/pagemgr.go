@@ -168,6 +168,12 @@ type Manager struct {
 	AllocWaits  stats.Counter // allocations that had to wait for a free frame
 	VectorSaves stats.Counter // bytes saved by guided paging write-backs
 	WriteFails  stats.Counter // write-backs left dirty because a replica write failed
+	Steals      stats.Counter // evictions taken from a neighbour shard's list
+
+	// OnSteal, when set, is called after a sharded reclaimer evicts from a
+	// neighbour's list (thief = the daemon's home shard, victim = the shard
+	// it raided). Core wires it to the control-plane journal.
+	OnSteal func(now sim.Time, thief, victim int)
 
 	// Gauges for the telemetry sampler: free-list depth vs the (constant)
 	// watermarks, and the dirty set the last cleaner sweep encountered.
@@ -266,6 +272,7 @@ func New(pool dram.Frames, tbl *pagetable.Table, cfg Config) *Manager {
 		AllocWaits:  stats.Counter{Name: "pagemgr.alloc_waits"},
 		VectorSaves: stats.Counter{Name: "pagemgr.vector_saved_bytes"},
 		WriteFails:  stats.Counter{Name: "pagemgr.write_fails"},
+		Steals:      stats.Counter{Name: "pagemgr.steals"},
 		FreeG:       stats.Gauge{Name: "pagemgr.free_frames"},
 		DirtyG:      stats.Gauge{Name: "pagemgr.dirty_pages"},
 		LowWaterG:   stats.Gauge{Name: "pagemgr.low_water"},
@@ -284,6 +291,7 @@ func (m *Manager) RegisterStats(r *stats.Registry) {
 	r.RegisterCounter(&m.AllocWaits)
 	r.RegisterCounter(&m.VectorSaves)
 	r.RegisterCounter(&m.WriteFails)
+	r.RegisterCounter(&m.Steals)
 	r.RegisterGauge(&m.FreeG)
 	r.RegisterGauge(&m.DirtyG)
 	r.RegisterGauge(&m.LowWaterG)
@@ -300,7 +308,7 @@ func (m *Manager) SampleGauges() {
 // Must run before RegisterStats.
 func (m *Manager) PrefixStats(prefix string) {
 	for _, c := range []*stats.Counter{&m.Cleaned, &m.Evicted, &m.SyncWrites,
-		&m.AllocWaits, &m.VectorSaves, &m.WriteFails} {
+		&m.AllocWaits, &m.VectorSaves, &m.WriteFails, &m.Steals} {
 		c.Name = prefix + c.Name
 	}
 	for _, g := range []*stats.Gauge{&m.FreeG, &m.DirtyG, &m.LowWaterG, &m.HighWaterG} {
@@ -538,12 +546,25 @@ func (s *Service) reclaimerLoop(p *sim.Proc, shard int) {
 				continue
 			}
 			t0 := p.Now()
-			if m.reclaimStepSteal(p, sh) {
+			if victim, ok := m.reclaimStepSteal(p, sh); ok {
 				evicted = true
 				if m.Tel != nil {
 					m.Tel.Emit(m.reclaimTrackFor(sh), telemetry.Span{
 						Kind: telemetry.KindReclaim, Start: t0, End: p.Now(), Arg: 1,
 					})
+				}
+				if victim != sh {
+					// Cross-shard steal: mark the thief's track with the
+					// victim so the timeline shows who raided whom.
+					m.Steals.Inc()
+					if m.Tel != nil {
+						m.Tel.Emit(m.reclaimTrackFor(sh), telemetry.Span{
+							Kind: telemetry.KindSteal, Start: t0, End: p.Now(), Arg: uint64(victim),
+						})
+					}
+					if m.OnSteal != nil {
+						m.OnSteal(p.Now(), sh, victim)
+					}
 				}
 			}
 		}
@@ -562,25 +583,27 @@ func (s *Service) reclaimerLoop(p *sim.Proc, shard int) {
 // reclaimStepSteal tries the daemon's own shard first and then steals
 // round-robin from the other shards. Rotation and removal always use a
 // frame's *home* shard, so stealing never reorders a neighbour's clock
-// beyond the normal second-chance rotation.
-func (m *Manager) reclaimStepSteal(p *sim.Proc, shard int) bool {
+// beyond the normal second-chance rotation. Returns the shard the victim
+// came from, so callers can attribute cross-shard steals.
+func (m *Manager) reclaimStepSteal(p *sim.Proc, shard int) (victim int, ok bool) {
 	if m.Wide != nil {
 		m.Wide.Acquire(p)
 		defer m.Wide.Release(p)
 	}
 	if m.reclaimStep(p, shard) {
-		return true
+		return shard, true
 	}
 	n := 1
 	if m.Shards > 1 {
 		n = m.Shards
 	}
 	for k := 1; k < n; k++ {
-		if m.reclaimStep(p, (shard+k)%n) {
-			return true
+		v := (shard + k) % n
+		if m.reclaimStep(p, v) {
+			return v, true
 		}
 	}
-	return false
+	return shard, false
 }
 
 // cleanPass performs one cleaner scan over one shard's list; exposed for

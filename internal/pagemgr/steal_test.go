@@ -45,8 +45,12 @@ func TestStealPreservesVictimClockOrder(t *testing.T) {
 	f.run(func(p *sim.Proc) {
 		for i := 0; i < pages; i++ {
 			before := f.pool.LRULenOf(1)
-			if !f.mgr.reclaimStepSteal(p, 0) {
+			victim, ok := f.mgr.reclaimStepSteal(p, 0)
+			if !ok {
 				t.Fatalf("steal %d found nothing with %d frames on shard 1", i, before)
+			}
+			if victim != 1 {
+				t.Fatalf("steal %d reported victim shard %d, want 1", i, victim)
 			}
 			if f.pool.LRULenOf(1) != before-1 {
 				t.Fatalf("steal %d did not shrink shard 1 (%d -> %d)",
@@ -86,8 +90,12 @@ func TestStealPrefersOwnShard(t *testing.T) {
 	f.mapPageOn(0, 0)
 	f.mapPageOn(1, 1)
 	f.run(func(p *sim.Proc) {
-		if !f.mgr.reclaimStepSteal(p, 0) {
+		victim, ok := f.mgr.reclaimStepSteal(p, 0)
+		if !ok {
 			t.Fatal("no eviction")
+		}
+		if victim != 0 {
+			t.Fatalf("victim shard = %d, want own shard 0", victim)
 		}
 	})
 	if f.tbl.Lookup(0).Tag() != pagetable.TagRemote {

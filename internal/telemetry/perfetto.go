@@ -64,6 +64,14 @@ func WritePerfetto(w io.Writer, rec *Recorder, sam *Sampler) error {
 	}
 	for id := range names {
 		for _, sp := range rec.Spans(id) {
+			if sp.Kind == KindSteal {
+				// Steals render as instant markers on the thief's track
+				// with the victim shard in args — the "who raided whom"
+				// annotation the shard timeline was missing.
+				emit(fmt.Sprintf(`{"ph":"i","pid":0,"tid":%d,"ts":%s,"s":"t","name":"steal","args":{"victim_shard":%d}}`,
+					id+1, usStr(sp.Start), sp.Arg))
+				continue
+			}
 			emit(fmt.Sprintf(`{"ph":"X","pid":0,"tid":%d,"ts":%s,"dur":%s,"name":%q,"args":{%q:%d}}`,
 				id+1, usStr(sp.Start), usStr(sp.Dur()), sp.Kind.String(), argName(sp.Kind), sp.Arg))
 			cursor := sp.Start
@@ -96,6 +104,7 @@ type Summary struct {
 	Meta     int `json:"meta"`
 	Spans    int `json:"spans"`
 	Counters int `json:"counters"`
+	Instants int `json:"instants"`
 	Tracks   int `json:"tracks"`
 	// MaxTsNs is the latest event end, i.e. the timeline's extent.
 	MaxTsNs int64 `json:"max_ts_ns"`
@@ -165,6 +174,15 @@ func Validate(r io.Reader) (Summary, error) {
 			raw, ok := ev.Args["value"]
 			if !ok || json.Unmarshal(raw, &v) != nil {
 				return s, fmt.Errorf("telemetry: counter event %d (%s) has no numeric args.value", i, ev.Name)
+			}
+		case "i":
+			// Instant markers: shard steals, merged journal events.
+			s.Instants++
+			if ev.Ts == nil || ev.Tid == nil {
+				return s, fmt.Errorf("telemetry: instant event %d (%s) missing ts/tid", i, ev.Name)
+			}
+			if end := int64(*ev.Ts * 1000); end > s.MaxTsNs {
+				s.MaxTsNs = end
 			}
 		default:
 			return s, fmt.Errorf("telemetry: event %d has unsupported phase %q", i, ev.Ph)

@@ -41,13 +41,16 @@ const (
 	// KindMigrate is one migration-engine batch: copy a set of replica
 	// slots to their new nodes and flip them. Arg carries pages moved.
 	KindMigrate
+	// KindSteal marks a reclaimer stealing work from another shard: the
+	// span sits on the thief's track and Arg carries the victim shard.
+	KindSteal
 
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"major_fault", "minor_fault", "prefetch_map", "clean", "reclaim",
-	"read", "write", "retry", "migrate",
+	"read", "write", "retry", "migrate", "steal",
 }
 
 func (k Kind) String() string {
@@ -118,7 +121,24 @@ type track struct {
 	spans   []Span
 	start   int   // index of the oldest span once the ring has wrapped
 	dropped int64 // spans overwritten
+	below   int64 // below-threshold spans seen (tail-sampling round robin)
+	sampled int64 // spans rejected by the sampling policy
 }
+
+// SamplePolicy is tail-based sampling for always-on production mode:
+// every span at least Threshold long is retained (the tail is the
+// signal), and 1 in KeepEvery of the rest survives as a representative
+// baseline. The decision is a counter per track — no PRNG — so sampling
+// is as deterministic as everything else. The zero value keeps every
+// span (the exact-attribution mode the trace experiments rely on).
+type SamplePolicy struct {
+	Threshold sim.Time
+	// KeepEvery <= 1 keeps every below-threshold span.
+	KeepEvery int
+}
+
+// Active reports whether the policy rejects anything.
+func (p SamplePolicy) Active() bool { return p.KeepEvery > 1 && p.Threshold > 0 }
 
 // Recorder is the flight recorder: a set of named tracks (one per core,
 // one per daemon, one per fabric link), each a bounded drop-oldest ring.
@@ -128,6 +148,7 @@ type Recorder struct {
 	perTrack int
 	tracks   []track
 	byName   map[string]int
+	policy   SamplePolicy
 }
 
 // DefaultTrackCap is the per-track ring capacity when NewRecorder is
@@ -158,10 +179,26 @@ func (r *Recorder) Track(name string) int {
 	return id
 }
 
+// SetPolicy installs a tail-based sampling policy. Call before the run;
+// switching policies mid-recording only affects subsequent emissions.
+func (r *Recorder) SetPolicy(p SamplePolicy) { r.policy = p }
+
+// Policy returns the active sampling policy.
+func (r *Recorder) Policy() SamplePolicy { return r.policy }
+
 // Emit records a span on the given track, overwriting the oldest span if
-// the ring is full. Zero allocation, zero virtual time.
+// the ring is full. Zero allocation, zero virtual time. Under an active
+// SamplePolicy, below-threshold spans are counted and mostly rejected
+// before touching the ring — the fast path of always-on mode.
 func (r *Recorder) Emit(tr int, s Span) {
 	t := &r.tracks[tr]
+	if r.policy.KeepEvery > 1 && s.End-s.Start < r.policy.Threshold {
+		t.below++
+		if t.below%int64(r.policy.KeepEvery) != 0 {
+			t.sampled++
+			return
+		}
+	}
 	if len(t.spans) < cap(t.spans) {
 		t.spans = append(t.spans, s)
 		return
@@ -205,6 +242,19 @@ func (r *Recorder) DroppedTotal() int64 {
 	var n int64
 	for i := range r.tracks {
 		n += r.tracks[i].dropped
+	}
+	return n
+}
+
+// SampledOut returns how many spans the sampling policy rejected on a
+// track.
+func (r *Recorder) SampledOut(id int) int64 { return r.tracks[id].sampled }
+
+// SampledOutTotal sums policy rejections across all tracks.
+func (r *Recorder) SampledOutTotal() int64 {
+	var n int64
+	for i := range r.tracks {
+		n += r.tracks[i].sampled
 	}
 	return n
 }

@@ -69,6 +69,65 @@ func TestEmitNoAlloc(t *testing.T) {
 	}
 }
 
+// Tail-based sampling: every over-threshold span survives, 1 in KeepEvery
+// of the rest, decided by a per-track counter — deterministic and cheap.
+func TestTailSamplingPolicy(t *testing.T) {
+	rec := NewRecorder(256)
+	tr := rec.Track("core0")
+	rec.SetPolicy(SamplePolicy{Threshold: 10 * sim.Microsecond, KeepEvery: 10})
+	var start sim.Time
+	for i := 0; i < 100; i++ { // below threshold: 1µs spans
+		rec.Emit(tr, Span{Kind: KindMajorFault, Start: start, End: start + sim.Microsecond, Arg: uint64(i)})
+		start += 2 * sim.Microsecond
+	}
+	for i := 0; i < 5; i++ { // the tail: always retained
+		rec.Emit(tr, Span{Kind: KindMajorFault, Start: start, End: start + 50*sim.Microsecond, Arg: 1000 + uint64(i)})
+		start += 100 * sim.Microsecond
+	}
+	if got := len(rec.Spans(tr)); got != 15 {
+		t.Fatalf("retained %d spans, want 15 (100/10 + 5 tail)", got)
+	}
+	if got := rec.SampledOut(tr); got != 90 {
+		t.Fatalf("sampled out %d, want 90", got)
+	}
+	if got := rec.SampledOutTotal(); got != 90 {
+		t.Fatalf("SampledOutTotal = %d, want 90", got)
+	}
+	// Every tail span survived.
+	tail := 0
+	for _, sp := range rec.Spans(tr) {
+		if sp.Arg >= 1000 {
+			tail++
+		}
+	}
+	if tail != 5 {
+		t.Fatalf("tail spans retained = %d, want 5", tail)
+	}
+	// The zero policy keeps everything.
+	if (SamplePolicy{}).Active() {
+		t.Fatal("zero policy reports active")
+	}
+	if !(SamplePolicy{Threshold: 1, KeepEvery: 2}).Active() {
+		t.Fatal("real policy reports inactive")
+	}
+}
+
+// The sampled-out reject path must be as allocation-free as the ring
+// append — it IS the fault-path cost of always-on mode.
+func TestSampledEmitNoAlloc(t *testing.T) {
+	rec := NewRecorder(64)
+	tr := rec.Track("core0")
+	rec.SetPolicy(SamplePolicy{Threshold: 10 * sim.Microsecond, KeepEvery: 1 << 30})
+	var i sim.Time
+	allocs := testing.AllocsPerRun(100, func() {
+		rec.Emit(tr, Span{Kind: KindMajorFault, Start: i, End: i + 10})
+		i += 20
+	})
+	if allocs != 0 {
+		t.Fatalf("sampled Emit allocates %.1f per call, want 0", allocs)
+	}
+}
+
 func TestFaultAnatomy(t *testing.T) {
 	rec := NewRecorder(16)
 	tr := rec.Track("core0")

@@ -55,6 +55,14 @@ type Server struct {
 	Reads, Writes, Pings, Batches atomic.Int64 // executed operations (per segment for R/W)
 	Rejects                       atomic.Int64 // non-OK statuses (bad key/op/bounds/too-big)
 	DrainedReqs                   atomic.Int64 // requests answered StatusDraining
+
+	// ObserveLatency, when set before Serve, receives every request's
+	// server-side execution latency in wall-clock nanoseconds. It is called
+	// from connection handler goroutines concurrently — the observer must
+	// do its own serialisation (memnoded funnels into its SLO monitor
+	// through a channel). Nil costs the request path one predictable
+	// branch.
+	ObserveLatency func(ns int64)
 }
 
 // NewServer wraps a memory node.
@@ -396,10 +404,17 @@ func (s *Server) readBody(br *bufio.Reader, rq *request, nsegs int) error {
 
 // execute resolves a request into its response frame.
 func (s *Server) execute(rq *request) {
+	var t0 time.Time
+	if s.ObserveLatency != nil {
+		t0 = time.Now()
+	}
 	rq.out = growTo(rq.out, respHdrLen)
 	status := rq.status
 	if status == statusExec {
 		status = s.run(rq)
+	}
+	if s.ObserveLatency != nil {
+		s.ObserveLatency(time.Since(t0).Nanoseconds())
 	}
 	if status != StatusOK {
 		rq.out = rq.out[:respHdrLen]

@@ -1,10 +1,12 @@
 #!/usr/bin/env sh
 # benchcheck.sh — benchstat-style regression gate for the host-side
-# hot-path benchmarks. Runs BenchmarkFaultPath (root) and BenchmarkSubmit
-# (internal/fabric) several times, takes the best (minimum) ns/op per
-# benchmark — the benchstat idea: noise only ever slows a run down — and
-# fails if either regresses more than 10% over the committed baseline in
-# bench_baseline.txt.
+# hot-path benchmarks. Runs BenchmarkFaultPath and BenchmarkFaultPathObs
+# (root; the latter is the same fault loop with the full observability
+# plane attached, so their delta is the plane's per-fault cost) and
+# BenchmarkSubmit (internal/fabric) several times, takes the best
+# (minimum) ns/op per benchmark — the benchstat idea: noise only ever
+# slows a run down — and fails if any regresses more than 10% over the
+# committed baseline in bench_baseline.txt.
 #
 #   scripts/benchcheck.sh          # check against the baseline
 #   scripts/benchcheck.sh -update  # re-measure and rewrite the baseline
@@ -32,6 +34,7 @@ best_ns() {
 }
 
 faultpath=$(best_ns '^BenchmarkFaultPath$' '.' 20000x)
+faultobs=$(best_ns '^BenchmarkFaultPathObs$' '.' 20000x)
 submit=$(best_ns '^BenchmarkSubmit$' './internal/fabric/' 50000x)
 
 if [ "${1:-}" = "-update" ]; then
@@ -39,16 +42,17 @@ if [ "${1:-}" = "-update" ]; then
         echo "# Host-side ns/op baselines for scripts/benchcheck.sh (best of $RUNS runs)."
         echo "# Refresh on the reference machine with: scripts/benchcheck.sh -update"
         echo "BenchmarkFaultPath $faultpath"
+        echo "BenchmarkFaultPathObs $faultobs"
         echo "BenchmarkSubmit $submit"
     } >"$BASELINE"
-    echo "benchcheck: baseline updated — FaultPath ${faultpath} ns/op, Submit ${submit} ns/op"
+    echo "benchcheck: baseline updated — FaultPath ${faultpath} ns/op, FaultPathObs ${faultobs} ns/op, Submit ${submit} ns/op"
     exit 0
 fi
 
 [ -f "$BASELINE" ] || { echo "benchcheck: missing $BASELINE (run with -update)" >&2; exit 1; }
 
 fail=0
-for pair in "BenchmarkFaultPath $faultpath" "BenchmarkSubmit $submit"; do
+for pair in "BenchmarkFaultPath $faultpath" "BenchmarkFaultPathObs $faultobs" "BenchmarkSubmit $submit"; do
     name=${pair% *}
     got=${pair#* }
     want=$(awk -v n="$name" '$1 == n {print $2}' "$BASELINE")
