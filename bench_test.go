@@ -14,7 +14,9 @@ import (
 	"dilos/internal/core"
 	"dilos/internal/experiments"
 	"dilos/internal/fabric"
+	"dilos/internal/kvcache"
 	"dilos/internal/obs"
+	"dilos/internal/pagemgr"
 	"dilos/internal/sim"
 	"dilos/internal/telemetry"
 )
@@ -407,5 +409,67 @@ func BenchmarkFaultPathObs(b *testing.B) {
 	eng.Run()
 	if sys.MajorFaults.N < int64(b.N) {
 		b.Fatalf("only %d major faults for %d iterations — not exercising the fault path", sys.MajorFaults.N, b.N)
+	}
+}
+
+// BenchmarkKVDecodeStep measures the host-side cost of one guided KV
+// decode step — the full per-token path: layerwise guide notifications,
+// prefetch issue on the guide daemon, the token-scan reads with their
+// faults, and the append writes. Sequences that fill up are finished and
+// recycled off the timer, so steady state includes region reuse.
+func BenchmarkKVDecodeStep(b *testing.B) {
+	p := kvcache.DefaultParams()
+	ws := int(uint64(p.Layers) * p.RegionPages())
+	eng := sim.New()
+	frames := ws * 3 / 4
+	mcfg := pagemgr.DefaultConfig(frames)
+	mcfg.LowWater = frames / 4
+	mcfg.HighWater = frames / 2
+	sys := core.New(eng, core.Config{
+		CacheFrames: frames, // smaller than one sequence: decode always pages
+		Cores:       2,
+		RemoteBytes: 256 << 20,
+		Fabric:      fabric.DefaultParams(),
+		Batch:       true,
+		Mgr:         &mcfg,
+	})
+	g := kvcache.NewGuide(sys)
+	sys.Start()
+	var cache *kvcache.Cache
+	sys.Launch("bench", 0, func(sp *core.DDCProc) {
+		c, err := kvcache.New(sys, p, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache = c
+		prefill := func() *kvcache.Sequence {
+			s, err := c.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Prefill(sp, s, p.MaxTokens/2, g); err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}
+		s := prefill()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if s.Tokens() >= p.MaxTokens {
+				b.StopTimer()
+				c.Finish(sp, s)
+				s = prefill()
+				b.StartTimer()
+			}
+			if _, err := c.DecodeStep(sp, s, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	})
+	eng.Run()
+	if cache.BadReads.N != 0 {
+		b.Fatalf("%d bad reads during the benchmark", cache.BadReads.N)
 	}
 }

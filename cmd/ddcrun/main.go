@@ -303,9 +303,6 @@ func main() {
 					cfg.Shards = coreN
 				}
 			}
-			if guide != nil {
-				cfg.Guide = guide
-			}
 			if chaosOn {
 				cfg.Chaos = chaos.NewInjector(chaosCfg)
 			}
@@ -335,6 +332,9 @@ func main() {
 				cfg.Obs = pl
 			}
 			sys := core.New(eng, cfg)
+			if guide != nil {
+				sys.AttachGuide(guide)
+			}
 			var tens []*core.Tenant
 			for i := 0; i < *tenants; i++ {
 				q := tenant.Quota{Weight: 1, FloorFrames: 48}

@@ -2,6 +2,10 @@
 // the reproduction and prints them in the paper's format, with the
 // published values alongside for comparison.
 //
+// The command itself is a thin driver: every experiment lives in
+// internal/experiments and self-registers via experiments.Register, so
+// -list, dispatch, and -json all run off the registry.
+//
 // Usage:
 //
 //	dilosbench -exp all          # everything (several minutes)
@@ -19,7 +23,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -50,50 +53,6 @@ func writeMemProfile(path string) {
 	}
 }
 
-var registry = map[string]struct {
-	desc string
-	run  func(sc experiments.Scale)
-}{
-	"fig1":   {"Fastswap fault-handler latency breakdown", runFig1},
-	"fig2":   {"RDMA latency vs object size", func(experiments.Scale) { runFig2() }},
-	"tab1":   {"fault counts, sequential read on Fastswap", runTab1},
-	"tab2":   {"sequential read/write throughput (GB/s)", runTab2},
-	"fig6":   {"fault latency breakdown, DiLOS vs Fastswap", runFig6},
-	"tab3":   {"fault counts, sequential read, all systems", runTab3},
-	"fig7a":  {"quicksort completion time", wrapCompletion("Figure 7(a) — quicksort", experiments.Fig7a, "s")},
-	"fig7b":  {"k-means completion time", wrapCompletion("Figure 7(b) — k-means", experiments.Fig7b, "s")},
-	"fig7c":  {"snappy compression completion time", wrapCompletion("Figure 7(c) — compression", experiments.Fig7c, "ms")},
-	"fig7d":  {"snappy decompression completion time", wrapCompletion("Figure 7(d) — decompression", experiments.Fig7d, "ms")},
-	"fig8":   {"DataFrame NYC-taxi completion time", wrapCompletion("Figure 8 — DataFrame (NYC taxi)", experiments.Fig8, "ms")},
-	"fig9a":  {"GAPBS PageRank, 4 threads", wrapCompletion("Figure 9(a) — PageRank", experiments.Fig9a, "ms")},
-	"fig9b":  {"GAPBS betweenness centrality, 4 threads", wrapCompletion("Figure 9(b) — betweenness centrality", experiments.Fig9b, "ms")},
-	"fig10a": {"Redis GET throughput, 4 KiB values", wrapRedis("Figure 10(a) — GET 4KiB", experiments.Fig10a)},
-	"fig10b": {"Redis GET throughput, 64 KiB values", wrapRedis("Figure 10(b) — GET 64KiB", experiments.Fig10b)},
-	"fig10c": {"Redis GET throughput, mixed sizes", wrapRedis("Figure 10(c) — GET mixed", experiments.Fig10c)},
-	"fig10d": {"Redis LRANGE_100 throughput", wrapRedis("Figure 10(d) — LRANGE_100", experiments.Fig10d)},
-	"tab4":   {"Redis tail latency, GET(mixed) + LRANGE", runTab4},
-	"fig12":  {"bandwidth with guided paging, DEL + GET", runFig12},
-	"abl1":   {"ablation: eager vs on-demand reclamation", runAbl1},
-	"abl2":   {"ablation: shared-nothing vs shared queues", runAbl2},
-	"ext1":   {"extension: sharding across 1/2/4 memory nodes", runExt1},
-	"ext2":   {"extension: PageRank thread scaling on DiLOS", runExt2},
-	"ext3":   {"extension: placement policies across 4 memory nodes", runExt3},
-	"ext4":   {"extension: chaos — node crash, failover, recovery", runExt4},
-	"ext5":   {"extension: doorbell-batched vs per-op submission", runExt5},
-	"ext6":   {"extension: per-fault latency anatomy from the flight recorder", runExt6},
-	"ext7":   {"extension: elastic pool — live drain + migration under load", runExt7},
-	"ext8":   {"extension: multi-tenant pool — noisy neighbour vs QoS quotas", runExt8},
-	"ext10":  {"extension: per-core fault-path scaling — sharded vs shared manager", runExt10},
-	"ext11":  {"extension: always-on observability plane — overhead + burn-rate detection", runExt11},
-}
-
-var order = []string{
-	"fig1", "fig2", "tab1", "tab2", "fig6", "tab3",
-	"fig7a", "fig7b", "fig7c", "fig7d", "fig8", "fig9a", "fig9b",
-	"fig10a", "fig10b", "fig10c", "fig10d", "tab4", "fig12",
-	"abl1", "abl2", "ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7", "ext8", "ext10", "ext11",
-}
-
 // coresList is the parsed -cores sweep (empty = defaults, no sweep).
 var coresList []int
 
@@ -114,12 +73,11 @@ func parseCores(spec string) ([]int, error) {
 }
 
 // runExp runs one experiment, once per -cores setting when a sweep is
-// active. ext10 sweeps core counts internally, so it consumes the list
-// directly instead of being looped.
-func runExp(id string, sc experiments.Scale) {
-	e := registry[id]
-	if len(coresList) == 0 || id == "ext10" {
-		e.run(sc)
+// active. CoresAware experiments (ext10) sweep core counts internally, so
+// they consume the list directly instead of being looped.
+func runExp(e experiments.Entry, sc experiments.Scale) {
+	if len(coresList) == 0 || e.CoresAware {
+		e.Run(sc)
 		return
 	}
 	for i, n := range coresList {
@@ -128,13 +86,10 @@ func runExp(id string, sc experiments.Scale) {
 		}
 		fmt.Printf("=== cores=%d ===\n", n)
 		experiments.CoreCount = n
-		e.run(sc)
+		e.Run(sc)
 	}
 	experiments.CoreCount = 0
 }
-
-// chaosSeed drives ext4's deterministic fault injection (-chaos-seed).
-var chaosSeed uint64
 
 func main() {
 	exp := flag.String("exp", "", "experiment id (see -list) or 'all'")
@@ -143,8 +98,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit structured JSON instead of tables")
 	withStats := flag.Bool("stats", false,
 		"capture a full stats snapshot per system run and dump them as JSON")
-	flag.Uint64Var(&chaosSeed, "chaos-seed", 42,
-		"seed for ext4's deterministic fault injection (same seed ⇒ identical run)")
+	flag.Uint64Var(&experiments.ChaosSeed, "chaos-seed", 42,
+		"seed for the seeded experiments' deterministic fault injection and determinism legs (same seed ⇒ identical run)")
 	batch := flag.String("batch", "off",
 		"doorbell-batched submission (on|off) for every DiLOS system the experiments build; ext5 measures both regardless")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the simulator itself to this file")
@@ -159,6 +114,12 @@ func main() {
 		"occupancy-imbalance fraction that arms continuous auto-rebalancing on ext7's migration engine (0 = drain/join only)")
 	flag.Int64Var(&experiments.TenantAggressorRate, "tenant-rate", experiments.TenantAggressorRate,
 		"fabric token-bucket rate (bytes/s) capping ext8's aggressor tenant in the isolated leg")
+	flag.IntVar(&experiments.KVLayers, "kv-layers", experiments.KVLayers,
+		"ext12: transformer layers per sequence")
+	flag.IntVar(&experiments.KVSeqs, "kv-seqs", experiments.KVSeqs,
+		"ext12: concurrent sequences in the KV-cache batch")
+	flag.IntVar(&experiments.KVDecode, "kv-decode", experiments.KVDecode,
+		"ext12: decode steps per sequence after prefill")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /statusz, /journalz, /healthz on this address for the duration of the invocation (pages refresh after every system run)")
 	debugAddr := flag.String("debug-addr", "",
@@ -261,8 +222,8 @@ func main() {
 
 	if *list || *exp == "" {
 		fmt.Println("experiments (pass -exp <id> or -exp all):")
-		for _, id := range order {
-			fmt.Printf("  %-7s %s\n", id, registry[id].desc)
+		for _, e := range experiments.Entries() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Desc)
 		}
 		if *exp == "" && !*list {
 			os.Exit(2)
@@ -276,19 +237,20 @@ func main() {
 		return
 	}
 	if *exp == "all" {
-		for _, id := range order {
-			runExp(id, sc)
+		for _, e := range experiments.Entries() {
+			runExp(e, sc)
 			fmt.Println()
 		}
 		dumpStats()
 		return
 	}
 	for _, id := range strings.Split(*exp, ",") {
-		if _, ok := registry[id]; !ok {
+		e, ok := experiments.Lookup(id)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
 			os.Exit(2)
 		}
-		runExp(id, sc)
+		runExp(e, sc)
 		fmt.Println()
 	}
 	dumpStats()
@@ -323,467 +285,6 @@ func scaled(mult float64) experiments.Scale {
 	return sc
 }
 
-func us(t sim.Time) string { return fmt.Sprintf("%6.2f", t.Micros()) }
-
-func runFig1(sc experiments.Scale) {
-	fmt.Println("Figure 1 — Fastswap page fault handler latency breakdown (µs)")
-	fmt.Println("  [paper: average ≈6.2µs total with 46% fetch, 9% exception, 29% reclaim]")
-	printBreakdown(experiments.Fig1(sc))
-}
-
-func runFig6(sc experiments.Scale) {
-	fmt.Println("Figure 6 — fault latency breakdown, DiLOS vs Fastswap (µs)")
-	fmt.Println("  [paper: DiLOS cuts fault latency ≈49%; DiLOS reclaim = 0]")
-	printBreakdown(experiments.Fig6(sc))
-}
-
-func printBreakdown(rows []experiments.BreakdownRow) {
-	fmt.Printf("  %-22s %9s %9s %9s %9s %9s %9s\n",
-		"", "exception", "software", "fetch", "map", "reclaim", "total")
-	for _, r := range rows {
-		fmt.Printf("  %-22s %9s %9s %9s %9s %9s %9s\n",
-			r.Label, us(r.Exception), us(r.Software), us(r.Fetch), us(r.Map), us(r.Reclaim), us(r.Total))
-	}
-}
-
-func runFig2() {
-	fmt.Println("Figure 2 — one-sided RDMA latency (µs) per object size")
-	fmt.Println("  [paper: 4KiB costs only ≈0.6µs more than 128B]")
-	fmt.Printf("  %8s %10s %10s\n", "size", "read", "write")
-	for _, r := range experiments.Fig2() {
-		fmt.Printf("  %8d %10s %10s\n", r.Size, us(r.ReadLat), us(r.WriteLat))
-	}
-}
-
-func runTab1(sc experiments.Scale) {
-	fmt.Println("Table 1 — page faults during sequential read on Fastswap")
-	fmt.Printf("  [paper: 655,737 major (12.5%%) / 4,587,164 minor (87.5%%) on 20GB]\n")
-	r := experiments.Tab1(sc)
-	printFaultRows([]experiments.FaultCountRow{r})
-}
-
-func runTab3(sc experiments.Scale) {
-	fmt.Println("Table 3 — page faults during sequential read")
-	fmt.Println("  [paper: DiLOS-readahead ≈25% fewer minor faults than Fastswap]")
-	printFaultRows(experiments.Tab3(sc))
-}
-
-func printFaultRows(rows []experiments.FaultCountRow) {
-	fmt.Printf("  %-22s %10s %10s %10s %8s\n", "", "major", "minor", "total", "major%")
-	for _, r := range rows {
-		fmt.Printf("  %-22s %10d %10d %10d %7.1f%%\n",
-			r.System, r.Major, r.Minor, r.Total, 100*float64(r.Major)/float64(r.Total))
-	}
-}
-
-func runTab2(sc experiments.Scale) {
-	fmt.Println("Table 2 — sequential read/write throughput (GB/s)")
-	fmt.Println("  [paper: Fastswap 0.98/0.49; DiLOS none 1.24/1.14; readahead 3.74/3.49; trend 3.73/3.49]")
-	fmt.Printf("  %-22s %8s %8s\n", "", "read", "write")
-	for _, r := range experiments.Tab2(sc) {
-		fmt.Printf("  %-22s %8.2f %8.2f\n", r.System, r.ReadGBs, r.WriteGBs)
-	}
-}
-
-func wrapCompletion(title string, fn func(experiments.Scale) []experiments.CompletionRow, unit string) func(experiments.Scale) {
-	return func(sc experiments.Scale) {
-		fmt.Println(title + " — completion time (lower is better)")
-		rows := fn(sc)
-		printCompletion(rows, unit)
-	}
-}
-
-func printCompletion(rows []experiments.CompletionRow, unit string) {
-	// Group: system → fraction → time.
-	systems := []experiments.SystemKind{}
-	seen := map[experiments.SystemKind]bool{}
-	fracs := []float64{}
-	seenF := map[float64]bool{}
-	for _, r := range rows {
-		if !seen[r.System] {
-			seen[r.System] = true
-			systems = append(systems, r.System)
-		}
-		if !seenF[r.Fraction] {
-			seenF[r.Fraction] = true
-			fracs = append(fracs, r.Fraction)
-		}
-	}
-	sort.Float64s(fracs)
-	fmt.Printf("  %-22s", "local memory:")
-	for _, f := range fracs {
-		fmt.Printf(" %9s", experiments.FracLabel(f))
-	}
-	fmt.Println()
-	for _, s := range systems {
-		fmt.Printf("  %-22s", s)
-		for _, f := range fracs {
-			for _, r := range rows {
-				if r.System == s && r.Fraction == f {
-					switch unit {
-					case "s":
-						fmt.Printf(" %9.3f", r.Elapsed.Seconds())
-					default:
-						fmt.Printf(" %9.2f", float64(r.Elapsed)/1e6)
-					}
-				}
-			}
-		}
-		fmt.Printf("  (%s)\n", unit)
-	}
-}
-
-func wrapRedis(title string, fn func(experiments.Scale) []experiments.RedisRow) func(experiments.Scale) {
-	return func(sc experiments.Scale) {
-		fmt.Println(title + " — throughput (ops/s, higher is better)")
-		rows := fn(sc)
-		systems := []experiments.SystemKind{}
-		seen := map[experiments.SystemKind]bool{}
-		fracs := []float64{}
-		seenF := map[float64]bool{}
-		for _, r := range rows {
-			if !seen[r.System] {
-				seen[r.System] = true
-				systems = append(systems, r.System)
-			}
-			if !seenF[r.Fraction] {
-				seenF[r.Fraction] = true
-				fracs = append(fracs, r.Fraction)
-			}
-		}
-		sort.Float64s(fracs)
-		fmt.Printf("  %-22s", "local memory:")
-		for _, f := range fracs {
-			fmt.Printf(" %10s", experiments.FracLabel(f))
-		}
-		fmt.Println()
-		for _, s := range systems {
-			fmt.Printf("  %-22s", s)
-			for _, f := range fracs {
-				for _, r := range rows {
-					if r.System == s && r.Fraction == f {
-						fmt.Printf(" %10.0f", r.OpsPerS)
-					}
-				}
-			}
-			fmt.Println()
-		}
-	}
-}
-
-func runTab4(sc experiments.Scale) {
-	fmt.Println("Table 4 — tail latency at 12.5% local memory (µs)")
-	fmt.Println("  [paper (ms, 20GB sets): Fastswap GET 10.0/11.0, LRANGE 25.8/34.3;")
-	fmt.Println("   DiLOS app-aware GET 3.0/4.0, LRANGE 14.6/18.4]")
-	fmt.Printf("  %-22s %12s %12s %12s %12s %12s %12s\n",
-		"", "GET p99", "GET p99.9", "LRANGE p99", "LRANGE p99.9", "major p99", "minor p99")
-	for _, r := range experiments.Tab4(sc) {
-		fmt.Printf("  %-22s %12s %12s %12s %12s %12s %12s\n",
-			r.System, us(r.GetP99), us(r.GetP999), us(r.LRangeP99), us(r.LRangeP999),
-			us(r.MajorFaultP99), us(r.MinorFaultP99))
-	}
-}
-
-func runFig12(sc experiments.Scale) {
-	fmt.Println("Figure 12 — network traffic with guided paging (DEL churn, then GET sweep)")
-	fmt.Println("  [paper: guided paging saves 12% on DEL, 29% on GET]")
-	rows := experiments.Fig12(sc)
-	fmt.Printf("  %-22s %12s %12s %14s\n", "", "DEL tx (MB)", "GET rx (MB)", "saved (bytes)")
-	for _, r := range rows {
-		label := "default paging"
-		if r.Guided {
-			label = "guided paging"
-		}
-		fmt.Printf("  %-22s %12.2f %12.2f %14d\n", label, r.DelTxMB, r.GetRxMB, r.SavedBytes)
-	}
-	def, g := rows[0], rows[1]
-	fmt.Printf("  reduction: DEL %.0f%%, GET %.0f%%\n",
-		100*(1-g.DelTxMB/def.DelTxMB), 100*(1-g.GetRxMB/def.GetRxMB))
-	fmt.Println("  rx bandwidth over time (default vs guided):")
-	fmt.Printf("    default %s\n", sparkline(def.RxSeries, 64))
-	fmt.Printf("    guided  %s\n", sparkline(g.RxSeries, 64))
-}
-
-// sparkline renders a bandwidth series as unicode blocks, resampled to
-// `width` buckets and normalized across the series.
-func sparkline(pts []stats.BandwidthPoint, width int) string {
-	if len(pts) == 0 {
-		return "(empty)"
-	}
-	blocks := []rune(" ▁▂▃▄▅▆▇█")
-	resampled := make([]float64, width)
-	for i, p := range pts {
-		resampled[i*width/len(pts)] += p.BytesPerSec
-	}
-	max := 0.0
-	for _, v := range resampled {
-		if v > max {
-			max = v
-		}
-	}
-	if max == 0 {
-		return "(idle)"
-	}
-	out := make([]rune, width)
-	for i, v := range resampled {
-		idx := int(v / max * float64(len(blocks)-1))
-		out[i] = blocks[idx]
-	}
-	return string(out)
-}
-
-func runAbl1(sc experiments.Scale) {
-	fmt.Println("Ablation — eager background reclamation (§4.4) vs on-demand")
-	fmt.Printf("  %-32s %8s %8s %12s\n", "", "read", "write", "alloc waits")
-	for _, r := range experiments.AblationEagerEviction(sc) {
-		fmt.Printf("  %-32s %8.2f %8.2f %12d\n", r.Label, r.ReadGBs, r.WriteGBs, r.AllocWait)
-	}
-}
-
-func runAbl2(sc experiments.Scale) {
-	fmt.Println("Ablation — shared-nothing per-module queues (§4.5) vs one queue per core")
-	fmt.Printf("  %-32s %8s %14s\n", "", "write", "fault p99")
-	for _, r := range experiments.AblationSharedQueue(sc) {
-		fmt.Printf("  %-32s %8.2f %14s\n", r.Label, r.WriteGBs, us(r.FaultP99))
-	}
-}
-
-func runExt2(sc experiments.Scale) {
-	fmt.Println("Extension — PageRank thread scaling on DiLOS, 12.5% local memory")
-	fmt.Printf("  %-10s %12s\n", "threads", "time (ms)")
-	for _, r := range experiments.ExtThreadScaling(sc) {
-		fmt.Printf("  %-10d %12.2f\n", r.Workers, float64(r.Elapsed)/1e6)
-	}
-}
-
-func runExt1(sc experiments.Scale) {
-	fmt.Println("Extension — page-striped sharding across memory nodes (§5.1 future work)")
-	fmt.Printf("  %-10s %10s   %s\n", "nodes", "read GB/s", "RX GB per node")
-	for _, r := range experiments.ExtMultiNode(sc) {
-		fmt.Printf("  %-10d %10.2f   %v\n", r.Nodes, r.ReadGBs, r.PerLink)
-	}
-}
-
-func runExt3(sc experiments.Scale) {
-	fmt.Println("Extension — placement policies, sequential read over 4 memory nodes")
-	fmt.Printf("  %-10s %10s %8s   %s\n", "policy", "read GB/s", "spread", "RX GB per node")
-	for _, r := range experiments.ExtPlacement(sc) {
-		fmt.Printf("  %-10s %10.2f %8.2f   %v\n", r.Policy, r.ReadGBs, r.Spread, r.PerLink)
-	}
-}
-
-func runExt4(sc experiments.Scale) {
-	fmt.Println("Extension — chaos: replicated DiLOS through a memory-node crash")
-	fmt.Printf("  [seed %d; node 1 down %.0f–%.0fms; Replicas: 2]\n",
-		chaosSeed, experiments.ExtChaosCrashAt().Seconds()*1e3, experiments.ExtChaosCrashUntil().Seconds()*1e3)
-	r := experiments.ExtChaos(sc, chaosSeed)
-	fmt.Printf("  %d pages over a %.0fms run\n", r.Pages, r.RunFor.Seconds()*1e3)
-	if r.RecoveredAt == 0 {
-		fmt.Printf("  detected %.3fms after crash; recovery did not complete in the run\n",
-			(r.DetectedAt-r.CrashAt).Seconds()*1e3)
-	} else {
-		fmt.Printf("  detected %.3fms after crash; recovered %.3fms after the node returned\n",
-			(r.DetectedAt-r.CrashAt).Seconds()*1e3, (r.RecoveredAt-r.CrashUntil).Seconds()*1e3)
-	}
-	fmt.Printf("  %-12s %-12s %-12s %-12s\n", "baseline", "outage avg", "outage dip", "recovered")
-	fmt.Printf("  %-12.2f %-12.2f %-12.2f %-12.2f  (GB/s touched)\n",
-		r.BaselineGBs, r.OutageGBs, r.DipGBs, r.RecoveredGBs)
-	fmt.Printf("  injected fails %d, retries %d (timeouts %d, gave up %d)\n",
-		r.InjectedFails, r.Retries, r.Timeouts, r.GaveUp)
-	fmt.Printf("  replica fetches %d, failed write-backs %d, re-replicated pages %d\n",
-		r.ReplicaFetches, r.WriteFails, r.ReReplicated)
-	fmt.Printf("  breaker: %d trip(s), %d recovery(ies)\n", r.NodeFails, r.NodeRecoveries)
-	fmt.Println("  throughput over time (1ms buckets):")
-	fmt.Printf("    %s\n", floatSparkline(r.Series))
-}
-
-func runExt5(sc experiments.Scale) {
-	fmt.Println("Extension — doorbell-batched I/O pipeline (ext5): per-op vs batched submission")
-	fmt.Println("  [12.5% local cache; batched = one doorbell per prefetch window / cleaner")
-	fmt.Println("   node-batch, contiguous remote offsets coalesced into ≤3-segment vectors]")
-	rows := experiments.ExtBatch(sc)
-	fmt.Printf("  %-22s %-8s %-34s %9s %7s %9s\n",
-		"workload", "mode", "result", "doorbells", "ops/db", "coalesced")
-	var base experiments.BatchRow
-	for _, r := range rows {
-		var result string
-		var cur, ref float64
-		switch {
-		case r.ReadGBs > 0:
-			result = fmt.Sprintf("%.2f GB/s", r.ReadGBs)
-			cur, ref = r.ReadGBs, base.ReadGBs
-		case r.WriteGBs > 0:
-			result = fmt.Sprintf("%.2f GB/s (wb %.2f GB/s)", r.WriteGBs, r.CleanGBs)
-			cur, ref = r.WriteGBs, base.WriteGBs
-		case r.OpsPerS > 0:
-			result = fmt.Sprintf("%.1f kops/s", r.OpsPerS/1e3)
-			cur, ref = r.OpsPerS, base.OpsPerS
-		default:
-			result = fmt.Sprintf("%.2f ms", r.Elapsed.Seconds()*1e3)
-			cur, ref = 1/r.Elapsed.Seconds(), 1/base.Elapsed.Seconds()
-		}
-		mode := "per-op"
-		if r.Batched {
-			mode = "batched"
-			if ref > 0 {
-				result += fmt.Sprintf("  %+.1f%%", (cur/ref-1)*100)
-			}
-		} else {
-			base = r
-		}
-		fmt.Printf("  %-22s %-8s %-34s %9d %7.1f %9d\n",
-			r.Workload, mode, result, r.Doorbells, r.MeanBatch, r.Coalesced)
-	}
-	fmt.Println("  (paper has no batched variant; the per-op rows are the §6 baseline shapes)")
-}
-
-func runExt6(sc experiments.Scale) {
-	fmt.Println("Extension — per-fault latency anatomy from the flight recorder (µs)")
-	fmt.Println("  [sequential write+read sweep; major faults only; stage means sum to the")
-	fmt.Println("   total mean. DiLOS never reclaims on the fault path; Fastswap's direct")
-	fmt.Println("   reclamation grows as the cache shrinks]")
-	rows := experiments.ExtAnatomy(sc)
-	stages := []string{"exception", "lookup", "reclaim", "issue", "guide", "wait", "map"}
-	lastFrac := -1.0
-	for _, r := range rows {
-		if r.Fraction != lastFrac {
-			lastFrac = r.Fraction
-			fmt.Printf("  local memory %s:\n", experiments.FracLabel(r.Fraction))
-			fmt.Printf("    %-22s %-4s", "system", "")
-			for _, st := range stages {
-				fmt.Printf(" %9s", st)
-			}
-			fmt.Printf(" %9s %8s\n", "total", "faults")
-		}
-		a := r.Anatomy
-		fmt.Printf("    %-22s %-4s", r.System, "mean")
-		for _, st := range stages {
-			fmt.Printf(" %9.2f", float64(a.Stage(st).MeanNs)/1e3)
-		}
-		fmt.Printf(" %9.2f %8d\n", float64(a.MeanNs)/1e3, a.Faults)
-		fmt.Printf("    %-22s %-4s", "", "p99")
-		for _, st := range stages {
-			fmt.Printf(" %9.2f", float64(a.Stage(st).P99Ns)/1e3)
-		}
-		fmt.Printf(" %9.2f\n", float64(a.P99Ns)/1e3)
-	}
-}
-
-func runExt7(sc experiments.Scale) {
-	fmt.Println("Extension — elastic pool: drain a memory node under load (ext7)")
-	fmt.Printf("  [3 nodes, Replicas: 2, 12.5%% local cache; node %d drains at 3ms;\n",
-		experiments.MigrateDrainNode)
-	fmt.Println("   chaos leg crashes the draining node mid-copy (seed -chaos-seed)]")
-	r := experiments.ExtElastic(sc, chaosSeed)
-	fmt.Printf("  %d pages over a %.0fms run\n", r.Pages, r.RunFor.Seconds()*1e3)
-	if r.DrainDoneAt == 0 {
-		fmt.Println("  drain did not complete in the run")
-	} else {
-		fmt.Printf("  drain completed in %.2fms: %d pages moved (%d copy restarts, %d stranded retries, %d forwarded)\n",
-			(r.DrainDoneAt-r.DrainAt).Seconds()*1e3, r.PagesMoved, r.CopyRestarts, r.Stranded, r.Forwarded)
-	}
-	fmt.Printf("  %-10s %12s %12s %10s\n", "phase", "fault p50", "fault p99", "GB/s")
-	fmt.Printf("  %-10s %12s %12s %10.2f\n", "baseline", us(r.BaselineP50), us(r.BaselineP99), r.BaselineGBs)
-	fmt.Printf("  %-10s %12s %12s %10.2f\n", "drain", us(r.DrainP50), us(r.DrainP99), r.DrainGBs)
-	fmt.Printf("  %-10s %12s %12s %10.2f\n", "after", "", us(r.AfterP99), r.AfterGBs)
-	fmt.Printf("  drain p99 = %.2fx baseline (target ≤ 2x); corruptions: %d (must be 0)\n",
-		r.P99Ratio, r.Corruptions)
-	if r.ChaosDrainDoneAt == 0 {
-		fmt.Printf("  chaos leg: drain pending at run end (node crashed mid-copy; %d breaker trips)\n",
-			r.ChaosNodeFails)
-	} else {
-		fmt.Printf("  chaos leg: crash mid-copy, drain still done at %.2fms (%d moved, %d stranded retries, %d breaker trips)\n",
-			r.ChaosDrainDoneAt.Seconds()*1e3, r.ChaosPagesMoved, r.ChaosStranded, r.ChaosNodeFails)
-	}
-	fmt.Printf("  chaos leg corruptions: %d (must be 0)\n", r.ChaosCorruptions)
-	fmt.Println("  throughput over time (1ms buckets):")
-	fmt.Printf("    %s\n", floatSparkline(r.Series))
-}
-
-func runExt8(sc experiments.Scale) {
-	fmt.Println("Extension — multi-tenant pool: noisy neighbour vs QoS quotas (ext8)")
-	fmt.Printf("  [victim hot set fits its quota; aggressor streams 8x its quota;\n")
-	fmt.Printf("   isolated leg caps the aggressor at %d MB/s of fabric]\n",
-		experiments.TenantAggressorRate>>20)
-	r := experiments.ExtTenant(sc)
-	fmt.Printf("  victim %d hot + %d cold pages on %d frames; aggressor %d pages on %d frames (+%d slack)\n",
-		r.VictimHotPages, r.VictimColdPages, r.VictimFrames,
-		r.AggressorPages, r.AggressorFrames, r.SlackFrames)
-	fmt.Printf("  %-12s %12s %12s %8s %8s\n", "leg", "victim p50", "victim p99", "faults", "ratio")
-	fmt.Printf("  %-12s %12s %12s %8d %8s\n", "solo", us(r.SoloP50), us(r.SoloP99), r.SoloFaults, "1.00")
-	fmt.Printf("  %-12s %12s %12s %8d %8.2f\n", "isolated", us(r.IsoP50), us(r.IsoP99), r.IsoFaults, r.IsoRatio)
-	fmt.Printf("  %-12s %12s %12s %8d %8.2f\n", "control", us(r.CtrlP50), us(r.CtrlP99), r.CtrlFaults, r.CtrlRatio)
-	verdict := func(ok bool) string {
-		if ok {
-			return "pass"
-		}
-		return "FAIL"
-	}
-	fmt.Printf("  gate: isolated <= %.1fx solo: %s; unpartitioned control > gate: %s\n",
-		r.Gate, verdict(r.IsoPass), verdict(r.CtrlExceeds))
-	fmt.Printf("  aggressor majors: %d capped vs %d uncapped; victim floor %d, reserved %d at end\n",
-		r.AggrFaultsIso, r.AggrFaultsCtrl, r.VictimFloor, r.VictimReservedEnd)
-	fmt.Printf("  repeat isolated leg byte-identical: %v\n", r.Deterministic)
-}
-
-func runExt10(sc experiments.Scale) {
-	fmt.Println("Extension — per-core fault-path scaling: sharded vs shared manager (ext10)")
-	fmt.Println("  [weak scaling: each core random-writes its own partition at 25% local")
-	fmt.Println("   cache, re-dirtying a hot window every iteration; shared = one wide lock")
-	fmt.Println("   across every daemon sweep and fault transition, sharded = Shards=cores]")
-	r := experiments.ExtScaling(sc)
-	fmt.Printf("  %-6s %14s %12s | %14s %12s\n",
-		"cores", "shared flt/s", "shared p99", "sharded flt/s", "sharded p99")
-	for _, row := range r.Rows {
-		fmt.Printf("  %-6d %14.0f %12v | %14.0f %12v\n",
-			row.Cores, row.SharedRate, row.SharedP99, row.ShardedRate, row.ShardedP99)
-	}
-	fmt.Printf("  1->4 core fault-throughput speedup: shared %.2fx, sharded %.2fx\n",
-		r.SharedSpeedup, r.ShardedSpeedup)
-}
-
-func runExt11(sc experiments.Scale) {
-	fmt.Println("Extension — always-on observability plane: overhead + detection (ext11)")
-	fmt.Printf("  [tail storm ×30 on 60%% of ops from %.1fms; SLO budget 25µs, target 99%%,\n",
-		experiments.Ext11TailAt().Seconds()*1e3)
-	fmt.Printf("   burn-rate rule 500µs/100µs ×8; detection budget %.0fµs]\n",
-		experiments.Ext11DetectBudget().Micros())
-	r := experiments.ExtObs(sc, chaosSeed)
-	fmt.Printf("  seq read 12.5%%: plane off %.2f GB/s, plane on %.2f GB/s (virtual-time delta %+d ns)\n",
-		r.OffGBs, r.OnGBs, int64(r.OnElapsed-r.OffElapsed))
-	fmt.Printf("  same-seed pages byte-identical: %v (%d bytes rendered, %d journal events, %d spans sampled out)\n",
-		r.Deterministic, r.PageBytes, r.JournalEvents, r.SampledOut)
-	if r.Detected {
-		fmt.Printf("  storm: %d tails injected; alert raised %.0fµs after onset (%d raise edges)\n",
-			r.TailsInjected, r.DetectLatency.Micros(), r.StormRaised)
-	} else {
-		fmt.Println("  storm: alert never fired (FAIL)")
-	}
-	fmt.Printf("  clean legs raised %d alerts (must be 0)\n", r.CleanAlerts)
-}
-
-// floatSparkline renders a plain float series as unicode blocks.
-func floatSparkline(vals []float64) string {
-	if len(vals) == 0 {
-		return "(empty)"
-	}
-	blocks := []rune(" ▁▂▃▄▅▆▇█")
-	max := 0.0
-	for _, v := range vals {
-		if v > max {
-			max = v
-		}
-	}
-	if max == 0 {
-		return "(idle)"
-	}
-	out := make([]rune, len(vals))
-	for i, v := range vals {
-		out[i] = blocks[int(v/max*float64(len(blocks)-1))]
-	}
-	return string(out)
-}
-
 // jsonOut switches the harness into structured output.
 var jsonOut bool
 
@@ -798,54 +299,26 @@ type labeledSnapshot struct {
 
 var statsDump []labeledSnapshot
 
-// jsonRunners maps experiment ids to row-producing functions for -json.
-var jsonRunners = map[string]func(experiments.Scale) any{
-	"fig1":   func(sc experiments.Scale) any { return experiments.Fig1(sc) },
-	"fig2":   func(experiments.Scale) any { return experiments.Fig2() },
-	"tab1":   func(sc experiments.Scale) any { return experiments.Tab1(sc) },
-	"tab2":   func(sc experiments.Scale) any { return experiments.Tab2(sc) },
-	"fig6":   func(sc experiments.Scale) any { return experiments.Fig6(sc) },
-	"tab3":   func(sc experiments.Scale) any { return experiments.Tab3(sc) },
-	"fig7a":  func(sc experiments.Scale) any { return experiments.Fig7a(sc) },
-	"fig7b":  func(sc experiments.Scale) any { return experiments.Fig7b(sc) },
-	"fig7c":  func(sc experiments.Scale) any { return experiments.Fig7c(sc) },
-	"fig7d":  func(sc experiments.Scale) any { return experiments.Fig7d(sc) },
-	"fig8":   func(sc experiments.Scale) any { return experiments.Fig8(sc) },
-	"fig9a":  func(sc experiments.Scale) any { return experiments.Fig9a(sc) },
-	"fig9b":  func(sc experiments.Scale) any { return experiments.Fig9b(sc) },
-	"fig10a": func(sc experiments.Scale) any { return experiments.Fig10a(sc) },
-	"fig10b": func(sc experiments.Scale) any { return experiments.Fig10b(sc) },
-	"fig10c": func(sc experiments.Scale) any { return experiments.Fig10c(sc) },
-	"fig10d": func(sc experiments.Scale) any { return experiments.Fig10d(sc) },
-	"tab4":   func(sc experiments.Scale) any { return experiments.Tab4(sc) },
-	"fig12":  func(sc experiments.Scale) any { return experiments.Fig12(sc) },
-	"abl1":   func(sc experiments.Scale) any { return experiments.AblationEagerEviction(sc) },
-	"abl2":   func(sc experiments.Scale) any { return experiments.AblationSharedQueue(sc) },
-	"ext1":   func(sc experiments.Scale) any { return experiments.ExtMultiNode(sc) },
-	"ext2":   func(sc experiments.Scale) any { return experiments.ExtThreadScaling(sc) },
-	"ext3":   func(sc experiments.Scale) any { return experiments.ExtPlacement(sc) },
-	"ext4":   func(sc experiments.Scale) any { return experiments.ExtChaos(sc, chaosSeed) },
-	"ext5":   func(sc experiments.Scale) any { return experiments.ExtBatch(sc) },
-	"ext6":   func(sc experiments.Scale) any { return experiments.ExtAnatomy(sc) },
-	"ext7":   func(sc experiments.Scale) any { return experiments.ExtElastic(sc, chaosSeed) },
-	"ext8":   func(sc experiments.Scale) any { return experiments.ExtTenant(sc) },
-	"ext10":  func(sc experiments.Scale) any { return experiments.ExtScaling(sc) },
-	"ext11":  func(sc experiments.Scale) any { return experiments.ExtObs(sc, chaosSeed) },
-}
-
 func runJSON(sc experiments.Scale, exp string) {
 	out := map[string]any{}
-	ids := strings.Split(exp, ",")
+	var entries []experiments.Entry
 	if exp == "all" {
-		ids = order
-	}
-	for _, id := range ids {
-		fn, ok := jsonRunners[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+		entries = experiments.Entries()
+	} else {
+		for _, id := range strings.Split(exp, ",") {
+			e, ok := experiments.Lookup(id)
+			if !ok || e.JSON == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
 		}
-		out[id] = fn(sc)
+	}
+	for _, e := range entries {
+		if e.JSON == nil {
+			continue
+		}
+		out[e.ID] = e.JSON(sc)
 	}
 	var doc any = out
 	if statsOut {

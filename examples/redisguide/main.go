@@ -31,10 +31,10 @@ func run(label string, pf prefetch.Prefetcher, guide *redis.AppGuide) redis.LRAN
 		Fabric:      fabric.DefaultParams(),
 		Prefetcher:  pf,
 	}
-	if guide != nil {
-		cfg.Guide = guide
-	}
 	sys := core.New(eng, cfg)
+	if guide != nil {
+		sys.AttachGuide(guide)
+	}
 	sys.Start()
 	var res redis.LRANGEResult
 	sys.Launch("redis", 0, func(sp *core.DDCProc) {

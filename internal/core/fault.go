@@ -304,9 +304,11 @@ func (s *System) majorFetch(p *sim.Proc, coreID int, vpn pagetable.VPN, pte *pag
 	// issuance, guide hook.
 	gen := s.slots[slot].gen
 	guideDur, issueDur := s.runPrefetch(p, coreID, vpn, true)
-	if s.AppGuide != nil {
+	if len(s.guides) > 0 {
 		tGuide := p.Now()
-		s.AppGuide.OnFault(coreID, vpn)
+		for _, g := range s.guides {
+			g.OnFault(coreID, vpn)
+		}
 		guideDur += p.Now() - tGuide
 	}
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -38,13 +39,27 @@ type hugeSpan struct {
 	regions int
 }
 
+// ErrHugeGuided is returned by MmapDDCHuge on a system built with an
+// eviction guide. Guided paging and huge regions are mutually exclusive:
+// the cleaner resolves a page's write-back granule by checking Huge
+// membership *before* consulting the guide, so pages in a huge region
+// would silently bypass guided eviction — a confusing half-configuration.
+// Callers that want both must place them in separate Systems.
+var ErrHugeGuided = errors.New("core: MmapDDCHuge on a guided system — huge regions bypass the eviction guide; use MmapDDC or drop WithEvictionGuide")
+
 // MmapDDCHuge maps `regions` 2 MB huge regions of disaggregated memory and
 // returns the base address. The pages start Remote exactly like MmapDDC;
 // what changes is the policy above. The first call wires the page manager's
 // sub-span resolver.
+//
+// Fails with ErrHugeGuided when an eviction guide is installed (see the
+// error's doc for why the combination is rejected rather than resolved).
 func (s *System) MmapDDCHuge(regions int) (uint64, error) {
 	if regions <= 0 {
 		return 0, fmt.Errorf("core: MmapDDCHuge needs at least one region (got %d)", regions)
+	}
+	if s.Mgr.Guide != nil {
+		return 0, ErrHugeGuided
 	}
 	base, err := s.MmapDDC(uint64(regions) * HugePages)
 	if err != nil {

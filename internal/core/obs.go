@@ -138,5 +138,8 @@ func (s *System) AppendStatus(dst []byte, now sim.Time) []byte {
 	if s.Obs != nil && s.Obs.Monitor != nil {
 		dst = s.Obs.Monitor.AppendStatus(dst, now)
 	}
+	for _, fn := range s.statusSections {
+		dst = fn(dst, now)
+	}
 	return dst
 }

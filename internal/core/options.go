@@ -137,9 +137,6 @@ func WithFabric(p fabric.Params) Option { return func(c *Config) { c.Fabric = p 
 // WithPrefetcher installs the prefetch policy.
 func WithPrefetcher(pf prefetch.Prefetcher) Option { return func(c *Config) { c.Prefetcher = pf } }
 
-// WithGuide installs an app-aware guide.
-func WithGuide(g Guide) Option { return func(c *Config) { c.Guide = g } }
-
 // WithEvictionGuide enables guided paging on the page manager.
 func WithEvictionGuide(g pagemgr.EvictionGuide) Option {
 	return func(c *Config) { c.EvictionGuide = g }

@@ -22,6 +22,7 @@ import (
 	"dilos/internal/comm"
 	"dilos/internal/dram"
 	"dilos/internal/fabric"
+	"dilos/internal/guide"
 	"dilos/internal/memnode"
 	"dilos/internal/migrate"
 	"dilos/internal/mmu"
@@ -87,17 +88,6 @@ type Backing interface {
 	Key() uint32
 }
 
-// Guide is an app-aware pluggable module (§4.1): compiled alongside the
-// application, it refines fault handling and prefetching without touching
-// the application's main code. OnFault runs inside the fault handler's
-// fetch window and must not block; long-running guide work (subpage reads,
-// pointer chasing) belongs in a daemon the guide spawns in Start.
-type Guide interface {
-	Name() string
-	Start(sys *System)
-	OnFault(coreID int, vpn pagetable.VPN)
-}
-
 // Breakdown accumulates the Figure 6 fault-latency segments.
 type Breakdown struct {
 	Exception sim.Time // hardware exception + handler entry
@@ -135,8 +125,6 @@ type Config struct {
 	Fabric fabric.Params
 	// Prefetcher is the page prefetch policy (nil → prefetch.None).
 	Prefetcher prefetch.Prefetcher
-	// Guide optionally installs an app-aware guide.
-	Guide Guide
 	// EvictionGuide optionally enables guided paging on the page manager.
 	EvictionGuide pagemgr.EvictionGuide
 	// Mgr overrides the page-manager tuning (nil → defaults for the pool).
@@ -230,23 +218,35 @@ type Config struct {
 // Nodes, Links, and Hubs, and the placement policy spreads pages across
 // them (striped round-robin by default).
 type System struct {
-	Eng      *sim.Engine
-	Node     *memnode.Node
-	Link     *fabric.Link
-	Nodes    []*memnode.Node
-	Links    []*fabric.Link
-	Hubs     []*comm.Hub
-	Table    *pagetable.Table
-	Pool     dram.Frames
-	Mgr      *pagemgr.Manager
-	Hub      *comm.Hub
-	Costs    Costs
-	MMUC     mmu.Costs
-	Pf       prefetch.Prefetcher
-	Track    *prefetch.HitTracker
-	Hist     *prefetch.History
-	AppGuide Guide
-	Trace    *trace.Recorder
+	Eng   *sim.Engine
+	Node  *memnode.Node
+	Link  *fabric.Link
+	Nodes []*memnode.Node
+	Links []*fabric.Link
+	Hubs  []*comm.Hub
+	Table *pagetable.Table
+	Pool  dram.Frames
+	Mgr   *pagemgr.Manager
+	Hub   *comm.Hub
+	Costs Costs
+	MMUC  mmu.Costs
+	Pf    prefetch.Prefetcher
+	Track *prefetch.HitTracker
+	Hist  *prefetch.History
+	Trace *trace.Recorder
+
+	// guides are the attached app-aware modules (guide.Guide), registered
+	// via AttachGuide before Start; the fault handler calls every guide's
+	// OnFault inside the fetch window, in attachment order. guideVPNs is
+	// the reusable expansion scratch for Prefetch's byte-range requests
+	// (safe to share: Prefetch never yields while using it).
+	guides    []guide.Guide
+	guideVPNs []pagetable.VPN
+
+	// statusSections are extra /statusz renderers (AddStatusSection):
+	// workload layers such as internal/kvcache publish their state into
+	// AppendStatus through them, in registration order.
+	statusSections []func(dst []byte, now sim.Time) []byte
 
 	// Tel is the flight recorder (nil when disabled); Sam is the gauge
 	// sampler, started with the system when SampleEvery is set.
@@ -482,7 +482,6 @@ func build(eng *sim.Engine, cfg Config) *System {
 		Pf:       pf,
 		Track:    prefetch.NewHitTracker(),
 		Hist:     prefetch.NewHistory(32),
-		AppGuide: cfg.Guide,
 		Trace:    cfg.Trace,
 		space: placement.New(placement.Config{
 			Nodes:    cfg.MemNodes,
@@ -860,8 +859,8 @@ func (s *System) Start() {
 		c := c
 		s.Eng.GoDaemon(fmt.Sprintf("dilos.pfmap%d", c), func(p *sim.Proc) { s.pfMapLoop(p, c) })
 	}
-	if s.AppGuide != nil {
-		s.AppGuide.Start(s)
+	for _, g := range s.guides {
+		g.Start(s)
 	}
 	if s.Health != nil {
 		s.Health.Start()
@@ -924,6 +923,44 @@ func (s *System) SampleGauges(now sim.Time) {
 // Telemetry returns the flight recorder and sampler (nil when disabled) —
 // the hook the experiment harness uses to export timelines.
 func (s *System) Telemetry() (*telemetry.Recorder, *telemetry.Sampler) { return s.Tel, s.Sam }
+
+// AttachGuide registers an app-aware guide (guide.Guide). Guides attach
+// after construction and before Start — Start calls each guide's Start
+// with the system as its Host, and the fault handler invokes every
+// guide's OnFault inside the fetch window, in attachment order.
+func (s *System) AttachGuide(g guide.Guide) {
+	if s.started {
+		panic("core: AttachGuide after Start")
+	}
+	if g == nil {
+		panic("core: AttachGuide(nil)")
+	}
+	s.guides = append(s.guides, g)
+}
+
+// Guides returns the attached guides in attachment order.
+func (s *System) Guides() []guide.Guide { return s.guides }
+
+// GoDaemon implements guide.Host: it spawns a guide daemon on the engine.
+func (s *System) GoDaemon(name string, fn func(p *sim.Proc)) { s.Eng.GoDaemon(name, fn) }
+
+// Prefetch implements guide.Host: the typed prefetch-request entry point
+// wrapping the prefetcher's issue path. The request's pages (explicit or
+// expanded from its byte range) go through SchedulePrefetch, which filters
+// pages already local or in flight and — with Config.Batch — posts the
+// window through per-node doorbells.
+func (s *System) Prefetch(p *sim.Proc, coreID int, req guide.Request) {
+	s.guideVPNs = req.VPNs(s.guideVPNs[:0])
+	s.SchedulePrefetch(p, coreID, s.guideVPNs)
+}
+
+// AddStatusSection appends a custom /statusz section renderer: workload
+// layers publish their state into AppendStatus through it. Sections render
+// in registration order; each must be deterministic (fixed iteration
+// order, integer formatting) to keep same-seed pages byte-identical.
+func (s *System) AddStatusSection(fn func(dst []byte, now sim.Time) []byte) {
+	s.statusSections = append(s.statusSections, fn)
+}
 
 // MmapDDC maps a disaggregated region of `pages` pages (the compat layer's
 // mmap with MAP_DDC, §5): every page starts Remote, backed by zeroed slot

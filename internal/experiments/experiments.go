@@ -16,6 +16,7 @@ import (
 	"dilos/internal/core"
 	"dilos/internal/fabric"
 	"dilos/internal/fastswap"
+	"dilos/internal/guide"
 	"dilos/internal/pagemgr"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
@@ -187,7 +188,7 @@ func frames(workingSetPages uint64, frac float64) int {
 
 // dilos boots a DiLOS node for a working set.
 func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher,
-	g core.Guide, eg pagemgr.EvictionGuide, tcp bool) *core.System {
+	g guide.Guide, eg pagemgr.EvictionGuide, tcp bool) *core.System {
 	params := fabric.DefaultParams()
 	if tcp {
 		params = fabric.TCPParams()
@@ -198,7 +199,6 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 		RemoteBytes:   wsPages*core.PageSize + (64 << 20),
 		Fabric:        params,
 		Prefetcher:    pf,
-		Guide:         g,
 		EvictionGuide: eg,
 		Batch:         Batch,
 		Tel:           recorderFor(),
@@ -206,6 +206,9 @@ func dilos(eng *sim.Engine, wsPages uint64, frac float64, pf prefetch.Prefetcher
 	}
 	applyCores(&cfg)
 	sys := core.New(eng, cfg)
+	if g != nil {
+		sys.AttachGuide(g)
+	}
 	sys.Start()
 	return sys
 }

@@ -1,25 +1,91 @@
-// Package guide implements DiLOS' app-aware guides (§4.3, Figure 5):
+// Package guide defines DiLOS' app-aware guide surface (§4.3, Figure 5)
+// and implements the canonical pointer-chasing ListGuide. Guides are
 // pluggable modules, loaded beside an unmodified application, that feed
-// application semantics to the paging subsystem. The canonical example
-// here is the pointer-chasing ListGuide: during a linked-list traversal a
-// general-purpose prefetcher is useless (the next page is data-dependent),
-// but the guide can issue a *subpage* read for just the node header on its
-// own queue — the 64 B arrive well before the 4 KiB page — extract the
-// next pointer, and prefetch the next node's page ahead of the
-// application.
+// application semantics to the paging subsystem: during a linked-list
+// traversal a general-purpose prefetcher is useless (the next page is
+// data-dependent), but the guide can issue a *subpage* read for just the
+// node header on its own queue — the 64 B arrive well before the 4 KiB
+// page — extract the next pointer, and prefetch the next node's page ahead
+// of the application.
+//
+// The package owns the two interfaces of the guide contract and depends on
+// nothing above the page table, so guide implementations (this package's
+// ListGuide, internal/redis's AppGuide, internal/kvcache's Guide) never
+// import the kernel:
+//
+//   - Guide is what an app-aware module implements. It registers with
+//     core.System.AttachGuide before Start; the system calls Start once at
+//     boot and OnFault from inside the fault handler's fetch window.
+//   - Host is what the system provides back: daemon spawning, subpage
+//     reads on the guide queue, and typed prefetch requests. core.System
+//     implements it.
 //
 // Redis-specific guides (quicklist LRANGE, SDS GET) build on the same
 // machinery and live in internal/redis, compiled "with the application"
-// as the paper does.
+// as the paper does; the KV-cache layerwise guide lives in
+// internal/kvcache.
 package guide
 
 import (
 	"encoding/binary"
 
-	"dilos/internal/core"
 	"dilos/internal/pagetable"
 	"dilos/internal/sim"
 )
+
+// Guide is an app-aware pluggable module (§4.1): compiled alongside the
+// application, it refines fault handling and prefetching without touching
+// the application's main code. OnFault runs inside the fault handler's
+// fetch window and must not block; long-running guide work (subpage reads,
+// pointer chasing) belongs in a daemon the guide spawns in Start.
+type Guide interface {
+	Name() string
+	Start(h Host)
+	OnFault(coreID int, vpn pagetable.VPN)
+}
+
+// Request is a typed prefetch request. Exactly one of the two forms is
+// used: an explicit page list (Pages non-empty), or a byte range
+// [Addr, Addr+Bytes) that the host expands to the pages it covers. A
+// zero-byte range is a no-op.
+type Request struct {
+	Pages []pagetable.VPN
+	Addr  uint64
+	Bytes uint64
+}
+
+// VPNs expands the request into its page list. The byte-range form
+// appends into dst (callers on hot paths reuse it as scratch).
+func (r Request) VPNs(dst []pagetable.VPN) []pagetable.VPN {
+	if len(r.Pages) > 0 {
+		return append(dst, r.Pages...)
+	}
+	if r.Bytes == 0 {
+		return dst
+	}
+	first := pagetable.VPNOf(r.Addr)
+	last := pagetable.VPNOf(r.Addr + r.Bytes - 1)
+	for v := first; v <= last; v++ {
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Host is the system surface a guide programs against, implemented by
+// core.System. ReadRemote is the §4.5 subpage read on the guide's own
+// queue pair; Prefetch wraps the prefetcher's issue path (the same one
+// runPrefetch feeds), filtering pages that are already local or in flight.
+type Host interface {
+	// GoDaemon spawns a guide daemon on the simulation engine.
+	GoDaemon(name string, fn func(p *sim.Proc))
+	// ReadRemote reads addr..addr+len(buf) (within one page) coherently:
+	// from the local frame when resident, via a subpage fetch otherwise.
+	ReadRemote(p *sim.Proc, coreID int, addr uint64, buf []byte) error
+	// Prefetch issues asynchronous page fetches for the request's pages
+	// that are still remote; the per-core prefetch mapper installs them as
+	// they complete.
+	Prefetch(p *sim.Proc, coreID int, req Request)
+}
 
 // ListGuide prefetches along a pointer chain. The application (through the
 // loader's hooking interface) reports the node it is visiting with
@@ -34,7 +100,7 @@ type ListGuide struct {
 	// Depth is how many nodes ahead of the application to chase.
 	Depth int
 
-	sys    *core.System
+	host   Host
 	coreID int
 
 	cursor   uint64 // node the application is visiting
@@ -60,16 +126,16 @@ func NewListGuide(nextOff uint64, depth int) *ListGuide {
 	return &ListGuide{NextOff: nextOff, HeaderBytes: hdr, Depth: depth}
 }
 
-// Name implements core.Guide.
+// Name implements Guide.
 func (g *ListGuide) Name() string { return "list-guide" }
 
-// Start implements core.Guide: it spawns the chaser daemon.
-func (g *ListGuide) Start(sys *core.System) {
-	g.sys = sys
-	sys.Eng.GoDaemon("guide.list-chaser", g.chaser)
+// Start implements Guide: it spawns the chaser daemon.
+func (g *ListGuide) Start(h Host) {
+	g.host = h
+	h.GoDaemon("guide.list-chaser", g.chaser)
 }
 
-// OnFault implements core.Guide. The list guide drives purely off OnVisit
+// OnFault implements Guide. The list guide drives purely off OnVisit
 // hooks, so faults need no special handling here.
 func (g *ListGuide) OnFault(coreID int, vpn pagetable.VPN) {}
 
@@ -105,16 +171,16 @@ func (g *ListGuide) chaser(p *sim.Proc) {
 		}
 		node := g.chase
 		var next uint64
-		if int(node&(core.PageSize-1))+g.HeaderBytes > core.PageSize {
+		if int(node&(pagetable.PageSize-1))+g.HeaderBytes > pagetable.PageSize {
 			// Header straddles a page: read just the 8-byte next pointer.
 			var ptr [8]byte
-			if err := g.sys.ReadRemote(p, g.coreID, node+g.NextOff, ptr[:]); err != nil {
+			if err := g.host.ReadRemote(p, g.coreID, node+g.NextOff, ptr[:]); err != nil {
 				g.active = false
 				continue
 			}
 			next = binary.LittleEndian.Uint64(ptr[:])
 		} else {
-			if err := g.sys.ReadRemote(p, g.coreID, node, buf); err != nil {
+			if err := g.host.ReadRemote(p, g.coreID, node, buf); err != nil {
 				g.active = false
 				continue
 			}
@@ -131,7 +197,7 @@ func (g *ListGuide) advance(p *sim.Proc, next uint64) {
 		g.chase = 0
 		return
 	}
-	g.sys.SchedulePrefetch(p, g.coreID, []pagetable.VPN{pagetable.VPNOf(next)})
+	g.host.Prefetch(p, g.coreID, Request{Pages: []pagetable.VPN{pagetable.VPNOf(next)}})
 	g.Prefetched++
 	g.chase = next
 	g.behindBy++

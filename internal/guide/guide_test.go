@@ -1,4 +1,4 @@
-package guide
+package guide_test
 
 import (
 	"math/rand"
@@ -6,6 +6,7 @@ import (
 
 	"dilos/internal/core"
 	"dilos/internal/fabric"
+	"dilos/internal/guide"
 	"dilos/internal/sim"
 )
 
@@ -36,7 +37,7 @@ func buildList(sys *core.System, sp *core.DDCProc, n int, seed int64) uint64 {
 
 // traverse walks the list summing values, reporting each visit to the
 // guide (the loader-injected hook).
-func traverse(sp *core.DDCProc, g *ListGuide, head uint64) uint64 {
+func traverse(sp *core.DDCProc, g *guide.ListGuide, head uint64) uint64 {
 	var sum uint64
 	for node := head; node != 0; {
 		if g != nil {
@@ -51,7 +52,7 @@ func traverse(sp *core.DDCProc, g *ListGuide, head uint64) uint64 {
 	return sum
 }
 
-func runTraversal(t *testing.T, n int, g *ListGuide) (elapsed sim.Time, majors int64, sum uint64) {
+func runTraversal(t *testing.T, n int, g *guide.ListGuide) (elapsed sim.Time, majors int64, sum uint64) {
 	t.Helper()
 	eng := sim.New()
 	cfg := core.Config{
@@ -60,10 +61,10 @@ func runTraversal(t *testing.T, n int, g *ListGuide) (elapsed sim.Time, majors i
 		RemoteBytes: 256 << 20,
 		Fabric:      fabric.DefaultParams(),
 	}
-	if g != nil {
-		cfg.Guide = g
-	}
 	sys := core.New(eng, cfg)
+	if g != nil {
+		sys.AttachGuide(g)
+	}
 	sys.Start()
 	sys.Launch("app", 0, func(sp *core.DDCProc) {
 		head := buildList(sys, sp, n, 42)
@@ -82,7 +83,7 @@ func runTraversal(t *testing.T, n int, g *ListGuide) (elapsed sim.Time, majors i
 func TestListGuideCorrectTraversal(t *testing.T) {
 	const n = 512
 	want := uint64(n) * uint64(n-1) / 2
-	_, _, sum := runTraversal(t, n, NewListGuide(0, 8))
+	_, _, sum := runTraversal(t, n, guide.NewListGuide(0, 8))
 	if sum != want {
 		t.Fatalf("sum = %d, want %d (guide corrupted the traversal)", sum, want)
 	}
@@ -91,7 +92,7 @@ func TestListGuideCorrectTraversal(t *testing.T) {
 func TestListGuideBeatsNoPrefetch(t *testing.T) {
 	const n = 512
 	base, baseMajors, _ := runTraversal(t, n, nil)
-	guided, guidedMajors, _ := runTraversal(t, n, NewListGuide(0, 8))
+	guided, guidedMajors, _ := runTraversal(t, n, guide.NewListGuide(0, 8))
 	if guidedMajors >= baseMajors {
 		t.Fatalf("guide did not reduce majors: %d vs %d", guidedMajors, baseMajors)
 	}
@@ -103,7 +104,7 @@ func TestListGuideBeatsNoPrefetch(t *testing.T) {
 }
 
 func TestListGuideSubpageTraffic(t *testing.T) {
-	g := NewListGuide(0, 8)
+	g := guide.NewListGuide(0, 8)
 	runTraversal(t, 256, g)
 	if g.SubpageReads == 0 || g.Prefetched == 0 {
 		t.Fatalf("guide idle: subpage=%d prefetched=%d", g.SubpageReads, g.Prefetched)
@@ -111,7 +112,7 @@ func TestListGuideSubpageTraffic(t *testing.T) {
 }
 
 func TestListGuideHeaderClamp(t *testing.T) {
-	g := NewListGuide(120, 4)
+	g := guide.NewListGuide(120, 4)
 	if g.HeaderBytes < 128 {
 		t.Fatalf("header bytes %d too small for next pointer at 120", g.HeaderBytes)
 	}

@@ -1,0 +1,111 @@
+// The layerwise KV guide: the §4.3 app-aware module for the inference
+// shape. Decode's access pattern is perfectly known one layer ahead —
+// while layer L computes, layer L+1's pages are certain to be read next —
+// so the guide needs no subpage reads or pointer chasing: the phase
+// driver reports each layer transition and the guide turns it into a
+// typed prefetch of the next layer's live bytes on its own daemon,
+// overlapping the fetch with the layer's compute window.
+package kvcache
+
+import (
+	"dilos/internal/core"
+	"dilos/internal/guide"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Guide implements guide.Guide for the KV cache. Create it with NewGuide
+// before System.Start; the phase driver passes it to Prefill/DecodeStep,
+// which report layer transitions through onLayer.
+type Guide struct {
+	coreID int
+	host   guide.Host
+
+	queue []guide.Request
+	work  sim.Waiter
+
+	// PrefetchReqs counts layer-transition prefetches issued;
+	// PrefetchPages the pages they covered. Registered as kvcache.guide_*.
+	PrefetchReqs  stats.Counter
+	PrefetchPages stats.Counter
+}
+
+// NewGuide builds the layerwise guide, attaches it to the system, and
+// registers its kvcache.guide_* counters. Must run before sys.Start.
+func NewGuide(sys *core.System) *Guide {
+	g := &Guide{
+		PrefetchReqs:  stats.Counter{Name: "kvcache.guide_prefetch_reqs"},
+		PrefetchPages: stats.Counter{Name: "kvcache.guide_prefetch_pages"},
+	}
+	sys.Registry().RegisterCounter(&g.PrefetchReqs)
+	sys.Registry().RegisterCounter(&g.PrefetchPages)
+	sys.AttachGuide(g)
+	return g
+}
+
+// Name implements guide.Guide.
+func (g *Guide) Name() string { return "kv-layerwise" }
+
+// Start implements guide.Guide: it spawns the prefetch daemon.
+func (g *Guide) Start(h guide.Host) {
+	g.host = h
+	h.GoDaemon("guide.kv-layerwise", g.daemon)
+}
+
+// OnFault implements guide.Guide. The KV guide is hook-driven — layer
+// transitions carry all the information, faults add nothing.
+func (g *Guide) OnFault(coreID int, vpn pagetable.VPN) {}
+
+// lookahead is how many layers ahead the guide runs. One layer ahead is
+// the sweet spot: a deeper window holds more fetched-but-unread pages
+// pinned, and at small cache ratios that extra in-flight inventory
+// starves the allocation headroom prefetch itself draws from.
+const lookahead = 1
+
+// onLayer is the hook the cache calls as a sequence enters layer `layer`
+// touching `tokens` tokens: enqueue prefetches of the UPCOMING layers'
+// live bytes for the daemon to issue while this layer computes. Entering
+// layer 0 primes the whole lookahead window; after that each layer tops
+// the window up by one.
+func (g *Guide) onLayer(sp *core.DDCProc, c *Cache, s *Sequence, layer, tokens int) {
+	if tokens <= 0 {
+		return
+	}
+	first, last := layer+lookahead, layer+lookahead
+	if layer == 0 {
+		first = 1
+	}
+	queued := false
+	for next := first; next <= last; next++ {
+		if next >= c.P.Layers {
+			break
+		}
+		g.queue = append(g.queue, guide.Request{
+			Addr:  c.LayerAddr(s, next),
+			Bytes: uint64(tokens) * c.P.BytesPerToken,
+		})
+		queued = true
+	}
+	if queued {
+		g.work.Wake(sp.Now())
+	}
+}
+
+// daemon drains the layer-transition queue, issuing one typed prefetch
+// per entry on the guide's core.
+func (g *Guide) daemon(p *sim.Proc) {
+	for {
+		if len(g.queue) == 0 {
+			g.work.Wait(p)
+			continue
+		}
+		req := g.queue[0]
+		g.queue = g.queue[1:]
+		first := pagetable.VPNOf(req.Addr)
+		last := pagetable.VPNOf(req.Addr + req.Bytes - 1)
+		g.PrefetchReqs.Inc()
+		g.PrefetchPages.Add(int64(last - first + 1))
+		g.host.Prefetch(p, g.coreID, req)
+	}
+}

@@ -1,0 +1,356 @@
+// Package kvcache is a KV-cache tiering workload over the DiLOS pool: the
+// inference-serving memory shape (vLLM/FlexGen-style) expressed through
+// the unmodified paging stack. Each sequence owns one append-only region
+// per transformer layer; prefill writes every layer's KV and pushes the
+// completed layer to the pool through the batched write path
+// (core.PageOutRange → Coalesce/Submit), decode walks the layers reading
+// every past token's KV, and the layerwise guide prefetches the *next*
+// layer's pages while the current layer computes — the §4.3 app-aware
+// guide applied to a workload whose access pattern is perfectly known one
+// layer ahead.
+//
+// Sequence lifetime drives eviction: Finish returns a sequence's frames
+// to the pool en masse (core.DiscardRange — dead KV needs no write-back)
+// and recycles its regions through a free list; SpillEarlyLayers pushes a
+// long-lived sequence's cold early layers out first, since decode touches
+// layer 0 a full model-depth before it is needed again.
+package kvcache
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dilos/internal/core"
+	"dilos/internal/pagetable"
+	"dilos/internal/sim"
+	"dilos/internal/stats"
+)
+
+// Params sizes the cache and its compute model.
+type Params struct {
+	// Layers is the transformer depth: one region per sequence per layer.
+	Layers int
+	// BytesPerToken is the KV footprint of one token in one layer.
+	BytesPerToken uint64
+	// MaxTokens bounds a sequence's length; it sizes the region.
+	MaxTokens int
+	// PrefillCostPerToken is compute per token per layer during prefill.
+	PrefillCostPerToken sim.Time
+	// DecodeCostPerLayer is the attention+MLP compute per layer per decode
+	// step — the window the guide hides the next layer's fetches behind.
+	DecodeCostPerLayer sim.Time
+	// FlushPrefill pushes each completed prefill layer to the pool through
+	// the batched write-back path (the tiering shape: KV streams out as it
+	// is produced, DRAM holds only the layers in flight).
+	FlushPrefill bool
+}
+
+// DefaultParams returns the committed model: 8 layers, 256 B/token/layer,
+// 256-token regions (16 pages each), 15 µs/layer decode compute.
+func DefaultParams() Params {
+	return Params{
+		Layers:              8,
+		BytesPerToken:       256,
+		MaxTokens:           256,
+		PrefillCostPerToken: 150 * sim.Nanosecond,
+		DecodeCostPerLayer:  15 * sim.Microsecond,
+		FlushPrefill:        true,
+	}
+}
+
+// RegionBytes is the size of one sequence×layer region.
+func (p Params) RegionBytes() uint64 { return p.BytesPerToken * uint64(p.MaxTokens) }
+
+// RegionPages is the region size in pages.
+func (p Params) RegionPages() uint64 {
+	return (p.RegionBytes() + pagetable.PageSize - 1) / pagetable.PageSize
+}
+
+// Sequence is one live request: Layers regions of append-only KV.
+type Sequence struct {
+	ID      int
+	regions []int // region index per layer
+	tokens  int
+	done    bool
+}
+
+// Tokens returns how many tokens the sequence holds.
+func (s *Sequence) Tokens() int { return s.tokens }
+
+// Cache manages the region pool and the sequences over it.
+type Cache struct {
+	P    Params
+	sys  *core.System
+	base uint64
+
+	free    []int // region free list, LIFO so recycling reuses hot VA
+	regions int
+	nextID  int
+	live    int
+
+	// Stats, registered under kvcache.* in the system registry.
+	SeqsStarted  stats.Counter
+	SeqsFinished stats.Counter
+	Appends      stats.Counter
+	DecodeReads  stats.Counter
+	BadReads     stats.Counter
+	FlushedPages stats.Counter
+	SpilledPages stats.Counter
+	FreedPages   stats.Counter
+	RegionsInUse stats.Gauge
+	DecodeStepH  *stats.Histogram
+}
+
+// New maps capSeqs×Layers regions of disaggregated memory and registers
+// the kvcache.* stat families with the system registry (they ride the
+// same /metrics and snapshot plumbing as the kernel's own counters).
+// Regions are handed out in a bit-reversed permutation of VA order, the
+// deterministic stand-in for allocator reuse: consecutive layers of one
+// sequence land far apart, so nothing about the layout is sequential and
+// only semantic (guide) knowledge predicts the next layer's pages.
+func New(sys *core.System, p Params, capSeqs int) (*Cache, error) {
+	if p.Layers <= 0 || p.BytesPerToken == 0 || p.MaxTokens <= 0 {
+		return nil, fmt.Errorf("kvcache: Layers, BytesPerToken, MaxTokens must be positive")
+	}
+	if capSeqs <= 0 {
+		return nil, fmt.Errorf("kvcache: need at least one sequence slot")
+	}
+	regions := capSeqs * p.Layers
+	base, err := sys.MmapDDC(uint64(regions) * p.RegionPages())
+	if err != nil {
+		return nil, err
+	}
+	c := &Cache{P: p, sys: sys, base: base, regions: regions}
+	c.free = bitReversed(regions)
+	c.SeqsStarted = stats.Counter{Name: "kvcache.seqs_started"}
+	c.SeqsFinished = stats.Counter{Name: "kvcache.seqs_finished"}
+	c.Appends = stats.Counter{Name: "kvcache.appends"}
+	c.DecodeReads = stats.Counter{Name: "kvcache.decode_reads"}
+	c.BadReads = stats.Counter{Name: "kvcache.bad_reads"}
+	c.FlushedPages = stats.Counter{Name: "kvcache.flushed_pages"}
+	c.SpilledPages = stats.Counter{Name: "kvcache.spilled_pages"}
+	c.FreedPages = stats.Counter{Name: "kvcache.freed_pages"}
+	c.RegionsInUse = stats.Gauge{Name: "kvcache.regions_in_use"}
+	c.DecodeStepH = stats.NewHistogram("kvcache.decode_step")
+	r := sys.Registry()
+	r.RegisterCounter(&c.SeqsStarted)
+	r.RegisterCounter(&c.SeqsFinished)
+	r.RegisterCounter(&c.Appends)
+	r.RegisterCounter(&c.DecodeReads)
+	r.RegisterCounter(&c.BadReads)
+	r.RegisterCounter(&c.FlushedPages)
+	r.RegisterCounter(&c.SpilledPages)
+	r.RegisterCounter(&c.FreedPages)
+	r.RegisterGauge(&c.RegionsInUse)
+	r.RegisterHistogram(c.DecodeStepH)
+	sys.AddStatusSection(c.appendStatus)
+	return c, nil
+}
+
+// bitReversed returns 0..n-1 in bit-reversed order over the smallest
+// covering power of two (skipping values ≥ n): a deterministic maximal
+// shuffle with no RNG state to replay.
+func bitReversed(n int) []int {
+	bits := 0
+	for 1<<bits < n {
+		bits++
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < 1<<bits; i++ {
+		r := 0
+		for b := 0; b < bits; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (bits - 1 - b)
+			}
+		}
+		if r < n {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FreeRegions returns how many regions the free list holds.
+func (c *Cache) FreeRegions() int { return len(c.free) }
+
+// Live returns the number of unfinished sequences.
+func (c *Cache) Live() int { return c.live }
+
+// regionAddr returns the base address of region idx.
+func (c *Cache) regionAddr(idx int) uint64 {
+	return c.base + uint64(idx)*c.P.RegionPages()*pagetable.PageSize
+}
+
+// LayerAddr returns the base address of a sequence's layer region.
+func (c *Cache) LayerAddr(s *Sequence, layer int) uint64 {
+	return c.regionAddr(s.regions[layer])
+}
+
+// layerLiveBytes is how much of a layer region holds real KV.
+func (c *Cache) layerLiveBytes(s *Sequence) uint64 {
+	return uint64(s.tokens) * c.P.BytesPerToken
+}
+
+// Begin allocates a sequence: one region per layer off the free list.
+func (c *Cache) Begin() (*Sequence, error) {
+	if len(c.free) < c.P.Layers {
+		return nil, fmt.Errorf("kvcache: out of regions (%d free, need %d)", len(c.free), c.P.Layers)
+	}
+	s := &Sequence{ID: c.nextID, regions: make([]int, c.P.Layers)}
+	c.nextID++
+	for l := 0; l < c.P.Layers; l++ {
+		s.regions[l] = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	}
+	c.live++
+	c.SeqsStarted.Inc()
+	c.RegionsInUse.Set(int64(c.regions - len(c.free)))
+	return s, nil
+}
+
+// tokenPattern is the deterministic KV content of (seq, layer, token):
+// written by appends, checked by decode reads.
+func tokenPattern(seqID, layer, token int) uint64 {
+	return uint64(seqID)<<40 ^ uint64(layer)<<20 ^ uint64(token) ^ 0x9e3779b97f4a7c15
+}
+
+// writeToken writes one token's KV into one layer region.
+func (c *Cache) writeToken(sp *core.DDCProc, s *Sequence, layer, token int) {
+	addr := c.LayerAddr(s, layer) + uint64(token)*c.P.BytesPerToken
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], tokenPattern(s.ID, layer, token))
+	// One store per 64 B line of the token's KV: the first carries the
+	// pattern, the rest fill the footprint.
+	for off := uint64(0); off < c.P.BytesPerToken; off += 64 {
+		sp.Store(addr+off, buf[:])
+	}
+	c.Appends.Inc()
+}
+
+// Prefill runs the prompt phase: layer by layer, write every token's KV,
+// pay the layer's compute, and (with FlushPrefill) push the completed
+// layer to the pool through the batched write path. The per-layer guide
+// notification lets the layerwise guide warm the next layer even during
+// prefill re-runs over recycled regions.
+func (c *Cache) Prefill(sp *core.DDCProc, s *Sequence, tokens int, g *Guide) error {
+	if s.done {
+		return fmt.Errorf("kvcache: Prefill on finished sequence %d", s.ID)
+	}
+	if tokens > c.P.MaxTokens {
+		return fmt.Errorf("kvcache: %d tokens exceed the %d-token region", tokens, c.P.MaxTokens)
+	}
+	for l := 0; l < c.P.Layers; l++ {
+		if g != nil {
+			g.onLayer(sp, c, s, l, tokens)
+		}
+		for t := 0; t < tokens; t++ {
+			c.writeToken(sp, s, l, t)
+		}
+		sp.Compute(c.P.PrefillCostPerToken * sim.Time(tokens))
+		if c.P.FlushPrefill {
+			n := c.sys.PageOutRange(sp.Proc(), sp.CoreID(), c.LayerAddr(s, l), uint64(tokens)*c.P.BytesPerToken)
+			c.FlushedPages.Add(int64(n))
+		}
+	}
+	s.tokens = tokens
+	return nil
+}
+
+// DecodeStep generates one token: per layer, notify the guide (which
+// prefetches the NEXT layer's pages while this layer computes), read
+// every past token's KV, pay the layer compute, then append the new
+// token's KV to every layer. Returns the step's virtual-time latency —
+// the per-token decode latency (TPOT) the experiments gate on.
+func (c *Cache) DecodeStep(sp *core.DDCProc, s *Sequence, g *Guide) (sim.Time, error) {
+	if s.done {
+		return 0, fmt.Errorf("kvcache: DecodeStep on finished sequence %d", s.ID)
+	}
+	if s.tokens >= c.P.MaxTokens {
+		return 0, fmt.Errorf("kvcache: sequence %d is full (%d tokens)", s.ID, s.tokens)
+	}
+	t0 := sp.Now()
+	for l := 0; l < c.P.Layers; l++ {
+		if g != nil {
+			g.onLayer(sp, c, s, l, s.tokens+1)
+		}
+		base := c.LayerAddr(s, l)
+		for t := 0; t < s.tokens; t++ {
+			got := sp.LoadU64(base + uint64(t)*c.P.BytesPerToken)
+			c.DecodeReads.Inc()
+			if got != tokenPattern(s.ID, l, t) {
+				c.BadReads.Inc()
+			}
+		}
+		sp.Compute(c.P.DecodeCostPerLayer)
+	}
+	for l := 0; l < c.P.Layers; l++ {
+		c.writeToken(sp, s, l, s.tokens)
+	}
+	s.tokens++
+	d := sp.Now() - t0
+	c.DecodeStepH.Record(d)
+	return d, nil
+}
+
+// Finish ends a sequence: its frames return to the pool en masse with no
+// write-back (the KV is dead), and its regions go back on the free list
+// for the next Begin to recycle.
+func (c *Cache) Finish(sp *core.DDCProc, s *Sequence) int {
+	if s.done {
+		return 0
+	}
+	s.done = true
+	freed := 0
+	for l := 0; l < c.P.Layers; l++ {
+		freed += c.sys.DiscardRange(sp.Proc(), c.LayerAddr(s, l), c.P.RegionPages()*pagetable.PageSize)
+		c.free = append(c.free, s.regions[l])
+	}
+	c.live--
+	c.SeqsFinished.Inc()
+	c.FreedPages.Add(int64(freed))
+	c.RegionsInUse.Set(int64(c.regions - len(c.free)))
+	return freed
+}
+
+// SpillEarlyLayers pushes a long-lived sequence's cold early layers to
+// the pool, keeping the last keepLayers resident: decode touches layer 0
+// a full model-depth of compute before it needs it again, so early
+// layers are always the coldest KV in DRAM. Returns pages spilled.
+func (c *Cache) SpillEarlyLayers(sp *core.DDCProc, s *Sequence, keepLayers int) int {
+	if s.done {
+		return 0
+	}
+	spill := c.P.Layers - keepLayers
+	if spill <= 0 {
+		return 0
+	}
+	n := 0
+	for l := 0; l < spill; l++ {
+		n += c.sys.PageOutRange(sp.Proc(), sp.CoreID(), c.LayerAddr(s, l), c.layerLiveBytes(s))
+	}
+	c.SpilledPages.Add(int64(n))
+	return n
+}
+
+// appendStatus renders the kvcache /statusz section (deterministic:
+// integer fields, fixed order).
+func (c *Cache) appendStatus(dst []byte, now sim.Time) []byte {
+	dst = append(dst, "kvcache live="...)
+	dst = appendInt(dst, int64(c.live))
+	dst = append(dst, " regions_free="...)
+	dst = appendInt(dst, int64(len(c.free)))
+	dst = append(dst, " appends="...)
+	dst = appendInt(dst, c.Appends.N)
+	dst = append(dst, " flushed="...)
+	dst = appendInt(dst, c.FlushedPages.N)
+	dst = append(dst, " spilled="...)
+	dst = appendInt(dst, c.SpilledPages.N)
+	dst = append(dst, " freed="...)
+	dst = appendInt(dst, c.FreedPages.N)
+	dst = append(dst, '\n')
+	return dst
+}
+
+func appendInt(dst []byte, v int64) []byte {
+	return fmt.Appendf(dst, "%d", v)
+}

@@ -1125,3 +1125,13 @@ func (m *Manager) evict(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) bool {
 	m.freed.Wake(p.Now())
 	return true
 }
+
+// PageOut evicts one resident page on behalf of an application-directed
+// pager (core.PageOutRange): unmap, transition the PTE to Remote (or
+// Action under guided paging), and free the frame. The caller must have
+// written dirty content back to every replica first — PageOut itself
+// performs no write-back — and must pass a page whose frame is unpinned.
+// Returns false, leaving the page resident, when no replica is reachable.
+func (m *Manager) PageOut(p *sim.Proc, id dram.FrameID, vpn pagetable.VPN) bool {
+	return m.evict(p, id, vpn)
+}

@@ -3,7 +3,7 @@ package redis
 import (
 	"encoding/binary"
 
-	"dilos/internal/core"
+	"dilos/internal/guide"
 	"dilos/internal/pagetable"
 	"dilos/internal/sim"
 )
@@ -24,7 +24,7 @@ import (
 type AppGuide struct {
 	Depth int // quicklist chase runway (nodes)
 
-	sys    *core.System
+	host   guide.Host
 	coreID int
 
 	getQ []uint64 // SDS addresses awaiting header-guided prefetch
@@ -42,16 +42,16 @@ type AppGuide struct {
 // NewAppGuide creates the Redis guide.
 func NewAppGuide() *AppGuide { return &AppGuide{Depth: 6} }
 
-// Name implements core.Guide.
+// Name implements guide.Guide.
 func (g *AppGuide) Name() string { return "redis-app-aware" }
 
-// Start implements core.Guide.
-func (g *AppGuide) Start(sys *core.System) {
-	g.sys = sys
-	sys.Eng.GoDaemon("guide.redis", g.daemon)
+// Start implements guide.Guide.
+func (g *AppGuide) Start(h guide.Host) {
+	g.host = h
+	h.GoDaemon("guide.redis", g.daemon)
 }
 
-// OnFault implements core.Guide (the guide is hook-driven).
+// OnFault implements guide.Guide (the guide is hook-driven).
 func (g *AppGuide) OnFault(coreID int, vpn pagetable.VPN) {}
 
 // Install wires the guide's hookers into a server running on process p
@@ -98,7 +98,7 @@ func (g *AppGuide) daemon(p *sim.Proc) {
 // prefetches the exact pages of the value body.
 func (g *AppGuide) prefetchSDS(p *sim.Proc, sds uint64) {
 	var hdr [8]byte
-	if err := g.sys.ReadRemote(p, g.coreID, sds, hdr[:]); err != nil {
+	if err := g.host.ReadRemote(p, g.coreID, sds, hdr[:]); err != nil {
 		return
 	}
 	g.SubpageReads++
@@ -112,7 +112,7 @@ func (g *AppGuide) prefetchSDS(p *sim.Proc, sds uint64) {
 func (g *AppGuide) chaseQuicklist(p *sim.Proc) {
 	node := g.lrNode
 	var nb [qlNodeSize]byte
-	if err := g.sys.ReadRemote(p, g.coreID, node, nb[:]); err != nil {
+	if err := g.host.ReadRemote(p, g.coreID, node, nb[:]); err != nil {
 		g.lrActive = false
 		return
 	}
@@ -137,10 +137,6 @@ func (g *AppGuide) prefetchRange(p *sim.Proc, addr, n uint64) {
 	}
 	first := pagetable.VPNOf(addr)
 	last := pagetable.VPNOf(addr + n - 1)
-	vpns := make([]pagetable.VPN, 0, last-first+1)
-	for v := first; v <= last; v++ {
-		vpns = append(vpns, v)
-	}
-	g.PagePrefetch += int64(len(vpns))
-	g.sys.SchedulePrefetch(p, g.coreID, vpns)
+	g.PagePrefetch += int64(last - first + 1)
+	g.host.Prefetch(p, g.coreID, guide.Request{Addr: addr, Bytes: n})
 }

@@ -8,6 +8,7 @@ import (
 
 	"dilos/internal/core"
 	"dilos/internal/fabric"
+	"dilos/internal/guide"
 	"dilos/internal/prefetch"
 	"dilos/internal/sim"
 	"dilos/internal/space"
@@ -174,7 +175,7 @@ func TestLRANGEDriverLocal(t *testing.T) {
 }
 
 // dilosServer boots a Redis server on a DiLOS node.
-func dilosServer(t *testing.T, frames int, pf prefetch.Prefetcher, g core.Guide) (*core.System, *sim.Engine) {
+func dilosServer(t *testing.T, frames int, pf prefetch.Prefetcher, g guide.Guide) (*core.System, *sim.Engine) {
 	t.Helper()
 	eng := sim.New()
 	sys := core.New(eng, core.Config{
@@ -183,8 +184,10 @@ func dilosServer(t *testing.T, frames int, pf prefetch.Prefetcher, g core.Guide)
 		RemoteBytes: 512 << 20,
 		Fabric:      fabric.DefaultParams(),
 		Prefetcher:  pf,
-		Guide:       g,
 	})
+	if g != nil {
+		sys.AttachGuide(g)
+	}
 	sys.Start()
 	return sys, eng
 }
@@ -209,7 +212,7 @@ func TestRedisOnDiLOS(t *testing.T) {
 func TestAppGuideSpeedsUpLRANGE(t *testing.T) {
 	run := func(g *AppGuide) sim.Time {
 		var pf prefetch.Prefetcher
-		sys, eng := dilosServer(t, 1024, pf, func() core.Guide {
+		sys, eng := dilosServer(t, 1024, pf, func() guide.Guide {
 			if g == nil {
 				return nil
 			}

@@ -2,7 +2,8 @@
 # benchcheck.sh — benchstat-style regression gate for the host-side
 # hot-path benchmarks. Runs BenchmarkFaultPath and BenchmarkFaultPathObs
 # (root; the latter is the same fault loop with the full observability
-# plane attached, so their delta is the plane's per-fault cost) and
+# plane attached, so their delta is the plane's per-fault cost),
+# BenchmarkKVDecodeStep (root; one guided KV decode step end to end) and
 # BenchmarkSubmit (internal/fabric) several times, takes the best
 # (minimum) ns/op per benchmark — the benchstat idea: noise only ever
 # slows a run down — and fails if any regresses more than 10% over the
@@ -35,6 +36,7 @@ best_ns() {
 
 faultpath=$(best_ns '^BenchmarkFaultPath$' '.' 20000x)
 faultobs=$(best_ns '^BenchmarkFaultPathObs$' '.' 20000x)
+kvdecode=$(best_ns '^BenchmarkKVDecodeStep$' '.' 500x)
 submit=$(best_ns '^BenchmarkSubmit$' './internal/fabric/' 50000x)
 
 if [ "${1:-}" = "-update" ]; then
@@ -43,16 +45,17 @@ if [ "${1:-}" = "-update" ]; then
         echo "# Refresh on the reference machine with: scripts/benchcheck.sh -update"
         echo "BenchmarkFaultPath $faultpath"
         echo "BenchmarkFaultPathObs $faultobs"
+        echo "BenchmarkKVDecodeStep $kvdecode"
         echo "BenchmarkSubmit $submit"
     } >"$BASELINE"
-    echo "benchcheck: baseline updated — FaultPath ${faultpath} ns/op, FaultPathObs ${faultobs} ns/op, Submit ${submit} ns/op"
+    echo "benchcheck: baseline updated — FaultPath ${faultpath} ns/op, FaultPathObs ${faultobs} ns/op, KVDecodeStep ${kvdecode} ns/op, Submit ${submit} ns/op"
     exit 0
 fi
 
 [ -f "$BASELINE" ] || { echo "benchcheck: missing $BASELINE (run with -update)" >&2; exit 1; }
 
 fail=0
-for pair in "BenchmarkFaultPath $faultpath" "BenchmarkFaultPathObs $faultobs" "BenchmarkSubmit $submit"; do
+for pair in "BenchmarkFaultPath $faultpath" "BenchmarkFaultPathObs $faultobs" "BenchmarkKVDecodeStep $kvdecode" "BenchmarkSubmit $submit"; do
     name=${pair% *}
     got=${pair#* }
     want=$(awk -v n="$name" '$1 == n {print $2}' "$BASELINE")
